@@ -1,0 +1,82 @@
+// Command classify runs the full machine-checked derivation of the paper's
+// main result — the linear order of Figure 5b:
+//
+//	SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc
+//
+// Every "=" is backed by running the corresponding simulation wrapper
+// (Theorems 4, 8, 9) over the verification suite; every "⊊" is backed by a
+// Corollary-3 separation witness (an algorithm for the stronger class plus
+// a bisimulation argument against the weaker class).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"weakmodels/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	trials := fs.Int("trials", 3, "random numberings per graph")
+	seed := fs.Int64("seed", 1, "numbering sampler seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := core.DefaultSuite()
+	suite.RandomTrials = *trials
+	suite.Seed = *seed
+
+	fmt.Println("weakmodels: machine-checked classification (Hella et al., PODC 2012)")
+	fmt.Printf("suite: %d graphs × (1 canonical + %d random) numberings\n\n",
+		len(suite.Graphs), *trials)
+
+	start := time.Now()
+	report, err := core.Derive(suite)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println("collapse evidence (equalities):")
+	for _, c := range report.Collapses {
+		fmt.Printf("  ✓ %-32s %v-problem solved by a %v-class wrapper on the full suite\n",
+			c.Name, c.Strong, c.Weak)
+	}
+	fmt.Println()
+	fmt.Println("separation evidence (proper inclusions):")
+	for _, s := range report.Separations {
+		if s.Build != nil {
+			fmt.Printf("  ✓ %-32s %s ∈ %v(1); witness nodes bisimilar in %v ⇒ ∉ %v\n",
+				s.Name, s.Problem.Name(), s.InClass, s.Variant, s.NotInClass)
+		} else {
+			fmt.Printf("  ✓ %-32s %s: witness nodes bisimilar in %v ⇒ ∉ %v\n",
+				s.Name, s.Problem.Name(), s.Variant, s.NotInClass)
+		}
+	}
+	fmt.Println()
+	fmt.Println("derived linear order (Figure 5b / equation (1)):")
+	fmt.Printf("  %s\n\n", report)
+	fmt.Println("logic captures (Theorem 2, constant-time classes):")
+	for _, row := range core.CaptureTable() {
+		suffix := ""
+		if row.Consistent {
+			suffix = " (consistent numberings)"
+		}
+		fmt.Printf("  %-4s(1) is captured by %-4s on %v%s\n",
+			row.Class, row.Logic, row.Variant, suffix)
+	}
+	fmt.Println()
+	fmt.Printf("all evidence verified in %v\n", elapsed.Round(time.Millisecond))
+	return nil
+}

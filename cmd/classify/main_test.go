@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestClassifyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full derivation is slow")
+	}
+	if err := run([]string{"-trials", "1", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyFlagError(t *testing.T) {
+	if err := run([]string{"-trials", "zzz"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Command figures regenerates the paper's figures as textual artefacts:
+// port-numbering tables (Figs 1–2), receive/send views (Figs 3–4), the
+// class diagram (Fig 5), per-class information (Fig 6), the Kripke
+// relations (Fig 7), the double-cover 1-factorization (Fig 8) and the
+// no-1-factor witness with its symmetric numbering (Fig 9).
+//
+// Usage: figures -fig 7 [-graph fig1] [-ports canonical]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"weakmodels/internal/bisim"
+	"weakmodels/internal/core"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure number 1-9 (0 = all)")
+	dot := fs.Bool("dot", false, "emit the (graph, numbering) as Graphviz DOT and exit")
+	graphSpec := fs.String("graph", "fig1", "graph for figures 1-4, 6-7")
+	portSpec := fs.String("ports", "canonical", "numbering for figures 1-4, 6-7")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := spec.ParseGraph(*graphSpec)
+	if err != nil {
+		return err
+	}
+	p, err := spec.ParseNumbering(g, *portSpec)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		writeDOT(os.Stdout, p)
+		return nil
+	}
+	figs := map[int]func(*graph.Graph, *port.Numbering) error{
+		1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5,
+		6: figure6, 7: figure7, 8: figure8, 9: figure9,
+	}
+	if *fig != 0 {
+		f, ok := figs[*fig]
+		if !ok {
+			return fmt.Errorf("no figure %d", *fig)
+		}
+		return f(g, p)
+	}
+	for i := 1; i <= 9; i++ {
+		fmt.Printf("===== Figure %d =====\n", i)
+		if err := figs[i](g, p); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// figure1 prints a port numbering as the paper's edge-label notation.
+func figure1(g *graph.Graph, p *port.Numbering) error {
+	fmt.Printf("port numbering of %v (edge labels out-port → in-port):\n", g)
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			d := p.Dest(v, i)
+			fmt.Printf("  p((%d,%d)) = (%d,%d)\n", v, i, d.Node, d.Index)
+		}
+	}
+	return nil
+}
+
+// figure2 reports consistency.
+func figure2(g *graph.Graph, p *port.Numbering) error {
+	fmt.Printf("consistency of the numbering (p∘p = id): %v\n", p.IsConsistent())
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			d := p.Dest(v, i)
+			dd := p.Dest(d.Node, d.Index)
+			mark := "✓"
+			if dd.Node != v || dd.Index != i {
+				mark = "✗"
+			}
+			fmt.Printf("  (%d,%d) → (%d,%d) → (%d,%d) %s\n",
+				v, i, d.Node, d.Index, dd.Node, dd.Index, mark)
+		}
+	}
+	return nil
+}
+
+// figure3 shows the three receive views of the same inbox.
+func figure3(*graph.Graph, *port.Numbering) error {
+	inbox := []machine.Message{"a", "b", "a"}
+	fmt.Printf("raw inbox (by in-port): %v\n", inbox)
+	fmt.Printf("Vector view:   %v\n", machine.CanonicalInbox(machine.RecvVector, inbox))
+	fmt.Printf("Multiset view: %v\n", machine.CanonicalInbox(machine.RecvMultiset, inbox))
+	fmt.Printf("Set view:      %v\n", machine.CanonicalInbox(machine.RecvSet, inbox))
+	return nil
+}
+
+// figure4 contrasts vector and broadcast sends.
+func figure4(*graph.Graph, *port.Numbering) error {
+	fmt.Println("Vector send:    port 1 ← m1, port 2 ← m2, port 3 ← m3 (μ may depend on the port)")
+	fmt.Println("Broadcast send: port 1 ← m,  port 2 ← m,  port 3 ← m  (one message for all ports)")
+	return nil
+}
+
+// figure5 prints the class diagram before and after the classification.
+func figure5(*graph.Graph, *port.Numbering) error {
+	fmt.Println("(a) trivial containments:")
+	for _, pair := range core.TrivialSubsets() {
+		fmt.Printf("  %v ⊆ %v\n", pair[0], pair[1])
+	}
+	fmt.Println("(b) proved linear order: SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc")
+	fmt.Println("    (run cmd/classify for the machine-checked evidence)")
+	return nil
+}
+
+// figure6 lists the information available to each class on (G,p).
+func figure6(g *graph.Graph, p *port.Numbering) error {
+	fmt.Printf("auxiliary information per class on %v, node 0:\n", g)
+	v := 0
+	fmt.Printf("  VVc/VV: out-ports to %v; in-ports from %v\n",
+		outTargets(g, p, v), inSources(g, p, v))
+	fmt.Printf("  MV/SV:  out-ports to %v; incoming messages unlabelled\n", outTargets(g, p, v))
+	fmt.Printf("  VB:     outgoing broadcast; in-ports from %v\n", inSources(g, p, v))
+	fmt.Printf("  MB/SB:  outgoing broadcast; incoming multiset/set\n")
+	return nil
+}
+
+func outTargets(g *graph.Graph, p *port.Numbering, v int) []string {
+	var out []string
+	for i := 1; i <= g.Degree(v); i++ {
+		d := p.Dest(v, i)
+		out = append(out, fmt.Sprintf("%d→(%d,%d)", i, d.Node, d.Index))
+	}
+	return out
+}
+
+func inSources(g *graph.Graph, p *port.Numbering, v int) []string {
+	var out []string
+	for i := 1; i <= g.Degree(v); i++ {
+		s := p.Source(v, i)
+		out = append(out, fmt.Sprintf("%d←(%d,%d)", i, s.Node, s.Index))
+	}
+	return out
+}
+
+// figure7 prints the accessibility relations R(i,j), R(∗,j), R(i,∗), R(∗,∗).
+func figure7(g *graph.Graph, p *port.Numbering) error {
+	for _, variant := range []kripke.Variant{
+		kripke.VariantPP, kripke.VariantMP, kripke.VariantPM, kripke.VariantMM,
+	} {
+		m := kripke.FromPorts(p, variant)
+		fmt.Printf("%v relations:\n", variant)
+		for _, alpha := range m.Indices() {
+			fmt.Printf("  R%v:", alpha)
+			for v := 0; v < m.N(); v++ {
+				for _, w := range m.Succ(alpha, v) {
+					fmt.Printf(" (%d,%d)", v, w)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// figure8 runs the Lemma 15 pipeline on the Petersen graph.
+func figure8(*graph.Graph, *port.Numbering) error {
+	g := graph.Petersen()
+	fmt.Printf("Lemma 15 pipeline on %v:\n", g)
+	cover := graph.DoubleCover(g)
+	fmt.Printf("  bipartite double cover: %v\n", cover)
+	factors, err := graph.OneFactorization(cover)
+	if err != nil {
+		return err
+	}
+	for i, f := range factors {
+		fmt.Printf("  1-factor E%d: %v\n", i+1, f)
+	}
+	perms, err := graph.DoubleCoverFactorPermutations(g)
+	if err != nil {
+		return err
+	}
+	p, err := port.FromPermutationFactors(g, perms)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  symmetric numbering consistent: %v\n", p.IsConsistent())
+	model := kripke.FromPorts(p, kripke.VariantPP)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	fmt.Printf("  all nodes bisimilar in K(+,+): %v\n",
+		bisim.AllBisimilar(model, all, bisim.Options{}))
+	return nil
+}
+
+// figure9 builds the no-1-factor cubic witness and its symmetric numbering.
+func figure9(*graph.Graph, *port.Numbering) error {
+	g := graph.NoOneFactorCubic()
+	fmt.Printf("Figure 9a graph: %v, 3-regular=%v, connected=%v\n",
+		g, is3Regular(g), g.IsConnected())
+	fmt.Printf("  maximum matching ν = %d (perfect would need %d)\n", graph.Nu(g), g.N()/2)
+	rest, _ := g.RemoveNodes(0)
+	fmt.Printf("  Tutte violation: o(G − centre) = %d > 1\n", rest.OddComponents())
+	perms, err := graph.DoubleCoverFactorPermutations(g)
+	if err != nil {
+		return err
+	}
+	p, err := port.FromPermutationFactors(g, perms)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  symmetric numbering built (consistent: %v — inconsistent as Lemma 16 predicts)\n",
+		p.IsConsistent())
+	model := kripke.FromPorts(p, kripke.VariantPP)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	fmt.Printf("  all nodes bisimilar in K(+,+): %v\n",
+		bisim.AllBisimilar(model, all, bisim.Options{}))
+	return nil
+}
+
+func is3Regular(g *graph.Graph) bool {
+	k, ok := g.IsRegular()
+	return ok && k == 3
+}
+
+// writeDOT renders (G, p) as a Graphviz digraph with port labels, the
+// machine-readable counterpart of Figures 1-2.
+func writeDOT(w io.Writer, p *port.Numbering) {
+	g := p.Graph()
+	fmt.Fprintln(w, "digraph ports {")
+	fmt.Fprintln(w, "  edge [fontsize=9];")
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(w, "  n%d [label=\"%d (deg %d)\"];\n", v, v, g.Degree(v))
+	}
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			d := p.Dest(v, i)
+			fmt.Fprintf(w, "  n%d -> n%d [taillabel=\"%d\", headlabel=\"%d\"];\n",
+				v, d.Node, i, d.Index)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestEveryFigure(t *testing.T) {
+	for fig := 1; fig <= 9; fig++ {
+		if err := run([]string{"-fig", intToArg(fig)}); err != nil {
+			t.Errorf("figure %d: %v", fig, err)
+		}
+	}
+}
+
+func TestAllFigures(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureErrors(t *testing.T) {
+	if err := run([]string{"-fig", "12"}); err == nil {
+		t.Error("figure 12 accepted")
+	}
+	if err := run([]string{"-graph", "zzz"}); err == nil {
+		t.Error("bad graph accepted")
+	}
+	if err := run([]string{"-ports", "zzz"}); err == nil {
+		t.Error("bad ports accepted")
+	}
+}
+
+func intToArg(i int) string { return string(rune('0' + i)) }

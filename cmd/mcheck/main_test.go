@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-formula", "q1 & <*,*> q3", "-graph", "star:3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitVariantAndBisim(t *testing.T) {
+	args := []string{
+		"-formula", "<2,1> q2", "-graph", "fig1", "-ports", "random:3",
+		"-variant", "pp", "-bisim", "-graded",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"mp", "pm", "mm"} {
+		if err := run([]string{"-formula", "<*,*> q1", "-graph", "path:3", "-variant", v}); err != nil {
+			t.Fatalf("variant %s: %v", v, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                // missing formula
+		{"-formula", ")"}, // parse error
+		{"-formula", "q1", "-graph", "zzz"},
+		{"-formula", "q1", "-ports", "zzz"},
+		{"-formula", "q1", "-variant", "zz"},
+		{"-formula", "<1,1> q1 & <*,1> q1"}, // unclassifiable without -variant
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

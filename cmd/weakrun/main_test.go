@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "odd-odd", "-graph", "star:3", "-ports", "random:5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "odd-odd") || !strings.Contains(out, "rounds=1") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	// Star centre has 3 odd-degree neighbours → output 1; leaves see the
+	// centre (odd degree 3) → output 1. The tabwriter expands tabs, so
+	// compare fields.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "0" && fields[1] == "3" && fields[2] == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("centre row missing:\n%s", out)
+	}
+}
+
+func TestRunFormula(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-formula", "q1 & <*,*> q3", "-graph", "star:3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "compiled") {
+		t.Errorf("missing compile banner:\n%s", sb.String())
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-concurrent"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // neither -alg nor -formula
+		{"-alg", "nope"},                      // unknown algorithm
+		{"-alg", "odd-odd", "-graph", "x"},    // bad graph
+		{"-alg", "odd-odd", "-ports", "y"},    // bad ports
+		{"-formula", "(("},                    // bad formula
+		{"-alg", "odd-odd", "-formula", "q1"}, // both
+		{"-formula", "<1,1> q1 & <*,1> q1"},   // mixed labels
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

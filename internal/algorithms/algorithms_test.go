@@ -1,0 +1,244 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/problems"
+)
+
+// runOn executes m on (g,p) and fails the test on engine errors.
+func runOn(t *testing.T, m machine.Machine, p *port.Numbering) *engine.Result {
+	t.Helper()
+	res, err := engine.Run(m, p, engine.Options{})
+	if err != nil {
+		t.Fatalf("%s on %v: %v", m.Name(), p.Graph(), err)
+	}
+	return res
+}
+
+func TestLeafElectSolvesStars(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	problem := problems.LeafElection{}
+	for _, k := range []int{2, 3, 5, 7} {
+		g := graph.Star(k)
+		m := LeafElect(g.MaxDegree())
+		for trial := 0; trial < 10; trial++ {
+			res := runOn(t, m, port.Random(g, rng))
+			if err := problem.Validate(g, res.Output); err != nil {
+				t.Fatalf("star %d: %v", k, err)
+			}
+			if res.Rounds != 1 {
+				t.Errorf("leaf-elect took %d rounds, want 1", res.Rounds)
+			}
+		}
+	}
+	// Non-star graphs: any output is fine; just check it runs.
+	runOn(t, LeafElect(2), port.Canonical(graph.Cycle(4)))
+}
+
+func TestLeafElectInvariance(t *testing.T) {
+	// LeafElect declares Set receive; its Step must be set-invariant.
+	rng := rand.New(rand.NewSource(91))
+	m := LeafElect(3)
+	s := m.Init(3)
+	inbox := []machine.Message{"1", "2", "2"}
+	if err := machine.CheckStepInvariance(m, s, inbox, rng); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddOddSolvesEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	problem := problems.OddOdd{}
+	witness, _, _ := graph.Theorem13Witness()
+	graphs := []*graph.Graph{
+		graph.Path(5), graph.Cycle(6), graph.Star(4), graph.Figure1Graph(),
+		graph.Petersen(), witness, graph.Caterpillar(3, 2),
+	}
+	for _, g := range graphs {
+		m := OddOdd(g.MaxDegree())
+		for trial := 0; trial < 5; trial++ {
+			res := runOn(t, m, port.Random(g, rng))
+			if err := problem.Validate(g, res.Output); err != nil {
+				t.Fatalf("%v: %v", g, err)
+			}
+		}
+		if err := machine.CheckSendInvariance(m, []machine.State{m.Init(2)}, g.MaxDegree()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestEvenDegreeDecision(t *testing.T) {
+	problem := problems.EvenDegrees{}
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Path(4), graph.Torus(3, 3)} {
+		m := EvenDegree(g.MaxDegree())
+		res := runOn(t, m, port.Canonical(g))
+		if err := problem.Validate(g, res.Output); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if res.Rounds != 0 {
+			t.Errorf("even-degree took %d rounds, want 0", res.Rounds)
+		}
+	}
+}
+
+func TestLocalTypeMaxBreaksSymmetryOnG(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	problem := problems.SymmetryBreak{}
+	g := graph.NoOneFactorCubic()
+	if !problems.InClassG(g) {
+		t.Fatal("witness graph not in 𝒢")
+	}
+	m := LocalTypeMax(3)
+	for trial := 0; trial < 30; trial++ {
+		p := port.RandomConsistent(g, rng)
+		res := runOn(t, m, p)
+		if err := problem.Validate(g, res.Output); err != nil {
+			t.Fatalf("consistent trial %d: %v", trial, err)
+		}
+		if res.Rounds != 2 {
+			t.Errorf("local-type-max took %d rounds, want 2", res.Rounds)
+		}
+	}
+}
+
+func TestLocalTypeMaxOnCyclesConsistent(t *testing.T) {
+	// C_n is 2-regular with a 1-factor only when n is even; odd cycles are
+	// NOT in 𝒢 (degree 2 is even) — but local types still behave sanely:
+	// under any consistent numbering some node outputs 1.
+	rng := rand.New(rand.NewSource(94))
+	m := LocalTypeMax(2)
+	for _, n := range []int{4, 5, 6} {
+		for trial := 0; trial < 10; trial++ {
+			res := runOn(t, m, port.RandomConsistent(graph.Cycle(n), rng))
+			ones := 0
+			for _, o := range res.Output {
+				if o == "1" {
+					ones++
+				}
+			}
+			if ones == 0 {
+				t.Fatalf("C%d: no local maximum elected", n)
+			}
+		}
+	}
+}
+
+func TestVertexCover2(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	problem := problems.VertexCover{Ratio: 2}
+	graphs := []*graph.Graph{
+		graph.Path(6), graph.Cycle(7), graph.Star(5), graph.Complete(5),
+		graph.Figure1Graph(), graph.Petersen(), graph.Grid(3, 4),
+		graph.Caterpillar(4, 2), graph.NoOneFactorCubic(),
+	}
+	for _, g := range graphs {
+		m := VertexCover2(g.MaxDegree())
+		for trial := 0; trial < 3; trial++ {
+			res := runOn(t, m, port.Random(g, rng))
+			if err := problem.Validate(g, res.Output); err != nil {
+				t.Fatalf("%v: %v", g, err)
+			}
+		}
+	}
+}
+
+func TestVertexCover2OnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	problem := problems.VertexCover{Ratio: 2}
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(10)
+		var edges []graph.Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					edges = append(edges, graph.Edge{U: u, V: v})
+				}
+			}
+		}
+		g := graph.MustNew(n, edges)
+		m := VertexCover2(maxInt(g.MaxDegree(), 1))
+		res := runOn(t, m, port.Random(g, rng))
+		if err := problem.Validate(g, res.Output); err != nil {
+			t.Fatalf("trial %d on %v: %v", trial, g, err)
+		}
+	}
+}
+
+func TestVertexCover2RoundsSmall(t *testing.T) {
+	// The round count should stay modest (empirical envelope: well under n).
+	rng := rand.New(rand.NewSource(97))
+	for _, g := range []*graph.Graph{graph.Petersen(), graph.Grid(4, 4), graph.Torus(4, 4)} {
+		m := VertexCover2(g.MaxDegree())
+		res := runOn(t, m, port.Random(g, rng))
+		if res.Rounds > g.N() {
+			t.Errorf("%v: vertex cover took %d rounds (> n = %d)", g, res.Rounds, g.N())
+		}
+	}
+}
+
+func TestVertexCover2Invariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	m := VertexCover2(3)
+	s := m.Init(3)
+	inbox := []machine.Message{"off:1/3", "off:1/2", "off:1/2"}
+	if err := machine.CheckStepInvariance(m, s, inbox, rng); err != nil {
+		t.Error(err)
+	}
+	if err := machine.CheckSendInvariance(m, []machine.State{s}, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := RegistryNames()
+	if len(names) != 5 {
+		t.Fatalf("registry has %d entries: %v", len(names), names)
+	}
+	for _, name := range names {
+		m := Registry()[name](3)
+		if m.Delta() != 3 {
+			t.Errorf("%s: Delta() = %d", name, m.Delta())
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkVertexCover(b *testing.B) {
+	for _, nm := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"petersen", graph.Petersen()},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"torus6x6", graph.Torus(6, 6)},
+	} {
+		b.Run(nm.name, func(b *testing.B) {
+			m := VertexCover2(nm.g.MaxDegree())
+			p := port.Canonical(nm.g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Run(m, p, engine.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}

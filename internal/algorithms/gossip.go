@@ -1,0 +1,54 @@
+package algorithms
+
+import (
+	"fmt"
+	"strconv"
+
+	"weakmodels/internal/machine"
+)
+
+// MaxDegreeWithin computes, at every node, the maximum degree occurring
+// within distance k — a semilattice gossip that works in class MB: max is
+// insensitive to both message order and multiplicity (it would even be an
+// SB algorithm, but we declare MB to exercise the multiset path; the
+// invariance checker verifies it either way). Exactly k rounds.
+func MaxDegreeWithin(delta, k int) machine.Machine {
+	type st struct {
+		Best  int
+		Round int
+		Done  bool
+	}
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("max-degree-within-%d", k),
+		MachineClass: machine.ClassMB,
+		MaxDeg:       delta,
+		InitFunc: func(deg int) machine.State {
+			return st{Best: deg, Done: k == 0}
+		},
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(strconv.Itoa(x.Best)), x.Done
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return machine.Message(strconv.Itoa(s.(st).Best))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				if m == machine.NoMessage {
+					continue
+				}
+				n, err := strconv.Atoi(string(m))
+				if err != nil {
+					panic(fmt.Sprintf("algorithms: bad gossip message %q", m))
+				}
+				if n > x.Best {
+					x.Best = n
+				}
+			}
+			x.Round++
+			x.Done = x.Round >= k
+			return x
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/problems"
+)
+
+func TestMaxDegreeWithinSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	graphs := []*graph.Graph{
+		graph.Path(7), graph.Star(4), graph.Caterpillar(4, 2),
+		graph.Petersen(), graph.Figure1Graph(),
+		graph.DisjointUnion(graph.Star(5), graph.Cycle(4)),
+	}
+	for k := 0; k <= 3; k++ {
+		problem := problems.MaxDegreeWithin{K: k}
+		for _, g := range graphs {
+			m := MaxDegreeWithin(g.MaxDegree(), k)
+			for trial := 0; trial < 3; trial++ {
+				res, err := engine.Run(m, port.Random(g, rng), engine.Options{})
+				if err != nil {
+					t.Fatalf("k=%d %v: %v", k, g, err)
+				}
+				if err := problem.Validate(g, res.Output); err != nil {
+					t.Fatalf("k=%d %v: %v", k, g, err)
+				}
+				if res.Rounds != k {
+					t.Errorf("k=%d: ran %d rounds", k, res.Rounds)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDegreeWithinInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	m := MaxDegreeWithin(3, 2)
+	if err := machine.CheckStepInvariance(m, m.Init(3), []machine.Message{"3", "1", "3"}, rng); err != nil {
+		t.Error(err)
+	}
+	if err := machine.CheckSendInvariance(m, []machine.State{m.Init(2)}, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegreeWithinValidatorRejects(t *testing.T) {
+	g := graph.Star(3)
+	problem := problems.MaxDegreeWithin{K: 1}
+	bad := []machine.Output{"3", "3", "3", "junk"}
+	if err := problem.Validate(g, bad); err == nil {
+		t.Error("junk output accepted")
+	}
+	wrong := []machine.Output{"3", "3", "3", "1"}
+	if err := problem.Validate(g, wrong); err == nil {
+		t.Error("wrong maximum accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"weakmodels/internal/machine"
+)
+
+// LeafProximity decides "is there a leaf (degree-1 node) within distance k
+// of me?" in class SB — beeping-style flooding that needs neither port
+// numbers nor multiplicities: in each round, a node that has already seen
+// the leaf frontier broadcasts a beep; hearing any beep (set semantics —
+// one is as good as many) joins the frontier. Exactly k rounds, so the
+// family is in SB(1) for each fixed k; the corresponding ML formula is the
+// k-fold diamond ⟨∗,∗⟩…⟨∗,∗⟩ q₁ (modal depth k), which the compile tests
+// cross-check.
+func LeafProximity(delta, k int) machine.Machine {
+	type st struct {
+		Seen  bool
+		Round int
+		Done  bool
+		Out   machine.Output
+	}
+	beep := machine.Message("beep")
+	finish := func(x st) st {
+		x.Done = true
+		if x.Seen {
+			x.Out = "1"
+		} else {
+			x.Out = "0"
+		}
+		return x
+	}
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("leaf-proximity-%d", k),
+		MachineClass: machine.ClassSB,
+		MaxDeg:       delta,
+		InitFunc: func(deg int) machine.State {
+			x := st{Seen: deg == 1}
+			if k == 0 {
+				return finish(x)
+			}
+			return x
+		},
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			if s.(st).Seen {
+				return beep
+			}
+			return machine.NoMessage
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				if m == beep {
+					x.Seen = true
+				}
+			}
+			x.Round++
+			if x.Round == k {
+				return finish(x)
+			}
+			return x
+		},
+	}
+}

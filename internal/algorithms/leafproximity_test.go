@@ -1,0 +1,105 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/compile"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/port"
+	"weakmodels/internal/problems"
+)
+
+func TestLeafProximitySolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	graphs := []*graph.Graph{
+		graph.Path(7), graph.Star(4), graph.Caterpillar(4, 1),
+		graph.Cycle(5), // no leaves at all
+		graph.DisjointUnion(graph.Path(3), graph.Cycle(4)),
+		graph.Figure1Graph(),
+	}
+	for k := 0; k <= 3; k++ {
+		problem := problems.LeafWithin{K: k}
+		for _, g := range graphs {
+			m := LeafProximity(g.MaxDegree(), k)
+			for trial := 0; trial < 3; trial++ {
+				res, err := engine.Run(m, port.Random(g, rng), engine.Options{})
+				if err != nil {
+					t.Fatalf("k=%d %v: %v", k, g, err)
+				}
+				if err := problem.Validate(g, res.Output); err != nil {
+					t.Fatalf("k=%d %v: %v", k, g, err)
+				}
+				if res.Rounds != k {
+					t.Errorf("k=%d: took %d rounds", k, res.Rounds)
+				}
+			}
+		}
+	}
+}
+
+// TestLeafProximityMatchesIteratedDiamond: the algorithm computes exactly
+// the ML truth set of ⟨∗,∗⟩^k reachability of a degree-1 node — checked by
+// building the formula q1 | <*,*>(q1 | <*,*>(…)) and model checking it.
+func TestLeafProximityMatchesIteratedDiamond(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for k := 0; k <= 3; k++ {
+		// φ_0 = q1; φ_{i+1} = q1 | <*,*> φ_i.
+		var f logic.Formula = logic.Prop{Name: "q1"}
+		for i := 0; i < k; i++ {
+			f = logic.Or{L: logic.Prop{Name: "q1"}, R: logic.Dia(kripke.Index{I: kripke.Star, J: kripke.Star}, f)}
+		}
+		for _, g := range []*graph.Graph{graph.Path(6), graph.Caterpillar(3, 1)} {
+			p := port.Random(g, rng)
+			m := LeafProximity(g.MaxDegree(), k)
+			res, err := engine.Run(m, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := kripke.FromPorts(p, kripke.VariantMM)
+			want := logic.Eval(model, f)
+			for v := 0; v < g.N(); v++ {
+				if (res.Output[v] == "1") != want[v] {
+					t.Fatalf("k=%d %v node %d: algorithm %q, formula %v",
+						k, g, v, res.Output[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestLeafProximityViaCompiler: compiling the same iterated-diamond formula
+// with Theorem 2 yields an equivalent SB machine.
+func TestLeafProximityViaCompiler(t *testing.T) {
+	k := 2
+	var f logic.Formula = logic.Prop{Name: "q1"}
+	for i := 0; i < k; i++ {
+		f = logic.Or{L: logic.Prop{Name: "q1"}, R: logic.Dia(kripke.Index{I: kripke.Star, J: kripke.Star}, f)}
+	}
+	g := graph.Caterpillar(4, 1)
+	compiled, _, err := compile.MachineFromFormula(f, g.MaxDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := port.Canonical(g)
+	a, err := engine.Run(LeafProximity(g.MaxDegree(), k), p, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(compiled, p, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Output {
+		if a.Output[v] != b.Output[v] {
+			t.Fatalf("node %d: hand-written %q vs compiled %q", v, a.Output[v], b.Output[v])
+		}
+	}
+	if fmt.Sprint(compiled.Class()) != "Set∩Broadcast" {
+		t.Errorf("compiled class %v, want SB", compiled.Class())
+	}
+}

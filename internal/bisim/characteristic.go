@@ -1,0 +1,157 @@
+package bisim
+
+import (
+	"fmt"
+	"sort"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+)
+
+// Characteristic formulas à la Hennessy–Milner: for every state v and depth
+// t, a formula χ_v^t of modal depth ≤ t that holds at exactly the states
+// t-round bisimilar to v. This is the converse direction of Fact 1 — not
+// only do bisimilar states satisfy the same formulas, but non-bisimilar
+// states are *separated by a concrete formula* the library can exhibit.
+// The separation arguments of Section 5.3 therefore never rely on sampling.
+//
+// Construction (plain ML/MML flavour):
+//
+//	χ_v^0   = "my valuation" (here: the degree formula)
+//	χ_v^t+1 = χ_v^0 ∧ ⋀_α [ ⋀_{C ∈ S(v,α)} ⟨α⟩χ_C^t  ∧  [α](⋁_{C ∈ S(v,α)} χ_C^t) ]
+//
+// where S(v,α) is the set of (t-round) classes of v's α-successors. The
+// graded flavour replaces the two conjuncts by exact counts
+// ⟨α⟩≥k χ_C ∧ ¬⟨α⟩≥k+1 χ_C per class.
+
+// Characteristic returns, for every node, a formula of modal depth ≤ depth
+// characterising its depth-round equivalence class in m. delta is the Δ of
+// the valuation Φ_Δ (for the degree formulas).
+func Characteristic(m *kripke.Model, depth, delta int, graded bool) []logic.Formula {
+	n := m.N()
+	indices := m.Indices()
+
+	// Level 0: one formula per valuation signature.
+	cur := make([]logic.Formula, n)
+	for v := 0; v < n; v++ {
+		cur[v] = valuationFormula(m, v, delta)
+	}
+
+	for d := 1; d <= depth; d++ {
+		// Group the previous level by rendered formula — nodes sharing a
+		// level-(d-1) characteristic formula are (d-1)-round equivalent.
+		classOf, classFormula := groupByFormula(cur)
+		next := make([]logic.Formula, n)
+		for v := 0; v < n; v++ {
+			conjuncts := []logic.Formula{valuationFormula(m, v, delta)}
+			for _, alpha := range indices {
+				succ := m.Succ(alpha, v)
+				counts := make(map[int]int)
+				for _, w := range succ {
+					counts[classOf[w]]++
+				}
+				// Iterate classes in sorted order: map order would make
+				// formulas of same-class nodes render differently and
+				// split classes spuriously at the next level.
+				classes := sortedKeys(counts)
+				if graded {
+					for _, c := range classes {
+						k := counts[c]
+						conjuncts = append(conjuncts,
+							logic.DiaGeq(alpha, k, classFormula[c]),
+							logic.Not{F: logic.DiaGeq(alpha, k+1, classFormula[c])},
+						)
+					}
+					// No successors outside the listed classes: every
+					// successor satisfies one of them.
+					conjuncts = append(conjuncts, boxOver(alpha, counts, classFormula))
+				} else {
+					for _, c := range classes {
+						conjuncts = append(conjuncts, logic.Dia(alpha, classFormula[c]))
+					}
+					conjuncts = append(conjuncts, boxOver(alpha, counts, classFormula))
+				}
+			}
+			next[v] = logic.BigAnd(conjuncts...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// boxOver builds [α](⋁_{C} χ_C) for the classes present in counts.
+func boxOver(alpha kripke.Index, counts map[int]int, classFormula []logic.Formula) logic.Formula {
+	var present []logic.Formula
+	for c := range counts {
+		present = append(present, classFormula[c])
+	}
+	// Canonical order for determinism.
+	sortFormulas(present)
+	return logic.Box(alpha, logic.BigOr(present...))
+}
+
+func sortedKeys(counts map[int]int) []int {
+	keys := make([]int, 0, len(counts))
+	for c := range counts {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortFormulas(fs []logic.Formula) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].String() < fs[j-1].String(); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// groupByFormula assigns a dense class id per node from rendered formulas
+// and returns one representative formula per class.
+func groupByFormula(fs []logic.Formula) (classOf []int, classFormula []logic.Formula) {
+	classOf = make([]int, len(fs))
+	ids := make(map[string]int)
+	for v, f := range fs {
+		key := f.String()
+		id, ok := ids[key]
+		if !ok {
+			id = len(ids)
+			ids[key] = id
+			classFormula = append(classFormula, f)
+		}
+		classOf[v] = id
+	}
+	return classOf, classFormula
+}
+
+// valuationFormula characterises the exact valuation of v over Φ_Δ.
+func valuationFormula(m *kripke.Model, v, delta int) logic.Formula {
+	var conj []logic.Formula
+	for d := 1; d <= delta; d++ {
+		q := logic.Prop{Name: kripke.DegreeProp(d)}
+		if m.Prop(q.Name, v) {
+			conj = append(conj, q)
+		} else {
+			conj = append(conj, logic.Not{F: q})
+		}
+	}
+	return logic.BigAnd(conj...)
+}
+
+// Separating returns a formula of modal depth ≤ maxDepth that is true at u
+// and false at v (or an error if they are bisimilar up to maxDepth, in
+// which case no such formula exists by Fact 1). The formula's fragment
+// matches graded.
+func Separating(m *kripke.Model, u, v, maxDepth, delta int, graded bool) (logic.Formula, error) {
+	for depth := 0; depth <= maxDepth; depth++ {
+		chars := Characteristic(m, depth, delta, graded)
+		f := chars[u]
+		val := logic.Eval(m, f)
+		if val[u] && !val[v] {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("bisim: states %d and %d are %d-round bisimilar; no separating formula of depth ≤ %d",
+		u, v, maxDepth, maxDepth)
+}

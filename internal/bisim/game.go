@@ -1,0 +1,129 @@
+package bisim
+
+import (
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+)
+
+// A second, independent bisimilarity decision procedure, used to
+// cross-validate the partition refinement of Compute: the coinductive
+// pair-removal (game-theoretic) characterisation.
+//
+// Start from all pairs with equal valuations and repeatedly delete pairs
+// that violate the transfer conditions, until the greatest fixpoint:
+//
+//   - plain (B2/B3): (u,v) survives iff for every relation α, every
+//     α-successor of u is related to some α-successor of v and vice versa —
+//     defender's winning condition in the standard bisimulation game;
+//
+//   - graded (B2*/B3*): (u,v) survives iff for every α there is a perfect
+//     matching between the α-successors of u and of v that pairs only
+//     related states (the finite-model form of the subset conditions of
+//     Section 4.2, computed here with Hopcroft–Karp).
+//
+// The matching formulation makes the graded case genuinely different code
+// from the counting refinement, which is the point of the cross-check.
+
+// GamePairs computes the bisimilarity relation of m as a symmetric boolean
+// matrix rel[u][v], under Options.Graded (MaxRounds is ignored: the game
+// characterises full bisimilarity).
+func GamePairs(m *kripke.Model, graded bool) [][]bool {
+	n := m.N()
+	rel := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		rel[u] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			rel[u][v] = m.PropSig(u) == m.PropSig(v)
+		}
+	}
+	indices := m.Indices()
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if !rel[u][v] {
+					continue
+				}
+				ok := true
+				for _, alpha := range indices {
+					su := m.Succ(alpha, u)
+					sv := m.Succ(alpha, v)
+					if graded {
+						if !perfectlyMatchable(su, sv, rel) {
+							ok = false
+							break
+						}
+					} else {
+						if !mutuallyCovered(su, sv, rel) {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					rel[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return rel
+}
+
+// mutuallyCovered implements B2/B3: every successor on either side is
+// related to some successor on the other.
+func mutuallyCovered(su, sv []int, rel [][]bool) bool {
+	for _, x := range su {
+		found := false
+		for _, y := range sv {
+			if rel[x][y] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, y := range sv {
+		found := false
+		for _, x := range su {
+			if rel[x][y] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// perfectlyMatchable implements the graded transfer condition: |su| = |sv|
+// and the bipartite graph {(i,j) : rel[su[i]][sv[j]]} has a perfect
+// matching (computed via Hopcroft–Karp on a constructed bipartite graph).
+func perfectlyMatchable(su, sv []int, rel [][]bool) bool {
+	if len(su) != len(sv) {
+		return false
+	}
+	k := len(su)
+	if k == 0 {
+		return true
+	}
+	var edges []graph.Edge
+	for i, x := range su {
+		for j, y := range sv {
+			if rel[x][y] {
+				edges = append(edges, graph.Edge{U: i, V: k + j})
+			}
+		}
+	}
+	b := graph.MustNew(2*k, edges)
+	side := make([]int, 2*k)
+	for j := k; j < 2*k; j++ {
+		side[j] = 1
+	}
+	mate := graph.BipartiteMatching(b, side)
+	return graph.MatchingSize(mate) == k
+}

@@ -1,0 +1,105 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/port"
+)
+
+// TestGameAgreesWithRefinement: the two independent decision procedures —
+// counting partition refinement and the pair-removal game with matching —
+// must compute the same relation on every model.
+func TestGameAgreesWithRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	graphs := []*graph.Graph{
+		graph.Path(6), graph.Cycle(7), graph.Star(4), graph.Figure1Graph(),
+		graph.Petersen(), graph.Caterpillar(3, 1),
+	}
+	witness, _, _ := graph.Theorem13Witness()
+	graphs = append(graphs, witness)
+	variants := []kripke.Variant{
+		kripke.VariantPP, kripke.VariantMP, kripke.VariantPM, kripke.VariantMM,
+	}
+	for _, g := range graphs {
+		for _, variant := range variants {
+			p := port.Random(g, rng)
+			m := kripke.FromPorts(p, variant)
+			for _, graded := range []bool{false, true} {
+				part := Compute(m, Options{Graded: graded})
+				rel := GamePairs(m, graded)
+				for u := 0; u < g.N(); u++ {
+					for v := 0; v < g.N(); v++ {
+						if part.Same(u, v) != rel[u][v] {
+							t.Fatalf("%v %v graded=%v nodes (%d,%d): refinement=%v game=%v",
+								g, variant, graded, u, v, part.Same(u, v), rel[u][v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGameOnRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		var edges []graph.Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, graph.Edge{U: u, V: v})
+				}
+			}
+		}
+		g := graph.MustNew(n, edges)
+		m := kripke.FromPorts(port.Random(g, rng), kripke.VariantMM)
+		for _, graded := range []bool{false, true} {
+			part := Compute(m, Options{Graded: graded})
+			rel := GamePairs(m, graded)
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if part.Same(u, v) != rel[u][v] {
+						t.Fatalf("trial %d graded=%v (%d,%d) disagree", trial, graded, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGameRelationIsEquivalence(t *testing.T) {
+	g := graph.Caterpillar(3, 2)
+	m := kripke.FromPorts(port.Canonical(g), kripke.VariantPP)
+	for _, graded := range []bool{false, true} {
+		rel := GamePairs(m, graded)
+		n := g.N()
+		for u := 0; u < n; u++ {
+			if !rel[u][u] {
+				t.Fatal("not reflexive")
+			}
+			for v := 0; v < n; v++ {
+				if rel[u][v] != rel[v][u] {
+					t.Fatal("not symmetric")
+				}
+				for w := 0; w < n; w++ {
+					if rel[u][v] && rel[v][w] && !rel[u][w] {
+						t.Fatal("not transitive")
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGamePairs(b *testing.B) {
+	g := graph.Grid(5, 5)
+	m := kripke.FromPorts(port.Canonical(g), kripke.VariantPP)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GamePairs(m, true)
+	}
+}

@@ -1,0 +1,603 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+func suiteGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(2),
+		graph.Path(4),
+		graph.Cycle(3),
+		graph.Cycle(5),
+		graph.Star(2),
+		graph.Figure1Graph(),
+		graph.DisjointUnion(graph.Path(2), graph.Cycle(3)),
+	}
+}
+
+// runCompiled executes the compiled machine and compares per-node outputs
+// with direct model checking of f on K_{a,b}(G,p).
+func checkFormulaMachineAgree(t *testing.T, f logic.Formula, delta int, g *graph.Graph, p *port.Numbering) {
+	t.Helper()
+	m, variant, err := MachineFromFormula(f, delta)
+	if err != nil {
+		t.Fatalf("MachineFromFormula(%q): %v", f.String(), err)
+	}
+	res, err := engine.Run(m, p, engine.Options{})
+	if err != nil {
+		t.Fatalf("running compiled %q on %v: %v", f.String(), g, err)
+	}
+	model := kripke.FromPorts(p, variant)
+	want := logic.Eval(model, f)
+	for v := 0; v < g.N(); v++ {
+		got := res.Output[v] == "1"
+		if got != want[v] {
+			t.Fatalf("formula %q node %d: machine says %v, model checking says %v (graph %v)",
+				f.String(), v, got, want[v], g)
+		}
+	}
+	if md := logic.ModalDepth(f); res.Rounds != md {
+		t.Fatalf("formula %q: runtime %d rounds, want md = %d", f.String(), res.Rounds, md)
+	}
+}
+
+func TestMachineFromFormulaFixed(t *testing.T) {
+	fixed := []string{
+		"q1",
+		"q2 & !q1",
+		"<*,*> q1",
+		"<*,*>=2 q1",
+		"<*,*> (q1 | q2)",
+		"!<*,*> q3",
+		"<*,*> <*,*> q1",
+		"<*,1> q1",
+		"<*,2>=2 q2",
+		"<1,*> q2",
+		"<2,*> <1,*> q1",
+		"<1,1> q2",
+		"<2,1> (q1 & <1,2> q2)",
+		"true",
+		"false",
+	}
+	rng := rand.New(rand.NewSource(70))
+	for _, src := range fixed {
+		f := logic.MustParse(src)
+		for _, g := range suiteGraphs() {
+			delta := maxInt(g.MaxDegree(), 3)
+			numberings := []*port.Numbering{
+				port.Canonical(g),
+				port.Random(g, rng),
+				port.RandomConsistent(g, rng),
+			}
+			for _, p := range numberings {
+				checkFormulaMachineAgree(t, f, delta, g, p)
+			}
+		}
+	}
+}
+
+func TestMachineFromFormulaRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	variants := []kripke.Variant{
+		kripke.VariantPP, kripke.VariantMP, kripke.VariantPM, kripke.VariantMM,
+	}
+	for trial := 0; trial < 150; trial++ {
+		variant := variants[trial%len(variants)]
+		graded := variant == kripke.VariantMP || variant == kripke.VariantMM
+		if rng.Intn(2) == 0 {
+			graded = false
+		}
+		f := logic.RandomFormulaForVariant(rng, 3, 3, graded, variant)
+		g := suiteGraphs()[rng.Intn(len(suiteGraphs()))]
+		p := port.Random(g, rng)
+		checkFormulaMachineAgree(t, f, maxInt(g.MaxDegree(), 3), g, p)
+	}
+}
+
+func TestMachineFromFormulaClassAssignment(t *testing.T) {
+	cases := []struct {
+		src   string
+		class machine.Class
+	}{
+		{"<1,1> q1", machine.ClassVV},
+		{"<*,1>=2 q1", machine.ClassMV},
+		{"<*,1> q1", machine.ClassSV},
+		{"<1,*> q1", machine.ClassVB},
+		{"<*,*>=2 q1", machine.ClassMB},
+		{"<*,*> q1", machine.ClassSB},
+		{"q1", machine.ClassSB}, // propositional sinks to the weakest class
+	}
+	for _, tc := range cases {
+		m, _, err := MachineFromFormula(logic.MustParse(tc.src), 3)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if m.Class() != tc.class {
+			t.Errorf("%q compiled to class %v, want %v", tc.src, m.Class(), tc.class)
+		}
+	}
+}
+
+func TestMachineFromFormulaRejects(t *testing.T) {
+	bad := []string{
+		"<1,1> q1 & <*,1> q1", // mixes concrete and ∗ in-port
+		"<1,*> q1 & <1,2> q1", // mixes ∗ and concrete out-port
+		"<1,1>=2 q1",          // graded with concrete in-port: outside Theorem 2
+		"<1,*>=2 q1",
+	}
+	for _, src := range bad {
+		if _, _, err := MachineFromFormula(logic.MustParse(src), 3); err == nil {
+			t.Errorf("%q compiled, want error", src)
+		}
+	}
+	if _, _, err := MachineFromFormula(logic.MustParse("<*,4> q1"), 3); err == nil {
+		t.Error("out-port beyond Δ accepted")
+	}
+}
+
+// parityMachine is the Theorem 13 algorithm restricted to one round: output
+// "1" iff the node has an odd number of odd-degree neighbours. Class MB.
+func parityMachine(delta int) machine.Machine {
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	return &machine.Func{
+		MachineName:  "odd-odd",
+		MachineClass: machine.ClassMB,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return fmt.Sprintf("%d", s.(st).Deg%2)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			odd := 0
+			for _, m := range inbox {
+				if m == "1" {
+					odd++
+				}
+			}
+			out := "0"
+			if odd%2 == 1 {
+				out = "1"
+			}
+			return st{Deg: s.(st).Deg, Done: true, Out: out}
+		},
+	}
+}
+
+// evenDegreeMachine outputs "1" iff its degree is even; zero rounds, SB.
+func evenDegreeMachine(delta int) machine.Machine {
+	return &machine.Func{
+		MachineName:  "even-degree",
+		MachineClass: machine.ClassSB,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return deg },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			if s.(int)%2 == 0 {
+				return "1", true
+			}
+			return "0", true
+		},
+		SendFunc: func(machine.State, int) machine.Message { return machine.NoMessage },
+		StepFunc: func(s machine.State, _ []machine.Message) machine.State { return s },
+	}
+}
+
+// leafElectMachine is the Theorem 11 SV algorithm: send i to port i; a node
+// outputs 1 iff deg = 1 and the received set is {1}.
+func leafElectMachine(delta int) machine.Machine {
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	return &machine.Func{
+		MachineName:  "leaf-elect",
+		MachineClass: machine.ClassSV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return fmt.Sprintf("%d", p)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			out := "0"
+			if x.Deg == 1 && len(inbox) == 1 && inbox[0] == "1" {
+				out = "1"
+			}
+			return st{Deg: x.Deg, Done: true, Out: out}
+		},
+	}
+}
+
+func checkMachineFormulaAgree(t *testing.T, m machine.Machine, delta, T int) {
+	t.Helper()
+	formulas, variant, err := FormulaFromMachine(m, delta, T, Limits{})
+	if err != nil {
+		t.Fatalf("FormulaFromMachine(%s): %v", m.Name(), err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for _, g := range suiteGraphs() {
+		if g.MaxDegree() > delta {
+			continue
+		}
+		for _, p := range []*port.Numbering{port.Canonical(g), port.Random(g, rng)} {
+			res, err := engine.Run(m, p, engine.Options{})
+			if err != nil {
+				t.Fatalf("%s on %v: %v", m.Name(), g, err)
+			}
+			model := kripke.FromPorts(p, variant)
+			for out, f := range formulas {
+				val := logic.Eval(model, f)
+				for v := 0; v < g.N(); v++ {
+					if val[v] != (res.Output[v] == out) {
+						t.Fatalf("machine %s graph %v node %d output %q: formula disagrees (md %d)",
+							m.Name(), g, v, out, logic.ModalDepth(f))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFormulaFromMachineOddOdd(t *testing.T) {
+	checkMachineFormulaAgree(t, parityMachine(3), 3, 1)
+}
+
+func TestFormulaFromMachineEvenDegree(t *testing.T) {
+	checkMachineFormulaAgree(t, evenDegreeMachine(3), 3, 1)
+}
+
+func TestFormulaFromMachineLeafElect(t *testing.T) {
+	checkMachineFormulaAgree(t, leafElectMachine(3), 3, 1)
+}
+
+func TestFormulaFromMachineStillRunning(t *testing.T) {
+	loop := &machine.Func{
+		MachineName:  "loop",
+		MachineClass: machine.ClassSB,
+		MaxDeg:       2,
+		InitFunc:     func(int) machine.State { return 0 },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc:     func(machine.State, int) machine.Message { return "x" },
+		StepFunc:     func(s machine.State, _ []machine.Message) machine.State { return s },
+	}
+	if _, _, err := FormulaFromMachine(loop, 2, 2, Limits{}); err == nil {
+		t.Error("non-halting machine accepted")
+	}
+}
+
+// TestTable3RoundTrip closes the loop: formula → machine → formula; the two
+// formulas must agree on every node of every suite (G, p).
+func TestTable3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	srcs := []string{
+		"<*,*> q1",
+		"<*,*>=2 q2",
+		"q1 & <*,*> q2",
+		"<*,1> q1",
+	}
+	for _, src := range srcs {
+		f := logic.MustParse(src)
+		delta := 3
+		m, variant, err := MachineFromFormula(f, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, variant2, err := FormulaFromMachine(m, delta, logic.ModalDepth(f), Limits{
+			MaxStates: 4096, MaxMessages: 256, MaxInboxes: 1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", src, err)
+		}
+		if variant != variant2 {
+			t.Fatalf("variant changed: %v vs %v", variant, variant2)
+		}
+		f2, ok := back["1"]
+		if !ok {
+			// The machine may never output 1 on reachable configs; then the
+			// original formula must be unsatisfiable on the suite.
+			f2 = logic.Bot{}
+		}
+		for _, g := range suiteGraphs() {
+			p := port.Random(g, rng)
+			model := kripke.FromPorts(p, variant)
+			a, b := logic.Eval(model, f), logic.Eval(model, f2)
+			for v := range a {
+				if a[v] != b[v] {
+					t.Fatalf("round trip of %q differs at node %d of %v", src, v, g)
+				}
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkCompileFormulaToMachine(b *testing.B) {
+	f := logic.MustParse("<*,*> (q1 & <*,*> (q2 | <*,*> q3))")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MachineFromFormula(f, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledMachineRun(b *testing.B) {
+	f := logic.MustParse("<*,*> (q2 & <*,*> q4)")
+	m, _, err := MachineFromFormula(f, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := port.Canonical(graph.Torus(8, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(m, p, engine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileMachineToFormula(b *testing.B) {
+	m := parityMachine(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FormulaFromMachine(m, 3, 1, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// twoLeavesMachine is an MV machine (multiset receive, vector send): a node
+// outputs 1 iff it received the message "1" at least twice — i.e. at least
+// two neighbours whose out-port towards it is their port 1... no: each
+// neighbour sends its out-port number, so counting "1"s counts neighbours
+// that reach us through their port 1. Genuinely multiset (needs the count),
+// genuinely vector-send (message depends on the port).
+func twoLeavesMachine(delta int) machine.Machine {
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	return &machine.Func{
+		MachineName:  "two-port-ones",
+		MachineClass: machine.ClassMV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return fmt.Sprintf("%d", p)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			ones := 0
+			for _, m := range inbox {
+				if m == "1" {
+					ones++
+				}
+			}
+			out := machine.Output("0")
+			if ones >= 2 {
+				out = "1"
+			}
+			return st{Deg: x.Deg, Done: true, Out: out}
+		},
+	}
+}
+
+// firstPortParityMachine is a VB machine (vector receive, broadcast send):
+// broadcast the degree parity; output the message received at in-port 1.
+func firstPortParityMachine(delta int) machine.Machine {
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	return &machine.Func{
+		MachineName:  "first-port-parity",
+		MachineClass: machine.ClassVB,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return fmt.Sprintf("%d", s.(st).Deg%2)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			out := machine.Output("none")
+			if len(inbox) > 0 {
+				out = machine.Output(inbox[0]) // in-port 1
+			}
+			return st{Deg: x.Deg, Done: true, Out: out}
+		},
+	}
+}
+
+// portEchoMachine is a full VV machine: send the out-port number, output
+// the pair (message at in-port 1, own degree parity).
+func portEchoMachine(delta int) machine.Machine {
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	return &machine.Func{
+		MachineName:  "port-echo",
+		MachineClass: machine.ClassVV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return fmt.Sprintf("%d", p)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			first := "-"
+			if len(inbox) > 0 {
+				first = string(inbox[0])
+			}
+			return st{Deg: x.Deg, Done: true, Out: machine.Output(fmt.Sprintf("%s/%d", first, x.Deg%2))}
+		},
+	}
+}
+
+func TestFormulaFromMachineMV(t *testing.T) {
+	checkMachineFormulaAgree(t, twoLeavesMachine(3), 3, 1)
+}
+
+func TestFormulaFromMachineVB(t *testing.T) {
+	checkMachineFormulaAgree(t, firstPortParityMachine(3), 3, 1)
+}
+
+func TestFormulaFromMachineVV(t *testing.T) {
+	checkMachineFormulaAgree(t, portEchoMachine(2), 2, 1)
+}
+
+func TestFormulaFromMachineFragments(t *testing.T) {
+	// The generated formulas must live in the fragment Theorem 2 assigns
+	// to each class.
+	cases := []struct {
+		m        machine.Machine
+		fragment string
+	}{
+		{parityMachine(2), "GML"},
+		{evenDegreeMachine(2), "ML"},
+		{leafElectMachine(2), "MML"},
+		{twoLeavesMachine(2), "GMML"},
+		{firstPortParityMachine(2), "MML"},
+		{portEchoMachine(2), "MML"},
+	}
+	for _, tc := range cases {
+		formulas, _, err := FormulaFromMachine(tc.m, 2, 1, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.m.Name(), err)
+		}
+		for out, f := range formulas {
+			frag := logic.ClassifyFragment(f)
+			if got := frag.String(); !fragmentWithin(got, tc.fragment) {
+				t.Errorf("%s output %q: fragment %s, want within %s",
+					tc.m.Name(), out, got, tc.fragment)
+			}
+		}
+	}
+}
+
+// fragmentWithin reports whether got is contained in want's logic
+// (ML ⊆ GML ⊆ GMML and ML ⊆ MML ⊆ GMML).
+func fragmentWithin(got, want string) bool {
+	rank := map[string][]string{
+		"ML":   {"ML"},
+		"GML":  {"ML", "GML"},
+		"MML":  {"ML", "MML"},
+		"GMML": {"ML", "GML", "MML", "GMML"},
+	}
+	for _, ok := range rank[want] {
+		if got == ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMachineFromFormulasTuple(t *testing.T) {
+	// A three-way classification: "isolated-or-leaf" / "sees-a-leaf" /
+	// everything else — tuples of formulas per the paper's remark.
+	formulas := map[machine.Output]logic.Formula{
+		"leafish": logic.MustParse("q1"),
+		"nearby":  logic.MustParse("!q1 & <*,*> q1"),
+	}
+	delta := 3
+	m, variant, err := MachineFromFormulas(formulas, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(74))
+	for _, g := range suiteGraphs() {
+		p := port.Random(g, rng)
+		res, err := engine.Run(m, p, engine.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		model := kripke.FromPorts(p, variant)
+		leafish := logic.Eval(model, formulas["leafish"])
+		nearby := logic.Eval(model, formulas["nearby"])
+		for v := 0; v < g.N(); v++ {
+			want := machine.Output("")
+			switch {
+			case leafish[v]:
+				want = "leafish"
+			case nearby[v]:
+				want = "nearby"
+			}
+			if res.Output[v] != want {
+				t.Fatalf("%v node %d: output %q, want %q", g, v, res.Output[v], want)
+			}
+		}
+	}
+}
+
+func TestMachineFromFormulasRejectsMixedVariants(t *testing.T) {
+	formulas := map[machine.Output]logic.Formula{
+		"a": logic.MustParse("<1,1> q1"),
+		"b": logic.MustParse("<*,*> q1"),
+	}
+	if _, _, err := MachineFromFormulas(formulas, 3); err == nil {
+		t.Error("mixed-variant tuple accepted")
+	}
+	if _, _, err := MachineFromFormulas(nil, 3); err == nil {
+		t.Error("empty tuple accepted")
+	}
+}
+
+func TestMachineFromFormulasClassJoin(t *testing.T) {
+	// A graded and an ungraded K(−,−) formula: the tuple machine must be
+	// Multiset∩Broadcast (the graded one forces counting).
+	formulas := map[machine.Output]logic.Formula{
+		"two": logic.MustParse("<*,*>=2 q1"),
+		"one": logic.MustParse("<*,*> q1 & !<*,*>=2 q1"),
+	}
+	m, _, err := MachineFromFormulas(formulas, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class() != machine.ClassMB {
+		t.Errorf("class %v, want MB", m.Class())
+	}
+}

@@ -1,0 +1,53 @@
+package compile_test
+
+import (
+	"fmt"
+
+	"weakmodels/internal/compile"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/port"
+)
+
+// Example compiles a modal formula into a local algorithm (Theorem 2) and
+// runs it: the algorithm's outputs are exactly the formula's truth set, and
+// its round count is the modal depth.
+func Example() {
+	f := logic.MustParse("<*,*> q1") // "I have a leaf neighbour"
+	g := graph.Path(4)
+	m, variant, err := compile.MachineFromFormula(f, g.MaxDegree())
+	if err != nil {
+		panic(err)
+	}
+	res, err := engine.Run(m, port.Canonical(g), engine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("variant:", variant)
+	fmt.Println("class:", m.Class())
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("outputs:", res.Output)
+	// Output:
+	// variant: K(−,−)
+	// class: Set∩Broadcast
+	// rounds: 1
+	// outputs: [0 1 1 0]
+}
+
+// ExampleFormulaFromMachine unfolds a one-round machine into a formula.
+func ExampleFormulaFromMachine() {
+	m, _, err := compile.MachineFromFormula(logic.MustParse("<*,*> q2"), 2)
+	if err != nil {
+		panic(err)
+	}
+	formulas, variant, err := compile.FormulaFromMachine(m, 2, 1, compile.Limits{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("variant:", variant)
+	fmt.Println("outputs recovered:", len(formulas))
+	// Output:
+	// variant: K(−,−)
+	// outputs recovered: 2
+}

@@ -1,0 +1,434 @@
+// Package compile implements Theorem 2 of the paper in both directions:
+//
+//   - MachineFromFormula turns a modal formula into a local algorithm of the
+//     matching class that evaluates the formula on K_{a,b}(G,p): the machine
+//     state assigns each subformula a value in {0, 1, U}, messages carry the
+//     restriction of that assignment to the subformulas under diamonds
+//     (the sets D_j / D / D′ of the proof), and the transition function is
+//     exactly the clauses (δ∧), (δ¬), (δ◇) and their variants. The machine
+//     halts after md(ψ) rounds with output "1" exactly on ‖ψ‖.
+//
+//   - FormulaFromMachine unfolds a machine's reachable configuration space
+//     into the formula families ϕ_{z,t}, ϑ_{m,j,t}, χ_{m,i,j,t} of Tables 4
+//     and 5, for each of the four Kripke variants, yielding for every output
+//     value y a formula that holds exactly at the nodes outputting y.
+//
+// The correspondence of Table 3 — formula ↔ algorithm, modal depth ↔
+// running time — is exercised end-to-end by this package's tests.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/term"
+)
+
+// Tri is the three-valued truth domain {0, 1, U} of the Theorem 2 proof.
+type Tri int8
+
+// The three truth values.
+const (
+	TriFalse Tri = 0
+	TriTrue  Tri = 1
+	TriU     Tri = 2
+)
+
+// VariantForFormula infers the unique Kripke variant whose relation
+// signature covers every label of f, or fails when labels mix regimes.
+func VariantForFormula(f logic.Formula) (kripke.Variant, error) {
+	labels := logic.Labels(f)
+	if len(labels) == 0 {
+		return kripke.VariantMM, nil // propositional: weakest regime suffices
+	}
+	iConcrete, iStar, jConcrete, jStar := false, false, false, false
+	for _, l := range labels {
+		if l.I == kripke.Star {
+			iStar = true
+		} else {
+			iConcrete = true
+		}
+		if l.J == kripke.Star {
+			jStar = true
+		} else {
+			jConcrete = true
+		}
+	}
+	if (iConcrete && iStar) || (jConcrete && jStar) {
+		return 0, fmt.Errorf("compile: formula mixes concrete and ∗ indices: %v", labels)
+	}
+	return kripke.VariantForRecvSend(iConcrete, jConcrete), nil
+}
+
+// compiled is the static structure shared by all nodes running the
+// compiled machine: the subformula closure in evaluation order.
+type compiled struct {
+	// subs in ascending Size order, so children precede parents.
+	subs []logic.Formula
+	// index by rendered form.
+	index map[string]int
+	// root is the index of ψ itself.
+	root int
+	// children[i] lists child indices of subs[i].
+	children [][]int
+	delta    int
+	variant  kripke.Variant
+	graded   bool
+	// dsets[j] (1-based j; index 0 unused) lists subformula indices sent to
+	// port j: D_j for per-port variants. For broadcast variants dsets[1]
+	// holds D (all ports share it).
+	dsets [][]int
+}
+
+// fmState is the per-node state: one Tri per subformula. It renders
+// deterministically under %#v (needed by FormulaFromMachine round trips).
+type fmState struct {
+	Vals []Tri
+	Done bool
+	Out  machine.Output
+}
+
+func newCompiled(f logic.Formula, delta int) (*compiled, error) {
+	variant, err := VariantForFormula(f)
+	if err != nil {
+		return nil, err
+	}
+	fragment := logic.ClassifyFragment(f)
+	if fragment.Graded && (variant == kripke.VariantPP || variant == kripke.VariantPM) {
+		return nil, fmt.Errorf(
+			"compile: graded diamonds with concrete in-ports are outside the Theorem 2 correspondence (fragment %v on %v)",
+			fragment, variant)
+	}
+	subs := logic.Subformulas(f)
+	sort.Slice(subs, func(a, b int) bool {
+		sa, sb := logic.Size(subs[a]), logic.Size(subs[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return subs[a].String() < subs[b].String()
+	})
+	c := &compiled{
+		subs:    subs,
+		index:   make(map[string]int, len(subs)),
+		delta:   delta,
+		variant: variant,
+		graded:  fragment.Graded,
+	}
+	for i, s := range subs {
+		c.index[s.String()] = i
+	}
+	c.root = c.index[f.String()]
+	c.children = make([][]int, len(subs))
+	for i, s := range subs {
+		switch x := s.(type) {
+		case logic.Not:
+			c.children[i] = []int{c.index[x.F.String()]}
+		case logic.And:
+			c.children[i] = []int{c.index[x.L.String()], c.index[x.R.String()]}
+		case logic.Or:
+			c.children[i] = []int{c.index[x.L.String()], c.index[x.R.String()]}
+		case logic.Diamond:
+			c.children[i] = []int{c.index[x.F.String()]}
+		}
+	}
+	// Build the D sets.
+	broadcast := variant == kripke.VariantPM || variant == kripke.VariantMM
+	if broadcast {
+		c.dsets = make([][]int, 2)
+	} else {
+		c.dsets = make([][]int, delta+1)
+	}
+	seen := make(map[[2]int]bool)
+	for _, s := range subs {
+		d, ok := s.(logic.Diamond)
+		if !ok {
+			continue
+		}
+		child := c.index[d.F.String()]
+		if broadcast {
+			if !seen[[2]int{1, child}] {
+				seen[[2]int{1, child}] = true
+				c.dsets[1] = append(c.dsets[1], child)
+			}
+			continue
+		}
+		j := d.Idx.J
+		if j < 1 || j > delta {
+			return nil, fmt.Errorf("compile: out-port %d outside [1,%d] in %v", j, delta, s)
+		}
+		if !seen[[2]int{j, child}] {
+			seen[[2]int{j, child}] = true
+			c.dsets[j] = append(c.dsets[j], child)
+		}
+	}
+	for j := range c.dsets {
+		sort.Ints(c.dsets[j])
+	}
+	return c, nil
+}
+
+// initVals evaluates all modal-depth-0 subformulas for a node of the given
+// degree; diamonds start undefined.
+func (c *compiled) initVals(deg int) []Tri {
+	vals := make([]Tri, len(c.subs))
+	for i, s := range c.subs {
+		switch x := s.(type) {
+		case logic.Top:
+			vals[i] = TriTrue
+		case logic.Bot:
+			vals[i] = TriFalse
+		case logic.Prop:
+			vals[i] = TriFalse
+			if deg >= 1 && x.Name == kripke.DegreeProp(deg) {
+				vals[i] = TriTrue
+			}
+		case logic.Not:
+			vals[i] = triNot(vals[c.children[i][0]])
+		case logic.And:
+			vals[i] = triAnd(vals[c.children[i][0]], vals[c.children[i][1]])
+		case logic.Or:
+			vals[i] = triOr(vals[c.children[i][0]], vals[c.children[i][1]])
+		case logic.Diamond:
+			vals[i] = TriU
+		}
+	}
+	return vals
+}
+
+func triNot(a Tri) Tri {
+	switch a {
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
+	default:
+		return TriU
+	}
+}
+
+func triAnd(a, b Tri) Tri {
+	// The proof's clause (δ∧): strictness in U.
+	if a == TriU || b == TriU {
+		return TriU
+	}
+	if a == TriTrue && b == TriTrue {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+func triOr(a, b Tri) Tri {
+	if a == TriU || b == TriU {
+		return TriU
+	}
+	if a == TriTrue || b == TriTrue {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+// encodeRestriction builds the message of the proof: the restriction of the
+// assignment to the D set for port j, tagged with j for per-port variants
+// (tag −1 for broadcast). The format is t(tag, t(idx,val), ...), with
+// entries in ascending subformula index — canonical and injective.
+func (c *compiled) encodeRestriction(vals []Tri, j int) machine.Message {
+	slot := j
+	broadcast := c.variant == kripke.VariantPM || c.variant == kripke.VariantMM
+	tag := int64(j)
+	if broadcast {
+		slot = 1
+		tag = -1
+	}
+	kids := make([]term.Term, 0, len(c.dsets[slot])+1)
+	kids = append(kids, term.Int(tag))
+	for _, idx := range c.dsets[slot] {
+		kids = append(kids, term.Tuple(term.Int(int64(idx)), term.Int(int64(vals[idx]))))
+	}
+	return machine.EncodeTerm(term.Tuple(kids...))
+}
+
+// decoded is one parsed incoming message.
+type decoded struct {
+	tag  int // sender's out-port; -1 for broadcast; -2 for m0
+	vals map[int]Tri
+}
+
+func decodeRestriction(m machine.Message) (decoded, error) {
+	if m == machine.NoMessage {
+		return decoded{tag: -2}, nil
+	}
+	t, err := term.Parse(m)
+	if err != nil {
+		return decoded{}, fmt.Errorf("compile: bad message: %w", err)
+	}
+	d := decoded{tag: int(t.At(0).IntVal()), vals: make(map[int]Tri, t.Len()-1)}
+	for i := 1; i < t.Len(); i++ {
+		pair := t.At(i)
+		d.vals[int(pair.At(0).IntVal())] = Tri(pair.At(1).IntVal())
+	}
+	return d, nil
+}
+
+// MachineFromFormula compiles ψ into a local algorithm per Theorem 2. The
+// machine's class matches the formula's fragment and variant:
+//
+//	K₊,₊ → Vector (VV),  K₋,₊ graded → Multiset (MV), ungraded → Set (SV),
+//	K₊,₋ → Broadcast (VB), K₋,₋ graded → MB, ungraded → SB.
+//
+// Its running time is exactly md(ψ) rounds and its output is "1" at node v
+// iff K_{a,b}(G,p), v ⊨ ψ.
+func MachineFromFormula(f logic.Formula, delta int) (machine.Machine, kripke.Variant, error) {
+	c, err := newCompiled(f, delta)
+	if err != nil {
+		return nil, 0, err
+	}
+	var class machine.Class
+	switch c.variant {
+	case kripke.VariantPP:
+		class = machine.ClassVV
+	case kripke.VariantMP:
+		if c.graded {
+			class = machine.ClassMV
+		} else {
+			class = machine.ClassSV
+		}
+	case kripke.VariantPM:
+		class = machine.ClassVB
+	case kripke.VariantMM:
+		if c.graded {
+			class = machine.ClassMB
+		} else {
+			class = machine.ClassSB
+		}
+	}
+	m := &machine.Func{
+		MachineName:  fmt.Sprintf("compiled[%s]", f.String()),
+		MachineClass: class,
+		MaxDeg:       delta,
+		InitFunc: func(deg int) machine.State {
+			s := fmState{Vals: c.initVals(deg)}
+			if s.Vals[c.root] != TriU {
+				s.Done = true
+				s.Out = outputOf(s.Vals[c.root])
+			}
+			return s
+		},
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(fmState)
+			return x.Out, x.Done
+		},
+		SendFunc: func(s machine.State, port int) machine.Message {
+			return c.encodeRestriction(s.(fmState).Vals, port)
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(fmState)
+			next, err := c.step(x.Vals, inbox)
+			if err != nil {
+				panic(err) // messages are self-produced; malformed ⇒ bug
+			}
+			out := fmState{Vals: next}
+			if next[c.root] != TriU {
+				out.Done = true
+				out.Out = outputOf(next[c.root])
+			}
+			return out
+		},
+	}
+	return m, c.variant, nil
+}
+
+func outputOf(v Tri) machine.Output {
+	if v == TriTrue {
+		return "1"
+	}
+	return "0"
+}
+
+// step implements the transition clauses (δ∧), (δ¬) and the four (δ◇)
+// variants.
+func (c *compiled) step(old []Tri, inbox []machine.Message) ([]Tri, error) {
+	msgs := make([]decoded, len(inbox))
+	for i, m := range inbox {
+		d, err := decodeRestriction(m)
+		if err != nil {
+			return nil, err
+		}
+		msgs[i] = d
+	}
+	next := make([]Tri, len(old))
+	copy(next, old)
+	for i, s := range c.subs {
+		if old[i] != TriU {
+			continue // clause (a): settled values persist
+		}
+		switch x := s.(type) {
+		case logic.Not:
+			next[i] = triNot(next[c.children[i][0]])
+		case logic.And:
+			next[i] = triAnd(next[c.children[i][0]], next[c.children[i][1]])
+		case logic.Or:
+			next[i] = triOr(next[c.children[i][0]], next[c.children[i][1]])
+		case logic.Diamond:
+			child := c.children[i][0]
+			if old[child] == TriU {
+				next[i] = TriU // gate: child not yet evaluated anywhere
+				continue
+			}
+			next[i] = c.evalDiamond(x, child, msgs)
+		}
+	}
+	return next, nil
+}
+
+// evalDiamond applies the variant-specific clause (δ◇).
+func (c *compiled) evalDiamond(d logic.Diamond, child int, msgs []decoded) Tri {
+	switch c.variant {
+	case kripke.VariantPP:
+		// ⟨(i,j)⟩ϑ: message at in-port i must carry (1, j).
+		i := d.Idx.I
+		if i < 1 || i > len(msgs) {
+			return TriFalse
+		}
+		m := msgs[i-1]
+		if m.tag == d.Idx.J && m.vals[child] == TriTrue {
+			return TriTrue
+		}
+		return TriFalse
+	case kripke.VariantMP:
+		// ⟨(∗,j)⟩≥k ϑ: count messages tagged j carrying 1.
+		count := 0
+		for _, m := range msgs {
+			if m.tag == d.Idx.J && m.vals[child] == TriTrue {
+				count++
+			}
+		}
+		return boolTri(count >= d.K)
+	case kripke.VariantPM:
+		// ⟨(i,∗)⟩ϑ: broadcast message at in-port i carries 1.
+		i := d.Idx.I
+		if i < 1 || i > len(msgs) {
+			return TriFalse
+		}
+		return boolTri(msgs[i-1].vals[child] == TriTrue)
+	case kripke.VariantMM:
+		count := 0
+		for _, m := range msgs {
+			if m.vals[child] == TriTrue {
+				count++
+			}
+		}
+		return boolTri(count >= d.K)
+	default:
+		panic("compile: unknown variant")
+	}
+}
+
+func boolTri(b bool) Tri {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}

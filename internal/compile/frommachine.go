@@ -1,0 +1,237 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/machine"
+)
+
+// Limits bound the reachable-configuration enumeration of
+// FormulaFromMachine. The paper's families Ψt, Θt, Ξt are finite for every
+// machine (Theorem 2, part 3); the caps make that finiteness explicit and
+// catch machines outside the constant-time regime. The zero value selects
+// defaults.
+type Limits struct {
+	// MaxStates caps the reachable states per round (default 64).
+	MaxStates int
+	// MaxMessages caps the reachable message alphabet per round (default 32).
+	MaxMessages int
+	// MaxInboxes caps the enumerated inbox combinations per (state, degree)
+	// pair (default 100000).
+	MaxInboxes int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxStates == 0 {
+		l.MaxStates = 64
+	}
+	if l.MaxMessages == 0 {
+		l.MaxMessages = 32
+	}
+	if l.MaxInboxes == 0 {
+		l.MaxInboxes = 100000
+	}
+	return l
+}
+
+// stateInfo tracks one reachable machine state.
+type stateInfo struct {
+	state  machine.State
+	halted bool
+	out    machine.Output
+}
+
+// stateKey renders a state deterministically. FormulaFromMachine requires
+// machines whose states print stably under %#v (plain values, structs,
+// slices — no maps), which holds for every machine in this library.
+func stateKey(s machine.State) string { return fmt.Sprintf("%#v", s) }
+
+// FormulaFromMachine unfolds machine m (runtime bound T rounds, max degree
+// delta) into modal formulas per Theorem 2, parts 3–4. It returns one
+// formula per output value y ∈ Y: ψ_y holds at node v of K_{a,b}(G,p)
+// exactly when m outputs y at v within T rounds on (G,p).
+//
+// The variant (and logic fragment) follows the machine's class:
+//
+//	Vector/Vector → K₊,₊ MML; Multiset/Vector → K₋,₊ GMML;
+//	Set/Vector → K₋,₊ MML;    Vector/Broadcast → K₊,₋ MML;
+//	Multiset/Broadcast → K₋,₋ GML; Set/Broadcast → K₋,₋ ML.
+//
+// An error is returned when enumeration exceeds the limits or when some
+// reachable configuration is still running at time T.
+func FormulaFromMachine(m machine.Machine, delta, T int, lim Limits) (map[machine.Output]logic.Formula, kripke.Variant, error) {
+	lim = lim.withDefaults()
+	class := m.Class()
+	variant := kripke.VariantForRecvSend(
+		class.Recv == machine.RecvVector,
+		class.Send == machine.SendVector,
+	)
+	broadcast := class.Send == machine.SendBroadcast
+
+	// Reachable states at time t, in insertion order; phi[key] is ϕ_{z,t}.
+	type layer struct {
+		keys  []string
+		info  map[string]stateInfo
+		phi   map[string]logic.Formula
+		degOf map[string][]int // degrees at which the state is reachable
+	}
+	newLayer := func() *layer {
+		return &layer{
+			info:  make(map[string]stateInfo),
+			phi:   make(map[string]logic.Formula),
+			degOf: make(map[string][]int),
+		}
+	}
+	addState := func(l *layer, s machine.State, f logic.Formula, deg int) error {
+		key := stateKey(s)
+		if _, ok := l.info[key]; !ok {
+			if len(l.keys) >= lim.MaxStates {
+				return fmt.Errorf("compile: more than %d reachable states", lim.MaxStates)
+			}
+			l.keys = append(l.keys, key)
+			out, halted := m.Halted(s)
+			l.info[key] = stateInfo{state: s, halted: halted, out: out}
+			l.phi[key] = f
+			l.degOf[key] = []int{deg}
+			return nil
+		}
+		l.phi[key] = logic.Simplify(logic.Or{L: l.phi[key], R: f})
+		l.degOf[key] = appendUnique(l.degOf[key], deg)
+		return nil
+	}
+
+	cur := newLayer()
+	for d := 0; d <= delta; d++ {
+		if err := addState(cur, m.Init(d), logic.DegreeIs(d, delta), d); err != nil {
+			return nil, variant, err
+		}
+	}
+
+	for t := 1; t <= T; t++ {
+		// Message alphabet for round t: μ(z, j) per non-halted reachable
+		// state, plus m0 from halted states.
+		msgSet := make(map[msgOrigin][]string) // origin → sender state keys
+		sawHalted := false
+		maxJ := delta
+		if broadcast {
+			maxJ = 1
+		}
+		for _, key := range cur.keys {
+			info := cur.info[key]
+			if info.halted {
+				sawHalted = true
+				continue
+			}
+			for j := 1; j <= maxJ; j++ {
+				mo := msgOrigin{msg: m.Send(info.state, j), j: j}
+				msgSet[mo] = append(msgSet[mo], key)
+			}
+		}
+		if sawHalted {
+			for j := 1; j <= maxJ; j++ {
+				mo := msgOrigin{msg: machine.NoMessage, j: j}
+				for _, key := range cur.keys {
+					if cur.info[key].halted {
+						msgSet[mo] = append(msgSet[mo], key)
+					}
+				}
+			}
+		}
+		// ϑ_{m,j,t} = ∨ { ϕ_{z,t-1} : μ(z,j) = m }.
+		theta := make(map[msgOrigin]logic.Formula, len(msgSet))
+		var alphabet []msgOrigin
+		for mo, senders := range msgSet {
+			fs := make([]logic.Formula, 0, len(senders))
+			for _, key := range senders {
+				fs = append(fs, cur.phi[key])
+			}
+			theta[mo] = logic.Simplify(logic.BigOr(fs...))
+			alphabet = append(alphabet, mo)
+		}
+		sort.Slice(alphabet, func(a, b int) bool {
+			if alphabet[a].msg != alphabet[b].msg {
+				return alphabet[a].msg < alphabet[b].msg
+			}
+			return alphabet[a].j < alphabet[b].j
+		})
+		distinctMsgs := distinctMessages(alphabet)
+		if len(distinctMsgs) > lim.MaxMessages {
+			return nil, variant, fmt.Errorf("compile: message alphabet %d exceeds %d",
+				len(distinctMsgs), lim.MaxMessages)
+		}
+
+		next := newLayer()
+		for _, key := range cur.keys {
+			info := cur.info[key]
+			if info.halted {
+				// δ(y, ·) = y: halted states persist with their formula.
+				if err := addState(next, info.state, cur.phi[key], cur.degOf[key][0]); err != nil {
+					return nil, variant, err
+				}
+				for _, d := range cur.degOf[key][1:] {
+					next.degOf[key] = appendUnique(next.degOf[key], d)
+				}
+				continue
+			}
+			for _, deg := range cur.degOf[key] {
+				inboxes, err := enumerateInboxes(class, alphabet, deg, lim.MaxInboxes)
+				if err != nil {
+					return nil, variant, err
+				}
+				for _, ib := range inboxes {
+					inboxF := inboxFormula(variant, class, theta, alphabet, ib, delta)
+					guard := logic.Simplify(logic.BigAnd(cur.phi[key], logic.DegreeIs(deg, delta), inboxF))
+					if _, isBot := guard.(logic.Bot); isBot {
+						continue
+					}
+					newState := m.Step(info.state, machine.CanonicalInbox(class.Recv, ib.flat()))
+					if err := addState(next, newState, guard, deg); err != nil {
+						return nil, variant, err
+					}
+				}
+			}
+		}
+		cur = next
+	}
+
+	// All configurations must have halted by T.
+	result := make(map[machine.Output]logic.Formula)
+	for _, key := range cur.keys {
+		info := cur.info[key]
+		if !info.halted {
+			return nil, variant, fmt.Errorf(
+				"compile: state %q still running at T=%d (machine %q)", key, T, m.Name())
+		}
+		f, ok := result[info.out]
+		if !ok {
+			result[info.out] = cur.phi[key]
+		} else {
+			result[info.out] = logic.Simplify(logic.Or{L: f, R: cur.phi[key]})
+		}
+	}
+	return result, variant, nil
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, y := range xs {
+		if y == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+func distinctMessages(alphabet []msgOrigin) []machine.Message {
+	seen := make(map[machine.Message]bool)
+	var out []machine.Message
+	for _, mo := range alphabet {
+		if !seen[mo.msg] {
+			seen[mo.msg] = true
+			out = append(out, mo.msg)
+		}
+	}
+	return out
+}

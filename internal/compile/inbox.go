@@ -1,0 +1,246 @@
+package compile
+
+import (
+	"fmt"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/machine"
+)
+
+// msgOrigin is a message together with the out-port it was sent through —
+// the unit of the formula families ϑ_{m,j,t}. Broadcast machines always use
+// j = 1.
+type msgOrigin struct {
+	msg machine.Message
+	j   int
+}
+
+// inboxChoice is one enumerated inbox. Exactly one of seq/bag/set is used,
+// depending on the receive mode:
+//
+//   - RecvVector: seq[i] is the origin of the message at in-port i+1;
+//   - RecvMultiset: bag maps each alphabet origin to its multiplicity;
+//   - RecvSet: set lists the distinct received messages.
+type inboxChoice struct {
+	seq []msgOrigin
+	bag []int // parallel to the alphabet slice
+	set []machine.Message
+	// alphabet backs bag indices.
+	alphabet []msgOrigin
+}
+
+// flat renders the inbox as the raw message slice handed to Step (after
+// CanonicalInbox for the machine's mode).
+func (ib inboxChoice) flat() []machine.Message {
+	switch {
+	case ib.seq != nil:
+		out := make([]machine.Message, len(ib.seq))
+		for i, mo := range ib.seq {
+			out[i] = mo.msg
+		}
+		return out
+	case ib.bag != nil:
+		var out []machine.Message
+		for idx, c := range ib.bag {
+			for k := 0; k < c; k++ {
+				out = append(out, ib.alphabet[idx].msg)
+			}
+		}
+		return out
+	default:
+		return append([]machine.Message(nil), ib.set...)
+	}
+}
+
+// enumerateInboxes lists every inbox a node of the given degree could
+// receive over the current alphabet, in the representation matching the
+// machine's receive mode.
+func enumerateInboxes(class machine.Class, alphabet []msgOrigin, deg, cap int) ([]inboxChoice, error) {
+	switch class.Recv {
+	case machine.RecvVector:
+		return enumerateSequences(alphabet, deg, cap)
+	case machine.RecvMultiset:
+		return enumerateBags(alphabet, deg, cap)
+	case machine.RecvSet:
+		return enumerateSets(alphabet, deg, cap)
+	default:
+		return nil, fmt.Errorf("compile: unknown receive mode %v", class.Recv)
+	}
+}
+
+func enumerateSequences(alphabet []msgOrigin, deg, cap int) ([]inboxChoice, error) {
+	out := []inboxChoice{{seq: []msgOrigin{}}}
+	for pos := 0; pos < deg; pos++ {
+		var next []inboxChoice
+		for _, partial := range out {
+			for _, mo := range alphabet {
+				seq := make([]msgOrigin, len(partial.seq), len(partial.seq)+1)
+				copy(seq, partial.seq)
+				next = append(next, inboxChoice{seq: append(seq, mo)})
+				if len(next) > cap {
+					return nil, fmt.Errorf("compile: inbox enumeration exceeds %d", cap)
+				}
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+func enumerateBags(alphabet []msgOrigin, deg, cap int) ([]inboxChoice, error) {
+	var out []inboxChoice
+	counts := make([]int, len(alphabet))
+	var rec func(idx, left int) error
+	rec = func(idx, left int) error {
+		if idx == len(alphabet) {
+			if left == 0 {
+				out = append(out, inboxChoice{
+					bag:      append([]int(nil), counts...),
+					alphabet: alphabet,
+				})
+				if len(out) > cap {
+					return fmt.Errorf("compile: inbox enumeration exceeds %d", cap)
+				}
+			}
+			return nil
+		}
+		for c := 0; c <= left; c++ {
+			counts[idx] = c
+			if err := rec(idx+1, left-c); err != nil {
+				return err
+			}
+		}
+		counts[idx] = 0
+		return nil
+	}
+	if deg == 0 {
+		return []inboxChoice{{bag: make([]int, len(alphabet)), alphabet: alphabet}}, nil
+	}
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("compile: degree %d node with empty alphabet", deg)
+	}
+	if err := rec(0, deg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func enumerateSets(alphabet []msgOrigin, deg, cap int) ([]inboxChoice, error) {
+	msgs := distinctMessages(alphabet)
+	var out []inboxChoice
+	var rec func(idx int, chosen []machine.Message) error
+	rec = func(idx int, chosen []machine.Message) error {
+		if idx == len(msgs) {
+			valid := (deg == 0 && len(chosen) == 0) ||
+				(deg >= 1 && len(chosen) >= 1 && len(chosen) <= deg)
+			if valid {
+				out = append(out, inboxChoice{set: append([]machine.Message(nil), chosen...)})
+				if len(out) > cap {
+					return fmt.Errorf("compile: inbox enumeration exceeds %d", cap)
+				}
+			}
+			return nil
+		}
+		if err := rec(idx+1, chosen); err != nil {
+			return err
+		}
+		return rec(idx+1, append(chosen, msgs[idx]))
+	}
+	if err := rec(0, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// inboxFormula expresses "node received exactly this inbox in this round"
+// in the logic of the variant, using the ϑ formulas for the round.
+func inboxFormula(variant kripke.Variant, class machine.Class, theta map[msgOrigin]logic.Formula,
+	alphabet []msgOrigin, ib inboxChoice, delta int) logic.Formula {
+	switch {
+	case class.Recv == machine.RecvVector && class.Send == machine.SendVector:
+		// K₊,₊: ∧_i χ_{m,i,j} with χ = ⟨(i,j)⟩ϑ_{m,j}.
+		fs := make([]logic.Formula, 0, len(ib.seq))
+		for i, mo := range ib.seq {
+			fs = append(fs, logic.Dia(kripke.Index{I: i + 1, J: mo.j}, theta[mo]))
+		}
+		return logic.BigAnd(fs...)
+
+	case class.Recv == machine.RecvVector && class.Send == machine.SendBroadcast:
+		// K₊,₋: ∧_i ⟨(i,∗)⟩ϑ_m.
+		fs := make([]logic.Formula, 0, len(ib.seq))
+		for i, mo := range ib.seq {
+			fs = append(fs, logic.Dia(kripke.Index{I: i + 1, J: kripke.Star}, theta[mo]))
+		}
+		return logic.BigAnd(fs...)
+
+	case class.Recv == machine.RecvMultiset && class.Send == machine.SendVector:
+		// K₋,₊ graded: exact counts per origin via ⟨(∗,j)⟩≥k.
+		fs := make([]logic.Formula, 0, 2*len(alphabet))
+		for idx, mo := range alphabet {
+			c := ib.bag[idx]
+			alpha := kripke.Index{I: kripke.Star, J: mo.j}
+			if c > 0 {
+				fs = append(fs, logic.DiaGeq(alpha, c, theta[mo]))
+			}
+			fs = append(fs, logic.Not{F: logic.DiaGeq(alpha, c+1, theta[mo])})
+		}
+		return logic.BigAnd(fs...)
+
+	case class.Recv == machine.RecvMultiset && class.Send == machine.SendBroadcast:
+		// K₋,₋ graded: exact counts via ⟨(∗,∗)⟩≥k.
+		fs := make([]logic.Formula, 0, 2*len(alphabet))
+		for idx, mo := range alphabet {
+			c := ib.bag[idx]
+			alpha := kripke.Index{I: kripke.Star, J: kripke.Star}
+			if c > 0 {
+				fs = append(fs, logic.DiaGeq(alpha, c, theta[mo]))
+			}
+			fs = append(fs, logic.Not{F: logic.DiaGeq(alpha, c+1, theta[mo])})
+		}
+		return logic.BigAnd(fs...)
+
+	case class.Recv == machine.RecvSet && class.Send == machine.SendVector:
+		// K₋,₊ ungraded: received(m) = ∨_j ⟨(∗,j)⟩ϑ_{m,j}; positive for
+		// m ∈ S, negative otherwise.
+		return setFormula(theta, alphabet, ib.set, func(mo msgOrigin) kripke.Index {
+			return kripke.Index{I: kripke.Star, J: mo.j}
+		})
+
+	case class.Recv == machine.RecvSet && class.Send == machine.SendBroadcast:
+		// K₋,₋ ungraded ML.
+		return setFormula(theta, alphabet, ib.set, func(msgOrigin) kripke.Index {
+			return kripke.Index{I: kripke.Star, J: kripke.Star}
+		})
+
+	default:
+		panic(fmt.Sprintf("compile: unsupported class %v", class))
+	}
+}
+
+// setFormula builds ∧_{m ∈ S} received(m) ∧ ∧_{m ∉ S} ¬received(m).
+func setFormula(theta map[msgOrigin]logic.Formula, alphabet []msgOrigin,
+	set []machine.Message, label func(msgOrigin) kripke.Index) logic.Formula {
+	inSet := make(map[machine.Message]bool, len(set))
+	for _, m := range set {
+		inSet[m] = true
+	}
+	received := make(map[machine.Message]logic.Formula)
+	for _, mo := range alphabet {
+		dia := logic.Dia(label(mo), theta[mo])
+		if f, ok := received[mo.msg]; ok {
+			received[mo.msg] = logic.Or{L: f, R: dia}
+		} else {
+			received[mo.msg] = dia
+		}
+	}
+	var fs []logic.Formula
+	for _, m := range distinctMessages(alphabet) {
+		if inSet[m] {
+			fs = append(fs, received[m])
+		} else {
+			fs = append(fs, logic.Not{F: received[m]})
+		}
+	}
+	return logic.BigAnd(fs...)
+}

@@ -1,0 +1,28 @@
+package core
+
+import "weakmodels/internal/kripke"
+
+// Capture is one row of Theorem 2: a constant-time problem class, the
+// modal logic capturing it, and the Kripke-model family it is captured on.
+type Capture struct {
+	Class ClassID
+	// Logic is ML, GML, MML or GMML.
+	Logic string
+	// Variant is the model family K_{a,b}.
+	Variant kripke.Variant
+	// Consistent restricts to consistent port numberings (class VVc only).
+	Consistent bool
+}
+
+// CaptureTable returns the seven rows of Theorem 2 (a)–(g).
+func CaptureTable() []Capture {
+	return []Capture{
+		{Class: VVc, Logic: "MML", Variant: kripke.VariantPP, Consistent: true},
+		{Class: VV, Logic: "MML", Variant: kripke.VariantPP},
+		{Class: MV, Logic: "GMML", Variant: kripke.VariantMP},
+		{Class: SV, Logic: "MML", Variant: kripke.VariantMP},
+		{Class: VB, Logic: "MML", Variant: kripke.VariantPM},
+		{Class: MB, Logic: "GML", Variant: kripke.VariantMM},
+		{Class: SB, Logic: "ML", Variant: kripke.VariantMM},
+	}
+}

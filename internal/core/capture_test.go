@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"weakmodels/internal/compile"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+)
+
+// TestCaptureTableMatchesCompiler cross-checks Theorem 2's table against
+// the compiler: for each row, a formula in exactly that logic over that
+// model variant compiles to a machine of exactly that class.
+func TestCaptureTableMatchesCompiler(t *testing.T) {
+	samples := map[kripke.Variant]map[string]string{
+		kripke.VariantPP: {"MML": "<1,2> q1"},
+		kripke.VariantMP: {"MML": "<*,2> q1", "GMML": "<*,2>=2 q1"},
+		kripke.VariantPM: {"MML": "<1,*> q1"},
+		kripke.VariantMM: {"ML": "<*,*> q1", "GML": "<*,*>=2 q1"},
+	}
+	for _, row := range CaptureTable() {
+		src, ok := samples[row.Variant][row.Logic]
+		if !ok {
+			t.Fatalf("no sample for %v/%s", row.Variant, row.Logic)
+		}
+		f := logic.MustParse(src)
+		if got := logic.ClassifyFragment(f).String(); got != row.Logic {
+			t.Fatalf("sample %q classified as %s, want %s", src, got, row.Logic)
+		}
+		m, variant, err := compile.MachineFromFormula(f, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", row, err)
+		}
+		if variant != row.Variant {
+			t.Errorf("%v: compiled for %v", row, variant)
+		}
+		wantClass, _ := row.Class.MachineClass()
+		if m.Class() != wantClass {
+			t.Errorf("row %v: compiled class %v, want %v", row.Class, m.Class(), wantClass)
+		}
+	}
+}
+
+func TestCaptureTableCoversAllClasses(t *testing.T) {
+	seen := map[ClassID]bool{}
+	for _, row := range CaptureTable() {
+		seen[row.Class] = true
+		if row.Consistent != (row.Class == VVc) {
+			t.Errorf("%v: consistency flag wrong", row.Class)
+		}
+	}
+	for _, c := range AllClasses() {
+		if !seen[c] {
+			t.Errorf("class %v missing from capture table", c)
+		}
+	}
+}

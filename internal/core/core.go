@@ -1,0 +1,131 @@
+// Package core is the paper's primary contribution as an executable API:
+// the seven problem classes VVc, VV, MV, SV, VB, MB, SB (Section 1.6), the
+// proved linear order SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc (Section 5), a
+// solvability harness that checks an algorithm against a problem over
+// (graph × port-numbering) suites under class-enforced semantics, and
+// machine-checkable separation witnesses following Corollary 3.
+package core
+
+import (
+	"fmt"
+
+	"weakmodels/internal/machine"
+)
+
+// ClassID names one of the seven problem classes of Section 1.6.
+type ClassID int
+
+// The seven classes, ordered by the linear order of Figure 5b (weakest
+// first). The numeric order of the constants IS the proved stratum order.
+const (
+	SB ClassID = iota + 1
+	MB
+	VB
+	SV
+	MV
+	VV
+	VVc
+)
+
+// AllClasses lists the classes from weakest to strongest.
+func AllClasses() []ClassID { return []ClassID{SB, MB, VB, SV, MV, VV, VVc} }
+
+// String returns the paper's name for the class.
+func (c ClassID) String() string {
+	switch c {
+	case SB:
+		return "SB"
+	case MB:
+		return "MB"
+	case VB:
+		return "VB"
+	case SV:
+		return "SV"
+	case MV:
+		return "MV"
+	case VV:
+		return "VV"
+	case VVc:
+		return "VVc"
+	default:
+		return fmt.Sprintf("ClassID(%d)", int(c))
+	}
+}
+
+// Stratum returns the index of the class in the proved linear order
+// SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc: 0 for SB, 1 for MB = VB,
+// 2 for SV = MV = VV, 3 for VVc. Classes with equal strata are equal as
+// problem classes (Corollaries 7 and 10).
+func (c ClassID) Stratum() int {
+	switch c {
+	case SB:
+		return 0
+	case MB, VB:
+		return 1
+	case SV, MV, VV:
+		return 2
+	case VVc:
+		return 3
+	default:
+		panic(fmt.Sprintf("core: unknown class %v", c))
+	}
+}
+
+// Contains reports whether class c contains class d as problem classes,
+// per the proved linear order (c ⊇ d iff stratum(c) ≥ stratum(d)).
+func (c ClassID) Contains(d ClassID) bool { return c.Stratum() >= d.Stratum() }
+
+// EqualAsProblemClass reports whether c = d as problem classes.
+func (c ClassID) EqualAsProblemClass(d ClassID) bool { return c.Stratum() == d.Stratum() }
+
+// MachineClass returns the machine class underlying the problem class, and
+// whether the class additionally assumes consistent port numberings.
+func (c ClassID) MachineClass() (mc machine.Class, consistency bool) {
+	switch c {
+	case SB:
+		return machine.ClassSB, false
+	case MB:
+		return machine.ClassMB, false
+	case VB:
+		return machine.ClassVB, false
+	case SV:
+		return machine.ClassSV, false
+	case MV:
+		return machine.ClassMV, false
+	case VV:
+		return machine.ClassVV, false
+	case VVc:
+		return machine.ClassVV, true
+	default:
+		panic(fmt.Sprintf("core: unknown class %v", c))
+	}
+}
+
+// ClassOf returns the strongest problem-class identifier a machine's
+// declared machine class certifies membership in (without the consistency
+// promise): e.g. a Set∩Broadcast machine certifies SB.
+func ClassOf(m machine.Machine) ClassID {
+	switch m.Class() {
+	case machine.ClassSB:
+		return SB
+	case machine.ClassMB:
+		return MB
+	case machine.ClassVB:
+		return VB
+	case machine.ClassSV:
+		return SV
+	case machine.ClassMV:
+		return MV
+	default:
+		return VV
+	}
+}
+
+// TrivialSubsets returns the containments of Figure 5a that follow directly
+// from the definitions (before any theorem): each pair (weaker ⊆ stronger).
+func TrivialSubsets() [][2]ClassID {
+	return [][2]ClassID{
+		{SB, MB}, {MB, MV}, {SB, SV}, {SV, MV},
+		{MB, VB}, {VB, VV}, {MV, VV}, {VV, VVc},
+	}
+}

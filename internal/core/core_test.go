@@ -1,0 +1,173 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/problems"
+)
+
+func TestStratumOrder(t *testing.T) {
+	// Equation (1): SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc.
+	if SB.Stratum() != 0 || MB.Stratum() != 1 || VB.Stratum() != 1 ||
+		SV.Stratum() != 2 || MV.Stratum() != 2 || VV.Stratum() != 2 || VVc.Stratum() != 3 {
+		t.Fatal("strata wrong")
+	}
+	if !MB.EqualAsProblemClass(VB) || !SV.EqualAsProblemClass(MV) || !MV.EqualAsProblemClass(VV) {
+		t.Error("collapsed classes not equal")
+	}
+	if SB.EqualAsProblemClass(MB) || VB.EqualAsProblemClass(SV) || VV.EqualAsProblemClass(VVc) {
+		t.Error("separated classes equal")
+	}
+	if !VVc.Contains(SB) || SB.Contains(MB) {
+		t.Error("containment wrong")
+	}
+	// The linear order must refine the trivial partial order of Figure 5a.
+	for _, pair := range TrivialSubsets() {
+		if !pair[1].Contains(pair[0]) {
+			t.Errorf("trivial subset %v ⊆ %v violated by strata", pair[0], pair[1])
+		}
+	}
+}
+
+func TestClassNamesAndMachineClasses(t *testing.T) {
+	for _, c := range AllClasses() {
+		if c.String() == "" || strings.HasPrefix(c.String(), "ClassID") {
+			t.Errorf("bad name for %d", int(c))
+		}
+		mc, consistency := c.MachineClass()
+		if consistency != (c == VVc) {
+			t.Errorf("%v consistency flag wrong", c)
+		}
+		if c == VVc && mc != machine.ClassVV {
+			t.Error("VVc must use Vector machines")
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(algorithms.OddOdd(3)) != MB {
+		t.Error("OddOdd should certify MB")
+	}
+	if ClassOf(algorithms.LeafElect(3)) != SV {
+		t.Error("LeafElect should certify SV")
+	}
+	if ClassOf(algorithms.EvenDegree(3)) != SB {
+		t.Error("EvenDegree should certify SB")
+	}
+	if ClassOf(algorithms.LocalTypeMax(3)) != VV {
+		t.Error("LocalTypeMax should certify VV")
+	}
+}
+
+func TestSolvesHarness(t *testing.T) {
+	suite := DefaultSuite()
+	suite.RandomTrials = 2
+	if err := Solves(algorithms.OddOdd, MB, problems.OddOdd{}, suite); err != nil {
+		t.Errorf("OddOdd in MB: %v", err)
+	}
+	// A machine of a stronger class must be rejected in a weaker class.
+	if err := Solves(algorithms.LeafElect, SB, problems.LeafElection{}, suite); err == nil {
+		t.Error("SV machine admitted into SB")
+	}
+	// An SB machine is admissible in every class.
+	if err := Solves(algorithms.EvenDegree, VVc, problems.EvenDegrees{}, suite); err != nil {
+		t.Errorf("SB machine in VVc: %v", err)
+	}
+	// A wrong algorithm must fail validation.
+	if err := Solves(algorithms.EvenDegree, SB, problems.OddOdd{}, suite); err == nil {
+		t.Error("EvenDegree does not solve OddOdd but passed")
+	}
+}
+
+func TestTheorem11Separation(t *testing.T) {
+	suite := DefaultSuite()
+	suite.RandomTrials = 2
+	if err := Theorem11().Verify(suite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem13Separation(t *testing.T) {
+	suite := DefaultSuite()
+	suite.RandomTrials = 2
+	if err := Theorem13().Verify(suite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem17Separation(t *testing.T) {
+	suite := DefaultSuite()
+	suite.RandomTrials = 2
+	if err := Theorem17().Verify(suite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISNotInVVc(t *testing.T) {
+	suite := DefaultSuite()
+	if err := MISNotInVVc().Verify(suite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapses(t *testing.T) {
+	suite := Suite{
+		Graphs: []*graph.Graph{
+			graph.Path(4), graph.Cycle(5), graph.Star(3),
+			graph.Figure1Graph(),
+		},
+		RandomTrials: 2,
+		Seed:         2,
+	}
+	for _, c := range AllCollapses() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if c.Strong.Stratum() != c.Weak.Stratum() {
+				t.Fatalf("%s: classes in different strata", c.Name)
+			}
+			if err := c.Verify(suite); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLinearOrder(t *testing.T) {
+	suite := Suite{
+		Graphs: []*graph.Graph{
+			graph.Path(3), graph.Cycle(4), graph.Star(3), graph.Figure1Graph(),
+		},
+		RandomTrials: 1,
+		Seed:         3,
+	}
+	report, err := Derive(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc"
+	if report.String() != want {
+		t.Errorf("report = %q, want %q", report.String(), want)
+	}
+	if len(report.Collapses) != 4 || len(report.Separations) != 4 {
+		t.Errorf("evidence counts: %d collapses, %d separations",
+			len(report.Collapses), len(report.Separations))
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	suite := Suite{
+		Graphs:       []*graph.Graph{graph.Path(3), graph.Star(3)},
+		RandomTrials: 1,
+		Seed:         4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"weakmodels/internal/core"
+)
+
+// Example prints the paper's main theorem as the library derives it.
+func Example() {
+	for _, c := range core.AllClasses() {
+		fmt.Printf("%-3s stratum %d\n", c, c.Stratum())
+	}
+	fmt.Println("MB = VB as problem classes:", core.MB.EqualAsProblemClass(core.VB))
+	fmt.Println("SB ⊊ VVc:", core.VVc.Contains(core.SB) && !core.SB.Contains(core.VVc))
+	// Output:
+	// SB  stratum 0
+	// MB  stratum 1
+	// VB  stratum 1
+	// SV  stratum 2
+	// MV  stratum 2
+	// VV  stratum 2
+	// VVc stratum 3
+	// MB = VB as problem classes: true
+	// SB ⊊ VVc: true
+}
+
+// ExampleCaptureTable lists Theorem 2's logic correspondences.
+func ExampleCaptureTable() {
+	for _, row := range core.CaptureTable() {
+		fmt.Printf("%s(1) ↔ %s on %v\n", row.Class, row.Logic, row.Variant)
+	}
+	// Output:
+	// VVc(1) ↔ MML on K(+,+)
+	// VV(1) ↔ MML on K(+,+)
+	// MV(1) ↔ GMML on K(−,+)
+	// SV(1) ↔ MML on K(−,+)
+	// VB(1) ↔ MML on K(+,−)
+	// MB(1) ↔ GML on K(−,−)
+	// SB(1) ↔ ML on K(−,−)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/problems"
+)
+
+// Suite is a collection of (graph, numbering) pairs to check an algorithm
+// against.
+type Suite struct {
+	// Graphs to run on.
+	Graphs []*graph.Graph
+	// RandomTrials is the number of random numberings per graph (default 5).
+	RandomTrials int
+	// Seed feeds the numbering sampler.
+	Seed int64
+	// MaxRounds bounds each run (default engine.DefaultMaxRounds).
+	MaxRounds int
+}
+
+// DefaultSuite returns the standard verification suite: a spread of
+// bounded-degree families including the paper's witness graphs.
+func DefaultSuite() Suite {
+	witness, _, _ := graph.Theorem13Witness()
+	return Suite{
+		Graphs: []*graph.Graph{
+			graph.Path(2), graph.Path(5),
+			graph.Cycle(3), graph.Cycle(6),
+			graph.Star(2), graph.Star(4),
+			graph.Complete(4),
+			graph.Figure1Graph(),
+			graph.Petersen(),
+			graph.Grid(3, 3),
+			graph.Caterpillar(3, 1),
+			graph.NoOneFactorCubic(),
+			witness,
+			graph.DisjointUnion(graph.Cycle(3), graph.Star(3)),
+		},
+		RandomTrials: 5,
+		Seed:         1,
+	}
+}
+
+// Solves verifies that algorithm build(Δ) solves problem under the class's
+// admission rule over the suite: for VVc only consistent numberings are
+// drawn; for all other classes arbitrary numberings are drawn. It returns
+// nil when every run produced a valid solution.
+//
+// This is the executable counterpart of "Π ∈ C": it cannot prove membership
+// (that needs the paper's proofs) but refutes non-membership claims and
+// regression-checks every implemented algorithm.
+func Solves(build func(delta int) machine.Machine, class ClassID, problem problems.Problem, suite Suite) error {
+	mc, consistency := class.MachineClass()
+	rng := rand.New(rand.NewSource(suite.Seed))
+	trials := suite.RandomTrials
+	if trials <= 0 {
+		trials = 5
+	}
+	for _, g := range suite.Graphs {
+		delta := g.MaxDegree()
+		if delta == 0 {
+			delta = 1
+		}
+		m := build(delta)
+		if !mc.AtLeastAsStrongAs(m.Class()) {
+			return fmt.Errorf("core: machine %q has class %v, not admissible in %v",
+				m.Name(), m.Class(), class)
+		}
+		numberings := []*port.Numbering{port.Canonical(g)}
+		for t := 0; t < trials; t++ {
+			if consistency {
+				numberings = append(numberings, port.RandomConsistent(g, rng))
+			} else {
+				numberings = append(numberings, port.Random(g, rng))
+			}
+		}
+		for i, p := range numberings {
+			res, err := engine.Run(m, p, engine.Options{MaxRounds: suite.MaxRounds})
+			if err != nil {
+				return fmt.Errorf("core: %q on %v (numbering %d): %w", m.Name(), g, i, err)
+			}
+			if err := problem.Validate(g, res.Output); err != nil {
+				return fmt.Errorf("core: %q on %v (numbering %d): %w", m.Name(), g, i, err)
+			}
+		}
+	}
+	return nil
+}

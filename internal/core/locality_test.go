@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/simulate"
+)
+
+// TestConstantTimeLocality backs the constant-time half of the main
+// theorem (equation (2)): every algorithm used in the classification is a
+// *local* algorithm — its round count depends only on Δ, not on n. The
+// paper stresses this as its main difference from prior work (Table 2:
+// "the simulation overhead is bounded by a constant"). We run each
+// algorithm on growing graphs of fixed Δ and assert the round count never
+// moves.
+func TestConstantTimeLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	cases := []struct {
+		name  string
+		build func(delta int) machine.Machine
+		// family produces graphs of fixed max degree and growing n.
+		family func(n int) *graph.Graph
+		sizes  []int
+	}{
+		{
+			name:   "leaf-elect/stars",
+			build:  algorithms.LeafElect,
+			family: func(n int) *graph.Graph { return graph.Star(3) }, // Δ fixed by family
+			sizes:  []int{1, 2, 3},
+		},
+		{
+			name:   "odd-odd/cycles",
+			build:  algorithms.OddOdd,
+			family: graph.Cycle,
+			sizes:  []int{4, 16, 64, 256},
+		},
+		{
+			name:   "even-degree/paths",
+			build:  algorithms.EvenDegree,
+			family: graph.Path,
+			sizes:  []int{4, 64, 512},
+		},
+		{
+			name:   "local-type-max/cycles",
+			build:  algorithms.LocalTypeMax,
+			family: graph.Cycle,
+			sizes:  []int{4, 32, 128},
+		},
+		{
+			name: "thm8-wrapped-odd-odd/cycles",
+			build: func(delta int) machine.Machine {
+				m, err := simulate.MultisetFromVector(oddOddVector(delta))
+				if err != nil {
+					panic(err)
+				}
+				return m
+			},
+			family: graph.Cycle,
+			sizes:  []int{4, 32, 128},
+		},
+		{
+			name: "thm4-wrapped-odd-odd/cycles",
+			build: func(delta int) machine.Machine {
+				m, err := simulate.SetFromMultiset(algorithms.OddOdd(delta))
+				if err != nil {
+					panic(err)
+				}
+				return m
+			},
+			family: graph.Cycle,
+			sizes:  []int{4, 32, 128},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rounds := -1
+			for _, n := range tc.sizes {
+				g := tc.family(n)
+				m := tc.build(g.MaxDegree())
+				var p *port.Numbering
+				if tc.name == "local-type-max/cycles" {
+					p = port.RandomConsistent(g, rng)
+				} else {
+					p = port.Random(g, rng)
+				}
+				res, err := engine.Run(m, p, engine.Options{})
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if rounds == -1 {
+					rounds = res.Rounds
+				} else if res.Rounds != rounds {
+					t.Fatalf("round count moved with n: %d at first size, %d at n=%d — not a local algorithm",
+						rounds, res.Rounds, n)
+				}
+			}
+			t.Logf("constant %d rounds across sizes %v", rounds, tc.sizes)
+		})
+	}
+}
+
+// TestVertexCoverRoundsVsDelta records the empirical round envelope of the
+// MB vertex-cover algorithm across Δ at fixed n — the substitution's
+// counterpart of the Åstrand–Suomela O(Δ) bound (DESIGN.md §6).
+func TestVertexCoverRoundsVsDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, delta := range []int{2, 3, 4, 5} {
+		worst := 0
+		for trial := 0; trial < 5; trial++ {
+			g, err := graph.RandomRegular(12, delta, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.Run(algorithms.VertexCover2(delta), port.Random(g, rng), engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds > worst {
+				worst = res.Rounds
+			}
+		}
+		if worst > 4*delta {
+			t.Errorf("Δ=%d: worst %d rounds exceeds empirical envelope 4Δ", delta, worst)
+		}
+		t.Logf("Δ=%d: worst-case rounds over trials = %d", delta, worst)
+	}
+}

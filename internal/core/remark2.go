@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// Remark 2 of the paper: the degree-oblivious variant SBo of SB — machines
+// in Set ∩ Broadcast whose initial state is a constant — is entirely
+// trivial: it can only distinguish isolated nodes from non-isolated nodes.
+//
+// The proof is a two-class invariant: with a constant z0, at every round
+// all non-isolated nodes share one state (they all broadcast the same
+// message and all receive exactly the singleton set of it) and all isolated
+// nodes share another (they receive the empty set). VerifyRemark2 checks
+// the invariant by executing an arbitrary SBo machine and asserting that
+// the output function factors through "is isolated".
+//
+// §3.4 adds that with local inputs the classification is unchanged, and
+// that below SB local inputs become necessary for non-trivial behaviour:
+// an SBo machine *with inputs* escapes the two-class collapse. Both halves
+// are demonstrated by the tests.
+
+// VerifyRemark2 runs an SBo machine on graphs with isolated and
+// non-isolated nodes and reports an error if its outputs distinguish
+// anything finer than isolation — or if a degree-aware SB machine is passed
+// (the claim is specifically about constant z0).
+func VerifyRemark2(m machine.Machine, graphs []*graph.Graph) error {
+	if !machine.DegreeOblivious(m) {
+		return fmt.Errorf("core: %q is not degree-oblivious; Remark 2 does not apply", m.Name())
+	}
+	if m.Class() != machine.ClassSB {
+		return fmt.Errorf("core: Remark 2 concerns Set∩Broadcast machines, got %v", m.Class())
+	}
+	for _, g := range graphs {
+		if g.MaxDegree() > m.Delta() {
+			continue
+		}
+		res, err := engine.Run(m, port.Canonical(g), engine.Options{})
+		if err != nil {
+			return fmt.Errorf("core: running %q on %v: %w", m.Name(), g, err)
+		}
+		var isoOut, conOut *machine.Output
+		for v := 0; v < g.N(); v++ {
+			out := res.Output[v]
+			if g.Degree(v) == 0 {
+				if isoOut == nil {
+					isoOut = &out
+				} else if *isoOut != out {
+					return fmt.Errorf("core: SBo machine %q distinguishes isolated nodes on %v",
+						m.Name(), g)
+				}
+			} else {
+				if conOut == nil {
+					conOut = &out
+				} else if *conOut != out {
+					return fmt.Errorf("core: SBo machine %q distinguishes non-isolated nodes %v (Remark 2 violated)",
+						m.Name(), g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Remark2Graphs is a suite mixing isolated and connected nodes of many
+// degrees — if an SBo machine could see anything beyond isolation, it would
+// show here.
+func Remark2Graphs() []*graph.Graph {
+	withIso := graph.DisjointUnion(graph.MustNew(2, nil), graph.Star(3))
+	return []*graph.Graph{
+		graph.Path(5),
+		graph.Star(4),
+		graph.Complete(4),
+		graph.Petersen(),
+		withIso,
+		graph.DisjointUnion(withIso, graph.Cycle(6)),
+	}
+}
+
+// NewObliviousProbe builds an SBo machine that tries hard to distinguish
+// nodes: it runs the given number of rounds, hashing the received set into
+// its state each round, and outputs the final state. Remark 2 predicts the
+// output still factors through isolation.
+func NewObliviousProbe(delta, rounds int) machine.Machine {
+	type st struct {
+		Acc   string
+		Round int
+		Done  bool
+	}
+	return &machine.ObliviousFunc{
+		Func: machine.Func{
+			MachineName:  fmt.Sprintf("oblivious-probe-%d", rounds),
+			MachineClass: machine.ClassSB,
+			MaxDeg:       delta,
+			InitFunc:     func(int) machine.State { return st{Acc: "ε"} }, // constant z0
+			HaltedFunc: func(s machine.State) (machine.Output, bool) {
+				x := s.(st)
+				return machine.Output(x.Acc), x.Done
+			},
+			SendFunc: func(s machine.State, _ int) machine.Message {
+				return machine.Message(s.(st).Acc)
+			},
+			StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+				x := s.(st)
+				x.Acc = fmt.Sprintf("(%s|%v)", x.Acc, inbox)
+				x.Round++
+				x.Done = x.Round >= rounds
+				return x
+			},
+		},
+	}
+}
+
+// NewLabelledParity is the §3.4 demonstration: an SBo-style machine *with
+// local inputs* that solves a non-trivial labelled problem — output 1 iff
+// an odd number of neighbours carry label "a". Degree-oblivious in z0's
+// graph part, yet non-trivial thanks to f(u): exactly the paper's point
+// that below SB, local inputs add power.
+func NewLabelledParity(delta int) machine.InputAware {
+	type st struct {
+		Label string
+		Done  bool
+		Out   machine.Output
+	}
+	return &machine.InputFunc{
+		Func: machine.Func{
+			MachineName:  "labelled-parity",
+			MachineClass: machine.ClassMB,
+			MaxDeg:       delta,
+			InitFunc:     func(int) machine.State { return st{} },
+			HaltedFunc: func(s machine.State) (machine.Output, bool) {
+				x := s.(st)
+				return x.Out, x.Done
+			},
+			SendFunc: func(s machine.State, _ int) machine.Message {
+				return machine.Message(s.(st).Label)
+			},
+			StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+				x := s.(st)
+				count := 0
+				for _, m := range inbox {
+					if m == "a" {
+						count++
+					}
+				}
+				out := machine.Output("0")
+				if count%2 == 1 {
+					out = "1"
+				}
+				return st{Label: x.Label, Done: true, Out: out}
+			},
+		},
+		InitInputFunc: func(_ int, input string) machine.State {
+			return st{Label: input}
+		},
+	}
+}

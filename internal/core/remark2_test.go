@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+func TestRemark2ObliviousCollapse(t *testing.T) {
+	// However long an SBo machine probes, its output factors through
+	// isolation.
+	for _, rounds := range []int{1, 2, 5} {
+		m := NewObliviousProbe(6, rounds)
+		if err := VerifyRemark2(m, Remark2Graphs()); err != nil {
+			t.Fatalf("rounds=%d: %v", rounds, err)
+		}
+	}
+}
+
+func TestRemark2RejectsDegreeAware(t *testing.T) {
+	if err := VerifyRemark2(algorithms.EvenDegree(4), Remark2Graphs()); err == nil {
+		t.Fatal("degree-aware machine accepted as SBo")
+	}
+}
+
+func TestRemark2SBStrictlyStronger(t *testing.T) {
+	// SBo ⊊ SB: EvenDegree (an SB(1) algorithm) distinguishes nodes of
+	// degree 2 from degree 3 — outputs an SBo machine can never produce
+	// (non-isolated nodes with different outputs).
+	g := graph.Figure1Graph() // degrees 3,2,2,1
+	res, err := engine.Run(algorithms.EvenDegree(3), port.Canonical(g), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] == res.Output[1] {
+		t.Fatal("EvenDegree should split degree-3 from degree-2 nodes")
+	}
+	// And by Remark 2 no SBo machine can: VerifyRemark2 holds for probes.
+	if err := VerifyRemark2(NewObliviousProbe(3, 3), []*graph.Graph{g}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSection34LocalInputs(t *testing.T) {
+	// With local inputs, even a degree-oblivious initialisation becomes
+	// non-trivial: labelled parity splits nodes by their neighbourhood
+	// labels.
+	g := graph.Path(4)
+	m := NewLabelledParity(2)
+	inputs := []string{"a", "b", "a", "a"}
+	res, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 sees {b} → 0; node 1 sees {a,a} → 0; node 2 sees {b,a} → 1;
+	// node 3 sees {a} → 1.
+	want := []machine.Output{"0", "0", "1", "1"}
+	for v, w := range want {
+		if res.Output[v] != w {
+			t.Errorf("node %d: output %q, want %q", v, res.Output[v], w)
+		}
+	}
+}
+
+func TestInputsValidation(t *testing.T) {
+	g := graph.Path(3)
+	m := NewLabelledParity(2)
+	if _, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: []string{"a"}}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	// A non-InputAware machine must reject inputs.
+	if _, err := engine.Run(algorithms.OddOdd(2), port.Canonical(g), engine.Options{Inputs: []string{"a", "b", "c"}}); err == nil {
+		t.Error("inputs accepted by input-unaware machine")
+	}
+}
+
+func TestSection34SeparationTransfer(t *testing.T) {
+	// §3.4: a separation on unlabelled graphs is a separation for labelled
+	// graphs — concretely, running the Theorem 13 argument with constant
+	// labels changes nothing.
+	g, u, w := graph.Theorem13Witness()
+	type st struct {
+		Deg  int
+		Done bool
+		Out  machine.Output
+	}
+	labelled := &machine.InputFunc{
+		Func: machine.Func{
+			MachineName:  "odd-odd-labelled",
+			MachineClass: machine.ClassMB,
+			MaxDeg:       3,
+			InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+			HaltedFunc: func(s machine.State) (machine.Output, bool) {
+				x := s.(st)
+				return x.Out, x.Done
+			},
+			SendFunc: func(s machine.State, _ int) machine.Message {
+				if s.(st).Deg%2 == 1 {
+					return "1"
+				}
+				return "0"
+			},
+			StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+				x := s.(st)
+				odd := 0
+				for _, m := range inbox {
+					if m == "1" {
+						odd++
+					}
+				}
+				out := machine.Output("0")
+				if odd%2 == 1 {
+					out = "1"
+				}
+				return st{Deg: x.Deg, Done: true, Out: out}
+			},
+		},
+		InitInputFunc: func(deg int, _ string) machine.State { return st{Deg: deg} },
+	}
+	inputs := make([]string, g.N())
+	for i := range inputs {
+		inputs[i] = "constant"
+	}
+	res, err := engine.Run(labelled, port.Canonical(g), engine.Options{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[u] == res.Output[w] {
+		t.Fatal("labelled run lost the witness split")
+	}
+}
+
+func TestConcurrentWithInputs(t *testing.T) {
+	g := graph.Cycle(5)
+	m := NewLabelledParity(2)
+	inputs := []string{"a", "a", "b", "a", "b"}
+	seq, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: inputs, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seq.Output {
+		if seq.Output[v] != con.Output[v] {
+			t.Fatalf("executors disagree at %d", v)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/bisim"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/problems"
+)
+
+// Separation is a machine-checkable separation Π ∈ InClass \ NotInClass,
+// following the structure of Corollary 3:
+//
+//  1. an algorithm of class InClass solves Π over the verification suite
+//     (the positive half);
+//  2. on the witness graph there is a port numbering under which all nodes
+//     of X are bisimilar in the Kripke variant matching NotInClass, while
+//     every valid solution must split X (the negative half: any NotInClass
+//     algorithm corresponds to a formula, bisimilar nodes satisfy the same
+//     formulas, so no NotInClass algorithm can produce a valid solution).
+type Separation struct {
+	// Name identifies the theorem, e.g. "Theorem 11".
+	Name string
+	// Problem is Π.
+	Problem problems.Problem
+	// InClass and Build give the positive half (Build may be nil for
+	// pure impossibility results such as MIS ∉ VVc).
+	InClass ClassID
+	Build   func(delta int) machine.Machine
+	// NotInClass gives the negative half.
+	NotInClass ClassID
+	// WitnessGraph and WitnessNodes are G and X of Corollary 3.
+	WitnessGraph *graph.Graph
+	WitnessNodes []int
+	// Numbering produces the symmetric port numbering of the argument.
+	Numbering func() (*port.Numbering, error)
+	// Variant is the Kripke translation matching NotInClass.
+	Variant kripke.Variant
+	// Graded selects graded bisimulation (needed iff the NotInClass logic
+	// counts — classes MV, MB).
+	Graded bool
+	// MustSplit verifies that every valid solution separates X.
+	MustSplit func(g *graph.Graph, x []int) error
+}
+
+// Verify machine-checks both halves of the separation over the suite.
+func (s *Separation) Verify(suite Suite) error {
+	if s.Build != nil {
+		if err := Solves(s.Build, s.InClass, s.Problem, suite); err != nil {
+			return fmt.Errorf("%s positive half: %w", s.Name, err)
+		}
+	}
+	p, err := s.Numbering()
+	if err != nil {
+		return fmt.Errorf("%s: building witness numbering: %w", s.Name, err)
+	}
+	model := kripke.FromPorts(p, s.Variant)
+	if !bisim.AllBisimilar(model, s.WitnessNodes, bisim.Options{Graded: s.Graded}) {
+		return fmt.Errorf("%s: witness nodes %v not bisimilar in %v",
+			s.Name, s.WitnessNodes, s.Variant)
+	}
+	if err := s.MustSplit(s.WitnessGraph, s.WitnessNodes); err != nil {
+		return fmt.Errorf("%s split obligation: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Theorem11 returns the separation LeafElection ∈ SV(1) \ VB.
+func Theorem11() *Separation {
+	g := graph.Star(4)
+	leaves := []int{1, 2, 3, 4}
+	return &Separation{
+		Name:         "Theorem 11 (SV ⊄ VB)",
+		Problem:      problems.LeafElection{},
+		InClass:      SV,
+		Build:        algorithms.LeafElect,
+		NotInClass:   VB,
+		WitnessGraph: g,
+		WitnessNodes: leaves,
+		Numbering:    func() (*port.Numbering, error) { return port.Canonical(g), nil },
+		Variant:      kripke.VariantPM,
+		MustSplit: func(g *graph.Graph, x []int) error {
+			// Any S constant on the leaves is invalid: the centre's output
+			// is 0 or 1 and in all four combinations the number of elected
+			// leaves is 0 or ≥ 2.
+			problem := problems.LeafElection{}
+			for _, leafVal := range []machine.Output{"0", "1"} {
+				for _, centreVal := range []machine.Output{"0", "1"} {
+					out := make([]machine.Output, g.N())
+					for v := range out {
+						out[v] = leafVal
+					}
+					out[0] = centreVal
+					if problem.Validate(g, out) == nil {
+						return fmt.Errorf("constant-on-leaves output %q/%q is valid", centreVal, leafVal)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Theorem13 returns the separation OddOdd ∈ MB(1) \ SB.
+func Theorem13() *Separation {
+	g, u, w := graph.Theorem13Witness()
+	return &Separation{
+		Name:         "Theorem 13 (MB ⊄ SB)",
+		Problem:      problems.OddOdd{},
+		InClass:      MB,
+		Build:        algorithms.OddOdd,
+		NotInClass:   SB,
+		WitnessGraph: g,
+		WitnessNodes: []int{u, w},
+		Numbering:    func() (*port.Numbering, error) { return port.Canonical(g), nil },
+		Variant:      kripke.VariantMM,
+		Graded:       false, // SB corresponds to ungraded ML on K₋,₋
+		MustSplit: func(g *graph.Graph, x []int) error {
+			// OddOdd has a unique solution; it must differ on u and w.
+			want := oddOddSolution(g)
+			if want[x[0]] == want[x[1]] {
+				return fmt.Errorf("unique solution agrees on witness nodes")
+			}
+			return nil
+		},
+	}
+}
+
+// Theorem17 returns the separation SymmetryBreak ∈ VVc(1) \ VV.
+func Theorem17() *Separation {
+	g := graph.NoOneFactorCubic()
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	return &Separation{
+		Name:         "Theorem 17 (VVc ⊄ VV)",
+		Problem:      problems.SymmetryBreak{},
+		InClass:      VVc,
+		Build:        algorithms.LocalTypeMax,
+		NotInClass:   VV,
+		WitnessGraph: g,
+		WitnessNodes: all,
+		Numbering: func() (*port.Numbering, error) {
+			perms, err := graph.DoubleCoverFactorPermutations(g)
+			if err != nil {
+				return nil, err
+			}
+			return port.FromPermutationFactors(g, perms) // Lemma 15
+		},
+		Variant: kripke.VariantPP,
+		MustSplit: func(g *graph.Graph, x []int) error {
+			problem := problems.SymmetryBreak{}
+			for _, val := range []machine.Output{"0", "1"} {
+				out := make([]machine.Output, g.N())
+				for v := range out {
+					out[v] = val
+				}
+				if problem.Validate(g, out) == nil {
+					return fmt.Errorf("constant output %q is valid on 𝒢-witness", val)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MISNotInVVc returns the impossibility MIS ∉ VVc (Section 3.1): on a cycle
+// with the symmetric consistent numbering all nodes are bisimilar in K₊,₊,
+// yet no valid MIS is constant.
+func MISNotInVVc() *Separation {
+	const n = 4
+	g := graph.Cycle(n)
+	all := []int{0, 1, 2, 3}
+	return &Separation{
+		Name:         "Section 3.1 (MIS ∉ VVc)",
+		Problem:      problems.MaximalIndependentSet{},
+		InClass:      0, // no positive half inside the weak models
+		Build:        nil,
+		NotInClass:   VVc,
+		WitnessGraph: g,
+		WitnessNodes: all,
+		Numbering: func() (*port.Numbering, error) {
+			p := port.SymmetricCycle(n)
+			if !p.IsConsistent() {
+				return nil, fmt.Errorf("symmetric cycle numbering must be consistent")
+			}
+			return p, nil
+		},
+		Variant: kripke.VariantPP,
+		MustSplit: func(g *graph.Graph, x []int) error {
+			problem := problems.MaximalIndependentSet{}
+			for _, val := range []machine.Output{"0", "1"} {
+				out := make([]machine.Output, g.N())
+				for v := range out {
+					out[v] = val
+				}
+				if problem.Validate(g, out) == nil {
+					return fmt.Errorf("constant MIS output %q valid on C%d", val, g.N())
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// oddOddSolution computes the unique OddOdd solution.
+func oddOddSolution(g *graph.Graph) []machine.Output {
+	out := make([]machine.Output, g.N())
+	for v := 0; v < g.N(); v++ {
+		odd := 0
+		for _, u := range g.Neighbors(v) {
+			if g.Degree(u)%2 == 1 {
+				odd++
+			}
+		}
+		out[v] = "0"
+		if odd%2 == 1 {
+			out[v] = "1"
+		}
+	}
+	return out
+}
+
+// AllSeparations returns every separation witness the library proves.
+func AllSeparations() []*Separation {
+	return []*Separation{Theorem11(), Theorem13(), Theorem17(), MISNotInVVc()}
+}

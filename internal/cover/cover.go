@@ -1,0 +1,160 @@
+// Package cover implements covering maps of port-numbered graphs — the
+// graph-theoretic counterpart of bisimulation that the paper's related-work
+// discussion builds on (§3.3: "covering graphs (lifts) and universal
+// covering graphs", Angluin [2], Boldi–Vigna [12]).
+//
+// A covering map from (H, q) onto (G, p) sends every node of H to a node of
+// G of the same degree so that ports are preserved: if node x of H sends on
+// out-port i into in-port j of y, then φ(x) sends on out-port i into
+// in-port j of φ(y). Covered nodes are indistinguishable to every
+// Vector-class algorithm — equivalently, x and φ(x) are bisimilar in K₊,₊ —
+// which this package's tests verify against internal/bisim and
+// internal/engine, closing the triangle views ↔ covers ↔ bisimulation.
+package cover
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/port"
+)
+
+// Verify checks that phi (a map from nodes of H to nodes of G) is a
+// covering map from (H, q) onto (G, p): degree-preserving and
+// port-preserving on every port.
+func Verify(q, p *port.Numbering, phi []int) error {
+	h, g := q.Graph(), p.Graph()
+	if len(phi) != h.N() {
+		return fmt.Errorf("cover: φ has %d entries for %d nodes", len(phi), h.N())
+	}
+	for x := 0; x < h.N(); x++ {
+		gx := phi[x]
+		if gx < 0 || gx >= g.N() {
+			return fmt.Errorf("cover: φ(%d) = %d out of range", x, gx)
+		}
+		if h.Degree(x) != g.Degree(gx) {
+			return fmt.Errorf("cover: deg(%d)=%d but deg(φ(%d))=%d",
+				x, h.Degree(x), x, g.Degree(gx))
+		}
+		for i := 1; i <= h.Degree(x); i++ {
+			dh := q.Dest(x, i)
+			dg := p.Dest(gx, i)
+			if phi[dh.Node] != dg.Node || dh.Index != dg.Index {
+				return fmt.Errorf("cover: port (%d,%d): lift reaches (%d,%d) projecting to (%d,%d), base reaches (%d,%d)",
+					x, i, dh.Node, dh.Index, phi[dh.Node], dh.Index, dg.Node, dg.Index)
+			}
+		}
+	}
+	return nil
+}
+
+// Voltage assigns to each undirected base edge a permutation of the k
+// layers, read from the lower endpoint towards the higher one (the reverse
+// direction uses the inverse).
+type Voltage func(e graph.Edge) []int
+
+// IdentityVoltage keeps every layer in place: the lift is k disjoint copies.
+func IdentityVoltage(k int) Voltage {
+	id := make([]int, k)
+	for i := range id {
+		id[i] = i
+	}
+	return func(graph.Edge) []int { return id }
+}
+
+// SwapVoltage (k = 2) crosses the layers on every edge — the bipartite
+// double cover of Lemma 15.
+func SwapVoltage() Voltage {
+	return func(graph.Edge) []int { return []int{1, 0} }
+}
+
+// RandomVoltage draws an independent uniform permutation per edge.
+func RandomVoltage(k int, rng *rand.Rand) Voltage {
+	memo := make(map[graph.Edge][]int)
+	return func(e graph.Edge) []int {
+		if s, ok := memo[e]; ok {
+			return s
+		}
+		s := rng.Perm(k)
+		memo[e] = s
+		return s
+	}
+}
+
+// Lift builds the k-fold lift of (G, p) under the voltage assignment.
+// Layer ℓ of node v becomes lift node v·k + ℓ; edge {u,v} (u < v) connects
+// layer ℓ at u to layer σ(ℓ) at v. Ports are copied from the base, so the
+// projection "forget the layer" is a covering map by construction; it is
+// returned as phi and verified before returning.
+func Lift(p *port.Numbering, k int, voltage Voltage) (*port.Numbering, []int, error) {
+	g := p.Graph()
+	if k < 1 {
+		return nil, nil, fmt.Errorf("cover: fold k=%d must be ≥ 1", k)
+	}
+	perm := func(u, v int) []int {
+		if u < v {
+			return voltage(graph.Edge{U: u, V: v})
+		}
+		fwd := voltage(graph.Edge{U: v, V: u})
+		inv := make([]int, k)
+		for a, b := range fwd {
+			inv[b] = a
+		}
+		return inv
+	}
+
+	n := g.N()
+	var edges []graph.Edge
+	for _, e := range g.Edges() {
+		s := perm(e.U, e.V)
+		if len(s) != k {
+			return nil, nil, fmt.Errorf("cover: voltage of %v has %d entries, want %d", e, len(s), k)
+		}
+		for l := 0; l < k; l++ {
+			edges = append(edges, graph.Edge{U: e.U*k + l, V: e.V*k + s[l]})
+		}
+	}
+	lifted, err := graph.New(n*k, edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cover: lift is not simple: %w", err)
+	}
+
+	out := make([][]int, lifted.N())
+	in := make([][]int, lifted.N())
+	for x := 0; x < lifted.N(); x++ {
+		d := lifted.Degree(x)
+		out[x] = make([]int, d)
+		in[x] = make([]int, d)
+	}
+	for v := 0; v < n; v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			d := p.Dest(v, i)
+			u, j := d.Node, d.Index
+			s := perm(v, u)
+			for l := 0; l < k; l++ {
+				x := v*k + l
+				y := u*k + s[l]
+				ax := lifted.NeighborIndex(x, y)
+				ay := lifted.NeighborIndex(y, x)
+				if ax < 0 || ay < 0 {
+					return nil, nil, fmt.Errorf("cover: lift adjacency broken at (%d,%d)", x, y)
+				}
+				out[x][i-1] = ax
+				in[y][ay] = j
+			}
+		}
+	}
+	lp, err := port.FromRaw(lifted, out, in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cover: lift numbering invalid: %w", err)
+	}
+	phi := make([]int, lifted.N())
+	for x := range phi {
+		phi[x] = x / k
+	}
+	if err := Verify(lp, p, phi); err != nil {
+		return nil, nil, err
+	}
+	return lp, phi, nil
+}

@@ -1,0 +1,137 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/bisim"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+func baseNumberings(t *testing.T) []*port.Numbering {
+	t.Helper()
+	rng := rand.New(rand.NewSource(130))
+	var out []*port.Numbering
+	for _, g := range []*graph.Graph{
+		graph.Path(4), graph.Cycle(5), graph.Star(3), graph.Figure1Graph(), graph.Petersen(),
+	} {
+		out = append(out, port.Canonical(g), port.Random(g, rng))
+	}
+	return out
+}
+
+func TestLiftIdentityIsCopies(t *testing.T) {
+	p := port.Canonical(graph.Cycle(5))
+	lifted, phi, err := Lift(p, 3, IdentityVoltage(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := lifted.Graph()
+	if lg.N() != 15 || lg.M() != 15 {
+		t.Fatalf("lift shape wrong: %v", lg)
+	}
+	if len(lg.Components()) != 3 {
+		t.Errorf("identity lift should be 3 disjoint copies, has %d components",
+			len(lg.Components()))
+	}
+	if err := Verify(lifted, p, phi); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiftSwapIsDoubleCover(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Petersen(), graph.Figure1Graph()} {
+		p := port.Canonical(g)
+		lifted, _, err := Lift(p, 2, SwapVoltage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := lifted.Graph()
+		if lg.N() != 2*g.N() || lg.M() != 2*g.M() {
+			t.Fatalf("%v: swap lift shape wrong: %v", g, lg)
+		}
+		if _, ok := lg.Bipartition(); !ok {
+			t.Errorf("%v: swap lift (double cover) must be bipartite", g)
+		}
+	}
+}
+
+func TestRandomLiftsAreCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, p := range baseNumberings(t) {
+		for _, k := range []int{2, 3} {
+			lifted, phi, err := Lift(p, k, RandomVoltage(k, rng))
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", p.Graph(), k, err)
+			}
+			if err := Verify(lifted, p, phi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCoveredNodesBisimilar: x and φ(x) are bisimilar in K₊,₊ across the
+// two models — the fibration property underlying the paper's locality
+// arguments.
+func TestCoveredNodesBisimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for _, p := range baseNumberings(t) {
+		lifted, phi, err := Lift(p, 2, RandomVoltage(2, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := kripke.FromPorts(p, kripke.VariantPP)
+		up := kripke.FromPorts(lifted, kripke.VariantPP)
+		for x := 0; x < lifted.Graph().N(); x++ {
+			if !bisim.BisimilarAcross(up, x, base, phi[x], bisim.Options{Graded: true}) {
+				t.Fatalf("%v: lift node %d not g-bisimilar to base node %d",
+					p.Graph(), x, phi[x])
+			}
+		}
+	}
+}
+
+// TestAlgorithmsCannotSeeTheCover: every machine produces the same output
+// at x and φ(x) — the executable meaning of "anonymous algorithms cannot
+// distinguish a graph from its lifts" (Angluin).
+func TestAlgorithmsCannotSeeTheCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	for _, p := range baseNumberings(t) {
+		g := p.Graph()
+		delta := g.MaxDegree()
+		lifted, phi, err := Lift(p, 3, RandomVoltage(3, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		algos := []machine.Machine{
+			algorithms.OddOdd(delta),
+			algorithms.LeafElect(delta),
+			algorithms.EvenDegree(delta),
+			algorithms.LocalTypeMax(delta),
+			algorithms.VertexCover2(delta),
+			algorithms.LeafProximity(delta, 2),
+		}
+		for _, m := range algos {
+			baseRes, err := engine.Run(m, p, engine.Options{})
+			if err != nil {
+				t.Fatalf("%s on %v: %v", m.Name(), g, err)
+			}
+			liftRes, err := engine.Run(m, lifted, engine.Options{})
+			if err != nil {
+				t.Fatalf("%s on lift of %v: %v", m.Name(), g, err)
+			}
+			for x := 0; x < lifted.Graph().N(); x++ {
+				if liftRes.Output[x] != baseRes.Output[phi[x]] {
+					t.Fatalf("%s: lift node %d outputs %q, base node %d outputs %q",
+						m.Name(), x, liftRes.Output[x], phi[x], baseRes.Output[phi[x]])
+				}
+			}
+		}
+	}
+}

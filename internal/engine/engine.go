@@ -1,0 +1,315 @@
+// Package engine executes a distributed state machine on a port-numbered
+// graph, implementing the synchronous execution semantics of Section 1.3:
+// at each round every node sends μ(x_t(v), j) through each out-port j, the
+// messages are routed by the port numbering, and every node updates its
+// state with δ. Halted nodes send m0 and never change state.
+//
+// Two executors are provided: a sequential reference implementation and a
+// concurrent one (one goroutine per node, channels as ports, a barrier per
+// round). They are required to produce identical results; a test asserts it
+// across the whole experiment suite.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// DefaultMaxRounds bounds runs of algorithms whose time bound is unknown.
+const DefaultMaxRounds = 10_000
+
+// ErrNoHalt is returned when the machine does not stop within the round
+// budget.
+var ErrNoHalt = errors.New("engine: machine did not halt within the round budget")
+
+// Options configure a run. The zero value is ready to use.
+type Options struct {
+	// MaxRounds overrides DefaultMaxRounds when positive.
+	MaxRounds int
+	// RecordTrace captures the full state vector after every round.
+	RecordTrace bool
+	// Concurrent selects the goroutine-per-node executor.
+	Concurrent bool
+	// Inputs, when non-nil, supplies the local inputs f(v) of §3.4; the
+	// machine must implement machine.InputAware and len(Inputs) must equal
+	// the node count.
+	Inputs []string
+}
+
+// initState initialises a node's state, honouring local inputs.
+func initState(m machine.Machine, deg, v int, opts Options) (machine.State, error) {
+	if opts.Inputs == nil {
+		return m.Init(deg), nil
+	}
+	ia, ok := m.(machine.InputAware)
+	if !ok {
+		return nil, fmt.Errorf("engine: inputs supplied but machine %q is not InputAware", m.Name())
+	}
+	return ia.InitWithInput(deg, opts.Inputs[v]), nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Output[v] is the local output S(v) of each node.
+	Output []machine.Output
+	// Rounds is the number of communication rounds executed until every
+	// node halted (the time T of Section 1.3).
+	Rounds int
+	// MessageBytes accumulates the total size of all non-m0 messages
+	// delivered, a proxy for communication volume used by the
+	// simulation-overhead experiments.
+	MessageBytes int64
+	// Trace, when recorded, holds the state vector x_t for t = 0..Rounds.
+	Trace [][]machine.State
+}
+
+// Run executes m on (g, p) and returns the output vector.
+//
+// It validates that the machine's Δ covers the graph's maximum degree. The
+// run stops when every node has halted, or fails with ErrNoHalt after the
+// round budget.
+func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
+	g := p.Graph()
+	if g.MaxDegree() > m.Delta() {
+		return nil, fmt.Errorf("engine: graph max degree %d exceeds machine Δ=%d",
+			g.MaxDegree(), m.Delta())
+	}
+	if opts.Inputs != nil && len(opts.Inputs) != g.N() {
+		return nil, fmt.Errorf("engine: %d inputs for %d nodes", len(opts.Inputs), g.N())
+	}
+	if opts.Concurrent {
+		return runConcurrent(m, g, p, opts)
+	}
+	return runSequential(m, g, p, opts)
+}
+
+func runSequential(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+	n := g.N()
+	states := make([]machine.State, n)
+	halted := make([]bool, n)
+	outputs := make([]machine.Output, n)
+	for v := 0; v < n; v++ {
+		s, err := initState(m, g.Degree(v), v, opts)
+		if err != nil {
+			return nil, err
+		}
+		states[v] = s
+		if out, ok := m.Halted(states[v]); ok {
+			halted[v] = true
+			outputs[v] = out
+		}
+	}
+	res := &Result{}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, append([]machine.State(nil), states...))
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	inboxes := make([][]machine.Message, n)
+	for v := 0; v < n; v++ {
+		inboxes[v] = make([]machine.Message, g.Degree(v))
+	}
+	broadcast := m.Class().Send == machine.SendBroadcast
+
+	for round := 1; !allHalted(halted); round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w (budget %d, machine %q on %v)",
+				ErrNoHalt, maxRounds, m.Name(), g)
+		}
+		// Send phase: a_{t+1}(u, i) = μ(x_t(v), j) where p((v,j)) = (u,i).
+		for v := 0; v < n; v++ {
+			deg := g.Degree(v)
+			if halted[v] {
+				for j := 1; j <= deg; j++ {
+					d := p.Dest(v, j)
+					inboxes[d.Node][d.Index-1] = machine.NoMessage
+				}
+				continue
+			}
+			var bmsg machine.Message
+			if broadcast {
+				bmsg = m.Send(states[v], 1)
+			}
+			for j := 1; j <= deg; j++ {
+				msg := bmsg
+				if !broadcast {
+					msg = m.Send(states[v], j)
+				}
+				d := p.Dest(v, j)
+				inboxes[d.Node][d.Index-1] = msg
+				res.MessageBytes += int64(len(msg))
+			}
+		}
+		// Receive phase: x_{t+1}(u) = δ(x_t(u), ~a_{t+1}(u)).
+		for u := 0; u < n; u++ {
+			if halted[u] {
+				continue
+			}
+			inbox := machine.CanonicalInbox(m.Class().Recv, inboxes[u])
+			states[u] = m.Step(states[u], inbox)
+			if out, ok := m.Halted(states[u]); ok {
+				halted[u] = true
+				outputs[u] = out
+			}
+		}
+		res.Rounds = round
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, append([]machine.State(nil), states...))
+		}
+	}
+	res.Output = outputs
+	return res, nil
+}
+
+// runConcurrent runs one goroutine per node with channels as directed
+// links. Synchrony is preserved by closing over a per-round barrier: all
+// sends complete before any receive is processed, exactly like the
+// sequential executor. A coordinator collects halt flags each round.
+func runConcurrent(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+	n := g.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	broadcast := m.Class().Send == machine.SendBroadcast
+
+	// links[v][i] carries the message arriving at in-port i+1 of v in the
+	// current round. Buffer 1: each link holds at most one message per round.
+	links := make([][]chan machine.Message, n)
+	for v := 0; v < n; v++ {
+		links[v] = make([]chan machine.Message, g.Degree(v))
+		for i := range links[v] {
+			links[v][i] = make(chan machine.Message, 1)
+		}
+	}
+
+	type roundReport struct {
+		node   int
+		halted bool
+		bytes  int64
+	}
+	reports := make(chan roundReport, n)
+	proceed := make([]chan bool, n) // per-node: continue into next round?
+	for v := range proceed {
+		proceed[v] = make(chan bool, 1)
+	}
+
+	states := make([]machine.State, n)
+	outputs := make([]machine.Output, n)
+	initial := make([]machine.State, n)
+	for v := 0; v < n; v++ {
+		s, err := initState(m, g.Degree(v), v, opts)
+		if err != nil {
+			return nil, err
+		}
+		initial[v] = s
+	}
+	var mu sync.Mutex // guards states/outputs written at halt time
+
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			deg := g.Degree(v)
+			state := initial[v]
+			out, halted := m.Halted(state)
+			for {
+				var sent int64
+				if !halted {
+					var bmsg machine.Message
+					if broadcast {
+						bmsg = m.Send(state, 1)
+					}
+					for j := 1; j <= deg; j++ {
+						msg := bmsg
+						if !broadcast {
+							msg = m.Send(state, j)
+						}
+						d := p.Dest(v, j)
+						links[d.Node][d.Index-1] <- msg
+						sent += int64(len(msg))
+					}
+				} else {
+					for j := 1; j <= deg; j++ {
+						d := p.Dest(v, j)
+						links[d.Node][d.Index-1] <- machine.NoMessage
+					}
+				}
+				reports <- roundReport{node: v, halted: halted, bytes: sent}
+				if !<-proceed[v] {
+					mu.Lock()
+					states[v] = state
+					outputs[v] = out
+					mu.Unlock()
+					return
+				}
+				// All peers have finished sending (the coordinator only
+				// signals proceed after collecting every report), so the
+				// inbox is complete.
+				inbox := make([]machine.Message, deg)
+				for i := 0; i < deg; i++ {
+					inbox[i] = <-links[v][i]
+				}
+				if !halted {
+					state = m.Step(state, machine.CanonicalInbox(m.Class().Recv, inbox))
+					out, halted = m.Halted(state)
+				}
+			}
+		}(v)
+	}
+
+	res := &Result{}
+	for round := 0; ; round++ {
+		allDone := true
+		for i := 0; i < n; i++ {
+			rep := <-reports
+			res.MessageBytes += rep.bytes
+			if !rep.halted {
+				allDone = false
+			}
+		}
+		if allDone || round >= maxRounds {
+			for v := 0; v < n; v++ {
+				proceed[v] <- false
+			}
+			wg.Wait()
+			// Drain the channels so nothing leaks.
+			for v := range links {
+				for _, ch := range links[v] {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+			}
+			if !allDone {
+				return nil, fmt.Errorf("%w (budget %d, machine %q on %v)",
+					ErrNoHalt, maxRounds, m.Name(), g)
+			}
+			res.Rounds = round
+			res.Output = outputs
+			return res, nil
+		}
+		for v := 0; v < n; v++ {
+			proceed[v] <- true
+		}
+	}
+}
+
+func allHalted(h []bool) bool {
+	for _, x := range h {
+		if !x {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/term"
+)
+
+// degreeSum is a 1-round Vector machine: send own degree everywhere, output
+// the sum of received degrees.
+func degreeSum(delta int) machine.Machine {
+	type st struct {
+		deg  int
+		done bool
+		sum  int
+	}
+	return &machine.Func{
+		MachineName:  "degree-sum",
+		MachineClass: machine.ClassVV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			if !x.done {
+				return "", false
+			}
+			return fmt.Sprintf("%d", x.sum), true
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return machine.EncodeTerm(term.Int(int64(s.(st).deg)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				t, err := machine.DecodeTerm(m)
+				if err != nil {
+					panic(err)
+				}
+				x.sum += int(t.IntVal())
+			}
+			x.done = true
+			return x
+		},
+	}
+}
+
+// inboxEcho outputs the canonicalised inbox it received in round 1; used to
+// demonstrate the Figure 3 receive-mode views.
+func inboxEcho(delta int, class machine.Class) machine.Machine {
+	type st struct {
+		out  string
+		done bool
+	}
+	return &machine.Func{
+		MachineName:  "inbox-echo-" + class.String(),
+		MachineClass: class,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return x.out, x.done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return machine.EncodeTerm(term.Int(int64(p)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			return st{out: strings.Join(inbox, "|"), done: true}
+		},
+	}
+}
+
+func TestDegreeSumOnStar(t *testing.T) {
+	g := graph.Star(4)
+	res, err := Run(degreeSum(4), port.Canonical(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Output[0] != "4" { // centre hears four leaves of degree 1
+		t.Errorf("centre output = %q, want 4", res.Output[0])
+	}
+	for v := 1; v <= 4; v++ {
+		if res.Output[v] != "4" { // each leaf hears the centre of degree 4
+			t.Errorf("leaf %d output = %q, want 4", v, res.Output[v])
+		}
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	g := graph.Star(5)
+	if _, err := Run(degreeSum(3), port.Canonical(g), Options{}); err == nil {
+		t.Error("graph with degree 5 accepted by Δ=3 machine")
+	}
+}
+
+func TestNoHalt(t *testing.T) {
+	loop := &machine.Func{
+		MachineName:  "loop",
+		MachineClass: machine.ClassSB,
+		MaxDeg:       2,
+		InitFunc:     func(int) machine.State { return 0 },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc:     func(machine.State, int) machine.Message { return machine.NoMessage },
+		StepFunc:     func(s machine.State, _ []machine.Message) machine.State { return s },
+	}
+	_, err := Run(loop, port.Canonical(graph.Cycle(3)), Options{MaxRounds: 25})
+	if !errors.Is(err, ErrNoHalt) {
+		t.Errorf("err = %v, want ErrNoHalt", err)
+	}
+}
+
+func TestZeroRoundHalt(t *testing.T) {
+	instant := &machine.Func{
+		MachineName:  "instant",
+		MachineClass: machine.ClassSB,
+		MaxDeg:       3,
+		InitFunc:     func(deg int) machine.State { return deg },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			return fmt.Sprintf("%d", s.(int)), true
+		},
+		SendFunc: func(machine.State, int) machine.Message { return machine.NoMessage },
+		StepFunc: func(s machine.State, _ []machine.Message) machine.State { return s },
+	}
+	res, err := Run(instant, port.Canonical(graph.Path(4)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d, want 0", res.Rounds)
+	}
+	want := []string{"1", "2", "2", "1"}
+	for v, w := range want {
+		if res.Output[v] != w {
+			t.Errorf("output[%d] = %q, want %q", v, res.Output[v], w)
+		}
+	}
+}
+
+func TestFigure3InboxViews(t *testing.T) {
+	// Star centre with k=3 receives (1, 1, 1)-indexed messages from leaves:
+	// each leaf sends its out-port number, always 1. Use a path of length 2
+	// instead for distinguishable content: centre of P3 receives port
+	// numbers from both endpoints.
+	//
+	// Build a numbering of the star where leaves send different values by
+	// using Random numberings of C4 so in-port order differs from sorted
+	// order for some sample.
+	g := graph.Star(3)
+	p := port.Canonical(g)
+
+	vecRes, err := Run(inboxEcho(3, machine.ClassVV), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mulRes, err := Run(inboxEcho(3, machine.ClassMV), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setRes, err := Run(inboxEcho(3, machine.ClassSV), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaves all send "1" (their only out-port); the centre's three views:
+	// vector (1,1,1), multiset {1,1,1}, set {1}.
+	if vecRes.Output[0] != "1|1|1" {
+		t.Errorf("vector view = %q, want 1|1|1", vecRes.Output[0])
+	}
+	if mulRes.Output[0] != "1|1|1" {
+		t.Errorf("multiset view = %q, want 1|1|1", mulRes.Output[0])
+	}
+	if setRes.Output[0] != "1" {
+		t.Errorf("set view = %q, want 1", setRes.Output[0])
+	}
+	// The centre sends 1,2,3 to its three ports; a leaf's vector view is
+	// the single message carrying the centre's out-port towards it.
+	seen := map[string]bool{}
+	for v := 1; v <= 3; v++ {
+		seen[vecRes.Output[v]] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("leaves should see three distinct port numbers, saw %v", seen)
+	}
+}
+
+func TestFigure4BroadcastEnforcement(t *testing.T) {
+	// A machine declaring Broadcast whose Send closure tries to vary by
+	// port: the engine must only ever ask for port 1.
+	g := graph.Star(3)
+	leak := &machine.Func{
+		MachineName:  "broadcast-leak",
+		MachineClass: machine.ClassVB,
+		MaxDeg:       3,
+		InitFunc:     func(deg int) machine.State { return "" },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			out := s.(string)
+			return out, out != ""
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return machine.EncodeTerm(term.Int(int64(p))) // would leak port numbers
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			return strings.Join(inbox, "|")
+		},
+	}
+	res, err := Run(leak, port.Canonical(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != "1|1|1" {
+		t.Errorf("centre received %q; broadcast enforcement failed", res.Output[0])
+	}
+}
+
+func TestSequentialConcurrentAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	graphs := []*graph.Graph{
+		graph.Path(6), graph.Cycle(7), graph.Star(5), graph.Complete(5),
+		graph.Figure1Graph(), graph.Petersen(), graph.Grid(3, 3),
+		graph.DisjointUnion(graph.Cycle(3), graph.Path(3)),
+	}
+	for _, g := range graphs {
+		delta := g.MaxDegree()
+		machines := []machine.Machine{
+			degreeSum(delta),
+			inboxEcho(delta, machine.ClassVV),
+			inboxEcho(delta, machine.ClassMV),
+			inboxEcho(delta, machine.ClassSV),
+			inboxEcho(delta, machine.ClassMB),
+		}
+		numberings := []*port.Numbering{
+			port.Canonical(g),
+			port.Random(g, rng),
+			port.RandomConsistent(g, rng),
+		}
+		for _, m := range machines {
+			for pi, p := range numberings {
+				seq, err := Run(m, p, Options{})
+				if err != nil {
+					t.Fatalf("%s on %v: %v", m.Name(), g, err)
+				}
+				con, err := Run(m, p, Options{Concurrent: true})
+				if err != nil {
+					t.Fatalf("%s on %v concurrent: %v", m.Name(), g, err)
+				}
+				if seq.Rounds != con.Rounds || seq.MessageBytes != con.MessageBytes {
+					t.Errorf("%s on %v numbering %d: telemetry differs (rounds %d/%d bytes %d/%d)",
+						m.Name(), g, pi, seq.Rounds, con.Rounds, seq.MessageBytes, con.MessageBytes)
+				}
+				for v := range seq.Output {
+					if seq.Output[v] != con.Output[v] {
+						t.Fatalf("%s on %v numbering %d node %d: %q vs %q",
+							m.Name(), g, pi, v, seq.Output[v], con.Output[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	g := graph.Path(3)
+	res, err := Run(degreeSum(2), port.Canonical(g), Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Rounds+1 {
+		t.Errorf("trace has %d entries, want %d", len(res.Trace), res.Rounds+1)
+	}
+}
+
+func TestConcurrentNoHalt(t *testing.T) {
+	loop := &machine.Func{
+		MachineName:  "loop",
+		MachineClass: machine.ClassSB,
+		MaxDeg:       2,
+		InitFunc:     func(int) machine.State { return 0 },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc:     func(machine.State, int) machine.Message { return machine.NoMessage },
+		StepFunc:     func(s machine.State, _ []machine.Message) machine.State { return s },
+	}
+	_, err := Run(loop, port.Canonical(graph.Cycle(3)), Options{MaxRounds: 10, Concurrent: true})
+	if !errors.Is(err, ErrNoHalt) {
+		t.Errorf("err = %v, want ErrNoHalt", err)
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) {
+	g := graph.Torus(12, 12)
+	p := port.Canonical(g)
+	m := degreeSum(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineConcurrent(b *testing.B) {
+	g := graph.Torus(12, 12)
+	p := port.Canonical(g)
+	m := degreeSum(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p, Options{Concurrent: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	g := graph.Path(3)
+	m := degreeSum(2)
+	res, err := Run(m, port.Canonical(g), Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTrace(&sb, m, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "t=0") || !strings.Contains(out, "t=1") {
+		t.Errorf("trace missing rounds:\n%s", out)
+	}
+	if !strings.Contains(out, "■") {
+		t.Errorf("trace missing halt markers:\n%s", out)
+	}
+	// Without a recorded trace, RenderTrace must refuse.
+	bare, err := Run(m, port.Canonical(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTrace(&sb, m, bare); err == nil {
+		t.Error("RenderTrace accepted a result without a trace")
+	}
+}

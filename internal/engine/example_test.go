@@ -1,0 +1,43 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/port"
+)
+
+// Example runs the paper's Theorem 13 algorithm (class MB: broadcast sends,
+// multiset receives) on a star and prints the outputs.
+func Example() {
+	g := graph.Star(3)
+	m := algorithms.OddOdd(g.MaxDegree())
+	res, err := engine.Run(m, port.Canonical(g), engine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rounds: %d\n", res.Rounds)
+	for v, out := range res.Output {
+		fmt.Printf("node %d: %s\n", v, out)
+	}
+	// Output:
+	// rounds: 1
+	// node 0: 1
+	// node 1: 1
+	// node 2: 1
+	// node 3: 1
+}
+
+// ExampleRun_concurrent shows the goroutine-per-node executor producing the
+// same result as the sequential one.
+func ExampleRun_concurrent() {
+	g := graph.Cycle(5)
+	m := algorithms.EvenDegree(2)
+	seq, _ := engine.Run(m, port.Canonical(g), engine.Options{})
+	con, _ := engine.Run(m, port.Canonical(g), engine.Options{Concurrent: true})
+	fmt.Println(seq.Output[0] == con.Output[0])
+	// Output:
+	// true
+}

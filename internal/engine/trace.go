@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"weakmodels/internal/machine"
+)
+
+// RenderTrace pretty-prints a recorded execution trace round by round —
+// the x_t state vectors of Section 1.3 — for debugging algorithms and for
+// the weakrun -trace flag. States print via %v; machines in this library
+// use small struct states that render readably.
+func RenderTrace(w io.Writer, m machine.Machine, res *Result) error {
+	if res.Trace == nil {
+		return fmt.Errorf("engine: no trace recorded (set Options.RecordTrace)")
+	}
+	fmt.Fprintf(w, "trace of %s: %d round(s), %d node(s)\n",
+		m.Name(), res.Rounds, len(res.Output))
+	for t, states := range res.Trace {
+		fmt.Fprintf(w, "t=%d\n", t)
+		for v, s := range states {
+			marker := " "
+			if out, halted := m.Halted(s); halted {
+				marker = "■ → " + string(out)
+			}
+			fmt.Fprintf(w, "  x_%d(%d) = %s %s\n", t, v, compactState(s), marker)
+		}
+	}
+	return nil
+}
+
+// compactState renders a state on one line, truncating pathological cases.
+func compactState(s machine.State) string {
+	str := fmt.Sprintf("%+v", s)
+	str = strings.ReplaceAll(str, "\n", " ")
+	const limit = 120
+	if len(str) > limit {
+		str = str[:limit] + "…"
+	}
+	return str
+}

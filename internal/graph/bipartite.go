@@ -1,0 +1,177 @@
+package graph
+
+import "fmt"
+
+// Hopcroft–Karp bipartite maximum matching and the 1-factorization of
+// k-regular bipartite graphs used by Lemma 15: the edge set of a k-regular
+// bipartite graph is the union of k mutually disjoint 1-factors (a corollary
+// of Hall's marriage theorem; the paper cites Diestel §2.1).
+
+// BipartiteMatching computes a maximum matching of g restricted to edges
+// between side-0 and side-1 nodes of the given bipartition, using
+// Hopcroft–Karp in O(E·√V). It returns mate[v] = partner or -1.
+func BipartiteMatching(g *Graph, side []int) []int {
+	n := g.N()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+
+	var lefts []int
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			lefts = append(lefts, v)
+		}
+	}
+
+	queueBuf := make([]int, 0, n)
+	bfs := func() bool {
+		queue := queueBuf[:0]
+		for _, v := range lefts {
+			if mate[v] == -1 {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, w := range g.Neighbors(v) {
+				if side[w] != 1 {
+					continue
+				}
+				next := mate[w]
+				if next == -1 {
+					found = true
+				} else if dist[next] == inf {
+					dist[next] = dist[v] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		for _, w := range g.Neighbors(v) {
+			if side[w] != 1 {
+				continue
+			}
+			next := mate[w]
+			if next == -1 || (dist[next] == dist[v]+1 && dfs(next)) {
+				mate[v] = w
+				mate[w] = v
+				return true
+			}
+		}
+		dist[v] = inf
+		return false
+	}
+
+	for bfs() {
+		for _, v := range lefts {
+			if mate[v] == -1 {
+				dfs(v)
+			}
+		}
+	}
+	return mate
+}
+
+// OneFactorization decomposes a k-regular bipartite graph into k disjoint
+// perfect matchings (1-factors), per Lemma 15. It returns an error if g is
+// not bipartite or not regular, or if a perfect matching is ever missing
+// (impossible for genuinely k-regular bipartite inputs — König/Hall).
+func OneFactorization(g *Graph) ([][]Edge, error) {
+	side, ok := g.Bipartition()
+	if !ok {
+		return nil, fmt.Errorf("graph: OneFactorization on non-bipartite %v", g)
+	}
+	k, reg := g.IsRegular()
+	if !reg {
+		return nil, fmt.Errorf("graph: OneFactorization on irregular %v", g)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	remaining := g
+	factors := make([][]Edge, 0, k)
+	for round := 0; round < k; round++ {
+		mate := BipartiteMatching(remaining, side)
+		factor := MatchingEdges(mate)
+		if 2*len(factor) != g.N() {
+			return nil, fmt.Errorf("graph: no perfect matching in round %d of 1-factorization (got %d/%d)",
+				round, 2*len(factor), g.N())
+		}
+		factors = append(factors, factor)
+		if round+1 < k {
+			remaining = removeEdges(remaining, factor)
+		}
+	}
+	return factors, nil
+}
+
+// removeEdges returns g minus the given edges.
+func removeEdges(g *Graph, drop []Edge) *Graph {
+	dropSet := make(map[Edge]bool, len(drop))
+	for _, e := range drop {
+		dropSet[e.normalise()] = true
+	}
+	var keep []Edge
+	for _, e := range g.Edges() {
+		if !dropSet[e] {
+			keep = append(keep, e)
+		}
+	}
+	return MustNew(g.N(), keep)
+}
+
+// DoubleCoverFactorPermutations runs the full Lemma 15 pipeline for a
+// k-regular graph g: build the bipartite double cover G*, 1-factorize it,
+// and convert each factor E_i into the permutation π_i of V(g) defined by
+// R(i,i) = {(u,v) : {(u,1),(v,2)} ∈ E_i}. The result perms[i][u] = v means
+// u's port i+1 connects to v (and the family of π_i defines a port numbering
+// under which all nodes are bisimilar in K₊,₊).
+func DoubleCoverFactorPermutations(g *Graph) ([][]int, error) {
+	k, reg := g.IsRegular()
+	if !reg {
+		return nil, fmt.Errorf("graph: Lemma 15 needs a regular graph, got %v", g)
+	}
+	if k == 0 {
+		return [][]int{}, nil
+	}
+	cover := DoubleCover(g)
+	factors, err := OneFactorization(cover)
+	if err != nil {
+		return nil, fmt.Errorf("graph: 1-factorizing double cover: %w", err)
+	}
+	n := g.N()
+	perms := make([][]int, k)
+	for i, factor := range factors {
+		perm := make([]int, n)
+		for j := range perm {
+			perm[j] = -1
+		}
+		for _, e := range factor {
+			// Normalised edges of the cover have U < V; side 1 copies are
+			// u < n, side 2 copies are v+n ≥ n.
+			u, v2 := e.U, e.V
+			if u >= n || v2 < n {
+				return nil, fmt.Errorf("graph: malformed cover edge %v", e)
+			}
+			perm[u] = v2 - n
+		}
+		for u, v := range perm {
+			if v == -1 {
+				return nil, fmt.Errorf("graph: factor %d misses node %d", i, u)
+			}
+		}
+		perms[i] = perm
+	}
+	return perms, nil
+}

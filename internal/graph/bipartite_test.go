@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHopcroftKarpAgainstBlossom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		a, b := 1+rng.Intn(6), 1+rng.Intn(6)
+		var edges []Edge
+		for i := 0; i < a; i++ {
+			for j := 0; j < b; j++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, Edge{U: i, V: a + j})
+				}
+			}
+		}
+		g := MustNew(a+b, edges)
+		side, ok := g.Bipartition()
+		if !ok {
+			t.Fatal("bipartite graph not recognised")
+		}
+		mate := BipartiteMatching(g, side)
+		if !IsMatching(g, MatchingEdges(mate)) {
+			t.Fatal("Hopcroft–Karp produced non-matching")
+		}
+		if MatchingSize(mate) != Nu(g) {
+			t.Fatalf("HK=%d, blossom=%d on %v", MatchingSize(mate), Nu(g), g)
+		}
+	}
+}
+
+func TestOneFactorization(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		k    int
+	}{
+		{"k33", CompleteBipartite(3, 3), 3},
+		{"cycle6", Cycle(6), 2},
+		{"q3", Hypercube(3), 3},
+		{"q4", Hypercube(4), 4},
+		{"cover-petersen", DoubleCover(Petersen()), 3},
+		{"cover-no1f", DoubleCover(NoOneFactorCubic()), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			factors, err := OneFactorization(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(factors) != tc.k {
+				t.Fatalf("%d factors, want %d", len(factors), tc.k)
+			}
+			seen := make(map[Edge]bool)
+			for i, f := range factors {
+				if !IsPerfectMatching(tc.g, f) {
+					t.Fatalf("factor %d is not a 1-factor", i)
+				}
+				for _, e := range f {
+					ne := e.normalise()
+					if seen[ne] {
+						t.Fatalf("edge %v in two factors", ne)
+					}
+					seen[ne] = true
+				}
+			}
+			if len(seen) != tc.g.M() {
+				t.Errorf("factors cover %d/%d edges", len(seen), tc.g.M())
+			}
+		})
+	}
+}
+
+func TestOneFactorizationRejects(t *testing.T) {
+	if _, err := OneFactorization(Cycle(5)); err == nil {
+		t.Error("odd cycle (non-bipartite) accepted")
+	}
+	if _, err := OneFactorization(Path(4)); err == nil {
+		t.Error("irregular graph accepted")
+	}
+}
+
+func TestDoubleCoverFactorPermutations(t *testing.T) {
+	for _, g := range []*Graph{Cycle(5), Petersen(), NoOneFactorCubic(), Hypercube(3)} {
+		k, _ := g.IsRegular()
+		perms, err := DoubleCoverFactorPermutations(g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if len(perms) != k {
+			t.Fatalf("%v: %d perms, want %d", g, len(perms), k)
+		}
+		for i, perm := range perms {
+			seen := make([]bool, g.N())
+			for u, v := range perm {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("perm %d maps %d to non-neighbour %d", i, u, v)
+				}
+				if seen[v] {
+					t.Fatalf("perm %d not a bijection", i)
+				}
+				seen[v] = true
+			}
+		}
+		// Every arc (u, i-th neighbour) is covered exactly once across perms:
+		// for each u, the multiset {perm_i(u)} must equal N(u).
+		for u := 0; u < g.N(); u++ {
+			got := make(map[int]int)
+			for _, perm := range perms {
+				got[perm[u]]++
+			}
+			for _, v := range g.Neighbors(u) {
+				if got[v] != 1 {
+					t.Fatalf("node %d: neighbour %d used %d times across factors", u, v, got[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDoubleCoverFactorPermutationsRejectsIrregular(t *testing.T) {
+	if _, err := DoubleCoverFactorPermutations(Path(3)); err == nil {
+		t.Error("irregular graph accepted by Lemma 15 pipeline")
+	}
+}
+
+func BenchmarkOneFactorization(b *testing.B) {
+	g := DoubleCover(Hypercube(5)) // 5-regular bipartite on 64 nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OneFactorization(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	g := CompleteBipartite(40, 40)
+	side, _ := g.Bipartition()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BipartiteMatching(g, side)
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "fmt"
+
+// Eulerian circuits and Petersen's 2-factorization theorem (1891), which
+// the paper cites as the root of the degree-parity phenomena in the
+// port-numbering model (§3.3): every 2k-regular graph decomposes into k
+// edge-disjoint 2-factors. The construction orients an Eulerian circuit,
+// yielding a k-in/k-out digraph whose out/in bipartite graph is k-regular;
+// its 1-factorization (Hall/König, shared with Lemma 15) projects back to
+// the 2-factors.
+
+// EulerianCircuit returns a closed walk traversing every edge exactly once,
+// as a sequence of nodes (first = last), using Hierholzer's algorithm. It
+// requires every degree even and all edges in one connected component.
+func EulerianCircuit(g *Graph) ([]int, error) {
+	if g.M() == 0 {
+		return nil, fmt.Errorf("graph: no edges to traverse")
+	}
+	start := -1
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v)%2 == 1 {
+			return nil, fmt.Errorf("graph: node %d has odd degree %d", v, g.Degree(v))
+		}
+		if start == -1 && g.Degree(v) > 0 {
+			start = v
+		}
+	}
+	// All edges must lie in one component.
+	nonTrivial := 0
+	for _, comp := range g.Components() {
+		for _, v := range comp {
+			if g.Degree(v) > 0 {
+				nonTrivial++
+				break
+			}
+		}
+	}
+	if nonTrivial > 1 {
+		return nil, fmt.Errorf("graph: edges span %d components", nonTrivial)
+	}
+
+	// Hierholzer with per-node adjacency cursors and a used-edge set.
+	used := make(map[Edge]bool, g.M())
+	cursor := make([]int, g.N())
+	var stack, circuit []int
+	stack = append(stack, start)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		advanced := false
+		for cursor[v] < g.Degree(v) {
+			w := g.Neighbor(v, cursor[v])
+			e := Edge{U: v, V: w}.normalise()
+			if used[e] {
+				cursor[v]++
+				continue
+			}
+			used[e] = true
+			stack = append(stack, w)
+			advanced = true
+			break
+		}
+		if !advanced {
+			circuit = append(circuit, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(circuit) != g.M()+1 {
+		return nil, fmt.Errorf("graph: circuit covers %d edges of %d", len(circuit)-1, g.M())
+	}
+	return circuit, nil
+}
+
+// IsTwoFactor reports whether the edge set is a spanning 2-regular
+// subgraph of g (a disjoint union of cycles covering every node).
+func IsTwoFactor(g *Graph, factor []Edge) bool {
+	deg := make([]int, g.N())
+	for _, e := range factor {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for _, d := range deg {
+		if d != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// TwoFactorization decomposes a connected 2k-regular graph into k
+// edge-disjoint 2-factors (Petersen 1891).
+func TwoFactorization(g *Graph) ([][]Edge, error) {
+	k2, reg := g.IsRegular()
+	if !reg || k2%2 != 0 {
+		return nil, fmt.Errorf("graph: 2-factorization needs a 2k-regular graph, got %v", g)
+	}
+	if k2 == 0 {
+		return nil, nil
+	}
+	circuit, err := EulerianCircuit(g)
+	if err != nil {
+		return nil, fmt.Errorf("graph: 2-factorization: %w", err)
+	}
+	// Orient edges along the circuit: arc circuit[i] → circuit[i+1].
+	// Bipartite graph B: left v_out = v, right v_in = v + n; arc u→v gives
+	// edge {u, v+n}. B is k-regular bipartite.
+	n := g.N()
+	var bEdges []Edge
+	for i := 0; i+1 < len(circuit); i++ {
+		bEdges = append(bEdges, Edge{U: circuit[i], V: circuit[i+1] + n})
+	}
+	b, err := New(2*n, bEdges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: orientation bipartite graph: %w", err)
+	}
+	factors, err := OneFactorization(b)
+	if err != nil {
+		return nil, fmt.Errorf("graph: factorising orientation: %w", err)
+	}
+	out := make([][]Edge, 0, len(factors))
+	for _, f := range factors {
+		twoFactor := make([]Edge, 0, n)
+		for _, e := range f {
+			// {u, v+n} projects to the original edge {u, v}.
+			twoFactor = append(twoFactor, Edge{U: e.U, V: e.V - n}.normalise())
+		}
+		if !IsTwoFactor(g, twoFactor) {
+			return nil, fmt.Errorf("graph: projected factor is not a 2-factor")
+		}
+		out = append(out, twoFactor)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkCircuit(t *testing.T, g *Graph, circuit []int) {
+	t.Helper()
+	if len(circuit) != g.M()+1 {
+		t.Fatalf("circuit length %d, want %d", len(circuit), g.M()+1)
+	}
+	if circuit[0] != circuit[len(circuit)-1] {
+		t.Fatal("circuit not closed")
+	}
+	used := make(map[Edge]bool)
+	for i := 0; i+1 < len(circuit); i++ {
+		e := Edge{U: circuit[i], V: circuit[i+1]}.normalise()
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("circuit uses non-edge %v", e)
+		}
+		if used[e] {
+			t.Fatalf("circuit repeats edge %v", e)
+		}
+		used[e] = true
+	}
+	if len(used) != g.M() {
+		t.Fatalf("circuit covers %d/%d edges", len(used), g.M())
+	}
+}
+
+func TestEulerianCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	graphs := []*Graph{
+		Cycle(5), Cycle(8), Complete(5), Torus(3, 3), Torus(3, 4),
+	}
+	if g, err := RandomRegular(10, 4, rng); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		circuit, err := EulerianCircuit(g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		checkCircuit(t, g, circuit)
+	}
+}
+
+func TestEulerianCircuitRejects(t *testing.T) {
+	if _, err := EulerianCircuit(Path(4)); err == nil {
+		t.Error("odd-degree graph accepted")
+	}
+	if _, err := EulerianCircuit(MustNew(3, nil)); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := EulerianCircuit(DisjointUnion(Cycle(3), Cycle(3))); err == nil {
+		t.Error("disconnected even graph accepted")
+	}
+}
+
+func TestTwoFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	cases := []*Graph{
+		Cycle(7),     // 2-regular: one factor, itself
+		Complete(5),  // 4-regular
+		Torus(3, 3),  // 4-regular
+		Torus(4, 5),  // 4-regular
+		Hypercube(4), // 4-regular
+	}
+	if g, err := RandomRegular(12, 6, rng); err == nil && g.IsConnected() {
+		cases = append(cases, g)
+	}
+	for _, g := range cases {
+		k, _ := g.IsRegular()
+		factors, err := TwoFactorization(g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if len(factors) != k/2 {
+			t.Fatalf("%v: %d factors, want %d", g, len(factors), k/2)
+		}
+		seen := make(map[Edge]bool)
+		for i, f := range factors {
+			if !IsTwoFactor(g, f) {
+				t.Fatalf("%v: factor %d is not a 2-factor", g, i)
+			}
+			for _, e := range f {
+				ne := e.normalise()
+				if seen[ne] {
+					t.Fatalf("%v: edge %v in two factors", g, ne)
+				}
+				seen[ne] = true
+			}
+		}
+		if len(seen) != g.M() {
+			t.Errorf("%v: factors cover %d/%d edges", g, len(seen), g.M())
+		}
+	}
+}
+
+func TestTwoFactorizationRejects(t *testing.T) {
+	if _, err := TwoFactorization(Petersen()); err == nil {
+		t.Error("odd-regular graph accepted (Petersen is 3-regular)")
+	}
+	if _, err := TwoFactorization(Path(4)); err == nil {
+		t.Error("irregular graph accepted")
+	}
+}
+
+func TestIsTwoFactorValidator(t *testing.T) {
+	g := Cycle(4)
+	if !IsTwoFactor(g, g.Edges()) {
+		t.Error("the cycle itself is a 2-factor")
+	}
+	if IsTwoFactor(g, g.Edges()[:3]) {
+		t.Error("partial edge set accepted")
+	}
+	if IsTwoFactor(g, []Edge{{U: 0, V: 2}}) {
+		t.Error("non-edge accepted")
+	}
+}
+
+func BenchmarkTwoFactorization(b *testing.B) {
+	g := Torus(8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TwoFactorization(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph P_n on n nodes (n-1 edges).
+func Path(n int) *Graph {
+	var edges []Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
+	}
+	return MustNew(n, edges)
+}
+
+// Cycle returns the cycle C_n (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n ≥ 3, got %d", n))
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % n})
+	}
+	return MustNew(n, edges)
+}
+
+// Star returns the k-star of Theorem 11: centre node 0 adjacent to leaves
+// 1..k.
+func Star(k int) *Graph {
+	edges := make([]Edge, 0, k)
+	for i := 1; i <= k; i++ {
+		edges = append(edges, Edge{U: 0, V: i})
+	}
+	return MustNew(k+1, edges)
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b} with side A = 0..a-1, side B = a..a+b-1.
+func CompleteBipartite(a, b int) *Graph {
+	var edges []Edge
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			edges = append(edges, Edge{U: i, V: a + j})
+		}
+	}
+	return MustNew(a+b, edges)
+}
+
+// Grid returns the r×c grid graph.
+func Grid(r, c int) *Graph {
+	id := func(i, j int) int { return i*c + j }
+	var edges []Edge
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, Edge{U: id(i, j), V: id(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, Edge{U: id(i, j), V: id(i+1, j)})
+			}
+		}
+	}
+	return MustNew(r*c, edges)
+}
+
+// Torus returns the r×c toroidal grid (4-regular when r,c ≥ 3).
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic("graph: torus needs r,c ≥ 3")
+	}
+	id := func(i, j int) int { return i*c + j }
+	var edges []Edge
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			edges = append(edges, Edge{U: id(i, j), V: id(i, (j+1)%c)})
+			edges = append(edges, Edge{U: id(i, j), V: id((i+1)%r, j)})
+		}
+	}
+	return MustNew(r*c, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d (d-regular, 2^d nodes).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	var edges []Edge
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				edges = append(edges, Edge{U: v, V: w})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Petersen returns the Petersen graph (3-regular, 10 nodes). It is
+// 3-regular with a perfect matching, a useful contrast to NoOneFactorCubic.
+func Petersen() *Graph {
+	var edges []Edge
+	for i := 0; i < 5; i++ {
+		edges = append(edges,
+			Edge{U: i, V: (i + 1) % 5},     // outer pentagon
+			Edge{U: i, V: i + 5},           // spokes
+			Edge{U: i + 5, V: (i+2)%5 + 5}, // inner pentagram
+		)
+	}
+	return MustNew(10, edges)
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes via a
+// Prüfer sequence drawn from rng.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n <= 1 {
+		return MustNew(n, nil)
+	}
+	if n == 2 {
+		return MustNew(2, []Edge{{U: 0, V: 1}})
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	var edges []Edge
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				edges = append(edges, Edge{U: u, V: v})
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			if u == -1 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	edges = append(edges, Edge{U: u, V: w})
+	return MustNew(n, edges)
+}
+
+// RandomRegular returns a random k-regular simple graph on n nodes using the
+// pairing (configuration) model with rejection, or an error when nk is odd
+// or the sampler fails to produce a simple graph after many attempts.
+func RandomRegular(n, k int, rng *rand.Rand) (*Graph, error) {
+	if n*k%2 != 0 {
+		return nil, fmt.Errorf("graph: no %d-regular graph on %d nodes (nk odd)", k, n)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("graph: k=%d must be < n=%d", k, n)
+	}
+	// The pairing model produces a simple graph with probability roughly
+	// exp(-(k²-1)/4), which drops below 1% around k = 5; the attempt budget
+	// is sized for k ≤ 6 on small n.
+	const attempts = 20000
+	for try := 0; try < attempts; try++ {
+		stubs := make([]int, 0, n*k)
+		for v := 0; v < n; v++ {
+			for i := 0; i < k; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[Edge]bool, n*k/2)
+		edges := make([]Edge, 0, n*k/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			e := Edge{U: stubs[i], V: stubs[i+1]}.normalise()
+			if e.U == e.V || seen[e] {
+				ok = false
+				break
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		if ok {
+			return MustNew(n, edges), nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to sample a simple %d-regular graph on %d nodes", k, n)
+}
+
+// Caterpillar returns a path of length spine with legs extra leaves attached
+// to every spine node — a handy irregular bounded-degree family.
+func Caterpillar(spine, legs int) *Graph {
+	var edges []Edge
+	n := spine
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
+	}
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			edges = append(edges, Edge{U: i, V: n})
+			n++
+		}
+	}
+	return MustNew(n, edges)
+}

@@ -1,0 +1,239 @@
+package graph
+
+// Maximum matching in general graphs via Edmonds' blossom algorithm, plus a
+// brute-force reference used in tests. Matching is the graph-theoretic core
+// of Section 5.3: Lemma 16 ties symmetric consistent port numberings to
+// 1-factors, and the Theorem 17 witness is a cubic graph with no 1-factor.
+// The vertex-cover experiments also use ν(G) as the certified lower bound
+// OPT ≥ ν.
+
+// MaximumMatching returns a maximum matching as mate[v] = partner or -1,
+// computed with Edmonds' blossom algorithm in O(V^3).
+func MaximumMatching(g *Graph) []int {
+	n := g.N()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	base := make([]int, n)
+	parent := make([]int, n)
+	blossom := make([]bool, n)
+	inQueue := make([]bool, n)
+
+	lca := func(a, b int) int {
+		used := make([]bool, n)
+		for {
+			a = base[a]
+			used[a] = true
+			if mate[a] == -1 {
+				break
+			}
+			a = parent[mate[a]]
+		}
+		for {
+			b = base[b]
+			if used[b] {
+				return b
+			}
+			b = parent[mate[b]]
+		}
+	}
+
+	var queue []int
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[mate[v]]] = true
+			parent[v] = child
+			child = mate[v]
+			v = parent[mate[v]]
+		}
+	}
+
+	findPath := func(root int) int {
+		for i := range parent {
+			parent[i] = -1
+			inQueue[i] = false
+			base[i] = i
+		}
+		queue = queue[:0]
+		queue = append(queue, root)
+		inQueue[root] = true
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, to := range g.Neighbors(v) {
+				if base[v] == base[to] || mate[v] == to {
+					continue
+				}
+				if to == root || (mate[to] != -1 && parent[mate[to]] != -1) {
+					// Odd cycle: contract the blossom.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < n; i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !inQueue[i] {
+								inQueue[i] = true
+								queue = append(queue, i)
+							}
+						}
+					}
+				} else if parent[to] == -1 {
+					parent[to] = v
+					if mate[to] == -1 {
+						return to // augmenting path found
+					}
+					if !inQueue[mate[to]] {
+						inQueue[mate[to]] = true
+						queue = append(queue, mate[to])
+					}
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := 0; v < n; v++ {
+		if mate[v] != -1 {
+			continue
+		}
+		if end := findPath(v); end != -1 {
+			// Augment along the alternating path ending at end.
+			for end != -1 {
+				pv := parent[end]
+				ppv := mate[pv]
+				mate[end] = pv
+				mate[pv] = end
+				end = ppv
+			}
+		}
+	}
+	return mate
+}
+
+// MatchingSize returns the number of matched pairs ν(G) in a mate array.
+func MatchingSize(mate []int) int {
+	c := 0
+	for v, m := range mate {
+		if m > v {
+			c++
+		}
+	}
+	return c
+}
+
+// Nu returns ν(G), the maximum matching size.
+func Nu(g *Graph) int { return MatchingSize(MaximumMatching(g)) }
+
+// HasPerfectMatching reports whether g has a 1-factor.
+func HasPerfectMatching(g *Graph) bool {
+	return g.N()%2 == 0 && 2*Nu(g) == g.N()
+}
+
+// MatchingEdges converts a mate array into the matched edge set.
+func MatchingEdges(mate []int) []Edge {
+	var es []Edge
+	for v, m := range mate {
+		if m > v {
+			es = append(es, Edge{U: v, V: m})
+		}
+	}
+	return es
+}
+
+// IsMatching reports whether es is a matching in g (disjoint real edges).
+func IsMatching(g *Graph, es []Edge) bool {
+	used := make([]bool, g.N())
+	for _, e := range es {
+		if !g.HasEdge(e.U, e.V) || used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	return true
+}
+
+// IsPerfectMatching reports whether es is a 1-factor of g.
+func IsPerfectMatching(g *Graph, es []Edge) bool {
+	return IsMatching(g, es) && 2*len(es) == g.N()
+}
+
+// MaxMatchingBruteForce computes ν(G) by exhaustive search over edge
+// subsets with branch and bound. Exponential; only for cross-checking the
+// blossom implementation on small graphs.
+func MaxMatchingBruteForce(g *Graph) int {
+	edges := g.Edges()
+	used := make([]bool, g.N())
+	best := 0
+	var rec func(i, size int)
+	rec = func(i, size int) {
+		if size+(len(edges)-i) <= best {
+			return // bound: cannot beat best
+		}
+		if i == len(edges) {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		e := edges[i]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			rec(i+1, size+1)
+			used[e.U], used[e.V] = false, false
+		}
+		rec(i+1, size)
+	}
+	rec(0, 0)
+	return best
+}
+
+// MinVertexCoverBruteForce returns the size of a minimum vertex cover by
+// branching on an uncovered edge. Exponential in the cover size; fine for
+// the small graphs in the experiment suite (used to certify approximation
+// ratios exactly).
+func MinVertexCoverBruteForce(g *Graph) int {
+	edges := g.Edges()
+	inCover := make([]bool, g.N())
+	best := g.N()
+	var rec func(size int)
+	rec = func(size int) {
+		if size >= best {
+			return
+		}
+		// Find an uncovered edge.
+		var pick *Edge
+		for i := range edges {
+			if !inCover[edges[i].U] && !inCover[edges[i].V] {
+				pick = &edges[i]
+				break
+			}
+		}
+		if pick == nil {
+			best = size
+			return
+		}
+		for _, v := range []int{pick.U, pick.V} {
+			inCover[v] = true
+			rec(size + 1)
+			inCover[v] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+// IsVertexCover reports whether the node set (as indicator) covers all edges.
+func IsVertexCover(g *Graph, in []bool) bool {
+	for _, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlossomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(9)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+		g := MustNew(n, edges)
+		mate := MaximumMatching(g)
+		if !IsMatching(g, MatchingEdges(mate)) {
+			t.Fatalf("blossom produced a non-matching on %v", g)
+		}
+		want := MaxMatchingBruteForce(g)
+		if got := MatchingSize(mate); got != want {
+			t.Fatalf("trial %d: blossom ν=%d, brute force ν=%d on %v edges=%v",
+				trial, got, want, g, edges)
+		}
+	}
+}
+
+func TestBlossomKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		nu   int
+	}{
+		{"empty", MustNew(3, nil), 0},
+		{"path4", Path(4), 2},
+		{"path5", Path(5), 2},
+		{"cycle5", Cycle(5), 2},
+		{"cycle6", Cycle(6), 3},
+		{"k4", Complete(4), 2},
+		{"petersen", Petersen(), 5},
+		{"star5", Star(5), 1},
+		{"no1factor", NoOneFactorCubic(), 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Nu(tc.g); got != tc.nu {
+				t.Errorf("ν = %d, want %d", got, tc.nu)
+			}
+		})
+	}
+}
+
+func TestPerfectMatchingDetection(t *testing.T) {
+	if !HasPerfectMatching(Petersen()) {
+		t.Error("Petersen has a 1-factor")
+	}
+	if HasPerfectMatching(NoOneFactorCubic()) {
+		t.Error("Figure 9a graph must have no 1-factor")
+	}
+	if HasPerfectMatching(Path(3)) {
+		t.Error("odd-order graph cannot have a 1-factor")
+	}
+	if !HasPerfectMatching(Cycle(8)) {
+		t.Error("even cycle has a 1-factor")
+	}
+}
+
+func TestIsPerfectMatchingValidator(t *testing.T) {
+	g := Cycle(4)
+	good := []Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	if !IsPerfectMatching(g, good) {
+		t.Error("valid perfect matching rejected")
+	}
+	if IsPerfectMatching(g, []Edge{{U: 0, V: 1}}) {
+		t.Error("half matching accepted as perfect")
+	}
+	if IsMatching(g, []Edge{{U: 0, V: 2}}) {
+		t.Error("non-edge accepted in matching")
+	}
+	if IsMatching(g, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}) {
+		t.Error("overlapping edges accepted")
+	}
+}
+
+func TestMinVertexCoverBruteForce(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		size int
+	}{
+		{"star5", Star(5), 1},
+		{"path4", Path(4), 2},
+		{"cycle5", Cycle(5), 3},
+		{"k4", Complete(4), 3},
+		{"empty", MustNew(4, nil), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MinVertexCoverBruteForce(tc.g); got != tc.size {
+				t.Errorf("OPT = %d, want %d", got, tc.size)
+			}
+		})
+	}
+}
+
+func TestKonigOnBipartite(t *testing.T) {
+	// König: in bipartite graphs minimum vertex cover = maximum matching.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		a, b := 1+rng.Intn(4), 1+rng.Intn(4)
+		var edges []Edge
+		for i := 0; i < a; i++ {
+			for j := 0; j < b; j++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, Edge{U: i, V: a + j})
+				}
+			}
+		}
+		g := MustNew(a+b, edges)
+		if Nu(g) != MinVertexCoverBruteForce(g) {
+			t.Fatalf("König violated on %v", g)
+		}
+	}
+}
+
+func TestIsVertexCover(t *testing.T) {
+	g := Path(3)
+	if !IsVertexCover(g, []bool{false, true, false}) {
+		t.Error("middle node covers P3")
+	}
+	if IsVertexCover(g, []bool{true, false, false}) {
+		t.Error("endpoint alone does not cover P3")
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := RandomRegular(100, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumMatching(g)
+	}
+}

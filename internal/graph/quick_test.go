@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraphFromSeed derives a random simple graph deterministically from
+// a seed, for quick properties.
+func randomGraphFromSeed(seed int64, maxN int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+func TestQuickHandshake(t *testing.T) {
+	// Σ deg(v) = 2|E| on every graph.
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 12)
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			total += g.Degree(v)
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 12)
+		seen := make([]bool, g.N())
+		total := 0
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == g.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleCoverInvariants(t *testing.T) {
+	// The double cover is always bipartite with doubled counts, and
+	// preserves the degree of each node in both copies.
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 10)
+		c := DoubleCover(g)
+		if c.N() != 2*g.N() || c.M() != 2*g.M() {
+			return false
+		}
+		if _, ok := c.Bipartition(); !ok {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if c.Degree(v) != g.Degree(v) || c.Degree(v+g.N()) != g.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatchingIsMatching(t *testing.T) {
+	// Blossom output is always a valid matching and never exceeds ⌊n/2⌋.
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 14)
+		mate := MaximumMatching(g)
+		es := MatchingEdges(mate)
+		return IsMatching(g, es) && 2*len(es) <= g.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGallaiIdentity(t *testing.T) {
+	// König–Egerváry style sanity on all graphs: ν(G) ≤ τ(G) ≤ 2ν(G),
+	// where τ is the minimum vertex cover.
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 10)
+		nu := Nu(g)
+		tau := MinVertexCoverBruteForce(g)
+		return nu <= tau && tau <= 2*nu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCounts(t *testing.T) {
+	f := func(a, b int64) bool {
+		g := randomGraphFromSeed(a, 8)
+		h := randomGraphFromSeed(b, 8)
+		u := DisjointUnion(g, h)
+		return u.N() == g.N()+h.N() && u.M() == g.M()+h.M() &&
+			len(u.Components()) == len(g.Components())+len(h.Components())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

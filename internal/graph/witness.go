@@ -1,0 +1,58 @@
+package graph
+
+// Fixed graphs used by the paper's figures and separation proofs.
+
+// Figure1Graph returns the 4-node example graph of Figures 1, 2, 6 and 7:
+// a triangle {0,1,2} with a pendant node 3 attached to node 0. Degrees are
+// (3, 2, 2, 1), matching the port counts drawn in the figure.
+func Figure1Graph() *Graph {
+	return MustNew(4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}})
+}
+
+// NoOneFactorCubic returns the 16-node 3-regular connected graph without a
+// 1-factor used in Figure 9 (after Bondy–Murty, Figure 5.10). Construction:
+// a cut vertex c = 0 joined to three disjoint 5-node gadgets. Each gadget
+// {a,b,c',d,e} has edges ab, ac', bd, be, c'd, c'e, de, with connector a
+// joined to the centre. Removing the centre leaves three odd components, so
+// Tutte's condition fails: o(G − {0}) = 3 > 1.
+func NoOneFactorCubic() *Graph {
+	edges := make([]Edge, 0, 24)
+	n := 1 // node 0 is the centre
+	for g := 0; g < 3; g++ {
+		a, b, c, d, e := n, n+1, n+2, n+3, n+4
+		n += 5
+		edges = append(edges,
+			Edge{U: 0, V: a},
+			Edge{U: a, V: b}, Edge{U: a, V: c},
+			Edge{U: b, V: d}, Edge{U: b, V: e},
+			Edge{U: c, V: d}, Edge{U: c, V: e},
+			Edge{U: d, V: e},
+		)
+	}
+	return MustNew(n, edges)
+}
+
+// Theorem13Witness returns the disjoint-union witness graph used for the
+// SB ⊊ MB separation (Theorem 13), together with the pair of "white" nodes
+// (u, w) that every valid solution of the odd-odd problem must separate,
+// although they are bisimilar in K₋,₋.
+//
+// Component 1: hub u with two leaves and one path of length 2
+// (u–a1, u–a2, u–b1, b1–c1). u has neighbour degrees (1, 1, 2): two odd.
+//
+// Component 2: hub w with one leaf and two paths of length 2
+// (w–a3, w–b2, b2–c2, w–b3, b3–c3). w has neighbour degrees (1, 2, 2): one
+// odd.
+//
+// In K₋,₋ (set-based view, no counting) the equivalence classes are
+// {hubs}, {hub leaves}, {middle nodes}, {tail leaves}; u and w fall in the
+// same class, yet the odd-odd problem demands output 0 at u and 1 at w.
+func Theorem13Witness() (g *Graph, u, w int) {
+	// Component 1 nodes: 0=u, 1=a1, 2=a2, 3=b1, 4=c1.
+	comp1 := MustNew(5, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 3, V: 4}})
+	// Component 2 nodes: 0=w, 1=a3, 2=b2, 3=c2, 4=b3, 5=c3.
+	comp2 := MustNew(6, []Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 0, V: 4}, {U: 4, V: 5},
+	})
+	return DisjointUnion(comp1, comp2), 0, 5
+}

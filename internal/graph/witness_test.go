@@ -1,0 +1,67 @@
+package graph
+
+import "testing"
+
+func TestFigure1GraphShape(t *testing.T) {
+	g := Figure1Graph()
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("shape wrong: %v", g)
+	}
+	want := []int{3, 2, 2, 1}
+	for v, d := range want {
+		if g.Degree(v) != d {
+			t.Errorf("deg(%d)=%d want %d", v, g.Degree(v), d)
+		}
+	}
+}
+
+func TestFigure9NoOneFactor(t *testing.T) {
+	g := NoOneFactorCubic()
+	if k, ok := g.IsRegular(); !ok || k != 3 {
+		t.Fatalf("not 3-regular: %v", g)
+	}
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+	if g.N() != 16 {
+		t.Fatalf("n=%d, want 16", g.N())
+	}
+	if HasPerfectMatching(g) {
+		t.Fatal("graph must have no 1-factor (blossom check)")
+	}
+	if Nu(g) != 7 {
+		t.Errorf("ν=%d, want 7", Nu(g))
+	}
+	rest, _ := g.RemoveNodes(0)
+	if rest.OddComponents() != 3 {
+		t.Errorf("o(G-c)=%d, want 3", rest.OddComponents())
+	}
+}
+
+func TestTheorem13WitnessShape(t *testing.T) {
+	g, u, w := Theorem13Witness()
+	if g.N() != 11 || g.M() != 9 {
+		t.Fatalf("witness shape wrong: %v", g)
+	}
+	if g.Degree(u) != 3 || g.Degree(w) != 3 {
+		t.Fatalf("hubs must have degree 3, got %d and %d", g.Degree(u), g.Degree(w))
+	}
+	countOdd := func(v int) int {
+		c := 0
+		for _, x := range g.Neighbors(v) {
+			if g.Degree(x)%2 == 1 {
+				c++
+			}
+		}
+		return c
+	}
+	if countOdd(u) != 2 {
+		t.Errorf("u should have 2 odd-degree neighbours, has %d", countOdd(u))
+	}
+	if countOdd(w) != 1 {
+		t.Errorf("w should have 1 odd-degree neighbour, has %d", countOdd(w))
+	}
+	if len(g.Components()) != 2 {
+		t.Errorf("witness should have 2 components")
+	}
+}

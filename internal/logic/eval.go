@@ -1,0 +1,86 @@
+package logic
+
+import (
+	"fmt"
+
+	"weakmodels/internal/kripke"
+)
+
+// Eval model-checks f on every state of m, returning the truth set ‖f‖ as a
+// boolean vector. It memoises on subformulas (rendered form), so shared
+// subformulas — ubiquitous in compiled formulas — are evaluated once.
+func Eval(m *kripke.Model, f Formula) []bool {
+	memo := make(map[string][]bool)
+	return evalMemo(m, f, memo)
+}
+
+func evalMemo(m *kripke.Model, f Formula, memo map[string][]bool) []bool {
+	key := f.String()
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	n := m.N()
+	out := make([]bool, n)
+	switch x := f.(type) {
+	case Top:
+		for i := range out {
+			out[i] = true
+		}
+	case Bot:
+		// all false
+	case Prop:
+		for v := 0; v < n; v++ {
+			out[v] = m.Prop(x.Name, v)
+		}
+	case Not:
+		inner := evalMemo(m, x.F, memo)
+		for v := 0; v < n; v++ {
+			out[v] = !inner[v]
+		}
+	case And:
+		l := evalMemo(m, x.L, memo)
+		r := evalMemo(m, x.R, memo)
+		for v := 0; v < n; v++ {
+			out[v] = l[v] && r[v]
+		}
+	case Or:
+		l := evalMemo(m, x.L, memo)
+		r := evalMemo(m, x.R, memo)
+		for v := 0; v < n; v++ {
+			out[v] = l[v] || r[v]
+		}
+	case Diamond:
+		inner := evalMemo(m, x.F, memo)
+		for v := 0; v < n; v++ {
+			count := 0
+			for _, w := range m.Succ(x.Idx, v) {
+				if inner[w] {
+					count++
+					if count >= x.K {
+						break
+					}
+				}
+			}
+			out[v] = count >= x.K
+		}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+	memo[key] = out
+	return out
+}
+
+// Sat reports whether f holds at state v of m.
+func Sat(m *kripke.Model, v int, f Formula) bool { return Eval(m, f)[v] }
+
+// TruthSet returns the states where f holds, ascending.
+func TruthSet(m *kripke.Model, f Formula) []int {
+	val := Eval(m, f)
+	var out []int
+	for v, t := range val {
+		if t {
+			out = append(out, v)
+		}
+	}
+	return out
+}

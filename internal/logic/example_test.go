@@ -1,0 +1,41 @@
+package logic_test
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/port"
+)
+
+// Example parses a graded formula and model-checks it on the Kripke model
+// K(−,−) of a star: "at least three of my neighbours are leaves".
+func Example() {
+	f := logic.MustParse("<*,*>=3 q1")
+	g := graph.Star(4)
+	m := kripke.FromPorts(port.Canonical(g), kripke.VariantMM)
+	fmt.Println("fragment:", logic.ClassifyFragment(f))
+	fmt.Println("modal depth:", logic.ModalDepth(f))
+	fmt.Println("holds at:", logic.TruthSet(m, f))
+	// Output:
+	// fragment: GML
+	// modal depth: 1
+	// holds at: [0]
+}
+
+// ExampleSimplify folds constants away.
+func ExampleSimplify() {
+	f := logic.MustParse("(q1 & true) | false")
+	fmt.Println(logic.Simplify(f))
+	// Output:
+	// q1
+}
+
+// ExampleBox shows the derived dual modality.
+func ExampleBox() {
+	f := logic.Box(kripke.Index{I: kripke.Star, J: kripke.Star}, logic.Prop{Name: "q1"})
+	fmt.Println(f)
+	// Output:
+	// !(<*,*> !q1)
+}

@@ -1,0 +1,416 @@
+// Package logic implements the modal logics of Section 4.1: basic modal
+// logic ML, graded modal logic GML, multimodal logic MML and graded
+// multimodal logic GMML, over the relation signatures of the Kripke models
+// K_{a,b}(G,p).
+//
+// Formulas form an interface-based AST (Go's substitute for sum types —
+// see the repro note in DESIGN.md): Prop, Top, Bot, Not, And, Or and
+// Diamond. A Diamond carries a relation label and a grade k; ⟨α⟩φ is
+// represented as ⟨α⟩≥1 φ, which is semantically identical, and the Graded
+// flag of Fragment reports whether any grade other than 1 occurs.
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"weakmodels/internal/kripke"
+)
+
+// Formula is a modal formula. Implementations are immutable.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Prop is an atomic proposition, e.g. q3.
+type Prop struct {
+	Name string
+}
+
+// Top is the constant ⊤.
+type Top struct{}
+
+// Bot is the constant ⊥.
+type Bot struct{}
+
+// Not is negation.
+type Not struct {
+	F Formula
+}
+
+// And is binary conjunction.
+type And struct {
+	L, R Formula
+}
+
+// Or is binary disjunction.
+type Or struct {
+	L, R Formula
+}
+
+// Diamond is the graded multimodal diamond ⟨α⟩≥K φ. K must be ≥ 0;
+// K = 1 renders as the plain diamond ⟨α⟩.
+type Diamond struct {
+	Idx kripke.Index
+	K   int
+	F   Formula
+}
+
+func (Prop) isFormula()    {}
+func (Top) isFormula()     {}
+func (Bot) isFormula()     {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Diamond) isFormula() {}
+
+// String renders the formula with Unicode connectives; Parse inverts it.
+func (f Prop) String() string { return f.Name }
+
+// String renders ⊤.
+func (Top) String() string { return "true" }
+
+// String renders ⊥.
+func (Bot) String() string { return "false" }
+
+// String renders negation.
+func (f Not) String() string { return "!" + paren(f.F) }
+
+// String renders conjunction.
+func (f And) String() string { return paren(f.L) + " & " + paren(f.R) }
+
+// String renders disjunction.
+func (f Or) String() string { return paren(f.L) + " | " + paren(f.R) }
+
+// String renders a diamond, e.g. "<2,1>phi", "<*,1>=3 phi".
+func (f Diamond) String() string {
+	label := fmt.Sprintf("<%s,%s>", starIdx(f.Idx.I), starIdx(f.Idx.J))
+	if f.K != 1 {
+		label += fmt.Sprintf("=%d", f.K)
+	}
+	return label + " " + paren(f.F)
+}
+
+func starIdx(i int) string {
+	if i == kripke.Star {
+		return "*"
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Prop, Top, Bot, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Box returns ¬⟨α⟩¬φ (the dual □).
+func Box(idx kripke.Index, f Formula) Formula {
+	return Not{F: Diamond{Idx: idx, K: 1, F: Not{F: f}}}
+}
+
+// Dia returns the plain diamond ⟨α⟩φ.
+func Dia(idx kripke.Index, f Formula) Formula { return Diamond{Idx: idx, K: 1, F: f} }
+
+// DiaGeq returns the graded diamond ⟨α⟩≥k φ.
+func DiaGeq(idx kripke.Index, k int, f Formula) Formula { return Diamond{Idx: idx, K: k, F: f} }
+
+// BigAnd folds a conjunction; the empty conjunction is ⊤.
+func BigAnd(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Top{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{L: out, R: f}
+	}
+	return out
+}
+
+// BigOr folds a disjunction; the empty disjunction is ⊥.
+func BigOr(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Bot{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or{L: out, R: f}
+	}
+	return out
+}
+
+// ModalDepth returns md(φ): the deepest nesting of diamonds. It equals the
+// running time of the corresponding local algorithm (Table 3).
+func ModalDepth(f Formula) int {
+	switch x := f.(type) {
+	case Prop, Top, Bot:
+		return 0
+	case Not:
+		return ModalDepth(x.F)
+	case And:
+		return maxInt(ModalDepth(x.L), ModalDepth(x.R))
+	case Or:
+		return maxInt(ModalDepth(x.L), ModalDepth(x.R))
+	case Diamond:
+		return ModalDepth(x.F) + 1
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+// Size returns the number of AST nodes.
+func Size(f Formula) int {
+	switch x := f.(type) {
+	case Prop, Top, Bot:
+		return 1
+	case Not:
+		return Size(x.F) + 1
+	case And:
+		return Size(x.L) + Size(x.R) + 1
+	case Or:
+		return Size(x.L) + Size(x.R) + 1
+	case Diamond:
+		return Size(x.F) + 1
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+// Subformulas returns the subformula closure Σ of f (including f itself),
+// deduplicated by rendered form, in no particular order.
+func Subformulas(f Formula) []Formula {
+	seen := make(map[string]Formula)
+	var walk func(Formula)
+	walk = func(g Formula) {
+		key := g.String()
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = g
+		switch x := g.(type) {
+		case Not:
+			walk(x.F)
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Diamond:
+			walk(x.F)
+		}
+	}
+	walk(f)
+	out := make([]Formula, 0, len(seen))
+	for _, g := range seen {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Fragment describes which of the four logics a formula needs.
+type Fragment struct {
+	// Graded is true when a grade k ≠ 1 occurs (GML/GMML needed).
+	Graded bool
+	// Multimodal is true when a label other than (∗,∗) occurs (MML/GMML).
+	Multimodal bool
+}
+
+// String names the minimal logic: ML, GML, MML or GMML.
+func (fr Fragment) String() string {
+	switch {
+	case fr.Graded && fr.Multimodal:
+		return "GMML"
+	case fr.Graded:
+		return "GML"
+	case fr.Multimodal:
+		return "MML"
+	default:
+		return "ML"
+	}
+}
+
+// ClassifyFragment computes the minimal logic containing f.
+func ClassifyFragment(f Formula) Fragment {
+	var fr Fragment
+	var walk func(Formula)
+	walk = func(g Formula) {
+		switch x := g.(type) {
+		case Not:
+			walk(x.F)
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Diamond:
+			if x.K != 1 {
+				fr.Graded = true
+			}
+			if x.Idx != (kripke.Index{I: kripke.Star, J: kripke.Star}) {
+				fr.Multimodal = true
+			}
+			walk(x.F)
+		}
+	}
+	walk(f)
+	return fr
+}
+
+// Labels returns the distinct relation labels occurring in f.
+func Labels(f Formula) []kripke.Index {
+	seen := make(map[kripke.Index]bool)
+	var walk func(Formula)
+	walk = func(g Formula) {
+		switch x := g.(type) {
+		case Not:
+			walk(x.F)
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Diamond:
+			seen[x.Idx] = true
+			walk(x.F)
+		}
+	}
+	walk(f)
+	out := make([]kripke.Index, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Equal reports structural equality via the canonical rendering.
+func Equal(a, b Formula) bool { return a.String() == b.String() }
+
+// Simplify performs constant folding and double-negation elimination. It
+// preserves semantics and never increases size.
+func Simplify(f Formula) Formula {
+	switch x := f.(type) {
+	case Not:
+		inner := Simplify(x.F)
+		switch y := inner.(type) {
+		case Top:
+			return Bot{}
+		case Bot:
+			return Top{}
+		case Not:
+			return y.F
+		}
+		return Not{F: inner}
+	case And:
+		l, r := Simplify(x.L), Simplify(x.R)
+		if isBot(l) || isBot(r) {
+			return Bot{}
+		}
+		if isTop(l) {
+			return r
+		}
+		if isTop(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return And{L: l, R: r}
+	case Or:
+		l, r := Simplify(x.L), Simplify(x.R)
+		if isTop(l) || isTop(r) {
+			return Top{}
+		}
+		if isBot(l) {
+			return r
+		}
+		if isBot(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Or{L: l, R: r}
+	case Diamond:
+		inner := Simplify(x.F)
+		if x.K == 0 {
+			return Top{} // at least zero successors satisfy anything
+		}
+		if isBot(inner) {
+			return Bot{}
+		}
+		return Diamond{Idx: x.Idx, K: x.K, F: inner}
+	default:
+		return f
+	}
+}
+
+func isTop(f Formula) bool { _, ok := f.(Top); return ok }
+func isBot(f Formula) bool { _, ok := f.(Bot); return ok }
+
+// NNF rewrites f into negation normal form over the connectives
+// {Prop, ¬Prop, ⊤, ⊥, ∧, ∨, ⟨α⟩≥k, its negation}. Negated diamonds stay as
+// Not{Diamond} (the logic has no primitive dual for graded diamonds).
+func NNF(f Formula) Formula {
+	switch x := f.(type) {
+	case Not:
+		switch y := x.F.(type) {
+		case Top:
+			return Bot{}
+		case Bot:
+			return Top{}
+		case Not:
+			return NNF(y.F)
+		case And:
+			return Or{L: NNF(Not{F: y.L}), R: NNF(Not{F: y.R})}
+		case Or:
+			return And{L: NNF(Not{F: y.L}), R: NNF(Not{F: y.R})}
+		case Diamond:
+			return Not{F: Diamond{Idx: y.Idx, K: y.K, F: NNF(y.F)}}
+		default:
+			return x
+		}
+	case And:
+		return And{L: NNF(x.L), R: NNF(x.R)}
+	case Or:
+		return Or{L: NNF(x.L), R: NNF(x.R)}
+	case Diamond:
+		return Diamond{Idx: x.Idx, K: x.K, F: NNF(x.F)}
+	default:
+		return f
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DegreeIs returns the formula expressing deg(v) = d over the valuation
+// Φ_Δ = {q_1..q_Δ}: q_d for d ≥ 1, and ∧_i ¬q_i for d = 0 (Φ_Δ has no q_0).
+func DegreeIs(d, delta int) Formula {
+	if d >= 1 {
+		return Prop{Name: kripke.DegreeProp(d)}
+	}
+	negs := make([]Formula, 0, delta)
+	for i := 1; i <= delta; i++ {
+		negs = append(negs, Not{F: Prop{Name: kripke.DegreeProp(i)}})
+	}
+	return BigAnd(negs...)
+}
+
+// Render produces a parse-ready single-line form (same as String but with a
+// stable name for docs and hashing).
+func Render(f Formula) string {
+	var b strings.Builder
+	b.WriteString(f.String())
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/port"
+)
+
+func modelFromSeed(seed int64) *kripke.Model {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(6)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g := graph.MustNew(n, edges)
+	return kripke.FromPorts(port.Random(g, rng), kripke.VariantPP)
+}
+
+// TestQuickDeMorgan: ¬(φ ∧ ψ) ≡ ¬φ ∨ ¬ψ on random models.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := modelFromSeed(seed)
+		a := RandomFormula(rng, 3, 3, true)
+		b := RandomFormula(rng, 3, 3, true)
+		lhs := Eval(m, Not{F: And{L: a, R: b}})
+		rhs := Eval(m, Or{L: Not{F: a}, R: Not{F: b}})
+		for v := range lhs {
+			if lhs[v] != rhs[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoxDiamondDuality: [α]φ ≡ ¬⟨α⟩¬φ by construction, and
+// ⟨α⟩≥1 φ ≡ ⟨α⟩φ.
+func TestQuickBoxDiamondDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := modelFromSeed(seed)
+		phi := RandomFormula(rng, 2, 3, false)
+		alpha := kripke.Index{I: 1 + rng.Intn(3), J: 1 + rng.Intn(3)}
+		box := Eval(m, Box(alpha, phi))
+		noDia := Eval(m, Not{F: Dia(alpha, Not{F: phi})})
+		for v := range box {
+			if box[v] != noDia[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGradeMonotone: ⟨α⟩≥(k+1) φ implies ⟨α⟩≥k φ everywhere.
+func TestQuickGradeMonotone(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := modelFromSeed(seed)
+		phi := RandomFormula(rng, 2, 3, true)
+		k := int(kRaw%4) + 1
+		alpha := kripke.Index{I: kripke.Star, J: kripke.Star}
+		hi := Eval(m, DiaGeq(alpha, k+1, phi))
+		lo := Eval(m, DiaGeq(alpha, k, phi))
+		for v := range hi {
+			if hi[v] && !lo[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsePrintFixpoint: parsing a printed formula prints the same.
+func TestQuickParsePrintFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := RandomFormula(rng, 4, 3, true)
+		parsed, err := Parse(phi.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == phi.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplifyIdempotent: Simplify(Simplify(φ)) = Simplify(φ) and the
+// size never grows.
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := RandomFormula(rng, 4, 3, true)
+		once := Simplify(phi)
+		twice := Simplify(once)
+		return Equal(once, twice) && Size(once) <= Size(phi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickModalDepthMonotone: md never increases under Simplify or NNF...
+// NNF preserves or keeps md; Simplify may only shrink it.
+func TestQuickDepthUnderTransforms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := RandomFormula(rng, 4, 3, true)
+		return ModalDepth(Simplify(phi)) <= ModalDepth(phi) &&
+			ModalDepth(NNF(phi)) <= ModalDepth(phi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package logic
+
+import (
+	"math/rand"
+
+	"weakmodels/internal/kripke"
+)
+
+// RandomFormula draws a random formula for property tests: maximum AST
+// depth `depth`, port indices in [1,delta] or ∗, grades in [1,3] when
+// graded is true. Propositions are the degree propositions q_1..q_delta.
+func RandomFormula(rng *rand.Rand, depth, delta int, graded bool) Formula {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Top{}
+		case 1:
+			return Bot{}
+		default:
+			return Prop{Name: kripke.DegreeProp(1 + rng.Intn(delta))}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not{F: RandomFormula(rng, depth-1, delta, graded)}
+	case 1:
+		return And{
+			L: RandomFormula(rng, depth-1, delta, graded),
+			R: RandomFormula(rng, depth-1, delta, graded),
+		}
+	case 2:
+		return Or{
+			L: RandomFormula(rng, depth-1, delta, graded),
+			R: RandomFormula(rng, depth-1, delta, graded),
+		}
+	default:
+		k := 1
+		if graded {
+			k = 1 + rng.Intn(3)
+		}
+		return Diamond{
+			Idx: randomIndex(rng, delta),
+			K:   k,
+			F:   RandomFormula(rng, depth-1, delta, graded),
+		}
+	}
+}
+
+// RandomFormulaForVariant draws a formula whose labels fit the given model
+// variant (so that it is in the right logic for the corresponding class).
+func RandomFormulaForVariant(rng *rand.Rand, depth, delta int, graded bool, variant kripke.Variant) Formula {
+	f := RandomFormula(rng, depth, delta, graded)
+	return retargetLabels(f, rng, delta, variant)
+}
+
+func retargetLabels(f Formula, rng *rand.Rand, delta int, variant kripke.Variant) Formula {
+	switch x := f.(type) {
+	case Not:
+		return Not{F: retargetLabels(x.F, rng, delta, variant)}
+	case And:
+		return And{
+			L: retargetLabels(x.L, rng, delta, variant),
+			R: retargetLabels(x.R, rng, delta, variant),
+		}
+	case Or:
+		return Or{
+			L: retargetLabels(x.L, rng, delta, variant),
+			R: retargetLabels(x.R, rng, delta, variant),
+		}
+	case Diamond:
+		var idx kripke.Index
+		switch variant {
+		case kripke.VariantPP:
+			idx = kripke.Index{I: 1 + rng.Intn(delta), J: 1 + rng.Intn(delta)}
+		case kripke.VariantMP:
+			idx = kripke.Index{I: kripke.Star, J: 1 + rng.Intn(delta)}
+		case kripke.VariantPM:
+			idx = kripke.Index{I: 1 + rng.Intn(delta), J: kripke.Star}
+		default:
+			idx = kripke.Index{I: kripke.Star, J: kripke.Star}
+		}
+		return Diamond{Idx: idx, K: x.K, F: retargetLabels(x.F, rng, delta, variant)}
+	default:
+		return f
+	}
+}
+
+func randomIndex(rng *rand.Rand, delta int) kripke.Index {
+	pick := func() int {
+		if rng.Intn(3) == 0 {
+			return kripke.Star
+		}
+		return 1 + rng.Intn(delta)
+	}
+	return kripke.Index{I: pick(), J: pick()}
+}

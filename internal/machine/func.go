@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Func is a Machine built from closures — the convenient way to define the
+// paper's concrete algorithms. Zero fields panic helpfully on first use.
+type Func struct {
+	MachineName  string
+	MachineClass Class
+	MaxDeg       int
+	InitFunc     func(deg int) State
+	HaltedFunc   func(s State) (Output, bool)
+	SendFunc     func(s State, port int) Message
+	StepFunc     func(s State, inbox []Message) State
+}
+
+var _ Machine = (*Func)(nil)
+
+// Name implements Machine.
+func (f *Func) Name() string {
+	if f.MachineName == "" {
+		return "anonymous"
+	}
+	return f.MachineName
+}
+
+// Class implements Machine.
+func (f *Func) Class() Class { return f.MachineClass }
+
+// Delta implements Machine.
+func (f *Func) Delta() int { return f.MaxDeg }
+
+// Init implements Machine.
+func (f *Func) Init(deg int) State { return f.InitFunc(deg) }
+
+// Halted implements Machine.
+func (f *Func) Halted(s State) (Output, bool) { return f.HaltedFunc(s) }
+
+// Send implements Machine.
+func (f *Func) Send(s State, port int) Message { return f.SendFunc(s, port) }
+
+// Step implements Machine.
+func (f *Func) Step(s State, inbox []Message) State { return f.StepFunc(s, inbox) }
+
+// CheckSendInvariance verifies that a machine declaring SendBroadcast really
+// sends the same message on every port, by probing the given states across
+// all ports up to deg. Hand-written machines are validated with this in
+// tests; the engine additionally enforces broadcast structurally.
+func CheckSendInvariance(m Machine, states []State, deg int) error {
+	if m.Class().Send != SendBroadcast {
+		return nil
+	}
+	for _, s := range states {
+		if _, stopped := m.Halted(s); stopped {
+			continue
+		}
+		first := m.Send(s, 1)
+		for p := 2; p <= deg; p++ {
+			if got := m.Send(s, p); got != first {
+				return fmt.Errorf("machine %q: broadcast machine sends %q on port 1 but %q on port %d",
+					m.Name(), first, got, p)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckStepInvariance verifies the defining invariance property of the
+// declared receive mode (Section 1.5): a Multiset machine must be invariant
+// under permutations of the inbox, a Set machine additionally under changes
+// of multiplicity. It fuzzes permutations/duplications of the given inboxes
+// with rng and compares resulting states by fmt.Sprintf("%#v", ·), which is
+// sound for the struct/value states used across this library.
+func CheckStepInvariance(m Machine, s State, inbox []Message, rng *rand.Rand) error {
+	if _, stopped := m.Halted(s); stopped {
+		return nil
+	}
+	mode := m.Class().Recv
+	if mode == RecvVector {
+		return nil
+	}
+	base := m.Step(s, CanonicalInbox(mode, inbox))
+	baseRepr := fmt.Sprintf("%#v", base)
+	for trial := 0; trial < 8; trial++ {
+		variant := append([]Message(nil), inbox...)
+		rng.Shuffle(len(variant), func(i, j int) { variant[i], variant[j] = variant[j], variant[i] })
+		if mode == RecvSet && len(variant) > 0 {
+			// Duplicate a random element over another: same set, different
+			// multiset, provided we do not erase the last copy of a value.
+			i, j := rng.Intn(len(variant)), rng.Intn(len(variant))
+			if countOf(variant, variant[j]) > 1 {
+				variant[j] = variant[i]
+			}
+		}
+		got := m.Step(s, CanonicalInbox(mode, variant))
+		if repr := fmt.Sprintf("%#v", got); repr != baseRepr {
+			return fmt.Errorf("machine %q: %v machine distinguishes equivalent inboxes %v vs %v",
+				m.Name(), mode, inbox, variant)
+		}
+	}
+	return nil
+}
+
+func countOf(ms []Message, m Message) int {
+	c := 0
+	for _, x := range ms {
+		if x == m {
+			c++
+		}
+	}
+	return c
+}

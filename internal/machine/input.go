@@ -1,0 +1,45 @@
+package machine
+
+// Local inputs (paper §3.4): structures (V, E, f) where each node starts
+// with a local input f(u) in addition to its degree. The classification of
+// the paper extends immediately to this setting; the library supports it
+// through an optional interface so that unlabelled machines stay unchanged.
+
+// InputAware is implemented by machines whose initial state depends on a
+// local input (the function f of §3.4). The engine calls InitWithInput
+// instead of Init when the run carries inputs.
+type InputAware interface {
+	Machine
+	// InitWithInput returns z0(deg, input).
+	InitWithInput(deg int, input string) State
+}
+
+// InputFunc wraps Func with an input-dependent initialiser.
+type InputFunc struct {
+	Func
+	InitInputFunc func(deg int, input string) State
+}
+
+var _ InputAware = (*InputFunc)(nil)
+
+// InitWithInput implements InputAware.
+func (f *InputFunc) InitWithInput(deg int, input string) State {
+	return f.InitInputFunc(deg, input)
+}
+
+// DegreeOblivious reports whether the machine declares itself degree-
+// oblivious (the class SBo of Remark 2: a constant initialisation z0).
+// Machines advertise it via the optional interface below.
+func DegreeOblivious(m Machine) bool {
+	d, ok := m.(interface{ DegreeOblivious() bool })
+	return ok && d.DegreeOblivious()
+}
+
+// ObliviousFunc is a Func whose Init ignores the degree, for Remark 2
+// experiments. Construct with a plain state constant.
+type ObliviousFunc struct {
+	Func
+}
+
+// DegreeOblivious marks the machine as SBo-style.
+func (*ObliviousFunc) DegreeOblivious() bool { return true }

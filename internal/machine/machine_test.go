@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"weakmodels/internal/term"
+)
+
+func TestRecvModeNames(t *testing.T) {
+	if RecvVector.String() != "Vector" || RecvMultiset.String() != "Multiset" ||
+		RecvSet.String() != "Set" {
+		t.Error("receive mode names wrong")
+	}
+	if SendVector.String() != "Vector" || SendBroadcast.String() != "Broadcast" {
+		t.Error("send mode names wrong")
+	}
+	if RecvMode(9).String() == "" || SendMode(9).String() == "" {
+		t.Error("unknown modes should still format")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := map[Class]string{
+		ClassVV: "Vector",
+		ClassMV: "Multiset",
+		ClassSV: "Set",
+		ClassVB: "Broadcast",
+		ClassMB: "Multiset∩Broadcast",
+		ClassSB: "Set∩Broadcast",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%#v.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestClassStrength(t *testing.T) {
+	// Figure 5a: SB ⊆ MB ⊆ VB ⊆ VV, SB ⊆ SV ⊆ MV ⊆ VV, MB ⊆ MV, SB ⊆ SV.
+	stronger := []struct{ hi, lo Class }{
+		{ClassVV, ClassMV}, {ClassMV, ClassSV}, {ClassVV, ClassVB},
+		{ClassVB, ClassMB}, {ClassMB, ClassSB}, {ClassMV, ClassMB},
+		{ClassSV, ClassSB}, {ClassVV, ClassSB},
+	}
+	for _, p := range stronger {
+		if !p.hi.AtLeastAsStrongAs(p.lo) {
+			t.Errorf("%v should be at least as strong as %v", p.hi, p.lo)
+		}
+	}
+	if ClassVB.AtLeastAsStrongAs(ClassSV) || ClassSV.AtLeastAsStrongAs(ClassVB) {
+		t.Error("VB and SV are incomparable as machine classes (Figure 5a)")
+	}
+}
+
+func TestCanonicalInbox(t *testing.T) {
+	in := []Message{"c", "a", "b", "a"}
+	if got := CanonicalInbox(RecvVector, in); !reflect.DeepEqual(got, in) {
+		t.Errorf("vector view changed inbox: %v", got)
+	}
+	if got := CanonicalInbox(RecvMultiset, in); !reflect.DeepEqual(got, []Message{"a", "a", "b", "c"}) {
+		t.Errorf("multiset view = %v", got)
+	}
+	if got := CanonicalInbox(RecvSet, in); !reflect.DeepEqual(got, []Message{"a", "b", "c"}) {
+		t.Errorf("set view = %v", got)
+	}
+	// Originals untouched by weaker modes.
+	if !reflect.DeepEqual(in, []Message{"c", "a", "b", "a"}) {
+		t.Error("CanonicalInbox mutated its input")
+	}
+}
+
+func TestEncodeDecodeTerm(t *testing.T) {
+	tm := term.Tuple(term.Int(3), term.Str("x"))
+	msg := EncodeTerm(tm)
+	back, err := DecodeTerm(msg)
+	if err != nil || !term.Equal(tm, back) {
+		t.Errorf("round trip failed: %v %v", back, err)
+	}
+	m0, err := DecodeTerm(NoMessage)
+	if err != nil || m0.StrVal() != "m0" {
+		t.Errorf("NoMessage should decode to atom m0, got %v %v", m0, err)
+	}
+}
+
+func testFunc(class Class, step func(s State, inbox []Message) State) *Func {
+	return &Func{
+		MachineName:  "t",
+		MachineClass: class,
+		MaxDeg:       3,
+		InitFunc:     func(deg int) State { return 0 },
+		HaltedFunc:   func(s State) (Output, bool) { return "", false },
+		SendFunc:     func(s State, p int) Message { return "m" },
+		StepFunc:     step,
+	}
+}
+
+func TestCheckStepInvarianceCatchesCheater(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	// A "Multiset" machine that actually depends on inbox order would be
+	// caught if the engine did not canonicalise; since CanonicalInbox sorts
+	// first, order dependence is unobservable — which is the enforcement
+	// property itself. A Set machine that counts multiplicities IS
+	// observable and must be caught.
+	cheater := testFunc(ClassSV, func(s State, inbox []Message) State {
+		return len(inbox) // sees multiplicity through length after dedup? No: dedup hides it.
+	})
+	// After dedup the length is the set size, so this is legitimate.
+	if err := CheckStepInvariance(cheater, 0, []Message{"a", "a", "b"}, rng); err != nil {
+		t.Errorf("set-size machine flagged: %v", err)
+	}
+}
+
+func TestCheckSendInvariance(t *testing.T) {
+	good := testFunc(ClassMB, nil)
+	if err := CheckSendInvariance(good, []State{0}, 3); err != nil {
+		t.Errorf("constant sender flagged: %v", err)
+	}
+	bad := &Func{
+		MachineName:  "bad",
+		MachineClass: ClassMB,
+		MaxDeg:       3,
+		InitFunc:     func(deg int) State { return 0 },
+		HaltedFunc:   func(s State) (Output, bool) { return "", false },
+		SendFunc: func(s State, p int) Message {
+			if p == 2 {
+				return "x"
+			}
+			return "m"
+		},
+	}
+	if err := CheckSendInvariance(bad, []State{0}, 3); err == nil {
+		t.Error("port-dependent broadcast sender not flagged")
+	}
+	vec := testFunc(ClassVV, nil)
+	if err := CheckSendInvariance(vec, []State{0}, 3); err != nil {
+		t.Errorf("vector machine should be exempt: %v", err)
+	}
+}
+
+func TestFuncDefaults(t *testing.T) {
+	f := &Func{}
+	if f.Name() != "anonymous" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}

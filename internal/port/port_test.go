@@ -1,0 +1,265 @@
+package port
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/graph"
+)
+
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(4),
+		graph.Cycle(5),
+		graph.Star(4),
+		graph.Complete(4),
+		graph.Figure1Graph(),
+		graph.Petersen(),
+		graph.Grid(2, 3),
+	}
+}
+
+// checkBijection verifies that Dest is a bijection P(G) → P(G) with
+// A(p) = A(G), i.e. a genuine port numbering per Section 1.2.
+func checkBijection(t *testing.T, p *Numbering) {
+	t.Helper()
+	g := p.Graph()
+	seen := make(map[Port]Port)
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			d := p.Dest(v, i)
+			if !g.HasEdge(v, d.Node) {
+				t.Fatalf("Dest(%d,%d)=%v is not a neighbour", v, i, d)
+			}
+			if d.Index < 1 || d.Index > g.Degree(d.Node) {
+				t.Fatalf("Dest(%d,%d)=%v index out of range", v, i, d)
+			}
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("two ports map to %v (also %v)", d, prev)
+			}
+			seen[d] = Port{Node: v, Index: i}
+			// Source must invert Dest.
+			s := p.Source(d.Node, d.Index)
+			if s.Node != v || s.Index != i {
+				t.Fatalf("Source(Dest(%d,%d)) = %v", v, i, s)
+			}
+		}
+	}
+	// A(p) = A(G): every ordered adjacency pair must appear.
+	for v := 0; v < g.N(); v++ {
+		hit := make(map[int]bool)
+		for i := 1; i <= g.Degree(v); i++ {
+			hit[p.Dest(v, i).Node] = true
+		}
+		for _, u := range g.Neighbors(v) {
+			if !hit[u] {
+				t.Fatalf("node %d has no port to neighbour %d", v, u)
+			}
+		}
+	}
+}
+
+func TestCanonicalIsValidAndConsistent(t *testing.T) {
+	for _, g := range testGraphs() {
+		p := Canonical(g)
+		checkBijection(t, p)
+		if !p.IsConsistent() {
+			t.Errorf("canonical numbering of %v not consistent", g)
+		}
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, g := range testGraphs() {
+		for trial := 0; trial < 10; trial++ {
+			checkBijection(t, Random(g, rng))
+		}
+	}
+}
+
+func TestRandomConsistentIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, g := range testGraphs() {
+		for trial := 0; trial < 10; trial++ {
+			p := RandomConsistent(g, rng)
+			checkBijection(t, p)
+			if !p.IsConsistent() {
+				t.Fatalf("RandomConsistent produced inconsistent numbering on %v", g)
+			}
+		}
+	}
+}
+
+func TestRandomIsSometimesInconsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	inconsistent := 0
+	for trial := 0; trial < 50; trial++ {
+		if !Random(graph.Cycle(5), rng).IsConsistent() {
+			inconsistent++
+		}
+	}
+	if inconsistent == 0 {
+		t.Error("50 random numberings of C5 all consistent — suspicious")
+	}
+}
+
+func TestOutInPortHelpers(t *testing.T) {
+	g := graph.Figure1Graph()
+	p := Canonical(g)
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Degree(v); i++ {
+			u := p.OutNeighbor(v, i)
+			if p.OutPortTo(v, u) != i {
+				t.Errorf("OutPortTo(%d,%d) != %d", v, u, i)
+			}
+			d := p.Dest(v, i)
+			if p.InPortFrom(d.Node, v) != d.Index {
+				t.Errorf("InPortFrom(%d,%d) = %d, want %d",
+					d.Node, v, p.InPortFrom(d.Node, v), d.Index)
+			}
+		}
+	}
+	if p.OutPortTo(3, 1) != 0 || p.InPortFrom(3, 1) != 0 {
+		t.Error("non-neighbour should yield port 0")
+	}
+}
+
+func TestSymmetricCycle(t *testing.T) {
+	for _, n := range []int{3, 4, 6, 7} {
+		p := SymmetricCycle(n)
+		checkBijection(t, p)
+		if !p.IsConsistent() {
+			t.Errorf("SymmetricCycle(%d) not consistent", n)
+		}
+		// Every node's port 1 must reach the neighbour's port 2.
+		for v := 0; v < n; v++ {
+			if d := p.Dest(v, 1); d.Index != 2 {
+				t.Errorf("n=%d: Dest(%d,1).Index = %d, want 2", n, v, d.Index)
+			}
+			if d := p.Dest(v, 2); d.Index != 1 {
+				t.Errorf("n=%d: Dest(%d,2).Index = %d, want 1", n, v, d.Index)
+			}
+		}
+	}
+}
+
+func TestFromPermutationFactors(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Petersen(), graph.NoOneFactorCubic()} {
+		perms, err := graph.DoubleCoverFactorPermutations(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromPermutationFactors(g, perms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBijection(t, p)
+		// The defining property: out-port i lands on in-port i (R(i,j)
+		// empty off the diagonal).
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				if d := p.Dest(v, i); d.Index != i {
+					t.Fatalf("%v: Dest(%d,%d) = %v, want in-port %d", g, v, i, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFromPermutationFactorsRejects(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, err := FromPermutationFactors(g, [][]int{{1, 2, 3, 0}}); err == nil {
+		t.Error("wrong factor count accepted")
+	}
+	if _, err := FromPermutationFactors(graph.Path(3), nil); err == nil {
+		t.Error("irregular graph accepted")
+	}
+}
+
+func TestAllEnumeration(t *testing.T) {
+	g := graph.Path(3) // degrees 1,2,1: 2 out × 2 in per middle node... product = (1!·1!·2!)² = 4
+	all, err := All(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("|All(P3)| = %d, want 4", len(all))
+	}
+	for _, p := range all {
+		checkBijection(t, p)
+	}
+	cons, err := AllConsistent(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("|AllConsistent(P3)| = %d, want 2", len(cons))
+	}
+	for _, p := range cons {
+		if !p.IsConsistent() {
+			t.Fatal("AllConsistent yielded inconsistent numbering")
+		}
+	}
+}
+
+func TestAllRespectsLimit(t *testing.T) {
+	if _, err := All(graph.Complete(4), 10); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestLocalType(t *testing.T) {
+	p := SymmetricCycle(5)
+	for v := 0; v < 5; v++ {
+		lt := LocalType(p, v, 3)
+		if lt[0] != 2 || lt[1] != 1 || lt[2] != 0 {
+			t.Errorf("LocalType(%d) = %v, want [2 1 0]", v, lt)
+		}
+	}
+}
+
+func TestConsistencyDetectsInconsistent(t *testing.T) {
+	// Build C4 numbering where node 0's port 1 → node 1's port 1, but node
+	// 1's port 1 → node 2: definitely not an involution.
+	g := graph.Cycle(4)
+	rng := rand.New(rand.NewSource(23))
+	found := false
+	for trial := 0; trial < 100 && !found; trial++ {
+		p := Random(g, rng)
+		if !p.IsConsistent() {
+			found = true
+			// Verify by hand that some port round-trips wrongly.
+			bad := false
+			for v := 0; v < g.N() && !bad; v++ {
+				for i := 1; i <= g.Degree(v); i++ {
+					d := p.Dest(v, i)
+					dd := p.Dest(d.Node, d.Index)
+					if dd.Node != v || dd.Index != i {
+						bad = true
+						break
+					}
+				}
+			}
+			if !bad {
+				t.Fatal("IsConsistent=false but involution holds")
+			}
+		}
+	}
+	if !found {
+		t.Skip("no inconsistent sample drawn")
+	}
+}
+
+func BenchmarkPortNumbering(b *testing.B) {
+	g := graph.Torus(10, 10)
+	rng := rand.New(rand.NewSource(24))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := Random(g, rng)
+		if p.IsConsistent() {
+			b.Log("unlikely")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package port
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakmodels/internal/graph"
+)
+
+func randomGraphFromSeed(seed int64, maxN int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// TestQuickDestSourceInverse: Source ∘ Dest = id on every port of every
+// random numbering of every random graph.
+func TestQuickDestSourceInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 9)
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		p := Random(g, rng)
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				d := p.Dest(v, i)
+				s := p.Source(d.Node, d.Index)
+				if s.Node != v || s.Index != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConsistentIsInvolution: RandomConsistent always yields p∘p = id.
+func TestQuickConsistentIsInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 9)
+		rng := rand.New(rand.NewSource(seed ^ 0x7a7a))
+		return RandomConsistent(g, rng).IsConsistent()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOutPortRoundTrip: OutPortTo inverts OutNeighbor everywhere.
+func TestQuickOutPortRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 9)
+		rng := rand.New(rand.NewSource(seed ^ 0x1c1c))
+		p := Random(g, rng)
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				if p.OutPortTo(v, p.OutNeighbor(v, i)) != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLocalTypePermutation: under a consistent numbering, the local
+// type entries of node v are exactly the in-ports of its neighbours — each
+// in [1, deg(neighbour)].
+func TestQuickLocalTypePermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 9)
+		rng := rand.New(rand.NewSource(seed ^ 0x33aa))
+		p := RandomConsistent(g, rng)
+		delta := g.MaxDegree()
+		for v := 0; v < g.N(); v++ {
+			lt := LocalType(p, v, delta)
+			for i := 1; i <= g.Degree(v); i++ {
+				u := p.OutNeighbor(v, i)
+				if lt[i-1] < 1 || lt[i-1] > g.Degree(u) {
+					return false
+				}
+			}
+			for i := g.Degree(v); i < delta; i++ {
+				if lt[i] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

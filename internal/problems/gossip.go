@@ -1,0 +1,58 @@
+package problems
+
+import (
+	"fmt"
+	"strconv"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+)
+
+// MaxDegreeWithin requires S(v) to equal the maximum degree among nodes at
+// distance ≤ K from v. The unique solution is computed by BFS.
+type MaxDegreeWithin struct {
+	// K is the radius.
+	K int
+}
+
+var _ Problem = MaxDegreeWithin{}
+
+// Name implements Problem.
+func (p MaxDegreeWithin) Name() string { return fmt.Sprintf("max-degree-within-%d", p.K) }
+
+// Validate implements Problem.
+func (p MaxDegreeWithin) Validate(g *graph.Graph, out []machine.Output) error {
+	for v := 0; v < g.N(); v++ {
+		want := maxDegreeInBall(g, v, p.K)
+		got, err := strconv.Atoi(string(out[v]))
+		if err != nil || got != want {
+			return fmt.Errorf("max-degree-within-%d: node %d outputs %q, want %d",
+				p.K, v, out[v], want)
+		}
+	}
+	return nil
+}
+
+// maxDegreeInBall BFSes to radius k and returns the maximum degree seen.
+func maxDegreeInBall(g *graph.Graph, v, k int) int {
+	dist := map[int]int{v: 0}
+	queue := []int{v}
+	best := g.Degree(v)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if g.Degree(x) > best {
+			best = g.Degree(x)
+		}
+		if dist[x] == k {
+			continue
+		}
+		for _, w := range g.Neighbors(x) {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[x] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,64 @@
+package problems
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+)
+
+// LeafWithin is the decision problem "S(v) = 1 iff some degree-1 node is
+// within distance K of v" (distance 0 counts: leaves themselves output 1).
+// Solvable in SB(1) for every fixed K — see algorithms.LeafProximity.
+type LeafWithin struct {
+	// K is the distance bound.
+	K int
+}
+
+var _ Problem = LeafWithin{}
+
+// Name implements Problem.
+func (p LeafWithin) Name() string { return fmt.Sprintf("leaf-within-%d", p.K) }
+
+// Validate implements Problem.
+func (p LeafWithin) Validate(g *graph.Graph, out []machine.Output) error {
+	want := leafDistances(g)
+	for v := 0; v < g.N(); v++ {
+		expected := machine.Output("0")
+		if want[v] <= p.K {
+			expected = "1"
+		}
+		if out[v] != expected {
+			return fmt.Errorf("leaf-within-%d: node %d outputs %q, want %q (leaf distance %d)",
+				p.K, v, out[v], expected, want[v])
+		}
+	}
+	return nil
+}
+
+// leafDistances returns, per node, the hop distance to the closest
+// degree-1 node (large value when none is reachable).
+func leafDistances(g *graph.Graph) []int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.N())
+	var queue []int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			dist[v] = 0
+			queue = append(queue, v)
+		} else {
+			dist[v] = inf
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] > dist[v]+1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,282 @@
+// Package problems defines graph problems Π in the sense of Section 1.4: a
+// problem maps each graph G to a set Π(G) of admissible output assignments
+// S : V → Y. A Problem here is a validator — Validate(g, out) reports
+// whether out ∈ Π(G) — plus, for the separation machinery of Corollary 3,
+// an optional witness obligation stating that certain node sets must be
+// split by every valid solution.
+package problems
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+)
+
+// Problem is a graph problem Π.
+type Problem interface {
+	// Name identifies the problem.
+	Name() string
+	// Validate reports nil iff out ∈ Π(G). out[v] is the local output S(v).
+	Validate(g *graph.Graph, out []machine.Output) error
+}
+
+// LeafElection is the Theorem 11 problem: on a k-star (k > 1), exactly one
+// leaf outputs 1 and everything else outputs 0; on non-stars anything goes.
+type LeafElection struct{}
+
+var _ Problem = LeafElection{}
+
+// Name implements Problem.
+func (LeafElection) Name() string { return "leaf-election-in-star" }
+
+// Validate implements Problem.
+func (LeafElection) Validate(g *graph.Graph, out []machine.Output) error {
+	centre, k, ok := starShape(g)
+	if !ok || k <= 1 {
+		return nil // not a k-star with k > 1: unconstrained
+	}
+	chosen := 0
+	for v := 0; v < g.N(); v++ {
+		switch {
+		case v == centre && out[v] != "0":
+			return fmt.Errorf("leaf-election: centre %d outputs %q, want 0", v, out[v])
+		case v != centre && out[v] == "1":
+			chosen++
+		case v != centre && out[v] != "0" && out[v] != "1":
+			return fmt.Errorf("leaf-election: node %d outputs %q ∉ {0,1}", v, out[v])
+		}
+	}
+	if chosen != 1 {
+		return fmt.Errorf("leaf-election: %d leaves chosen, want exactly 1", chosen)
+	}
+	return nil
+}
+
+// starShape detects a star, returning its centre and leaf count.
+func starShape(g *graph.Graph) (centre, k int, ok bool) {
+	if g.N() < 2 || g.M() != g.N()-1 {
+		return 0, 0, false
+	}
+	centre = -1
+	for v := 0; v < g.N(); v++ {
+		switch g.Degree(v) {
+		case g.N() - 1:
+			centre = v
+		case 1:
+		default:
+			return 0, 0, false
+		}
+	}
+	if centre == -1 {
+		// K2 is a 1-star with either node as centre.
+		if g.N() == 2 {
+			return 0, 1, true
+		}
+		return 0, 0, false
+	}
+	return centre, g.N() - 1, true
+}
+
+// OddOdd is the Theorem 13 problem: S(v) = 1 iff v has an odd number of
+// neighbours of odd degree. The solution is unique per graph.
+type OddOdd struct{}
+
+var _ Problem = OddOdd{}
+
+// Name implements Problem.
+func (OddOdd) Name() string { return "odd-odd-neighbours" }
+
+// Validate implements Problem.
+func (OddOdd) Validate(g *graph.Graph, out []machine.Output) error {
+	for v := 0; v < g.N(); v++ {
+		odd := 0
+		for _, u := range g.Neighbors(v) {
+			if g.Degree(u)%2 == 1 {
+				odd++
+			}
+		}
+		want := machine.Output("0")
+		if odd%2 == 1 {
+			want = "1"
+		}
+		if out[v] != want {
+			return fmt.Errorf("odd-odd: node %d outputs %q, want %q", v, out[v], want)
+		}
+	}
+	return nil
+}
+
+// SymmetryBreak is the Theorem 17 problem: on connected regular graphs of
+// odd degree without a 1-factor (the class 𝒢), the output must be
+// non-constant; on all other graphs anything goes.
+type SymmetryBreak struct{}
+
+var _ Problem = SymmetryBreak{}
+
+// Name implements Problem.
+func (SymmetryBreak) Name() string { return "symmetry-breaking-on-𝒢" }
+
+// InClassG reports whether g belongs to the family 𝒢 of Theorem 17.
+func InClassG(g *graph.Graph) bool {
+	k, reg := g.IsRegular()
+	return reg && k%2 == 1 && k >= 3 && g.IsConnected() && !graph.HasPerfectMatching(g)
+}
+
+// Validate implements Problem.
+func (SymmetryBreak) Validate(g *graph.Graph, out []machine.Output) error {
+	if !InClassG(g) {
+		return nil
+	}
+	for v := 1; v < g.N(); v++ {
+		if out[v] != out[0] {
+			return nil
+		}
+	}
+	return fmt.Errorf("symmetry-break: constant output %q on a graph in 𝒢", out[0])
+}
+
+// EvenDegrees is the decision problem "every node has even degree" with the
+// accept/reject semantics of Section 1.4: on yes-instances all nodes output
+// 1; on no-instances at least one node outputs 0.
+type EvenDegrees struct{}
+
+var _ Problem = EvenDegrees{}
+
+// Name implements Problem.
+func (EvenDegrees) Name() string { return "even-degrees-decision" }
+
+// Validate implements Problem.
+func (EvenDegrees) Validate(g *graph.Graph, out []machine.Output) error {
+	yes := true
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v)%2 == 1 {
+			yes = false
+			break
+		}
+	}
+	if yes {
+		for v := 0; v < g.N(); v++ {
+			if out[v] != "1" {
+				return fmt.Errorf("even-degrees: node %d rejects a yes-instance", v)
+			}
+		}
+		return nil
+	}
+	for v := 0; v < g.N(); v++ {
+		if out[v] == "0" {
+			return nil
+		}
+	}
+	return fmt.Errorf("even-degrees: no node rejected a no-instance")
+}
+
+// VertexCover is the approximate minimum vertex cover problem: outputs in
+// {0,1} must form a vertex cover of size at most Ratio times the optimum.
+// Validation certifies the ratio against the exact optimum when the graph
+// is small enough, and against the matching lower bound ν(G) ≤ OPT
+// otherwise.
+type VertexCover struct {
+	// Ratio is the allowed approximation factor (2 for the paper's MB(1)
+	// algorithm of Section 3.3).
+	Ratio float64
+	// ExactLimit is the largest node count for which the exact optimum is
+	// computed (default 24).
+	ExactLimit int
+}
+
+var _ Problem = VertexCover{}
+
+// Name implements Problem.
+func (p VertexCover) Name() string { return fmt.Sprintf("vertex-cover-%.1f-approx", p.Ratio) }
+
+// Validate implements Problem.
+func (p VertexCover) Validate(g *graph.Graph, out []machine.Output) error {
+	in := make([]bool, g.N())
+	size := 0
+	for v := 0; v < g.N(); v++ {
+		switch out[v] {
+		case "1":
+			in[v] = true
+			size++
+		case "0":
+		default:
+			return fmt.Errorf("vertex-cover: node %d outputs %q ∉ {0,1}", v, out[v])
+		}
+	}
+	if !graph.IsVertexCover(g, in) {
+		return fmt.Errorf("vertex-cover: output is not a vertex cover")
+	}
+	limit := p.ExactLimit
+	if limit == 0 {
+		limit = 24
+	}
+	var lower int
+	if g.N() <= limit {
+		lower = graph.MinVertexCoverBruteForce(g)
+	} else {
+		lower = graph.Nu(g) // ν(G) ≤ OPT
+	}
+	if float64(size) > p.Ratio*float64(lower)+1e-9 {
+		return fmt.Errorf("vertex-cover: size %d exceeds %.1f × lower bound %d", size, p.Ratio, lower)
+	}
+	return nil
+}
+
+// MaximalIndependentSet requires the 1-labelled nodes to form a maximal
+// independent set. It is not solvable in any of the paper's classes (the
+// symmetric-cycle argument of Section 3.1), and is used as a negative
+// control.
+type MaximalIndependentSet struct{}
+
+var _ Problem = MaximalIndependentSet{}
+
+// Name implements Problem.
+func (MaximalIndependentSet) Name() string { return "maximal-independent-set" }
+
+// Validate implements Problem.
+func (MaximalIndependentSet) Validate(g *graph.Graph, out []machine.Output) error {
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		in[v] = out[v] == "1"
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return fmt.Errorf("mis: adjacent nodes %d and %d both selected", e.U, e.V)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("mis: node %d is neither selected nor dominated", v)
+		}
+	}
+	return nil
+}
+
+// ProperColoring requires adjacent nodes to output different values.
+type ProperColoring struct{}
+
+var _ Problem = ProperColoring{}
+
+// Name implements Problem.
+func (ProperColoring) Name() string { return "proper-colouring" }
+
+// Validate implements Problem.
+func (ProperColoring) Validate(g *graph.Graph, out []machine.Output) error {
+	for _, e := range g.Edges() {
+		if out[e.U] == out[e.V] {
+			return fmt.Errorf("colouring: edge {%d,%d} monochromatic (%q)", e.U, e.V, out[e.U])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+)
+
+func outs(ss ...string) []machine.Output {
+	o := make([]machine.Output, len(ss))
+	for i, s := range ss {
+		o[i] = machine.Output(s)
+	}
+	return o
+}
+
+func TestLeafElection(t *testing.T) {
+	p := LeafElection{}
+	g := graph.Star(3) // centre 0, leaves 1..3
+	if err := p.Validate(g, outs("0", "1", "0", "0")); err != nil {
+		t.Errorf("valid election rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("0", "0", "0", "0")); err == nil {
+		t.Error("no leaf chosen accepted")
+	}
+	if err := p.Validate(g, outs("0", "1", "1", "0")); err == nil {
+		t.Error("two leaves accepted")
+	}
+	if err := p.Validate(g, outs("1", "1", "0", "0")); err == nil {
+		t.Error("centre output 1 accepted")
+	}
+	if err := p.Validate(g, outs("0", "x", "0", "0")); err == nil {
+		t.Error("junk output accepted")
+	}
+	// Non-stars are unconstrained.
+	if err := p.Validate(graph.Cycle(4), outs("9", "9", "9", "9")); err != nil {
+		t.Errorf("non-star constrained: %v", err)
+	}
+	// Paw graph (star-like but has a cycle) is unconstrained.
+	if err := p.Validate(graph.Figure1Graph(), outs("", "", "", "")); err != nil {
+		t.Errorf("paw constrained: %v", err)
+	}
+}
+
+func TestOddOddValidator(t *testing.T) {
+	p := OddOdd{}
+	g, u, w := graph.Theorem13Witness()
+	want := make([]machine.Output, g.N())
+	for v := 0; v < g.N(); v++ {
+		odd := 0
+		for _, x := range g.Neighbors(v) {
+			if g.Degree(x)%2 == 1 {
+				odd++
+			}
+		}
+		want[v] = machine.Output("0")
+		if odd%2 == 1 {
+			want[v] = "1"
+		}
+	}
+	if err := p.Validate(g, want); err != nil {
+		t.Fatalf("correct solution rejected: %v", err)
+	}
+	if want[u] != "0" || want[w] != "1" {
+		t.Fatalf("witness outputs: u=%s w=%s, want 0/1", want[u], want[w])
+	}
+	bad := append([]machine.Output(nil), want...)
+	bad[u] = "1"
+	if err := p.Validate(g, bad); err == nil {
+		t.Error("wrong solution accepted")
+	}
+}
+
+func TestSymmetryBreakAndClassG(t *testing.T) {
+	p := SymmetryBreak{}
+	g := graph.NoOneFactorCubic()
+	if !InClassG(g) {
+		t.Fatal("Figure 9a graph must be in 𝒢")
+	}
+	if InClassG(graph.Petersen()) {
+		t.Error("Petersen has a 1-factor; not in 𝒢")
+	}
+	if InClassG(graph.Cycle(5)) {
+		t.Error("even-degree graph in 𝒢")
+	}
+	if InClassG(graph.DisjointUnion(graph.NoOneFactorCubic(), graph.NoOneFactorCubic())) {
+		t.Error("disconnected graph in 𝒢")
+	}
+	constant := make([]machine.Output, g.N())
+	for i := range constant {
+		constant[i] = "1"
+	}
+	if err := p.Validate(g, constant); err == nil {
+		t.Error("constant output accepted on 𝒢")
+	}
+	nonConst := append([]machine.Output(nil), constant...)
+	nonConst[3] = "0"
+	if err := p.Validate(g, nonConst); err != nil {
+		t.Errorf("non-constant output rejected: %v", err)
+	}
+	// Outside 𝒢: anything goes.
+	if err := p.Validate(graph.Petersen(), make([]machine.Output, 10)); err != nil {
+		t.Errorf("non-𝒢 graph constrained: %v", err)
+	}
+}
+
+func TestEvenDegreesValidator(t *testing.T) {
+	p := EvenDegrees{}
+	yes := graph.Cycle(5)
+	allOne := outs("1", "1", "1", "1", "1")
+	if err := p.Validate(yes, allOne); err != nil {
+		t.Errorf("yes-instance rejected: %v", err)
+	}
+	oneZero := outs("1", "0", "1", "1", "1")
+	if err := p.Validate(yes, oneZero); err == nil {
+		t.Error("rejecting node on yes-instance accepted")
+	}
+	no := graph.Path(4)
+	if err := p.Validate(no, outs("1", "1", "1", "1")); err == nil {
+		t.Error("all-accept on no-instance accepted")
+	}
+	if err := p.Validate(no, outs("1", "0", "1", "1")); err != nil {
+		t.Errorf("valid rejection rejected: %v", err)
+	}
+}
+
+func TestVertexCoverValidator(t *testing.T) {
+	p := VertexCover{Ratio: 2}
+	g := graph.Star(4)
+	if err := p.Validate(g, outs("1", "0", "0", "0", "0")); err != nil {
+		t.Errorf("optimal cover rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("0", "1", "1", "1", "1")); err == nil {
+		t.Error("4×OPT cover accepted at ratio 2")
+	}
+	if err := p.Validate(g, outs("0", "0", "0", "0", "0")); err == nil {
+		t.Error("non-cover accepted")
+	}
+	if err := p.Validate(g, outs("1", "?", "0", "0", "0")); err == nil {
+		t.Error("junk output accepted")
+	}
+	// Ratio-respecting suboptimal cover on a path: P4 OPT=2.
+	p4 := graph.Path(4)
+	if err := p.Validate(p4, outs("0", "1", "1", "0")); err != nil {
+		t.Errorf("optimal P4 cover rejected: %v", err)
+	}
+	if err := p.Validate(p4, outs("1", "1", "1", "1")); err != nil {
+		t.Errorf("2×OPT P4 cover rejected: %v", err)
+	}
+}
+
+func TestMISValidator(t *testing.T) {
+	p := MaximalIndependentSet{}
+	g := graph.Path(4)
+	if err := p.Validate(g, outs("1", "0", "1", "0")); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("1", "1", "0", "0")); err == nil {
+		t.Error("dependent set accepted")
+	}
+	if err := p.Validate(g, outs("1", "0", "0", "0")); err == nil {
+		t.Error("non-maximal set accepted")
+	}
+}
+
+func TestColoringValidator(t *testing.T) {
+	p := ProperColoring{}
+	g := graph.Cycle(4)
+	if err := p.Validate(g, outs("a", "b", "a", "b")); err != nil {
+		t.Errorf("proper colouring rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("a", "a", "b", "b")); err == nil {
+		t.Error("monochromatic edge accepted")
+	}
+}
+
+func TestProblemNames(t *testing.T) {
+	ps := []Problem{
+		LeafElection{}, OddOdd{}, SymmetryBreak{}, EvenDegrees{},
+		VertexCover{Ratio: 2}, MaximalIndependentSet{}, ProperColoring{},
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		name := p.Name()
+		if name == "" || seen[name] || strings.Contains(name, " ") {
+			t.Errorf("bad problem name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	if _, k, ok := starShape(graph.Star(5)); !ok || k != 5 {
+		t.Error("star5 not detected")
+	}
+	if _, _, ok := starShape(graph.Cycle(4)); ok {
+		t.Error("cycle detected as star")
+	}
+	if _, k, ok := starShape(graph.Path(2)); !ok || k != 1 {
+		t.Error("K2 should be a 1-star")
+	}
+	if _, _, ok := starShape(graph.Figure1Graph()); ok {
+		t.Error("paw detected as star")
+	}
+}
+
+func TestLeafWithinValidator(t *testing.T) {
+	g := graph.Path(4) // leaves 0 and 3
+	p := LeafWithin{K: 1}
+	if p.Name() != "leaf-within-1" {
+		t.Errorf("name %q", p.Name())
+	}
+	if err := p.Validate(g, outs("1", "1", "1", "1")); err != nil {
+		t.Errorf("correct solution rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("1", "0", "1", "1")); err == nil {
+		t.Error("wrong output accepted")
+	}
+	// K=0: only the leaves themselves.
+	p0 := LeafWithin{K: 0}
+	if err := p0.Validate(g, outs("1", "0", "0", "1")); err != nil {
+		t.Errorf("K=0 solution rejected: %v", err)
+	}
+	// A cycle has no leaves: everything 0, regardless of K.
+	c := graph.Cycle(4)
+	if err := (LeafWithin{K: 5}).Validate(c, outs("0", "0", "0", "0")); err != nil {
+		t.Errorf("leafless graph: %v", err)
+	}
+}
+
+func TestMaxDegreeWithinValidator(t *testing.T) {
+	g := graph.Star(3)
+	p := MaxDegreeWithin{K: 1}
+	if p.Name() != "max-degree-within-1" {
+		t.Errorf("name %q", p.Name())
+	}
+	if err := p.Validate(g, outs("3", "3", "3", "3")); err != nil {
+		t.Errorf("correct solution rejected: %v", err)
+	}
+	if err := p.Validate(g, outs("3", "1", "3", "3")); err == nil {
+		t.Error("wrong maximum accepted")
+	}
+	// K=0: own degree.
+	if err := (MaxDegreeWithin{K: 0}).Validate(g, outs("3", "1", "1", "1")); err != nil {
+		t.Errorf("K=0 solution rejected: %v", err)
+	}
+	// Radius beyond the component must not leak across components.
+	dg := graph.DisjointUnion(graph.Star(3), graph.Path(2))
+	out := outs("3", "3", "3", "3", "1", "1")
+	if err := (MaxDegreeWithin{K: 10}).Validate(dg, out); err != nil {
+		t.Errorf("disjoint union: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+
+	"weakmodels/internal/machine"
+)
+
+// The simulation wrappers run inside the engine, where every message is
+// self-produced — malformed messages can only mean a bug, so the wrappers
+// panic loudly rather than guessing. These failure-injection tests pin that
+// contract down by feeding corrupted inboxes directly into Step.
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			} else {
+				t.Fatalf("panic payload %T", r)
+			}
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestTheorem4StepRejectsGarbage(t *testing.T) {
+	inner := multisetHistogram(2, 1)
+	wrapped, err := SetFromMultiset(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive through the warm-up so we are in simulation phase.
+	s := wrapped.Init(2)
+	for i := 0; i < 2*2; i++ {
+		msg := wrapped.Send(s, 1)
+		s = wrapped.Step(s, []machine.Message{msg})
+	}
+	mustPanic(t, "malformed", func() {
+		wrapped.Step(s, []machine.Message{"not-a-term"})
+	})
+	mustPanic(t, "malformed", func() {
+		wrapped.Step(s, []machine.Message{`t("wrong",1)`})
+	})
+}
+
+func TestTheorem8StepRejectsGarbage(t *testing.T) {
+	inner := vectorPortEcho(2, 2)
+	wrapped, err := MultisetFromVector(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wrapped.Init(2)
+	mustPanic(t, "malformed", func() {
+		wrapped.Step(s, []machine.Message{"%%%", "%%%"})
+	})
+	// A history whose prefix matches no slot is a protocol violation.
+	msg := wrapped.Send(s, 1)
+	s2 := wrapped.Step(s, []machine.Message{msg, msg})
+	mustPanic(t, "unknown prefix", func() {
+		wrapped.Step(s2, []machine.Message{
+			machine.EncodeTermStrings("ghost", "ghost"),
+			machine.EncodeTermStrings("ghost", "ghost"),
+		})
+	})
+}
+
+func TestTheorem8StepCountMismatch(t *testing.T) {
+	inner := vectorPortEcho(2, 2)
+	wrapped, err := MultisetFromVector(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wrapped.Init(2)
+	mustPanic(t, "≠ deg", func() {
+		wrapped.Step(s, []machine.Message{wrapped.Send(s, 1)}) // one message, degree two
+	})
+}

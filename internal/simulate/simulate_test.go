@@ -1,0 +1,695 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/term"
+)
+
+// multisetHistogram is a Multiset machine: for `rounds` rounds every node
+// sends its degree and collects a histogram of received multisets; output
+// is a canonical encoding of everything seen. Exercises genuine multiset
+// (not just set) information.
+func multisetHistogram(delta, rounds int) machine.Machine {
+	type st struct {
+		Deg   int
+		Round int
+		Seen  string
+		Done  bool
+	}
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("multiset-histogram-%d", rounds),
+		MachineClass: machine.ClassMV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(x.Seen), x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			x := s.(st)
+			// Send degree and previous observations (port-independent body
+			// is fine for a Multiset machine; it may still use p).
+			return machine.EncodeTerm(term.Tuple(
+				term.Int(int64(x.Deg)), term.Int(int64(x.Round)), term.Str(x.Seen)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			parts := make([]term.Term, 0, len(inbox))
+			for _, m := range inbox {
+				t, err := machine.DecodeTerm(m)
+				if err != nil {
+					panic(err)
+				}
+				parts = append(parts, t)
+			}
+			x.Seen = term.Tuple(term.Str(x.Seen), term.Bag(parts...)).Encode()
+			x.Round++
+			if x.Round == rounds {
+				x.Done = true
+			}
+			return x
+		},
+	}
+}
+
+// vectorPortEcho is a Vector machine whose output depends on the incoming
+// port order: after `rounds` rounds it outputs the concatenation of
+// (in-port, message) pairs seen.
+func vectorPortEcho(delta, rounds int) machine.Machine {
+	type st struct {
+		Deg   int
+		Round int
+		Seen  string
+		Done  bool
+	}
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("vector-port-echo-%d", rounds),
+		MachineClass: machine.ClassVV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(x.Seen), x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			x := s.(st)
+			return machine.EncodeTerm(term.Tuple(
+				term.Int(int64(x.Deg)), term.Int(int64(p)), term.Int(int64(x.Round))))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s/", x.Seen)
+			for i, m := range inbox {
+				fmt.Fprintf(&b, "[%d:%s]", i+1, m)
+			}
+			x.Seen = b.String()
+			x.Round++
+			if x.Round == rounds {
+				x.Done = true
+			}
+			return x
+		},
+	}
+}
+
+// broadcastCollect is a Broadcast (VB) machine: broadcasts its degree and
+// round; output records the vector of received messages per in-port.
+func broadcastCollect(delta, rounds int) machine.Machine {
+	type st struct {
+		Deg   int
+		Round int
+		Seen  string
+		Done  bool
+	}
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("broadcast-collect-%d", rounds),
+		MachineClass: machine.ClassVB,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(x.Seen), x.Done
+		},
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			x := s.(st)
+			return machine.EncodeTerm(term.Tuple(term.Int(int64(x.Deg)), term.Int(int64(x.Round))))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s/", x.Seen)
+			for i, m := range inbox {
+				fmt.Fprintf(&b, "[%d:%s]", i+1, m)
+			}
+			x.Seen = b.String()
+			x.Round++
+			if x.Round == rounds {
+				x.Done = true
+			}
+			return x
+		},
+	}
+}
+
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(4),
+		graph.Cycle(5),
+		graph.Star(3),
+		graph.Figure1Graph(),
+		graph.Petersen(),
+	}
+}
+
+// TestTheorem4 — the Set wrapper must reproduce the Multiset machine's
+// outputs exactly, with exactly 2Δ extra rounds.
+func TestTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, g := range testGraphs() {
+		delta := g.MaxDegree()
+		inner := multisetHistogram(delta, 2)
+		wrapped, err := SetFromMultiset(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrapped.Class().Recv != machine.RecvSet {
+			t.Fatal("wrapper not Set-receive")
+		}
+		for trial := 0; trial < 5; trial++ {
+			p := port.Random(g, rng)
+			want, err := engine.Run(inner, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := engine.Run(wrapped, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want.Output {
+				if want.Output[v] != got.Output[v] {
+					t.Fatalf("%v node %d: wrapper output differs\nwant %q\ngot  %q",
+						g, v, want.Output[v], got.Output[v])
+				}
+			}
+			if got.Rounds != want.Rounds+2*delta {
+				t.Errorf("%v: wrapper rounds %d, want %d + 2Δ=%d",
+					g, got.Rounds, want.Rounds, want.Rounds+2*delta)
+			}
+		}
+	}
+}
+
+// TestTheorem4MixedHalting uses an inner machine whose nodes halt at
+// different times (leaves immediately, others later).
+func TestTheorem4MixedHalting(t *testing.T) {
+	type st struct {
+		Deg   int
+		Round int
+		Sum   int
+		Done  bool
+	}
+	// Leaves halt at init; others run until they have summed two rounds of
+	// messages (m0 from the halted leaves counts as 0).
+	inner := &machine.Func{
+		MachineName:  "mixed-halt",
+		MachineClass: machine.ClassMV,
+		MaxDeg:       4,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg, Done: deg <= 1} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(fmt.Sprintf("%d", x.Sum)), x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return machine.EncodeTerm(term.Int(int64(s.(st).Deg)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				if m == machine.NoMessage {
+					continue
+				}
+				tm, err := machine.DecodeTerm(m)
+				if err != nil {
+					panic(err)
+				}
+				x.Sum += int(tm.IntVal())
+			}
+			x.Round++
+			x.Done = x.Round >= 2
+			return x
+		},
+	}
+	wrapped, err := SetFromMultiset(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	for _, g := range []*graph.Graph{graph.Star(4), graph.Caterpillar(3, 1), graph.Path(5)} {
+		p := port.Random(g, rng)
+		want, err := engine.Run(inner, p, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.Run(wrapped, p, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Output {
+			if want.Output[v] != got.Output[v] {
+				t.Fatalf("%v node %d: %q vs %q", g, v, want.Output[v], got.Output[v])
+			}
+		}
+	}
+}
+
+// TestLemma6Distinct asserts the heart of Theorem 4: after 2Δ rounds the
+// message triples (β_{2Δ}(u), deg(u), π(u,v)) are distinct over the
+// neighbours u of every node v.
+func TestLemma6Distinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	graphs := append(testGraphs(),
+		graph.Complete(5), graph.Hypercube(3), graph.NoOneFactorCubic())
+	for _, g := range graphs {
+		delta := g.MaxDegree()
+		for trial := 0; trial < 3; trial++ {
+			p := port.Random(g, rng)
+			beta := BetaSequences(p, 2*delta)
+			for v := 0; v < g.N(); v++ {
+				seen := make(map[string]int)
+				for _, u := range g.Neighbors(v) {
+					key := fmt.Sprintf("%s|%d|%d", beta[u], g.Degree(u), p.OutPortTo(u, v))
+					if prev, dup := seen[key]; dup {
+						t.Fatalf("%v: neighbours %d and %d of %d indistinguishable after 2Δ rounds",
+							g, prev, u, v)
+					}
+					seen[key] = u
+				}
+			}
+		}
+	}
+}
+
+// TestLemma6NeedsEnoughRounds shows the warm-up is genuinely needed: after
+// very few rounds some graph has indistinguishable neighbours.
+func TestLemma6NeedsEnoughRounds(t *testing.T) {
+	// In a symmetric even cycle with out-port collisions, one round is not
+	// enough to separate the two neighbours of some node for some numbering.
+	found := false
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 200 && !found; trial++ {
+		g := graph.Cycle(6)
+		p := port.Random(g, rng)
+		beta := BetaSequences(p, 1)
+		for v := 0; v < g.N() && !found; v++ {
+			seen := make(map[string]bool)
+			for _, u := range g.Neighbors(v) {
+				key := fmt.Sprintf("%s|%d|%d", beta[u], g.Degree(u), p.OutPortTo(u, v))
+				if seen[key] {
+					found = true
+				}
+				seen[key] = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no 1-round collision sampled (unlucky seeds)")
+	}
+}
+
+// TestTheorem8 — the Multiset wrapper's output must match the Vector
+// machine run under SOME port numbering with the same out-assignment
+// (the family P0 of the proof), with zero round overhead; and when the
+// inner machine is order-invariant, outputs match exactly.
+func TestTheorem8(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for _, g := range []*graph.Graph{graph.Path(3), graph.Path(4), graph.Cycle(4), graph.Star(3)} {
+		delta := g.MaxDegree()
+		inner := vectorPortEcho(delta, 2)
+		wrapped, err := MultisetFromVector(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrapped.Class().Recv != machine.RecvMultiset {
+			t.Fatal("wrapper not Multiset-receive")
+		}
+		p0 := port.Random(g, rng)
+		got, err := engine.Run(wrapped, p0, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner0, err := engine.Run(inner, p0, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rounds != inner0.Rounds {
+			t.Errorf("%v: wrapper rounds %d ≠ inner rounds %d (Theorem 8 promises zero overhead)",
+				g, got.Rounds, inner0.Rounds)
+		}
+		// Enumerate P0: all numberings sharing p0's out-assignment.
+		variants := enumerateP0(g, p0, t)
+		match := false
+		for _, p := range variants {
+			want, err := engine.Run(inner, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for v := range want.Output {
+				if want.Output[v] != got.Output[v] {
+					same = false
+					break
+				}
+			}
+			if same {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Fatalf("%v: wrapper output matches no inner execution over P0 (%d candidates)",
+				g, len(variants))
+		}
+	}
+}
+
+// enumerateP0 lists every numbering with the same out-assignment as p0.
+func enumerateP0(g *graph.Graph, p0 *port.Numbering, t *testing.T) []*port.Numbering {
+	t.Helper()
+	all, err := port.All(g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*port.Numbering
+	for _, p := range all {
+		same := true
+		for v := 0; v < g.N() && same; v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				if p.OutNeighbor(v, i) != p0.OutNeighbor(v, i) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestTheorem8OrderInvariantExact: when the inner Vector machine is
+// actually order-invariant, the wrapper must reproduce it exactly.
+func TestTheorem8OrderInvariantExact(t *testing.T) {
+	// Degree-sum is order-invariant though declared Vector.
+	type st struct {
+		Deg  int
+		Sum  int
+		Done bool
+	}
+	inner := &machine.Func{
+		MachineName:  "degree-sum-vector",
+		MachineClass: machine.ClassVV,
+		MaxDeg:       4,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(fmt.Sprintf("%d", x.Sum)), x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return machine.EncodeTerm(term.Int(int64(s.(st).Deg)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				tm, _ := machine.DecodeTerm(m)
+				x.Sum += int(tm.IntVal())
+			}
+			x.Done = true
+			return x
+		},
+	}
+	wrapped, err := MultisetFromVector(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(85))
+	for _, g := range testGraphs() {
+		p := port.Random(g, rng)
+		want, err := engine.Run(inner, p, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.Run(wrapped, p, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Output {
+			if want.Output[v] != got.Output[v] {
+				t.Fatalf("%v node %d: %q vs %q", g, v, want.Output[v], got.Output[v])
+			}
+		}
+	}
+}
+
+// TestTheorem9 — MB simulates VB: same P0 check with a broadcast inner.
+func TestTheorem9(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for _, g := range []*graph.Graph{graph.Path(4), graph.Cycle(4), graph.Star(3)} {
+		delta := g.MaxDegree()
+		inner := broadcastCollect(delta, 2)
+		wrapped, err := MultisetFromVector(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrapped.Class() != machine.ClassMB {
+			t.Fatalf("wrapper class %v, want MB", wrapped.Class())
+		}
+		p0 := port.Random(g, rng)
+		got, err := engine.Run(wrapped, p0, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := false
+		for _, p := range enumerateP0(g, p0, t) {
+			want, err := engine.Run(inner, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for v := range want.Output {
+				if want.Output[v] != got.Output[v] {
+					same = false
+					break
+				}
+			}
+			if same {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Fatalf("%v: Theorem 9 wrapper output outside P0 envelope", g)
+		}
+	}
+}
+
+func TestWrapperRejections(t *testing.T) {
+	vec := vectorPortEcho(3, 1)
+	if _, err := SetFromMultiset(vec); err == nil {
+		t.Error("Theorem 4 wrapper accepted a Vector machine")
+	}
+	mul := multisetHistogram(3, 1)
+	if _, err := MultisetFromVector(mul); err == nil {
+		t.Error("Theorem 8 wrapper accepted a Multiset machine")
+	}
+}
+
+// TestComposedSimulationChain runs VV → MV (Thm 8) → SV (Thm 4): the full
+// collapse SV = MV = VV realised as executable wrappers.
+func TestComposedSimulationChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	g := graph.Cycle(4)
+	inner := vectorPortEcho(2, 1)
+	mv, err := MultisetFromVector(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := SetFromMultiset(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Class() != machine.ClassSV {
+		t.Fatalf("composed class %v, want SV", sv.Class())
+	}
+	p0 := port.Random(g, rng)
+	got, err := engine.Run(sv, p0, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := false
+	for _, p := range enumerateP0(g, p0, t) {
+		want, err := engine.Run(inner, p, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for v := range want.Output {
+			if want.Output[v] != got.Output[v] {
+				same = false
+				break
+			}
+		}
+		if same {
+			match = true
+			break
+		}
+	}
+	if !match {
+		t.Fatal("composed SV wrapper output outside P0 envelope")
+	}
+}
+
+func BenchmarkTheorem4Overhead(b *testing.B) {
+	// Δ=4 excluded: β-tags reach ~80 MB per run (see EXPERIMENTS.md).
+	for _, delta := range []int{2, 3} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			g, err := graph.RandomRegular(10, delta, rand.New(rand.NewSource(88)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner := multisetHistogram(delta, 1)
+			wrapped, err := SetFromMultiset(inner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := port.Canonical(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytes int64
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Run(wrapped, p, engine.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.MessageBytes
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(bytes), "msg-bytes/run")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+func BenchmarkTheorem8History(b *testing.B) {
+	for _, rounds := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("T=%d", rounds), func(b *testing.B) {
+			g := graph.Cycle(8)
+			inner := vectorPortEcho(2, rounds)
+			wrapped, err := MultisetFromVector(inner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := port.Canonical(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Run(wrapped, p, engine.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.MessageBytes
+			}
+			b.ReportMetric(float64(bytes), "msg-bytes/run")
+		})
+	}
+}
+
+func TestTheorem4DeltaOne(t *testing.T) {
+	// Edge case Δ=1: two rounds of warm-up on K2.
+	inner := multisetHistogram(1, 1)
+	wrapped, err := SetFromMultiset(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Path(2)
+	p := port.Canonical(g)
+	want, err := engine.Run(inner, p, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Run(wrapped, p, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Output {
+		if want.Output[v] != got.Output[v] {
+			t.Fatalf("node %d differs", v)
+		}
+	}
+	if got.Rounds != want.Rounds+2 {
+		t.Errorf("rounds %d, want %d", got.Rounds, want.Rounds+2)
+	}
+}
+
+// TestTheorem8MixedHalting exercises the virtual-slot machinery when inner
+// nodes halt at different rounds: leaves halt at init (their wrappers send
+// raw m0 from round 1), interior nodes keep running and must extend the
+// silent slots with m0 consistently.
+func TestTheorem8MixedHalting(t *testing.T) {
+	type st struct {
+		Deg   int
+		Round int
+		Seen  string
+		Done  bool
+	}
+	inner := &machine.Func{
+		MachineName:  "mixed-halt-vector",
+		MachineClass: machine.ClassVV,
+		MaxDeg:       4,
+		InitFunc:     func(deg int) machine.State { return st{Deg: deg, Done: deg <= 1} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(x.Seen), x.Done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			x := s.(st)
+			return machine.Message(fmt.Sprintf("d%dp%dr%d", x.Deg, p, x.Round))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s/", x.Seen)
+			for i, m := range inbox {
+				fmt.Fprintf(&b, "[%d:%s]", i+1, m)
+			}
+			x.Seen = b.String()
+			x.Round++
+			x.Done = x.Round >= 3
+			return x
+		},
+	}
+	wrapped, err := MultisetFromVector(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(89))
+	for _, g := range []*graph.Graph{graph.Star(3), graph.Caterpillar(3, 1), graph.Path(4)} {
+		p0 := port.Random(g, rng)
+		got, err := engine.Run(wrapped, p0, engine.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		match := false
+		for _, p := range enumerateP0(g, p0, t) {
+			want, err := engine.Run(inner, p, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for v := range want.Output {
+				if want.Output[v] != got.Output[v] {
+					same = false
+					break
+				}
+			}
+			if same {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Fatalf("%v: mixed-halting wrapper output outside the P0 envelope", g)
+		}
+	}
+}

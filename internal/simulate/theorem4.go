@@ -1,0 +1,242 @@
+// Package simulate implements the collapse theorems of Section 5 as generic
+// machine wrappers:
+//
+//   - Theorem 4 — SetFromMultiset: a Set-receive machine simulating any
+//     Multiset-receive machine after a 2Δ-round warm-up that computes the
+//     β_t/B_t "view" sequences; after warm-up, every message is tagged with
+//     (β_{2Δ}(u), deg(u), out-port), which Lemma 6 proves distinct across a
+//     node's neighbours, so the receiver can reconstruct the multiset from
+//     the set. Overhead: T + 2Δ rounds.
+//
+//   - Theorem 8 — MultisetFromVector: a Multiset-receive machine simulating
+//     any Vector-receive machine with zero round overhead by augmenting
+//     every message with its full history and sorting histories
+//     lexicographically into stable virtual in-ports (the port numbering
+//     p ∈ P_T of the proof).
+//
+//   - Theorem 9 — the same history construction for Broadcast machines:
+//     MB simulates VB.
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/term"
+)
+
+// t4State is the Theorem 4 wrapper state. All fields are exported plain
+// values so states render deterministically (FormulaFromMachine contract).
+type t4State struct {
+	Deg   int
+	Round int // completed wrapper rounds
+	// Beta is the encoded β_Round(v); BSet is the sorted encoded B_Round(v).
+	Beta string
+	BSet []string
+	// Inner is live after warm-up.
+	Inner machine.State
+	Done  bool
+	Out   machine.Output
+}
+
+// setFromMultiset wraps a Multiset machine into a Set machine.
+type setFromMultiset struct {
+	inner  machine.Machine
+	warmup int // 2Δ
+}
+
+var _ machine.Machine = (*setFromMultiset)(nil)
+
+// SetFromMultiset returns a machine in Set (receive) × the inner machine's
+// send mode that simulates inner per Theorem 4. The inner machine must be
+// Multiset-receive (a Set-receive inner is also fine — Set ⊆ Multiset).
+func SetFromMultiset(inner machine.Machine) (machine.Machine, error) {
+	if inner.Class().Recv == machine.RecvVector {
+		return nil, fmt.Errorf("simulate: Theorem 4 needs a Multiset machine, got %v (compose with MultisetFromVector first)",
+			inner.Class())
+	}
+	return &setFromMultiset{inner: inner, warmup: 2 * inner.Delta()}, nil
+}
+
+func (s *setFromMultiset) Name() string {
+	return fmt.Sprintf("thm4[%s]", s.inner.Name())
+}
+
+// Class is Set receive × Vector send: even for a Broadcast inner machine
+// the wrapper's messages carry the out-port number (the i in the tags
+// (β_t, deg, i)), which is what makes the multiset reconstruction possible.
+// This matches the theory: Theorem 4 proves MV ⊆ SV, and no analogous
+// collapse of MB into SB exists (Theorem 13 separates them).
+func (s *setFromMultiset) Class() machine.Class {
+	return machine.Class{Recv: machine.RecvSet, Send: machine.SendVector}
+}
+
+func (s *setFromMultiset) Delta() int { return s.inner.Delta() }
+
+func (s *setFromMultiset) Init(deg int) machine.State {
+	st := t4State{Deg: deg, Beta: emptyBeta()}
+	if s.warmup == 0 {
+		return s.enterInner(st)
+	}
+	return st
+}
+
+func emptyBeta() string {
+	// β_0 = ∅ represented as the empty tuple.
+	return term.Tuple().Encode()
+}
+
+// enterInner transitions the wrapper into the simulation phase.
+func (s *setFromMultiset) enterInner(st t4State) machine.State {
+	st.Inner = s.inner.Init(st.Deg)
+	if out, ok := s.inner.Halted(st.Inner); ok {
+		st.Done = true
+		st.Out = out
+	}
+	return st
+}
+
+func (s *setFromMultiset) Halted(state machine.State) (machine.Output, bool) {
+	st := state.(t4State)
+	return st.Out, st.Done
+}
+
+// betaNext computes β_{t} = (β_{t-1}, B_{t-1}) as an encoded term.
+func betaNext(st t4State) term.Term {
+	bkids := make([]term.Term, 0, len(st.BSet))
+	for _, b := range st.BSet {
+		bkids = append(bkids, term.MustParse(b))
+	}
+	return term.Tuple(term.MustParse(st.Beta), term.Set(bkids...))
+}
+
+func (s *setFromMultiset) Send(state machine.State, port int) machine.Message {
+	st := state.(t4State)
+	if st.Round < s.warmup {
+		// Warm-up round st.Round+1: send (β_{t}, deg, i).
+		msg := term.Tuple(betaNext(st), term.Int(int64(st.Deg)), term.Int(int64(port)))
+		return machine.EncodeTerm(msg)
+	}
+	// Simulation phase: tag the inner message.
+	innerMsg := s.inner.Send(st.Inner, port)
+	msg := term.Tuple(
+		term.Str("sim"),
+		term.MustParse(st.Beta), // β_{2Δ}
+		term.Int(int64(st.Deg)),
+		term.Int(int64(port)),
+		term.Str(string(innerMsg)),
+	)
+	return machine.EncodeTerm(msg)
+}
+
+func (s *setFromMultiset) Step(state machine.State, inbox []machine.Message) machine.State {
+	st := state.(t4State)
+	if st.Round < s.warmup {
+		next := t4State{
+			Deg:   st.Deg,
+			Round: st.Round + 1,
+			Beta:  betaNext(st).Encode(),
+			BSet:  sortedCopy(inbox),
+		}
+		if next.Round == s.warmup {
+			return s.enterInner(next)
+		}
+		return next
+	}
+	// Simulation phase: reconstruct the inner multiset from the set.
+	innerInbox := make([]machine.Message, 0, st.Deg)
+	tagged := 0
+	for _, m := range inbox {
+		if m == machine.NoMessage {
+			continue // raw m0 from halted wrappers; counted below
+		}
+		t, err := term.Parse(m)
+		if err != nil || t.Kind() != term.KindTuple || t.Len() != 5 || t.At(0).StrVal() != "sim" {
+			panic(fmt.Sprintf("simulate: malformed Theorem 4 message %q", m))
+		}
+		innerInbox = append(innerInbox, machine.Message(t.At(4).StrVal()))
+		tagged++
+	}
+	// Lemma 6: tags are distinct across neighbours, so the set has exactly
+	// one element per non-halted neighbour; the rest sent m0.
+	for k := tagged; k < st.Deg; k++ {
+		innerInbox = append(innerInbox, machine.NoMessage)
+	}
+	nextInner := s.inner.Step(st.Inner, machine.CanonicalInbox(machine.RecvMultiset, innerInbox))
+	next := t4State{Deg: st.Deg, Round: st.Round + 1, Beta: st.Beta, Inner: nextInner}
+	if out, ok := s.inner.Halted(nextInner); ok {
+		next.Done = true
+		next.Out = out
+	}
+	return next
+}
+
+func sortedCopy(ms []machine.Message) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m)
+	}
+	sort.Strings(out)
+	// The engine delivers Set inboxes deduplicated already, but dedup again
+	// for safety (B_t is a set).
+	dedup := out[:0]
+	for i, m := range out {
+		if i == 0 || m != out[i-1] {
+			dedup = append(dedup, m)
+		}
+	}
+	return dedup
+}
+
+// BetaSequences runs just the warm-up algorithm C_Δ (the β_t/B_t
+// construction) directly on (G, p) for the given number of rounds and
+// returns each node's encoded β_rounds. Exposed for the Lemma 5/6
+// experiments: with rounds = 2Δ, the triples (β_{2Δ}(u), deg(u), π(u,v))
+// must be distinct over the neighbours u of every node v.
+func BetaSequences(p *port.Numbering, rounds int) []string {
+	g := p.Graph()
+	n := g.N()
+	beta := make([]string, n)
+	bset := make([][]string, n)
+	for v := range beta {
+		beta[v] = emptyBeta()
+	}
+	for t := 1; t <= rounds; t++ {
+		// β_t = (β_{t-1}, B_{t-1}); send (β_t, deg, i) to port i.
+		newBeta := make([]string, n)
+		for v := 0; v < n; v++ {
+			st := t4State{Deg: g.Degree(v), Beta: beta[v], BSet: bset[v]}
+			newBeta[v] = betaNext(st).Encode()
+		}
+		newB := make([][]string, n)
+		for v := 0; v < n; v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				d := p.Dest(v, i)
+				msg := term.Tuple(
+					term.MustParse(newBeta[v]),
+					term.Int(int64(g.Degree(v))),
+					term.Int(int64(i)),
+				).Encode()
+				newB[d.Node] = append(newB[d.Node], msg)
+			}
+		}
+		for v := 0; v < n; v++ {
+			sort.Strings(newB[v])
+			newB[v] = dedupStrings(newB[v])
+		}
+		beta, bset = newBeta, newB
+	}
+	return beta
+}
+
+func dedupStrings(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"weakmodels/internal/machine"
+	"weakmodels/internal/term"
+)
+
+// t8State is the Theorem 8/9 wrapper state.
+//
+// Slots are the virtual in-ports of the proof: slot k tracks the full
+// history of messages received from one (anonymous) neighbour. Sorting the
+// slots lexicographically by history realises a port numbering p ∈ P_t
+// compatible with the message history: once two histories differ they keep
+// their order under extension, and equal histories are interchangeable.
+type t8State struct {
+	Deg int
+	// Slots[k] is the received history of virtual in-port k+1, maintained
+	// in ascending lexicographic order.
+	Slots [][]string
+	// Hist[j] is the history of messages the inner machine sent to out-port
+	// j+1 (a single shared history for Broadcast inners, stored at index 0).
+	Hist  [][]string
+	Inner machine.State
+	Round int
+	Done  bool
+	Out   machine.Output
+}
+
+// multisetFromVector wraps a Vector-receive machine into a Multiset-receive
+// machine (Theorem 8); with a Broadcast inner it is the Theorem 9 wrapper.
+type multisetFromVector struct {
+	inner machine.Machine
+}
+
+var _ machine.Machine = (*multisetFromVector)(nil)
+
+// MultisetFromVector returns a Multiset-receive machine simulating inner
+// with zero round overhead per Theorem 8 (Theorem 9 when inner broadcasts).
+// The inner machine must be Vector-receive.
+func MultisetFromVector(inner machine.Machine) (machine.Machine, error) {
+	if inner.Class().Recv != machine.RecvVector {
+		return nil, fmt.Errorf("simulate: Theorem 8 needs a Vector-receive machine, got %v",
+			inner.Class())
+	}
+	return &multisetFromVector{inner: inner}, nil
+}
+
+func (s *multisetFromVector) Name() string {
+	return fmt.Sprintf("thm8[%s]", s.inner.Name())
+}
+
+func (s *multisetFromVector) Class() machine.Class {
+	return machine.Class{Recv: machine.RecvMultiset, Send: s.inner.Class().Send}
+}
+
+func (s *multisetFromVector) Delta() int { return s.inner.Delta() }
+
+func (s *multisetFromVector) broadcast() bool {
+	return s.inner.Class().Send == machine.SendBroadcast
+}
+
+func (s *multisetFromVector) Init(deg int) machine.State {
+	st := t8State{Deg: deg, Inner: s.inner.Init(deg)}
+	nhist := deg
+	if s.broadcast() {
+		nhist = 1
+	}
+	st.Hist = make([][]string, nhist)
+	if out, ok := s.inner.Halted(st.Inner); ok {
+		st.Done = true
+		st.Out = out
+	}
+	return st
+}
+
+func (s *multisetFromVector) Halted(state machine.State) (machine.Output, bool) {
+	st := state.(t8State)
+	return st.Out, st.Done
+}
+
+// Send transmits the full history including the current round's message.
+func (s *multisetFromVector) Send(state machine.State, p int) machine.Message {
+	st := state.(t8State)
+	slot := p - 1
+	if s.broadcast() {
+		slot = 0
+	}
+	cur := string(s.inner.Send(st.Inner, p))
+	kids := make([]term.Term, 0, len(st.Hist[slot])+1)
+	for _, m := range st.Hist[slot] {
+		kids = append(kids, term.Str(m))
+	}
+	kids = append(kids, term.Str(cur))
+	return machine.EncodeTerm(term.Tuple(kids...))
+}
+
+func (s *multisetFromVector) Step(state machine.State, inbox []machine.Message) machine.State {
+	st := state.(t8State)
+	// Decode tagged histories; count raw m0 from halted neighbours.
+	var incoming [][]string
+	rawM0 := 0
+	for _, m := range inbox {
+		if m == machine.NoMessage {
+			rawM0++
+			continue
+		}
+		t, err := term.Parse(m)
+		if err != nil || t.Kind() != term.KindTuple {
+			panic(fmt.Sprintf("simulate: malformed Theorem 8 message %q", m))
+		}
+		h := make([]string, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			h[i] = t.At(i).StrVal()
+		}
+		incoming = append(incoming, h)
+	}
+	if len(incoming)+rawM0 != st.Deg {
+		panic(fmt.Sprintf("simulate: %d histories + %d m0 ≠ deg %d",
+			len(incoming), rawM0, st.Deg))
+	}
+
+	newSlots := extendSlots(st.Slots, incoming, rawM0, st.Round == 0, st.Deg)
+
+	// Feed the inner machine the vector in virtual-port order.
+	innerInbox := make([]machine.Message, st.Deg)
+	for k, h := range newSlots {
+		innerInbox[k] = machine.Message(h[len(h)-1])
+	}
+
+	// Record what the inner machine sent this round, then step it.
+	next := t8State{Deg: st.Deg, Slots: newSlots, Round: st.Round + 1}
+	next.Hist = make([][]string, len(st.Hist))
+	for j := range st.Hist {
+		cur := string(s.inner.Send(st.Inner, j+1))
+		next.Hist[j] = append(append([]string(nil), st.Hist[j]...), cur)
+	}
+	next.Inner = s.inner.Step(st.Inner, innerInbox)
+	if out, ok := s.inner.Halted(next.Inner); ok {
+		next.Done = true
+		next.Out = out
+	}
+	return next
+}
+
+// extendSlots matches incoming histories to existing slots by prefix and
+// extends unmatched slots with m0 (their senders halted), then re-sorts.
+// On the first round slots are created fresh: raw m0 senders get the
+// history [m0].
+func extendSlots(slots, incoming [][]string, rawM0 int, first bool, deg int) [][]string {
+	var out [][]string
+	if first {
+		out = append(out, incoming...)
+		for k := 0; k < rawM0; k++ {
+			out = append(out, []string{string(machine.NoMessage)})
+		}
+		sortHistories(out)
+		return out
+	}
+	// Group slots and incoming histories by the previous-round prefix.
+	prefixKey := func(h []string) string {
+		return term.Tuple(strTerms(h)...).Encode()
+	}
+	slotsByPrefix := make(map[string][]int)
+	for idx, h := range slots {
+		slotsByPrefix[prefixKey(h)] = append(slotsByPrefix[prefixKey(h)], idx)
+	}
+	extended := make([][]string, len(slots))
+	for _, h := range incoming {
+		key := prefixKey(h[:len(h)-1])
+		bucket := slotsByPrefix[key]
+		if len(bucket) == 0 {
+			panic(fmt.Sprintf("simulate: history with unknown prefix %s", key))
+		}
+		idx := bucket[0]
+		slotsByPrefix[key] = bucket[1:]
+		extended[idx] = h
+	}
+	// Unmatched slots: senders halted and sent m0.
+	unmatched := 0
+	for idx := range extended {
+		if extended[idx] == nil {
+			unmatched++
+			extended[idx] = append(append([]string(nil), slots[idx]...), string(machine.NoMessage))
+		}
+	}
+	if unmatched != rawM0 {
+		panic(fmt.Sprintf("simulate: %d unmatched slots but %d raw m0", unmatched, rawM0))
+	}
+	out = extended
+	sortHistories(out)
+	if len(out) != deg {
+		panic("simulate: slot count drifted")
+	}
+	return out
+}
+
+func strTerms(h []string) []term.Term {
+	out := make([]term.Term, len(h))
+	for i, m := range h {
+		out[i] = term.Str(m)
+	}
+	return out
+}
+
+// sortHistories orders histories lexicographically element-wise — the fixed
+// message order <M of the proof is the canonical string order.
+func sortHistories(hs [][]string) {
+	sort.Slice(hs, func(a, b int) bool {
+		x, y := hs[a], hs[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+}

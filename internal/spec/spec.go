@@ -1,0 +1,202 @@
+// Package spec parses the textual graph and numbering specifications used
+// by the command-line tools and examples, e.g. "cycle:8", "grid:3x4",
+// "random-regular:12,3,7", "fig9", "ports=symmetric".
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/port"
+)
+
+// ParseGraph builds a graph from a specification string. Supported forms:
+//
+//	path:N  cycle:N  star:K  complete:N  bipartite:AxB  grid:RxC  torus:RxC
+//	hypercube:D  caterpillar:SxL  petersen  fig1  fig9  witness13
+//	tree:N,SEED  random-regular:N,K,SEED
+func ParseGraph(s string) (*graph.Graph, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "path":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n), nil
+	case "cycle":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("spec: cycle needs n ≥ 3")
+		}
+		return graph.Cycle(n), nil
+	case "star":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n), nil
+	case "complete":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n), nil
+	case "bipartite":
+		a, b, err := parsePair(arg, "x")
+		if err != nil {
+			return nil, err
+		}
+		return graph.CompleteBipartite(a, b), nil
+	case "grid":
+		r, c, err := parsePair(arg, "x")
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(r, c), nil
+	case "torus":
+		r, c, err := parsePair(arg, "x")
+		if err != nil {
+			return nil, err
+		}
+		if r < 3 || c < 3 {
+			return nil, fmt.Errorf("spec: torus needs r,c ≥ 3")
+		}
+		return graph.Torus(r, c), nil
+	case "hypercube":
+		d, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		if d > 16 {
+			return nil, fmt.Errorf("spec: hypercube dimension %d too large", d)
+		}
+		return graph.Hypercube(d), nil
+	case "caterpillar":
+		s, l, err := parsePair(arg, "x")
+		if err != nil {
+			return nil, err
+		}
+		return graph.Caterpillar(s, l), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "fig1":
+		return graph.Figure1Graph(), nil
+	case "fig9", "no1factor":
+		return graph.NoOneFactorCubic(), nil
+	case "witness13":
+		g, _, _ := graph.Theorem13Witness()
+		return g, nil
+	case "tree":
+		parts, err := parseInts(arg, 2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(parts[0], rand.New(rand.NewSource(int64(parts[1])))), nil
+	case "random-regular":
+		parts, err := parseInts(arg, 3)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(parts[0], parts[1], rand.New(rand.NewSource(int64(parts[2]))))
+	default:
+		return nil, fmt.Errorf("spec: unknown graph %q (try cycle:8, star:5, grid:3x4, petersen, fig9)", s)
+	}
+}
+
+// ParseNumbering builds a port numbering of g. Supported forms:
+//
+//	canonical — the natural consistent numbering
+//	random:SEED — uniformly random (generally inconsistent)
+//	consistent:SEED — uniformly random consistent
+//	symmetric — Lemma 15 numbering (regular graphs) or the symmetric cycle
+func ParseNumbering(g *graph.Graph, s string) (*port.Numbering, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "", "canonical":
+		return port.Canonical(g), nil
+	case "random":
+		seed, err := parseSeed(arg)
+		if err != nil {
+			return nil, err
+		}
+		return port.Random(g, rand.New(rand.NewSource(seed))), nil
+	case "consistent":
+		seed, err := parseSeed(arg)
+		if err != nil {
+			return nil, err
+		}
+		return port.RandomConsistent(g, rand.New(rand.NewSource(seed))), nil
+	case "symmetric":
+		perms, err := graph.DoubleCoverFactorPermutations(g)
+		if err != nil {
+			return nil, fmt.Errorf("spec: symmetric numbering needs a regular graph: %w", err)
+		}
+		return port.FromPermutationFactors(g, perms)
+	default:
+		return nil, fmt.Errorf("spec: unknown numbering %q (try canonical, random:7, consistent:7, symmetric)", s)
+	}
+}
+
+func parseN(arg string) (int, error) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("spec: bad size %q", arg)
+	}
+	return n, nil
+}
+
+func parseSeed(arg string) (int64, error) {
+	if arg == "" {
+		return 1, nil
+	}
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spec: bad seed %q", arg)
+	}
+	return n, nil
+}
+
+func parsePair(arg, sep string) (int, int, error) {
+	parts := strings.Split(arg, sep)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("spec: expected AxB, got %q", arg)
+	}
+	a, err := parseN(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseN(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func parseInts(arg string, want int) ([]int, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("spec: expected %d comma-separated ints, got %q", want, arg)
+	}
+	out := make([]int, want)
+	for i, p := range parts {
+		n, err := parseN(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package spec
+
+import (
+	"testing"
+
+	"weakmodels/internal/graph"
+)
+
+func TestParseGraph(t *testing.T) {
+	cases := []struct {
+		src  string
+		n, m int
+	}{
+		{"path:5", 5, 4},
+		{"cycle:6", 6, 6},
+		{"star:4", 5, 4},
+		{"complete:4", 4, 6},
+		{"bipartite:2x3", 5, 6},
+		{"grid:2x3", 6, 7},
+		{"torus:3x3", 9, 18},
+		{"hypercube:3", 8, 12},
+		{"caterpillar:3x1", 6, 5},
+		{"petersen", 10, 15},
+		{"fig1", 4, 4},
+		{"fig9", 16, 24},
+		{"no1factor", 16, 24},
+		{"witness13", 11, 9},
+		{"tree:7,3", 7, 6},
+		{"random-regular:8,3,1", 8, 12},
+	}
+	for _, tc := range cases {
+		g, err := ParseGraph(tc.src)
+		if err != nil {
+			t.Errorf("ParseGraph(%q): %v", tc.src, err)
+			continue
+		}
+		if g.N() != tc.n || g.M() != tc.m {
+			t.Errorf("ParseGraph(%q) = (%d,%d), want (%d,%d)", tc.src, g.N(), g.M(), tc.n, tc.m)
+		}
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	bad := []string{
+		"", "nope", "cycle:2", "cycle:x", "grid:3", "torus:2x2",
+		"hypercube:40", "tree:5", "random-regular:5,3,1", "path:-1",
+	}
+	for _, src := range bad {
+		if _, err := ParseGraph(src); err == nil {
+			t.Errorf("ParseGraph(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNumbering(t *testing.T) {
+	g := graph.Petersen()
+	for _, src := range []string{"canonical", "", "random:7", "consistent:7", "symmetric"} {
+		p, err := ParseNumbering(g, src)
+		if err != nil {
+			t.Errorf("ParseNumbering(%q): %v", src, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("ParseNumbering(%q) invalid: %v", src, err)
+		}
+	}
+	if p, err := ParseNumbering(g, "consistent:9"); err != nil || !p.IsConsistent() {
+		t.Error("consistent numbering not consistent")
+	}
+}
+
+func TestParseNumberingErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := ParseNumbering(g, "symmetric"); err == nil {
+		t.Error("symmetric numbering of an irregular graph accepted")
+	}
+	if _, err := ParseNumbering(g, "bogus"); err == nil {
+		t.Error("bogus numbering accepted")
+	}
+	if _, err := ParseNumbering(g, "random:zzz"); err == nil {
+		t.Error("bad seed accepted")
+	}
+}

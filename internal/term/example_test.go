@@ -1,0 +1,35 @@
+package term_test
+
+import (
+	"fmt"
+
+	"weakmodels/internal/term"
+)
+
+// Example shows the canonical message algebra: sets deduplicate and sort,
+// bags keep multiplicities, and every term has an injective parseable
+// encoding.
+func Example() {
+	msg := term.Tuple(
+		term.Str("beta"),
+		term.Int(3),
+		term.Set(term.Int(2), term.Int(1), term.Int(2)),
+		term.Bag(term.Int(2), term.Int(1), term.Int(2)),
+	)
+	fmt.Println(msg.Encode())
+	back, err := term.Parse(msg.Encode())
+	fmt.Println(term.Equal(msg, back), err)
+	// Output:
+	// t("beta",3,S{1,2},B{1,2,2})
+	// true <nil>
+}
+
+// ExampleCompare shows the total order used as the paper's fixed message
+// order <M (Theorem 8).
+func ExampleCompare() {
+	a := term.Tuple(term.Int(1), term.Int(9))
+	b := term.Tuple(term.Int(2), term.Int(0))
+	fmt.Println(term.Compare(a, b), term.Less(a, b))
+	// Output:
+	// -1 true
+}

@@ -1,0 +1,376 @@
+// Package term implements the canonical message algebra used throughout the
+// library.
+//
+// Messages in the paper are arbitrarily nested mathematical objects: tuples
+// such as (β_t(v), deg(v), i) in Theorem 4, sets of messages B_t(v), and full
+// message histories in Theorem 8. The Multiset and Set receive modes as well
+// as the lexicographic order <M of Theorem 8 all require messages that are
+// canonically comparable. Go has no sum types, so the library funnels every
+// structured message through a single Term type with
+//
+//   - a total order (Compare),
+//   - an injective canonical string encoding (Encode), and
+//   - a parser inverting the encoding (Parse).
+//
+// Sets and bags are canonicalised on construction (sorted, sets deduplicated),
+// so two terms are semantically equal exactly when their encodings are equal.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the variant held by a Term.
+type Kind int
+
+// The five term variants.
+const (
+	KindInt Kind = iota + 1
+	KindStr
+	KindTuple
+	KindSet
+	KindBag
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindStr:
+		return "str"
+	case KindTuple:
+		return "tuple"
+	case KindSet:
+		return "set"
+	case KindBag:
+		return "bag"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Term is an immutable structured value. The zero Term is invalid; construct
+// terms with Int, Str, Tuple, Set or Bag.
+type Term struct {
+	kind Kind
+	n    int64
+	s    string
+	kids []Term
+}
+
+// Int returns an integer term.
+func Int(n int64) Term { return Term{kind: KindInt, n: n} }
+
+// Str returns a string (atom) term.
+func Str(s string) Term { return Term{kind: KindStr, s: s} }
+
+// Tuple returns an ordered sequence term. The argument slice is copied.
+func Tuple(kids ...Term) Term {
+	return Term{kind: KindTuple, kids: append([]Term(nil), kids...)}
+}
+
+// Set returns a set term: duplicates are removed and elements are sorted into
+// canonical order. The argument slice is copied, not retained.
+func Set(kids ...Term) Term {
+	sorted := append([]Term(nil), kids...)
+	sort.Slice(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+	dedup := sorted[:0]
+	for i, t := range sorted {
+		if i == 0 || Compare(t, sorted[i-1]) != 0 {
+			dedup = append(dedup, t)
+		}
+	}
+	return Term{kind: KindSet, kids: dedup}
+}
+
+// Bag returns a multiset term: elements are sorted into canonical order with
+// multiplicities preserved. The argument slice is copied, not retained.
+func Bag(kids ...Term) Term {
+	sorted := append([]Term(nil), kids...)
+	sort.Slice(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+	return Term{kind: KindBag, kids: sorted}
+}
+
+// Kind reports the variant of t.
+func (t Term) Kind() Kind { return t.kind }
+
+// IsZero reports whether t is the invalid zero Term.
+func (t Term) IsZero() bool { return t.kind == 0 }
+
+// IntVal returns the integer payload. It panics unless t is an int term.
+func (t Term) IntVal() int64 {
+	if t.kind != KindInt {
+		panic("term: IntVal on " + t.kind.String())
+	}
+	return t.n
+}
+
+// StrVal returns the string payload. It panics unless t is a string term.
+func (t Term) StrVal() string {
+	if t.kind != KindStr {
+		panic("term: StrVal on " + t.kind.String())
+	}
+	return t.s
+}
+
+// Len returns the number of children of a tuple, set or bag, and 0 otherwise.
+func (t Term) Len() int { return len(t.kids) }
+
+// At returns the i-th child of a tuple, set or bag.
+func (t Term) At(i int) Term { return t.kids[i] }
+
+// Kids returns a copy of the children.
+func (t Term) Kids() []Term { return append([]Term(nil), t.kids...) }
+
+// Compare totally orders terms: first by kind, then by payload; composite
+// terms are ordered by length-lexicographic order of their children. It
+// returns -1, 0 or +1.
+func Compare(a, b Term) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt:
+		switch {
+		case a.n < b.n:
+			return -1
+		case a.n > b.n:
+			return 1
+		}
+		return 0
+	case KindStr:
+		return strings.Compare(a.s, b.s)
+	default:
+		if len(a.kids) != len(b.kids) {
+			if len(a.kids) < len(b.kids) {
+				return -1
+			}
+			return 1
+		}
+		for i := range a.kids {
+			if c := Compare(a.kids[i], b.kids[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// Equal reports whether a and b are semantically equal.
+func Equal(a, b Term) bool { return Compare(a, b) == 0 }
+
+// Less reports whether a precedes b in the canonical order. This is the
+// fixed order <M on messages required by Theorem 8.
+func Less(a, b Term) bool { return Compare(a, b) < 0 }
+
+// Encode returns the canonical injective string encoding of t.
+//
+// Grammar:
+//
+//	term := int | quoted-string | "t(" terms ")" | "S{" terms "}" | "B{" terms "}"
+func (t Term) Encode() string {
+	var b strings.Builder
+	t.encode(&b)
+	return b.String()
+}
+
+func (t Term) encode(b *strings.Builder) {
+	switch t.kind {
+	case KindInt:
+		b.WriteString(strconv.FormatInt(t.n, 10))
+	case KindStr:
+		b.WriteString(strconv.Quote(t.s))
+	case KindTuple:
+		b.WriteString("t(")
+		t.encodeKids(b)
+		b.WriteByte(')')
+	case KindSet:
+		b.WriteString("S{")
+		t.encodeKids(b)
+		b.WriteByte('}')
+	case KindBag:
+		b.WriteString("B{")
+		t.encodeKids(b)
+		b.WriteByte('}')
+	default:
+		b.WriteString("<zero>")
+	}
+}
+
+func (t Term) encodeKids(b *strings.Builder) {
+	for i, k := range t.kids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k.encode(b)
+	}
+}
+
+// String returns the canonical encoding; Terms print readably in tests.
+func (t Term) String() string { return t.Encode() }
+
+// Size returns the number of nodes in the term tree, a proxy for message
+// size used by the simulation-overhead benchmarks.
+func (t Term) Size() int {
+	n := 1
+	for _, k := range t.kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// Depth returns the nesting depth of the term tree.
+func (t Term) Depth() int {
+	d := 0
+	for _, k := range t.kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// Parse inverts Encode. It returns an error on any input that is not the
+// canonical encoding of a term (trailing bytes included).
+func Parse(s string) (Term, error) {
+	p := &parser{src: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	if p.pos != len(p.src) {
+		return Term{}, fmt.Errorf("term: trailing input at byte %d of %q", p.pos, s)
+	}
+	return t, nil
+}
+
+// MustParse is Parse panicking on error, for tests and literals.
+func MustParse(s string) Term {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("term: %s at byte %d of %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) term() (Term, error) {
+	switch c := p.peek(); {
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.intTerm()
+	case c == '"':
+		return p.strTerm()
+	case c == 't':
+		return p.composite("t(", ')', Tuple)
+	case c == 'S':
+		return p.composite("S{", '}', Set)
+	case c == 'B':
+		return p.composite("B{", '}', Bag)
+	default:
+		return Term{}, p.errf("unexpected byte %q", c)
+	}
+}
+
+func (p *parser) intTerm() (Term, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.peek() >= '0' && p.peek() <= '9' {
+		p.pos++
+	}
+	n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	if err != nil {
+		return Term{}, p.errf("bad integer %q", p.src[start:p.pos])
+	}
+	return Int(n), nil
+}
+
+func (p *parser) strTerm() (Term, error) {
+	// Scan a Go-quoted string: find the closing quote, honouring escapes.
+	start := p.pos
+	p.pos++ // opening quote
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			s, err := strconv.Unquote(p.src[start:p.pos])
+			if err != nil {
+				return Term{}, p.errf("bad string literal")
+			}
+			return Str(s), nil
+		default:
+			p.pos++
+		}
+	}
+	return Term{}, p.errf("unterminated string")
+}
+
+func (p *parser) composite(open string, close byte, build func(...Term) Term) (Term, error) {
+	if !strings.HasPrefix(p.src[p.pos:], open) {
+		return Term{}, p.errf("expected %q", open)
+	}
+	p.pos += len(open)
+	var kids []Term
+	if p.peek() == close {
+		p.pos++
+		return build(kids...), nil
+	}
+	for {
+		k, err := p.term()
+		if err != nil {
+			return Term{}, err
+		}
+		kids = append(kids, k)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case close:
+			p.pos++
+			return build(kids...), nil
+		default:
+			return Term{}, p.errf("expected ',' or %q", close)
+		}
+	}
+}
+
+// SortTerms sorts ts in place into canonical order.
+func SortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return Compare(ts[i], ts[j]) < 0 })
+}
+
+// DedupSorted removes adjacent duplicates from a canonically sorted slice,
+// returning the (re-sliced) input.
+func DedupSorted(ts []Term) []Term {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || Compare(t, ts[i-1]) != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package term
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(-7).IntVal(); got != -7 {
+		t.Errorf("IntVal = %d, want -7", got)
+	}
+	if got := Str("hello").StrVal(); got != "hello" {
+		t.Errorf("StrVal = %q, want hello", got)
+	}
+	tu := Tuple(Int(1), Str("x"))
+	if tu.Len() != 2 || tu.At(0).IntVal() != 1 || tu.At(1).StrVal() != "x" {
+		t.Errorf("Tuple accessors broken: %v", tu)
+	}
+	if (Term{}).IsZero() != true || Int(0).IsZero() != false {
+		t.Error("IsZero misclassifies")
+	}
+}
+
+func TestSetCanonicalisation(t *testing.T) {
+	a := Set(Int(3), Int(1), Int(3), Int(2))
+	b := Set(Int(2), Int(1), Int(3))
+	if !Equal(a, b) {
+		t.Errorf("sets differ: %v vs %v", a, b)
+	}
+	if a.Len() != 3 {
+		t.Errorf("set should have 3 elements after dedup, has %d", a.Len())
+	}
+}
+
+func TestBagKeepsMultiplicity(t *testing.T) {
+	a := Bag(Int(3), Int(1), Int(3))
+	if a.Len() != 3 {
+		t.Fatalf("bag lost elements: %v", a)
+	}
+	b := Bag(Int(1), Int(3), Int(3))
+	if !Equal(a, b) {
+		t.Errorf("bags with same multiset differ: %v vs %v", a, b)
+	}
+	c := Bag(Int(1), Int(3))
+	if Equal(a, c) {
+		t.Errorf("bags with different multiplicities equal: %v vs %v", a, c)
+	}
+}
+
+func TestSetVsBagVsTupleDistinct(t *testing.T) {
+	kids := []Term{Int(1), Int(2)}
+	if Equal(Set(kids...), Bag(kids...)) || Equal(Bag(kids...), Tuple(kids...)) ||
+		Equal(Set(kids...), Tuple(kids...)) {
+		t.Error("distinct kinds compare equal")
+	}
+}
+
+func TestConstructorsCopyInput(t *testing.T) {
+	kids := []Term{Int(2), Int(1)}
+	tu := Tuple(kids...)
+	kids[0] = Int(99)
+	if tu.At(0).IntVal() != 2 {
+		t.Error("Tuple retained caller slice")
+	}
+}
+
+func TestCompareTotalOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := make([]Term, 60)
+	for i := range ts {
+		ts[i] = randomTerm(rng, 3)
+	}
+	for _, a := range ts {
+		if Compare(a, a) != 0 {
+			t.Fatalf("not reflexive: %v", a)
+		}
+		for _, b := range ts {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("not antisymmetric: %v vs %v", a, b)
+			}
+			for _, c := range ts {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("not transitive: %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareConsistentWithEncode(t *testing.T) {
+	// Equality of terms must coincide with equality of encodings (injectivity).
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b := randomTerm(rng, 3), randomTerm(rng, 3)
+		if (Compare(a, b) == 0) != (a.Encode() == b.Encode()) {
+			t.Fatalf("Compare/Encode disagree: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a := randomTerm(rng, 4)
+		enc := a.Encode()
+		b, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", enc, err)
+		}
+		if !Equal(a, b) {
+			t.Fatalf("round trip changed term: %v -> %v", a, b)
+		}
+	}
+}
+
+func TestEncodeParseQuick(t *testing.T) {
+	f := func(n int64, s string) bool {
+		tm := Tuple(Int(n), Str(s), Set(Str(s), Int(n)), Bag(Int(n), Int(n)))
+		got, err := Parse(tm.Encode())
+		return err == nil && Equal(tm, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "x", "t(", "t(1", "t(1;2)", `"unterminated`, "S{1,}", "1 ", "t(1)junk",
+		"--3", "B{", "t", "S", `"\q"`,
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseValidLiterals(t *testing.T) {
+	cases := map[string]Term{
+		"42":          Int(42),
+		"-1":          Int(-1),
+		`"a,b\""`:     Str(`a,b"`),
+		"t()":         Tuple(),
+		"S{}":         Set(),
+		"B{}":         Bag(),
+		"t(1,t(2,3))": Tuple(Int(1), Tuple(Int(2), Int(3))),
+		`S{1,2,"x"}`:  Set(Str("x"), Int(1), Int(2)),
+		"B{1,1,S{2}}": Bag(Set(Int(2)), Int(1), Int(1)),
+		`t("")`:       Tuple(Str("")),
+	}
+	for src, want := range cases {
+		got, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if !Equal(got, want) {
+			t.Errorf("Parse(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	nasty := []string{`a"b`, "a,b", "t(", "S{", "\\", "\n", "日本", ""}
+	for _, s := range nasty {
+		got, err := Parse(Str(s).Encode())
+		if err != nil || got.StrVal() != s {
+			t.Errorf("escaping broken for %q: got %v err %v", s, got, err)
+		}
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	tm := Tuple(Int(1), Set(Int(2), Int(3)))
+	if tm.Size() != 5 {
+		t.Errorf("Size = %d, want 5", tm.Size())
+	}
+	if tm.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", tm.Depth())
+	}
+	if Int(1).Depth() != 1 {
+		t.Errorf("leaf depth = %d, want 1", Int(1).Depth())
+	}
+}
+
+func TestSortAndDedup(t *testing.T) {
+	ts := []Term{Int(3), Int(1), Int(3), Str("a"), Int(1)}
+	SortTerms(ts)
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return Compare(ts[i], ts[j]) < 0 }) {
+		t.Fatal("SortTerms did not sort")
+	}
+	ded := DedupSorted(ts)
+	if len(ded) != 3 {
+		t.Errorf("DedupSorted kept %d elements, want 3 (%v)", len(ded), ded)
+	}
+}
+
+func TestLexicographicTupleOrder(t *testing.T) {
+	// Shorter composites come first; equal-length compared elementwise.
+	if !Less(Tuple(Int(9)), Tuple(Int(1), Int(1))) {
+		t.Error("length-lexicographic order violated")
+	}
+	if !Less(Tuple(Int(1), Int(2)), Tuple(Int(1), Int(3))) {
+		t.Error("elementwise order violated")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic(t, func() { Str("x").IntVal() })
+	mustPanic(t, func() { Int(1).StrVal() })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func randomTerm(rng *rand.Rand, depth int) Term {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return Int(int64(rng.Intn(20) - 10))
+		}
+		letters := []string{"a", "b", `c"`, ",", "t(", ""}
+		return Str(letters[rng.Intn(len(letters))])
+	}
+	n := rng.Intn(4)
+	kids := make([]Term, n)
+	for i := range kids {
+		kids[i] = randomTerm(rng, depth-1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Tuple(kids...)
+	case 1:
+		return Set(kids...)
+	default:
+		return Bag(kids...)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tm := randomTerm(rng, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tm.Encode()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	enc := randomTerm(rng, 6).Encode()
+	if !strings.Contains(enc, "") {
+		b.Fatal("unreachable")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := randomTerm(rng, 6), randomTerm(rng, 6)
+	for i := 0; i < b.N; i++ {
+		_ = Compare(x, y)
+	}
+}

@@ -1,0 +1,135 @@
+// Package universal builds truncated universal covers of port-numbered
+// graphs — the unfolding trees that make the locality of anonymous
+// computation literal (paper §3.3: "covering graphs (lifts) and universal
+// covering graphs").
+//
+// The depth-t universal cover of (G, p) at node v is the port-numbered
+// tree whose root corresponds to v and whose paths mirror every
+// non-backtracking-by-edge walk out of v up to length t, with all port
+// numbers preserved away from the horizon. A T-round algorithm cannot tell
+// v in (G, p) from the root of the depth-(T+1) unfolding: the horizon
+// nodes (depth T+1) carry approximate structure, but their initial states
+// and messages need T+1 rounds to reach the root. The package's tests run
+// library algorithms on both sides and assert equal outputs at the root —
+// the strongest executable form of "T-round algorithms only see their
+// T-ball".
+package universal
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/port"
+)
+
+// Unfolding is a truncated universal cover: a port-numbered tree plus the
+// projection of tree nodes onto base nodes.
+type Unfolding struct {
+	// Ports is the tree's port numbering (its Graph() is the tree).
+	Ports *port.Numbering
+	// Root is the tree node corresponding to the unfolding centre.
+	Root int
+	// Base[x] is the base node a tree node projects to.
+	Base []int
+	// Depth[x] is the distance from the root.
+	Depth []int
+}
+
+// Tree returns the unfolded tree graph.
+func (u *Unfolding) Tree() *graph.Graph { return u.Ports.Graph() }
+
+// Unfold builds the depth-t universal cover of (G, p) at node v.
+//
+// Every tree node above the horizon copies its base node's full port
+// structure: one tree edge per incident base edge (the edge back to the
+// parent is reused, not duplicated), with the base's out- and in-port
+// numbers on both endpoints. Horizon nodes (depth exactly t) keep only
+// their parent edge, renumbered to port 1 — their structure is beyond the
+// (t−1)-round observation horizon of the root.
+func Unfold(p *port.Numbering, v, t int) (*Unfolding, error) {
+	g := p.Graph()
+	if v < 0 || v >= g.N() {
+		return nil, fmt.Errorf("universal: node %d out of range", v)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("universal: negative depth %d", t)
+	}
+
+	type nodeInfo struct {
+		base   int
+		depth  int
+		parent int // tree parent, -1 for root
+		// parentInPort is this node's base in-port on the parent edge
+		// (which base edge the parent connection uses).
+		parentInPort int
+	}
+	nodes := []nodeInfo{{base: v, depth: 0, parent: -1}}
+	var edges []graph.Edge
+
+	for x := 0; x < len(nodes); x++ {
+		info := nodes[x]
+		if info.depth == t {
+			continue // horizon: no expansion
+		}
+		b := info.base
+		for a := 0; a < g.Degree(b); a++ {
+			u := g.Neighbor(b, a)
+			inPort := p.InPortFrom(b, u)
+			if info.parent != -1 && inPort == info.parentInPort {
+				continue // this incident base edge is the parent edge
+			}
+			child := len(nodes)
+			nodes = append(nodes, nodeInfo{
+				base:         u,
+				depth:        info.depth + 1,
+				parent:       x,
+				parentInPort: p.InPortFrom(u, b),
+			})
+			edges = append(edges, graph.Edge{U: x, V: child})
+		}
+	}
+
+	tree, err := graph.New(len(nodes), edges)
+	if err != nil {
+		return nil, fmt.Errorf("universal: building tree: %w", err)
+	}
+
+	out := make([][]int, tree.N())
+	in := make([][]int, tree.N())
+	for x := 0; x < tree.N(); x++ {
+		d := tree.Degree(x)
+		out[x] = make([]int, d)
+		in[x] = make([]int, d)
+	}
+	for x := 0; x < tree.N(); x++ {
+		b := nodes[x].base
+		if nodes[x].depth == t && nodes[x].parent != -1 {
+			// Horizon: single edge on port 1.
+			y := tree.Neighbor(x, 0)
+			out[x][0] = 0
+			in[x][0] = 1
+			_ = y
+			continue
+		}
+		for _, y := range tree.Neighbors(x) {
+			u := nodes[y].base
+			outPort := p.OutPortTo(b, u)
+			inPort := p.InPortFrom(b, u)
+			ax := tree.NeighborIndex(x, y)
+			out[x][outPort-1] = ax
+			in[x][ax] = inPort
+		}
+	}
+	tp, err := port.FromRaw(tree, out, in)
+	if err != nil {
+		return nil, fmt.Errorf("universal: tree ports invalid: %w", err)
+	}
+
+	base := make([]int, tree.N())
+	depth := make([]int, tree.N())
+	for x, info := range nodes {
+		base[x] = info.base
+		depth[x] = info.depth
+	}
+	return &Unfolding{Ports: tp, Root: 0, Base: base, Depth: depth}, nil
+}

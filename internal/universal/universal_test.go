@@ -1,0 +1,212 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/bisim"
+	"weakmodels/internal/compile"
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+func TestUnfoldShape(t *testing.T) {
+	g := graph.Cycle(5)
+	p := port.Canonical(g)
+	u, err := Unfold(p, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := u.Tree()
+	// A cycle unfolds into a path: root + 2 per depth = 7 nodes at depth 3.
+	if tree.N() != 7 || tree.M() != 6 {
+		t.Fatalf("unfolded cycle shape: %v", tree)
+	}
+	if !tree.IsConnected() || tree.M() != tree.N()-1 {
+		t.Fatal("unfolding is not a tree")
+	}
+	if u.Base[u.Root] != 0 || u.Depth[u.Root] != 0 {
+		t.Fatal("root metadata wrong")
+	}
+	// Interior nodes keep the base degree.
+	for x := 0; x < tree.N(); x++ {
+		if u.Depth[x] < 3 && tree.Degree(x) != g.Degree(u.Base[x]) {
+			t.Fatalf("interior node %d has degree %d, base has %d",
+				x, tree.Degree(x), g.Degree(u.Base[x]))
+		}
+	}
+}
+
+func TestUnfoldPreservesPortsAboveHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	for _, g := range []*graph.Graph{graph.Petersen(), graph.Figure1Graph(), graph.Grid(3, 3)} {
+		p := port.Random(g, rng)
+		u, err := Unfold(p, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := u.Tree()
+		for x := 0; x < tree.N(); x++ {
+			if u.Depth[x] >= 3 {
+				continue
+			}
+			b := u.Base[x]
+			for i := 1; i <= tree.Degree(x); i++ {
+				dTree := u.Ports.Dest(x, i)
+				dBase := p.Dest(b, i)
+				if u.Base[dTree.Node] != dBase.Node {
+					t.Fatalf("port (%d,%d): tree reaches base %d, want %d",
+						x, i, u.Base[dTree.Node], dBase.Node)
+				}
+				if u.Depth[dTree.Node] < 3 && dTree.Index != dBase.Index {
+					t.Fatalf("port (%d,%d): in-port %d, want %d",
+						x, i, dTree.Index, dBase.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalityAtRoot is the headline: a T-round algorithm outputs the same
+// at v in (G, p) and at the root of the depth-(T+1) unfolding.
+func TestLocalityAtRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	graphs := []*graph.Graph{
+		graph.Cycle(6), graph.Petersen(), graph.Figure1Graph(),
+		graph.Caterpillar(3, 1), graph.Grid(3, 3),
+	}
+	type fixedRounds struct {
+		build  func(delta int) machine.Machine
+		rounds int
+	}
+	cases := []fixedRounds{
+		{algorithms.OddOdd, 1},
+		{algorithms.LeafElect, 1},
+		{func(d int) machine.Machine { return algorithms.LeafProximity(d, 2) }, 2},
+	}
+	for _, g := range graphs {
+		delta := g.MaxDegree()
+		for trial := 0; trial < 2; trial++ {
+			p := port.Random(g, rng)
+			for _, tc := range cases {
+				m := tc.build(delta)
+				baseRes, err := engine.Run(m, p, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := 0; v < g.N(); v++ {
+					u, err := Unfold(p, v, tc.rounds+1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					treeRes, err := engine.Run(m, u.Ports, engine.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if treeRes.Output[u.Root] != baseRes.Output[v] {
+						t.Fatalf("%s on %v node %d: tree root %q, base %q",
+							m.Name(), g, v, treeRes.Output[u.Root], baseRes.Output[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocalityForCompiledFormulas: the same for Theorem 2 machines — the
+// root of the depth-(md+1) unfolding satisfies φ iff v does.
+func TestLocalityForCompiledFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	g := graph.Petersen()
+	p := port.Random(g, rng)
+	for _, src := range []string{"<*,*> q3", "<*,*>=2 (<*,*> q3)", "q3 & !<*,*> q1"} {
+		f := logic.MustParse(src)
+		m, variant, err := compile.MachineFromFormula(f, g.MaxDegree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := kripke.FromPorts(p, variant)
+		want := logic.Eval(model, f)
+		md := logic.ModalDepth(f)
+		for v := 0; v < g.N(); v++ {
+			u, err := Unfold(p, v, md+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.Run(m, u.Ports, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (res.Output[u.Root] == "1") != want[v] {
+				t.Fatalf("%q at node %d: unfolding says %q, model checking says %v",
+					src, v, res.Output[u.Root], want[v])
+			}
+		}
+	}
+}
+
+// TestRootBisimilarBounded: the root is T-round bisimilar to its base node
+// in K₊,₊ across the two models.
+func TestRootBisimilarBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	g := graph.Figure1Graph()
+	p := port.Random(g, rng)
+	const T = 2
+	for v := 0; v < g.N(); v++ {
+		u, err := Unfold(p, v, T+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseModel := kripke.FromPorts(p, kripke.VariantPP)
+		treeModel := kripke.FromPorts(u.Ports, kripke.VariantPP)
+		union := kripke.DisjointUnion(treeModel, baseModel)
+		part := bisim.Compute(union, bisim.Options{Graded: true, MaxRounds: T})
+		if !part.Same(u.Root, treeModel.N()+v) {
+			t.Fatalf("root of unfolding at %d not %d-round bisimilar to base", v, T)
+		}
+	}
+}
+
+func TestUnfoldErrors(t *testing.T) {
+	p := port.Canonical(graph.Path(3))
+	if _, err := Unfold(p, 9, 2); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := Unfold(p, 0, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
+func TestUnfoldGrowth(t *testing.T) {
+	// On a 3-regular graph the unfolding grows like 3·2^(t-1).
+	p := port.Canonical(graph.Petersen())
+	sizes := []int{}
+	for depth := 0; depth <= 4; depth++ {
+		u, err := Unfold(p, 0, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, u.Tree().N())
+	}
+	want := []int{1, 4, 10, 22, 46} // 1, 1+3, +6, +12, +24
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("unfolding sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func BenchmarkUnfold(b *testing.B) {
+	p := port.Canonical(graph.Petersen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unfold(p, 0, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package views implements Yamashita–Kameda-style views of port-numbered
+// graphs — the classical tool of the anonymous-networks literature the
+// paper builds on (§3.3, references [59–62]).
+//
+// The depth-t view of a node v in (G, p) is the rooted tree of everything a
+// Vector-class algorithm can learn about v's neighbourhood in t rounds:
+// v's degree and, for each in-port i, the out-port the neighbour used and
+// that neighbour's depth-(t−1) view. Two nodes have equal depth-t views
+// exactly when no VV algorithm can distinguish them within t rounds — that
+// is, when they are t-round bisimilar in K₊,₊. The package's tests verify
+// this equivalence against internal/bisim's bounded refinement, connecting
+// the graph-theoretic and the modal-logic perspectives computationally.
+package views
+
+import (
+	"fmt"
+	"strings"
+
+	"weakmodels/internal/port"
+	"weakmodels/internal/term"
+)
+
+// View computes the depth-t view of node v under p, encoded as a canonical
+// term (equal views ⇔ equal terms ⇔ equal encodings).
+func View(p *port.Numbering, v, depth int) term.Term {
+	all := Views(p, depth)
+	return all[v]
+}
+
+// Views computes the depth-t views of all nodes simultaneously (dynamic
+// programming over depth — the naive recursion is exponential).
+func Views(p *port.Numbering, depth int) []term.Term {
+	g := p.Graph()
+	n := g.N()
+	cur := make([]term.Term, n)
+	for v := 0; v < n; v++ {
+		cur[v] = term.Tuple(term.Int(int64(g.Degree(v))))
+	}
+	for d := 1; d <= depth; d++ {
+		next := make([]term.Term, n)
+		for v := 0; v < n; v++ {
+			kids := make([]term.Term, 0, g.Degree(v)+1)
+			kids = append(kids, term.Int(int64(g.Degree(v))))
+			for i := 1; i <= g.Degree(v); i++ {
+				src := p.Source(v, i)
+				kids = append(kids, term.Tuple(
+					term.Int(int64(i)),         // my in-port
+					term.Int(int64(src.Index)), // sender's out-port
+					cur[src.Node],              // sender's depth-(d-1) view
+				))
+			}
+			next[v] = term.Tuple(kids...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Classes groups nodes by depth-t view equality, returning a class id per
+// node (dense, by first occurrence). Unlike Views it never materialises the
+// view trees: classes are refined level by level (hash consing), so deep
+// views — whose explicit trees grow like Δ^t — cost only O(t·m) time.
+func Classes(p *port.Numbering, depth int) []int {
+	g := p.Graph()
+	n := g.N()
+	cur := make([]int, n)
+	ids := make(map[string]int)
+	for v := 0; v < n; v++ {
+		key := fmt.Sprintf("d%d", g.Degree(v))
+		id, ok := ids[key]
+		if !ok {
+			id = len(ids)
+			ids[key] = id
+		}
+		cur[v] = id
+	}
+	for d := 1; d <= depth; d++ {
+		next := make([]int, n)
+		level := make(map[string]int)
+		var sb strings.Builder
+		for v := 0; v < n; v++ {
+			sb.Reset()
+			fmt.Fprintf(&sb, "d%d", g.Degree(v))
+			for i := 1; i <= g.Degree(v); i++ {
+				src := p.Source(v, i)
+				fmt.Fprintf(&sb, "|%d:%d:%d", i, src.Index, cur[src.Node])
+			}
+			key := sb.String()
+			id, ok := level[key]
+			if !ok {
+				id = len(level)
+				level[key] = id
+			}
+			next[v] = id
+		}
+		cur = next
+	}
+	return cur
+}
+
+// StabilizationDepth returns the smallest t at which the view partition
+// stops refining (bounded by n, per the classical view theory: views of
+// depth n determine views of all depths). This is the locality radius of
+// the instance.
+func StabilizationDepth(p *port.Numbering) int {
+	g := p.Graph()
+	prev := countClasses(Classes(p, 0))
+	for t := 1; t <= g.N()+1; t++ {
+		cur := countClasses(Classes(p, t))
+		if cur == prev {
+			return t - 1
+		}
+		prev = cur
+	}
+	return g.N() + 1
+}
+
+func countClasses(ids []int) int {
+	max := -1
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}
+
+// Symmetric reports whether all nodes of (G,p) share the same depth-n view
+// — the classical criterion for total symmetry (all nodes bisimilar in
+// K₊,₊, Lemma 15's conclusion).
+func Symmetric(p *port.Numbering) bool {
+	ids := Classes(p, p.Graph().N())
+	return countClasses(ids) <= 1
+}
+
+// TruncatedViewSize returns the term size of a node's depth-t view — the
+// information-volume measure behind the simulation-overhead experiments.
+func TruncatedViewSize(p *port.Numbering, v, depth int) int {
+	return View(p, v, depth).Size()
+}

@@ -1,0 +1,28 @@
+// Package weakmodels is a full reproduction of Hella, Järvisalo, Kuusisto,
+// Laurinharju, Lempiäinen, Luosto, Suomela and Virtema, "Weak Models of
+// Distributed Computing, with Connections to Modal Logic" (PODC 2012,
+// arXiv:1205.2051).
+//
+// The library implements the port-numbering model of distributed computing
+// and its six weakened variants (classes VVc, VV, MV, SV, VB, MB, SB), the
+// modal logics ML, GML, MML and GMML together with the Kripke-model
+// translation of a port-numbered graph, bisimulation, the Theorem-2 compiler
+// between local algorithms and modal formulas, the simulation theorems that
+// collapse the seven classes into four strata, and the separation witnesses
+// that keep the strata apart.
+//
+// Entry points:
+//
+//   - internal/core: the classification API (strata, solvability harness,
+//     separation witnesses, the Figure-5b derivation).
+//   - internal/engine: run any machine on any (graph, port numbering).
+//   - internal/compile: formulas ⇄ local algorithms (Theorem 2).
+//   - cmd/classify: end-to-end machine-checked derivation of
+//     SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and theorem.
+package weakmodels
+
+// Version is the library version.
+const Version = "1.0.0"
