@@ -1,0 +1,152 @@
+// Engine scale benchmarks: the flat-routed executors on tori and random
+// regular graphs across the three receive modes, at sizes up to n=10⁴.
+// These are the perf-trajectory benchmarks of the engine subsystem; run
+//
+//	go test -bench='BenchmarkEngine(Seq|Pool)' -benchmem
+//
+// for the full sweep, or emit the machine-readable record with
+//
+//	BENCH_ENGINE_JSON=BENCH_engine.json go test -run TestEmitEngineBenchJSON
+//
+// so future PRs can compare against the committed BENCH_engine.json.
+package weakmodels_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// engineBenchRounds fixes the round count so runs are comparable across
+// graphs and modes.
+const engineBenchRounds = 8
+
+// constCountdown is the benchmark workload: a machine whose Send returns a
+// per-port constant and whose states are small ints, so it allocates
+// nothing itself and the engine's own costs dominate the profile.
+func constCountdown(delta int, class machine.Class) machine.Machine {
+	msgs := make([]machine.Message, delta+1)
+	for p := range msgs {
+		msgs[p] = fmt.Sprintf("m%d", p)
+	}
+	return &machine.Func{
+		MachineName:  "bench-countdown-" + class.String(),
+		MachineClass: class,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return engineBenchRounds },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			return "done", s.(int) == 0
+		},
+		SendFunc: func(s machine.State, p int) machine.Message {
+			return msgs[p]
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			return s.(int) - 1
+		},
+	}
+}
+
+// engineBenchGraphs builds the benchmark graph family: tori (the paper's
+// grid workloads) and sparse random regular graphs.
+func engineBenchGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	rr, err := graph.RandomRegular(1000, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"n=1024/torus32":   graph.Torus(32, 32),
+		"n=10000/torus100": graph.Torus(100, 100),
+		"n=1000/rr3":       rr,
+	}
+}
+
+var engineBenchModes = []machine.Class{
+	machine.ClassVV, machine.ClassMV, machine.ClassSV,
+}
+
+func benchEngine(b *testing.B, exec engine.Executor) {
+	for gname, g := range engineBenchGraphs(b) {
+		p := port.Canonical(g)
+		p.Routes() // compile the routing table outside the timers
+		for _, mode := range engineBenchModes {
+			m := constCountdown(g.MaxDegree(), mode)
+			b.Run(gname+"/"+mode.Recv.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.Run(m, p, engine.Options{Executor: exec}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineSeq sweeps the sequential executor.
+func BenchmarkEngineSeq(b *testing.B) { benchEngine(b, engine.ExecutorSeq) }
+
+// BenchmarkEnginePool sweeps the sharded worker-pool executor.
+func BenchmarkEnginePool(b *testing.B) { benchEngine(b, engine.ExecutorPool) }
+
+// engineBenchRecord is one row of BENCH_engine.json.
+type engineBenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestEmitEngineBenchJSON writes the engine perf record to the file named
+// by BENCH_ENGINE_JSON (skipped when unset), giving every future PR a
+// trajectory to compare against:
+//
+//	BENCH_ENGINE_JSON=BENCH_engine.json go test -run TestEmitEngineBenchJSON
+func TestEmitEngineBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_ENGINE_JSON")
+	if path == "" {
+		t.Skip("BENCH_ENGINE_JSON not set")
+	}
+	var records []engineBenchRecord
+	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
+		for gname, g := range engineBenchGraphs(t) {
+			p := port.Canonical(g)
+			p.Routes()
+			for _, mode := range engineBenchModes {
+				m := constCountdown(g.MaxDegree(), mode)
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := engine.Run(m, p, engine.Options{Executor: exec}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				records = append(records, engineBenchRecord{
+					Name:        fmt.Sprintf("Engine/%s/%s/%s", exec, gname, mode.Recv),
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+				})
+			}
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d records to %s", len(records), path)
+}

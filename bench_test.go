@@ -355,8 +355,9 @@ func BenchmarkVC2Ratio(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineExecutors — sequential vs concurrent executor on the same
-// workload (library ablation, DESIGN.md §3).
+// BenchmarkEngineExecutors — sequential vs worker-pool executor on the same
+// workload (library ablation, DESIGN.md §3). The scale sweep lives in
+// bench_engine_test.go.
 func BenchmarkEngineExecutors(b *testing.B) {
 	g := graph.Torus(12, 12)
 	p := port.Canonical(g)
@@ -369,10 +370,10 @@ func BenchmarkEngineExecutors(b *testing.B) {
 			}
 		}
 	})
-	b.Run("concurrent", func(b *testing.B) {
+	b.Run("pool", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Run(m, p, engine.Options{Concurrent: true}); err != nil {
+			if _, err := engine.Run(m, p, engine.Options{Executor: engine.ExecutorPool}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	weakrun -alg odd-odd -graph cycle:8 -ports random:7
-//	weakrun -alg vertex-cover -graph petersen -ports canonical -concurrent
+//	weakrun -alg vertex-cover -graph petersen -ports canonical -executor pool
 //	weakrun -formula "<*,*> q1" -graph star:5
 //
 // With -formula the algorithm is compiled from a modal formula via
@@ -39,11 +39,20 @@ func run(args []string, out io.Writer) error {
 	formula := fs.String("formula", "", "modal formula to compile instead of -alg")
 	graphSpec := fs.String("graph", "cycle:6", "graph specification")
 	portSpec := fs.String("ports", "canonical", "port numbering: canonical|random:SEED|consistent:SEED|symmetric")
-	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-node executor")
+	executor := fs.String("executor", "seq", "execution strategy: seq|pool")
+	workers := fs.Int("workers", 0, "pool executor worker count (0 = GOMAXPROCS)")
+	concurrent := fs.Bool("concurrent", false, "deprecated: alias for -executor=pool")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = default)")
 	trace := fs.Bool("trace", false, "print the per-round state trace")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	exec, err := engine.ParseExecutor(*executor)
+	if err != nil {
+		return err
+	}
+	if *concurrent {
+		exec = engine.ExecutorPool
 	}
 
 	g, err := spec.ParseGraph(*graphSpec)
@@ -82,7 +91,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	res, err := engine.Run(m, p, engine.Options{
-		Concurrent:  *concurrent,
+		Executor:    exec,
+		Workers:     *workers,
 		MaxRounds:   *maxRounds,
 		RecordTrace: *trace,
 	})

@@ -41,10 +41,24 @@ func TestRunFormula(t *testing.T) {
 	}
 }
 
-func TestRunConcurrent(t *testing.T) {
+func TestRunPoolExecutor(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-executor", "pool", "-workers", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrentAlias(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-concurrent"}, &sb); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunBadExecutor(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-executor", "warp"}, &sb); err == nil {
+		t.Fatal("run accepted an unknown executor")
 	}
 }
 

@@ -45,8 +45,8 @@ func main() {
 	}
 	fmt.Println("solution validated: out ∈ Π(G)")
 
-	// The same run on the concurrent (goroutine-per-node) executor.
-	res2, err := engine.Run(m, p, engine.Options{Concurrent: true})
+	// The same run on the sharded worker-pool executor.
+	res2, err := engine.Run(m, p, engine.Options{Executor: engine.ExecutorPool})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,5 +56,5 @@ func main() {
 			same = false
 		}
 	}
-	fmt.Printf("concurrent executor agrees: %v\n", same)
+	fmt.Printf("pool executor agrees: %v\n", same)
 }

@@ -1,0 +1,3 @@
+module weakmodels
+
+go 1.24

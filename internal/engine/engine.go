@@ -4,16 +4,34 @@
 // messages are routed by the port numbering, and every node updates its
 // state with δ. Halted nodes send m0 and never change state.
 //
-// Two executors are provided: a sequential reference implementation and a
-// concurrent one (one goroutine per node, channels as ports, a barrier per
-// round). They are required to produce identical results; a test asserts it
-// across the whole experiment suite.
+// # Architecture
+//
+// The engine is built for scale around three ideas:
+//
+//   - Flat routing. At Run start the port numbering is compiled (once,
+//     cached on the Numbering) into a CSR-style []int32 table mapping each
+//     out-port slot directly to its destination inbox slot (port.Routes).
+//     The round loop is pure array indexing: no Dest/NeighborIndex calls.
+//
+//   - Message arena. All inboxes live in two flat []machine.Message arenas
+//     (double-buffered): a round is one combined pass per node — consume
+//     the inbox from the current arena, step, emit next-round messages into
+//     the other arena. Multiset/Set canonicalisation reuses per-worker
+//     scratch buffers (machine.CanonicalInboxInto), so steady rounds
+//     allocate nothing.
+//
+//   - Sharded parallelism. The pool executor partitions nodes into
+//     contiguous shards over ~GOMAXPROCS workers with one barrier per
+//     round; per-worker message-byte and halt counters are merged at the
+//     barrier. Because both executors share the same per-shard pass
+//     (runState.stepShard), the pool is bit-identical to the sequential
+//     executor — a property test asserts it across the experiment suite,
+//     including under -race.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
@@ -27,18 +45,71 @@ const DefaultMaxRounds = 10_000
 // budget.
 var ErrNoHalt = errors.New("engine: machine did not halt within the round budget")
 
+// Executor selects the execution strategy. Both executors produce
+// bit-identical results; they differ only in wall-clock behaviour.
+type Executor int
+
+const (
+	// ExecutorSeq is the single-threaded reference executor (the default).
+	ExecutorSeq Executor = iota
+	// ExecutorPool is the sharded worker-pool executor: nodes are
+	// partitioned into contiguous shards over ~GOMAXPROCS workers with one
+	// barrier per round.
+	ExecutorPool
+)
+
+// String returns the -executor flag spelling.
+func (e Executor) String() string {
+	switch e {
+	case ExecutorSeq:
+		return "seq"
+	case ExecutorPool:
+		return "pool"
+	default:
+		return fmt.Sprintf("Executor(%d)", int(e))
+	}
+}
+
+// ParseExecutor parses the -executor flag spelling.
+func ParseExecutor(s string) (Executor, error) {
+	switch s {
+	case "seq", "sequential":
+		return ExecutorSeq, nil
+	case "pool", "parallel":
+		return ExecutorPool, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown executor %q (want seq|pool)", s)
+	}
+}
+
 // Options configure a run. The zero value is ready to use.
 type Options struct {
 	// MaxRounds overrides DefaultMaxRounds when positive.
 	MaxRounds int
 	// RecordTrace captures the full state vector after every round.
 	RecordTrace bool
-	// Concurrent selects the goroutine-per-node executor.
+	// Executor selects the execution strategy (default ExecutorSeq).
+	Executor Executor
+	// Workers bounds the pool executor's worker count when positive
+	// (default GOMAXPROCS, capped at the node count).
+	Workers int
+	// Concurrent selects the parallel executor.
+	//
+	// Deprecated: set Executor to ExecutorPool instead. Kept so existing
+	// callers keep working; it is equivalent to ExecutorPool.
 	Concurrent bool
 	// Inputs, when non-nil, supplies the local inputs f(v) of §3.4; the
 	// machine must implement machine.InputAware and len(Inputs) must equal
 	// the node count.
 	Inputs []string
+}
+
+// executor resolves the Executor/Concurrent options.
+func (o Options) executor() Executor {
+	if o.Concurrent {
+		return ExecutorPool
+	}
+	return o.Executor
 }
 
 // initState initialises a node's state, honouring local inputs.
@@ -82,234 +153,50 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	if opts.Inputs != nil && len(opts.Inputs) != g.N() {
 		return nil, fmt.Errorf("engine: %d inputs for %d nodes", len(opts.Inputs), g.N())
 	}
-	if opts.Concurrent {
-		return runConcurrent(m, g, p, opts)
+	switch exec := opts.executor(); exec {
+	case ExecutorPool:
+		return runPool(m, g, p, opts)
+	case ExecutorSeq:
+		return runSequential(m, g, p, opts)
+	default:
+		return nil, fmt.Errorf("engine: unknown executor %v", exec)
 	}
-	return runSequential(m, g, p, opts)
+}
+
+// maxRoundsOf resolves the round budget.
+func maxRoundsOf(opts Options) int {
+	if opts.MaxRounds > 0 {
+		return opts.MaxRounds
+	}
+	return DefaultMaxRounds
 }
 
 func runSequential(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
-	n := g.N()
-	states := make([]machine.State, n)
-	halted := make([]bool, n)
-	outputs := make([]machine.Output, n)
-	for v := 0; v < n; v++ {
-		s, err := initState(m, g.Degree(v), v, opts)
-		if err != nil {
-			return nil, err
-		}
-		states[v] = s
-		if out, ok := m.Halted(states[v]); ok {
-			halted[v] = true
-			outputs[v] = out
-		}
+	rs, active, err := newRunState(m, g, p, opts)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	if opts.RecordTrace {
-		res.Trace = append(res.Trace, append([]machine.State(nil), states...))
+		rs.snapshotTrace(res)
 	}
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
+	if active == 0 {
+		res.Output = rs.outputs
+		return res, nil
 	}
-
-	inboxes := make([][]machine.Message, n)
-	for v := 0; v < n; v++ {
-		inboxes[v] = make([]machine.Message, g.Degree(v))
-	}
-	broadcast := m.Class().Send == machine.SendBroadcast
-
-	for round := 1; !allHalted(halted); round++ {
-		if round > maxRounds {
-			return nil, fmt.Errorf("%w (budget %d, machine %q on %v)",
-				ErrNoHalt, maxRounds, m.Name(), g)
-		}
-		// Send phase: a_{t+1}(u, i) = μ(x_t(v), j) where p((v,j)) = (u,i).
-		for v := 0; v < n; v++ {
-			deg := g.Degree(v)
-			if halted[v] {
-				for j := 1; j <= deg; j++ {
-					d := p.Dest(v, j)
-					inboxes[d.Node][d.Index-1] = machine.NoMessage
-				}
-				continue
-			}
-			var bmsg machine.Message
-			if broadcast {
-				bmsg = m.Send(states[v], 1)
-			}
-			for j := 1; j <= deg; j++ {
-				msg := bmsg
-				if !broadcast {
-					msg = m.Send(states[v], j)
-				}
-				d := p.Dest(v, j)
-				inboxes[d.Node][d.Index-1] = msg
-				res.MessageBytes += int64(len(msg))
-			}
-		}
-		// Receive phase: x_{t+1}(u) = δ(x_t(u), ~a_{t+1}(u)).
-		for u := 0; u < n; u++ {
-			if halted[u] {
-				continue
-			}
-			inbox := machine.CanonicalInbox(m.Class().Recv, inboxes[u])
-			states[u] = m.Step(states[u], inbox)
-			if out, ok := m.Halted(states[u]); ok {
-				halted[u] = true
-				outputs[u] = out
-			}
-		}
-		res.Rounds = round
-		if opts.RecordTrace {
-			res.Trace = append(res.Trace, append([]machine.State(nil), states...))
-		}
-	}
-	res.Output = outputs
-	return res, nil
-}
-
-// runConcurrent runs one goroutine per node with channels as directed
-// links. Synchrony is preserved by closing over a per-round barrier: all
-// sends complete before any receive is processed, exactly like the
-// sequential executor. A coordinator collects halt flags each round.
-func runConcurrent(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
 	n := g.N()
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
-	}
-	broadcast := m.Class().Send == machine.SendBroadcast
-
-	// links[v][i] carries the message arriving at in-port i+1 of v in the
-	// current round. Buffer 1: each link holds at most one message per round.
-	links := make([][]chan machine.Message, n)
-	for v := 0; v < n; v++ {
-		links[v] = make([]chan machine.Message, g.Degree(v))
-		for i := range links[v] {
-			links[v][i] = make(chan machine.Message, 1)
+	st := &shardStats{scratch: rs.newScratch()}
+	if err := rs.driveRounds(active, opts, res, func(ph poolPhase) (int64, int) {
+		st.pendingBytes, st.newHalts = 0, 0
+		if ph == phaseSend {
+			rs.sendShard(0, n, st)
+		} else {
+			rs.stepShard(0, n, st)
 		}
+		return st.pendingBytes, st.newHalts
+	}); err != nil {
+		return nil, err
 	}
-
-	type roundReport struct {
-		node   int
-		halted bool
-		bytes  int64
-	}
-	reports := make(chan roundReport, n)
-	proceed := make([]chan bool, n) // per-node: continue into next round?
-	for v := range proceed {
-		proceed[v] = make(chan bool, 1)
-	}
-
-	states := make([]machine.State, n)
-	outputs := make([]machine.Output, n)
-	initial := make([]machine.State, n)
-	for v := 0; v < n; v++ {
-		s, err := initState(m, g.Degree(v), v, opts)
-		if err != nil {
-			return nil, err
-		}
-		initial[v] = s
-	}
-	var mu sync.Mutex // guards states/outputs written at halt time
-
-	var wg sync.WaitGroup
-	for v := 0; v < n; v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			deg := g.Degree(v)
-			state := initial[v]
-			out, halted := m.Halted(state)
-			for {
-				var sent int64
-				if !halted {
-					var bmsg machine.Message
-					if broadcast {
-						bmsg = m.Send(state, 1)
-					}
-					for j := 1; j <= deg; j++ {
-						msg := bmsg
-						if !broadcast {
-							msg = m.Send(state, j)
-						}
-						d := p.Dest(v, j)
-						links[d.Node][d.Index-1] <- msg
-						sent += int64(len(msg))
-					}
-				} else {
-					for j := 1; j <= deg; j++ {
-						d := p.Dest(v, j)
-						links[d.Node][d.Index-1] <- machine.NoMessage
-					}
-				}
-				reports <- roundReport{node: v, halted: halted, bytes: sent}
-				if !<-proceed[v] {
-					mu.Lock()
-					states[v] = state
-					outputs[v] = out
-					mu.Unlock()
-					return
-				}
-				// All peers have finished sending (the coordinator only
-				// signals proceed after collecting every report), so the
-				// inbox is complete.
-				inbox := make([]machine.Message, deg)
-				for i := 0; i < deg; i++ {
-					inbox[i] = <-links[v][i]
-				}
-				if !halted {
-					state = m.Step(state, machine.CanonicalInbox(m.Class().Recv, inbox))
-					out, halted = m.Halted(state)
-				}
-			}
-		}(v)
-	}
-
-	res := &Result{}
-	for round := 0; ; round++ {
-		allDone := true
-		for i := 0; i < n; i++ {
-			rep := <-reports
-			res.MessageBytes += rep.bytes
-			if !rep.halted {
-				allDone = false
-			}
-		}
-		if allDone || round >= maxRounds {
-			for v := 0; v < n; v++ {
-				proceed[v] <- false
-			}
-			wg.Wait()
-			// Drain the channels so nothing leaks.
-			for v := range links {
-				for _, ch := range links[v] {
-					select {
-					case <-ch:
-					default:
-					}
-				}
-			}
-			if !allDone {
-				return nil, fmt.Errorf("%w (budget %d, machine %q on %v)",
-					ErrNoHalt, maxRounds, m.Name(), g)
-			}
-			res.Rounds = round
-			res.Output = outputs
-			return res, nil
-		}
-		for v := 0; v < n; v++ {
-			proceed[v] <- true
-		}
-	}
-}
-
-func allHalted(h []bool) bool {
-	for _, x := range h {
-		if !x {
-			return false
-		}
-	}
-	return true
+	res.Output = rs.outputs
+	return res, nil
 }

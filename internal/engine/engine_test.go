@@ -220,49 +220,56 @@ func TestFigure4BroadcastEnforcement(t *testing.T) {
 	}
 }
 
-func TestSequentialConcurrentAgree(t *testing.T) {
+// TestDeprecatedConcurrentAlias checks that the legacy Options.Concurrent
+// flag still selects the parallel executor and agrees with the sequential
+// one. (The full equivalence matrix lives in TestExecutorEquivalence.)
+func TestDeprecatedConcurrentAlias(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
-	graphs := []*graph.Graph{
-		graph.Path(6), graph.Cycle(7), graph.Star(5), graph.Complete(5),
-		graph.Figure1Graph(), graph.Petersen(), graph.Grid(3, 3),
-		graph.DisjointUnion(graph.Cycle(3), graph.Path(3)),
+	g := graph.Petersen()
+	m := degreeSum(g.MaxDegree())
+	p := port.Random(g, rng)
+	seq, err := Run(m, p, Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, g := range graphs {
-		delta := g.MaxDegree()
-		machines := []machine.Machine{
-			degreeSum(delta),
-			inboxEcho(delta, machine.ClassVV),
-			inboxEcho(delta, machine.ClassMV),
-			inboxEcho(delta, machine.ClassSV),
-			inboxEcho(delta, machine.ClassMB),
+	con, err := Run(m, p, Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != con.Rounds || seq.MessageBytes != con.MessageBytes {
+		t.Errorf("telemetry differs (rounds %d/%d bytes %d/%d)",
+			seq.Rounds, con.Rounds, seq.MessageBytes, con.MessageBytes)
+	}
+	for v := range seq.Output {
+		if seq.Output[v] != con.Output[v] {
+			t.Fatalf("node %d: %q vs %q", v, seq.Output[v], con.Output[v])
 		}
-		numberings := []*port.Numbering{
-			port.Canonical(g),
-			port.Random(g, rng),
-			port.RandomConsistent(g, rng),
+	}
+}
+
+func TestParseExecutor(t *testing.T) {
+	for s, want := range map[string]Executor{
+		"seq": ExecutorSeq, "sequential": ExecutorSeq,
+		"pool": ExecutorPool, "parallel": ExecutorPool,
+	} {
+		got, err := ParseExecutor(s)
+		if err != nil || got != want {
+			t.Errorf("ParseExecutor(%q) = %v, %v; want %v", s, got, err, want)
 		}
-		for _, m := range machines {
-			for pi, p := range numberings {
-				seq, err := Run(m, p, Options{})
-				if err != nil {
-					t.Fatalf("%s on %v: %v", m.Name(), g, err)
-				}
-				con, err := Run(m, p, Options{Concurrent: true})
-				if err != nil {
-					t.Fatalf("%s on %v concurrent: %v", m.Name(), g, err)
-				}
-				if seq.Rounds != con.Rounds || seq.MessageBytes != con.MessageBytes {
-					t.Errorf("%s on %v numbering %d: telemetry differs (rounds %d/%d bytes %d/%d)",
-						m.Name(), g, pi, seq.Rounds, con.Rounds, seq.MessageBytes, con.MessageBytes)
-				}
-				for v := range seq.Output {
-					if seq.Output[v] != con.Output[v] {
-						t.Fatalf("%s on %v numbering %d node %d: %q vs %q",
-							m.Name(), g, pi, v, seq.Output[v], con.Output[v])
-					}
-				}
-			}
+		if got.String() != want.String() {
+			t.Errorf("round trip of %q lost the name", s)
 		}
+	}
+	if _, err := ParseExecutor("nope"); err == nil {
+		t.Error("ParseExecutor accepted garbage")
+	}
+}
+
+func TestUnknownExecutorRejected(t *testing.T) {
+	g := graph.Path(3)
+	_, err := Run(degreeSum(2), port.Canonical(g), Options{Executor: Executor(99)})
+	if err == nil {
+		t.Fatal("Run accepted an unknown executor instead of erroring")
 	}
 }
 
@@ -277,7 +284,7 @@ func TestTraceRecording(t *testing.T) {
 	}
 }
 
-func TestConcurrentNoHalt(t *testing.T) {
+func TestPoolNoHalt(t *testing.T) {
 	loop := &machine.Func{
 		MachineName:  "loop",
 		MachineClass: machine.ClassSB,
@@ -287,9 +294,23 @@ func TestConcurrentNoHalt(t *testing.T) {
 		SendFunc:     func(machine.State, int) machine.Message { return machine.NoMessage },
 		StepFunc:     func(s machine.State, _ []machine.Message) machine.State { return s },
 	}
-	_, err := Run(loop, port.Canonical(graph.Cycle(3)), Options{MaxRounds: 10, Concurrent: true})
+	_, err := Run(loop, port.Canonical(graph.Cycle(3)), Options{MaxRounds: 10, Executor: ExecutorPool})
 	if !errors.Is(err, ErrNoHalt) {
 		t.Errorf("err = %v, want ErrNoHalt", err)
+	}
+}
+
+// TestPoolTraceRecording: the pool executor records the same trace shape as
+// the sequential one (the old goroutine-per-node executor never supported
+// traces).
+func TestPoolTraceRecording(t *testing.T) {
+	g := graph.Path(3)
+	res, err := Run(degreeSum(2), port.Canonical(g), Options{RecordTrace: true, Executor: ExecutorPool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Rounds+1 {
+		t.Errorf("trace has %d entries, want %d", len(res.Trace), res.Rounds+1)
 	}
 }
 
@@ -306,14 +327,14 @@ func BenchmarkEngineSequential(b *testing.B) {
 	}
 }
 
-func BenchmarkEngineConcurrent(b *testing.B) {
+func BenchmarkEnginePoolExecutor(b *testing.B) {
 	g := graph.Torus(12, 12)
 	p := port.Canonical(g)
 	m := degreeSum(4)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(m, p, Options{Concurrent: true}); err != nil {
+		if _, err := Run(m, p, Options{Executor: ExecutorPool}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// equivalenceBudget bounds every run in the property test: machines that
+// cannot halt on a given (graph, numbering) must fail identically with
+// ErrNoHalt in both executors.
+const equivalenceBudget = 60
+
+// suiteGraphs is the graph side of the experiment-suite matrix.
+func suiteGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(6),
+		graph.Cycle(7),
+		graph.Star(5),
+		graph.Complete(5),
+		graph.Figure1Graph(),
+		graph.Petersen(),
+		graph.Grid(3, 3),
+		graph.Torus(4, 4),
+		graph.NoOneFactorCubic(),
+		graph.DisjointUnion(graph.Cycle(3), graph.Path(3)),
+	}
+}
+
+// suiteMachines is the machine side: every registry algorithm plus the
+// local test machines covering all receive/send mode combinations.
+func suiteMachines(delta int) []machine.Machine {
+	ms := []machine.Machine{
+		degreeSum(delta),
+		inboxEcho(delta, machine.ClassVV),
+		inboxEcho(delta, machine.ClassMV),
+		inboxEcho(delta, machine.ClassSV),
+		inboxEcho(delta, machine.ClassMB),
+		inboxEcho(delta, machine.ClassSB),
+	}
+	for _, name := range algorithms.RegistryNames() {
+		ms = append(ms, algorithms.Registry()[name](delta))
+	}
+	return ms
+}
+
+// TestExecutorEquivalence is the property test required of the pool
+// executor: for every (machine, graph, numbering) triple in the experiment
+// suite, and across several worker counts, the pool executor must produce
+// results bit-identical to the sequential executor — same Output vector,
+// same Rounds, same MessageBytes, same Trace, and identical failures.
+// CI runs this under -race, which also proves the shard pass is data-race
+// free.
+func TestExecutorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, g := range suiteGraphs() {
+		delta := g.MaxDegree()
+		numberings := map[string]*port.Numbering{
+			"canonical":  port.Canonical(g),
+			"random":     port.Random(g, rng),
+			"consistent": port.RandomConsistent(g, rng),
+		}
+		for _, m := range suiteMachines(delta) {
+			for pname, p := range numberings {
+				label := fmt.Sprintf("%s on %v ports=%s", m.Name(), g, pname)
+				seq, seqErr := Run(m, p, Options{MaxRounds: equivalenceBudget, RecordTrace: true})
+				for _, workers := range []int{0, 1, 3} {
+					pool, poolErr := Run(m, p, Options{
+						MaxRounds:   equivalenceBudget,
+						RecordTrace: true,
+						Executor:    ExecutorPool,
+						Workers:     workers,
+					})
+					if (seqErr == nil) != (poolErr == nil) {
+						t.Fatalf("%s workers=%d: seq err %v, pool err %v", label, workers, seqErr, poolErr)
+					}
+					if seqErr != nil {
+						if !errors.Is(poolErr, ErrNoHalt) || !errors.Is(seqErr, ErrNoHalt) {
+							t.Fatalf("%s workers=%d: unexpected errors %v / %v", label, workers, seqErr, poolErr)
+						}
+						continue
+					}
+					if seq.Rounds != pool.Rounds || seq.MessageBytes != pool.MessageBytes {
+						t.Fatalf("%s workers=%d: telemetry differs (rounds %d/%d bytes %d/%d)",
+							label, workers, seq.Rounds, pool.Rounds, seq.MessageBytes, pool.MessageBytes)
+					}
+					if !reflect.DeepEqual(seq.Output, pool.Output) {
+						t.Fatalf("%s workers=%d: outputs differ\nseq:  %v\npool: %v",
+							label, workers, seq.Output, pool.Output)
+					}
+					if !reflect.DeepEqual(seq.Trace, pool.Trace) {
+						t.Fatalf("%s workers=%d: traces differ", label, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPoolMatchesSequentialWithInputs covers the InputAware path of §3.4.
+func TestPoolMatchesSequentialWithInputs(t *testing.T) {
+	g := graph.Cycle(9)
+	m := degreeSum(2)
+	inputs := make([]string, g.N())
+	for v := range inputs {
+		inputs[v] = fmt.Sprintf("%d", v%3)
+	}
+	// degreeSum is not InputAware: both executors must reject identically.
+	if _, err := Run(m, port.Canonical(g), Options{Inputs: inputs}); err == nil {
+		t.Fatal("sequential executor accepted inputs for a non-InputAware machine")
+	}
+	if _, err := Run(m, port.Canonical(g), Options{Inputs: inputs, Executor: ExecutorPool}); err == nil {
+		t.Fatal("pool executor accepted inputs for a non-InputAware machine")
+	}
+}

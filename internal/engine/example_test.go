@@ -30,14 +30,14 @@ func Example() {
 	// node 3: 1
 }
 
-// ExampleRun_concurrent shows the goroutine-per-node executor producing the
+// ExampleRun_pool shows the sharded worker-pool executor producing the
 // same result as the sequential one.
-func ExampleRun_concurrent() {
+func ExampleRun_pool() {
 	g := graph.Cycle(5)
 	m := algorithms.EvenDegree(2)
 	seq, _ := engine.Run(m, port.Canonical(g), engine.Options{})
-	con, _ := engine.Run(m, port.Canonical(g), engine.Options{Concurrent: true})
-	fmt.Println(seq.Output[0] == con.Output[0])
+	pool, _ := engine.Run(m, port.Canonical(g), engine.Options{Executor: engine.ExecutorPool})
+	fmt.Println(seq.Output[0] == pool.Output[0])
 	// Output:
 	// true
 }

@@ -1,0 +1,111 @@
+package engine
+
+// parallel.go implements the sharded worker-pool executor. It replaces the
+// old goroutine-per-node/channel-per-link executor, which treated the
+// asynchronous message-passing topology as an implementation strategy and
+// paid for it with n goroutines, 2m channels and a coordinator round-trip
+// per node per round.
+//
+// Here the node set is partitioned into W ≈ GOMAXPROCS contiguous shards.
+// Each round is one combined receive+step+send pass over every shard (see
+// runState.stepShard), run by W persistent workers separated by a single
+// WaitGroup barrier per round. Workers accumulate message bytes and halt
+// counts in per-worker shardStats that the coordinator merges at the
+// barrier, so the round loop performs no atomic operations and no
+// allocation. The pass itself is data-race free by construction: reads
+// touch only the current arena and the worker's own nodes, writes to the
+// next arena hit each inbox slot exactly once (the numbering is a
+// bijection on ports).
+//
+// Both executors drive the same shard pass, so the pool is bit-identical
+// to the sequential executor; TestExecutorEquivalence asserts this across
+// the experiment suite under -race.
+
+import (
+	"runtime"
+	"sync"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// poolWorkers resolves the worker count: Options.Workers when positive,
+// else GOMAXPROCS, always within [1, n].
+func poolWorkers(opts Options, n int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func runPool(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+	rs, active, err := newRunState(m, g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if opts.RecordTrace {
+		rs.snapshotTrace(res)
+	}
+	if active == 0 {
+		res.Output = rs.outputs
+		return res, nil
+	}
+	n := g.N()
+	workers := poolWorkers(opts, n)
+
+	// Contiguous shards: worker w owns nodes [w*n/W, (w+1)*n/W).
+	stats := make([]*shardStats, workers)
+	cmds := make([]chan poolPhase, workers)
+	var barrier sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		stats[w] = &shardStats{scratch: rs.newScratch()}
+		cmds[w] = make(chan poolPhase, 1)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(cmd <-chan poolPhase, lo, hi int, st *shardStats) {
+			for ph := range cmd {
+				switch ph {
+				case phaseSend:
+					rs.sendShard(lo, hi, st)
+				default:
+					rs.stepShard(lo, hi, st)
+				}
+				barrier.Done()
+			}
+		}(cmds[w], lo, hi, stats[w])
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			close(cmd)
+		}
+	}()
+
+	// Each phase fans out to every worker and waits at the barrier,
+	// merging the per-worker bytes produced and nodes halted.
+	if err := rs.driveRounds(active, opts, res, func(ph poolPhase) (bytes int64, halts int) {
+		barrier.Add(workers)
+		for _, cmd := range cmds {
+			cmd <- ph
+		}
+		barrier.Wait()
+		for _, st := range stats {
+			bytes += st.pendingBytes
+			halts += st.newHalts
+			st.pendingBytes = 0
+			st.newHalts = 0
+		}
+		return bytes, halts
+	}); err != nil {
+		return nil, err
+	}
+	res.Output = rs.outputs
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package engine
+
+// router.go holds the compiled per-run execution state shared by the
+// sequential and worker-pool executors: the flat CSR routing table borrowed
+// from port.Routes and the double-buffered message arena.
+//
+// All inboxes live in one flat []machine.Message; the inbox of node v is
+// arena[off[v]:off[v+1]]. The routing table dest maps each out-port slot
+// directly to its destination inbox slot, so delivering a message is a
+// single indexed store — no Dest/NeighborIndex calls in the round loop.
+//
+// Rounds are executed as one combined pass per node: consume the inbox from
+// the current arena, step, then emit next-round messages into the other
+// arena. Because every inbox slot is written by exactly one out-port (the
+// numbering is a bijection) and reads only touch the current arena, shards
+// of nodes can run the pass concurrently with no synchronisation beyond a
+// barrier between rounds.
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// runState is the flattened execution state of one run.
+type runState struct {
+	m         machine.Machine
+	g         *graph.Graph
+	off       []int32 // CSR offsets: inbox of v is arena[off[v]:off[v+1]]
+	dest      []int32 // out-port slot → inbox slot in the destination arena
+	broadcast bool
+	recv      machine.RecvMode
+
+	states  []machine.State
+	halted  []bool
+	outputs []machine.Output
+	// haltAge[v] counts halted send passes of v, capped at 2: after a
+	// halted node has written m0 into both arenas its inbox slots stay m0
+	// forever, so further writes are skipped.
+	haltAge []uint8
+
+	// cur holds the messages consumed this round; next receives the
+	// messages produced for the following round. Swapped at each barrier.
+	cur, next []machine.Message
+}
+
+// poolPhase is a command executed between two round barriers.
+type poolPhase int
+
+const (
+	phaseSend poolPhase = iota // initial μ(x_0) emission
+	phaseStep                  // one combined receive+step+send round
+)
+
+// driveRounds is the round loop shared by both executors. runPhase executes
+// one phase over every node — inline for the sequential executor, fan-out
+// plus barrier for the pool — and returns the bytes produced for the next
+// round and the number of nodes that halted. active is the count of
+// initially non-halted nodes (> 0; callers short-circuit the zero-round
+// case).
+func (rs *runState) driveRounds(active int, opts Options, res *Result, runPhase func(poolPhase) (int64, int)) error {
+	maxRounds := maxRoundsOf(opts)
+	pending, _ := runPhase(phaseSend)
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return fmt.Errorf("%w (budget %d, machine %q on %v)",
+				ErrNoHalt, maxRounds, rs.m.Name(), rs.g)
+		}
+		// The messages produced at the previous barrier are consumed now;
+		// their bytes count only for rounds that execute.
+		res.MessageBytes += pending
+		bytes, halts := runPhase(phaseStep)
+		rs.swap()
+		pending = bytes
+		active -= halts
+		res.Rounds = round
+		if opts.RecordTrace {
+			rs.snapshotTrace(res)
+		}
+		if active == 0 {
+			return nil
+		}
+	}
+}
+
+// shardStats accumulates one worker's per-round telemetry, merged by the
+// coordinator at the barrier. scratch is the worker-local canonicalisation
+// buffer (capacity = max degree), reused across nodes and rounds.
+type shardStats struct {
+	pendingBytes int64 // bytes of messages produced for the next round
+	newHalts     int   // nodes that halted during this round's pass
+	scratch      []machine.Message
+}
+
+// newRunState initialises states, halt flags and the arenas, and returns
+// the number of initially active (non-halted) nodes.
+func newRunState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*runState, int, error) {
+	n := g.N()
+	r := p.Routes()
+	rs := &runState{
+		m:         m,
+		g:         g,
+		off:       r.Offsets(),
+		dest:      r.DestTable(),
+		broadcast: m.Class().Send == machine.SendBroadcast,
+		recv:      m.Class().Recv,
+		states:    make([]machine.State, n),
+		halted:    make([]bool, n),
+		outputs:   make([]machine.Output, n),
+		haltAge:   make([]uint8, n),
+		cur:       make([]machine.Message, r.NumPorts()),
+		next:      make([]machine.Message, r.NumPorts()),
+	}
+	active := n
+	for v := 0; v < n; v++ {
+		s, err := initState(m, g.Degree(v), v, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		rs.states[v] = s
+		if out, ok := m.Halted(s); ok {
+			rs.halted[v] = true
+			rs.outputs[v] = out
+			active--
+		}
+	}
+	return rs, active, nil
+}
+
+// newScratch returns a canonicalisation buffer sized to the run's maximum
+// degree, so CanonicalInboxInto never reallocates.
+func (rs *runState) newScratch() []machine.Message {
+	return make([]machine.Message, 0, rs.g.MaxDegree())
+}
+
+// sendNode emits node v's outgoing messages into dst via the routing table.
+// Halted nodes send m0 forever (Section 1.3) and contribute no bytes; after
+// two halted passes both arenas already hold m0 in v's destination slots
+// (each slot has a unique writer), so the stores are skipped.
+func (rs *runState) sendNode(v int, dst []machine.Message, st *shardStats) {
+	lo, hi := rs.off[v], rs.off[v+1]
+	if rs.halted[v] {
+		if rs.haltAge[v] >= 2 {
+			return
+		}
+		rs.haltAge[v]++
+		for s := lo; s < hi; s++ {
+			dst[rs.dest[s]] = machine.NoMessage
+		}
+		return
+	}
+	state := rs.states[v]
+	if rs.broadcast {
+		msg := rs.m.Send(state, 1)
+		for s := lo; s < hi; s++ {
+			dst[rs.dest[s]] = msg
+			st.pendingBytes += int64(len(msg))
+		}
+		return
+	}
+	for s := lo; s < hi; s++ {
+		msg := rs.m.Send(state, int(s-lo)+1)
+		dst[rs.dest[s]] = msg
+		st.pendingBytes += int64(len(msg))
+	}
+}
+
+// sendShard performs the initial send phase for nodes [lo,hi): every node
+// emits μ(x_0) into the current arena, to be consumed by round 1.
+func (rs *runState) sendShard(lo, hi int, st *shardStats) {
+	for v := lo; v < hi; v++ {
+		rs.sendNode(v, rs.cur, st)
+	}
+}
+
+// stepShard runs the combined receive+send pass of one round for nodes
+// [lo,hi): consume the inbox from cur, step, check halting, then emit the
+// next round's messages into next. Safe to run concurrently on disjoint
+// shards: writes to states/halted/outputs are per-node, writes to next are
+// per-inbox-slot (a bijection), and cur is read-only during the pass.
+func (rs *runState) stepShard(lo, hi int, st *shardStats) {
+	for v := lo; v < hi; v++ {
+		if !rs.halted[v] {
+			inbox := rs.cur[rs.off[v]:rs.off[v+1]]
+			inbox = machine.CanonicalInboxInto(rs.recv, inbox, st.scratch)
+			rs.states[v] = rs.m.Step(rs.states[v], inbox)
+			if out, ok := rs.m.Halted(rs.states[v]); ok {
+				rs.halted[v] = true
+				rs.outputs[v] = out
+				st.newHalts++
+			}
+		}
+		rs.sendNode(v, rs.next, st)
+	}
+}
+
+// swap flips the double buffer at the round barrier.
+func (rs *runState) swap() { rs.cur, rs.next = rs.next, rs.cur }

@@ -8,6 +8,13 @@ import (
 	"weakmodels/internal/machine"
 )
 
+// snapshotTrace appends a copy of the current state vector x_t to the
+// trace. Both executors call it only at round barriers, when no worker is
+// mutating states.
+func (rs *runState) snapshotTrace(res *Result) {
+	res.Trace = append(res.Trace, append([]machine.State(nil), rs.states...))
+}
+
 // RenderTrace pretty-prints a recorded execution trace round by round —
 // the x_t state vectors of Section 1.3 — for debugging algorithms and for
 // the weakrun -trace flag. States print via %v; machines in this library

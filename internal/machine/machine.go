@@ -7,6 +7,7 @@ package machine
 
 import (
 	"fmt"
+	"slices"
 
 	"weakmodels/internal/term"
 )
@@ -157,15 +158,27 @@ type Machine interface {
 // receive mode allows: Vector passes through, Multiset sorts, Set sorts and
 // deduplicates. The result is a fresh slice for the weaker modes.
 func CanonicalInbox(mode RecvMode, inbox []Message) []Message {
+	return CanonicalInboxInto(mode, inbox, nil)
+}
+
+// CanonicalInboxInto is the allocation-free form of CanonicalInbox: for the
+// Multiset and Set modes it canonicalises into scratch (reallocating only
+// when cap(scratch) < len(inbox)) and returns the canonical view, which
+// aliases scratch; Vector returns inbox unchanged. The engine calls this
+// with a per-worker scratch buffer sized to the maximum degree, so steady
+// rounds perform no allocation. The inbox itself is never mutated. Machines
+// must not retain the returned slice across Step calls (the Machine
+// contract already requires Step to be pure).
+func CanonicalInboxInto(mode RecvMode, inbox, scratch []Message) []Message {
 	switch mode {
 	case RecvVector:
 		return inbox
 	case RecvMultiset:
-		out := append([]Message(nil), inbox...)
+		out := append(scratch[:0], inbox...)
 		sortMessages(out)
 		return out
 	case RecvSet:
-		out := append([]Message(nil), inbox...)
+		out := append(scratch[:0], inbox...)
 		sortMessages(out)
 		dedup := out[:0]
 		for i, m := range out {
@@ -179,6 +192,12 @@ func CanonicalInbox(mode RecvMode, inbox []Message) []Message {
 	}
 }
 
+// insertionSortCutoff is the inbox length above which sortMessages switches
+// from insertion sort to slices.Sort. The inboxes of bounded-degree graphs
+// are almost always tiny, where the branch-light O(d²) insertion sort wins;
+// high-degree nodes (stars, complete graphs) fall through to pdqsort.
+const insertionSortCutoff = 16
+
 // sortMessages sorts by the canonical term order where both messages parse
 // as terms, falling back to plain string order (the encodings are designed
 // so both orders are total; string order suffices for canonical grouping,
@@ -187,6 +206,10 @@ func sortMessages(ms []Message) {
 	// Message encodings compare consistently as strings for equality
 	// grouping; the simulations that need the exact term order <M sort
 	// decoded terms themselves. Keep this simple and total.
+	if len(ms) > insertionSortCutoff {
+		slices.Sort(ms)
+		return
+	}
 	for i := 1; i < len(ms); i++ {
 		for j := i; j > 0 && ms[j] < ms[j-1]; j-- {
 			ms[j], ms[j-1] = ms[j-1], ms[j]

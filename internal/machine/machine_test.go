@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -68,6 +69,56 @@ func TestCanonicalInbox(t *testing.T) {
 	// Originals untouched by weaker modes.
 	if !reflect.DeepEqual(in, []Message{"c", "a", "b", "a"}) {
 		t.Error("CanonicalInbox mutated its input")
+	}
+}
+
+func TestCanonicalInboxInto(t *testing.T) {
+	in := []Message{"c", "a", "b", "a"}
+	scratch := make([]Message, 0, 8)
+
+	if got := CanonicalInboxInto(RecvVector, in, scratch); &got[0] != &in[0] {
+		t.Error("vector view must alias the inbox")
+	}
+	got := CanonicalInboxInto(RecvMultiset, in, scratch)
+	if !reflect.DeepEqual(got, []Message{"a", "a", "b", "c"}) {
+		t.Errorf("multiset view = %v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("multiset view must reuse the scratch buffer")
+	}
+	got = CanonicalInboxInto(RecvSet, in, scratch)
+	if !reflect.DeepEqual(got, []Message{"a", "b", "c"}) {
+		t.Errorf("set view = %v", got)
+	}
+	if !reflect.DeepEqual(in, []Message{"c", "a", "b", "a"}) {
+		t.Error("CanonicalInboxInto mutated its input")
+	}
+	// Undersized (including nil) scratch still yields correct results.
+	if got := CanonicalInboxInto(RecvSet, in, make([]Message, 0, 1)); !reflect.DeepEqual(got, []Message{"a", "b", "c"}) {
+		t.Errorf("set view with tiny scratch = %v", got)
+	}
+	if got := CanonicalInboxInto(RecvMultiset, in, nil); !reflect.DeepEqual(got, []Message{"a", "a", "b", "c"}) {
+		t.Errorf("multiset view with nil scratch = %v", got)
+	}
+}
+
+// TestSortMessagesLarge exercises the slices.Sort path above the insertion
+// sort cutoff against the same inputs in reverse order.
+func TestSortMessagesLarge(t *testing.T) {
+	n := insertionSortCutoff * 3
+	in := make([]Message, n)
+	for i := range in {
+		in[i] = fmt.Sprintf("m%03d", (n-i)%7)
+	}
+	got := CanonicalInbox(RecvMultiset, in)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+	set := CanonicalInbox(RecvSet, in)
+	if len(set) != 7 {
+		t.Fatalf("set view has %d elements, want 7: %v", len(set), set)
 	}
 }
 

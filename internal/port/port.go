@@ -13,6 +13,7 @@ package port
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"weakmodels/internal/graph"
 )
@@ -36,37 +37,35 @@ type Numbering struct {
 	// in[v][a] = the in-port index (1-based) of v into which the edge from
 	// adjacency-neighbour a of v delivers.
 	in [][]int
+
+	// routes is the flat routing table, compiled lazily on first use and
+	// shared by Dest/Source and the execution engine.
+	routesOnce sync.Once
+	routes     *Routes
+}
+
+// Routes returns the compiled flat routing table of p, building it on first
+// use. The table is cached: repeated calls are free.
+func (p *Numbering) Routes() *Routes {
+	p.routesOnce.Do(func() { p.routes = compileRoutes(p) })
+	return p.routes
 }
 
 // Graph returns the underlying graph.
 func (p *Numbering) Graph() *graph.Graph { return p.g }
 
 // Dest returns p((v,i)): the port that messages sent by v to out-port i
-// (1-based) arrive at.
+// (1-based) arrive at. O(1) via the compiled routing table.
 func (p *Numbering) Dest(v, i int) Port {
-	a := p.out[v][i-1]
-	u := p.g.Neighbor(v, a)
-	back := p.g.NeighborIndex(u, v)
-	return Port{Node: u, Index: p.in[u][back]}
+	r := p.Routes()
+	return r.PortAt(int(r.dest[int(r.off[v])+i-1]))
 }
 
 // Source returns p⁻¹((u,j)): the port whose messages arrive at in-port j of
-// node u.
+// node u. O(1) via the reverse routing index.
 func (p *Numbering) Source(u, j int) Port {
-	// Find the adjacency index a with in[u][a] == j; then the sender is
-	// neighbour a, on the out-port pointing back at u.
-	for a, jj := range p.in[u] {
-		if jj == j {
-			v := p.g.Neighbor(u, a)
-			back := p.g.NeighborIndex(v, u)
-			for i, aa := range p.out[v] {
-				if aa == back {
-					return Port{Node: v, Index: i + 1}
-				}
-			}
-		}
-	}
-	panic(fmt.Sprintf("port: no source for %v", Port{Node: u, Index: j}))
+	r := p.Routes()
+	return r.PortAt(int(r.src[int(r.off[u])+j-1]))
 }
 
 // OutNeighbor returns the node that out-port i (1-based) of v points at.

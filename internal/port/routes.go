@@ -1,0 +1,80 @@
+package port
+
+// Routes is a port numbering compiled into a flat CSR-style routing table.
+// Ports are mapped to dense int32 "slots": the ports (v,1)..(v,deg(v)) of
+// node v occupy slots off[v]..off[v+1]-1 in order. The table answers
+// Dest/Source queries with two array loads, which makes it the substrate of
+// the execution engine's round loop: a message written at out-slot s lands
+// at inbox slot dest[s] with no neighbour scans.
+//
+// A Routes is immutable and safe for concurrent use.
+type Routes struct {
+	// off has length n+1; off[v] is the first slot of node v (CSR offsets).
+	off []int32
+	// node[s] is the node owning slot s.
+	node []int32
+	// dest[s] is the slot of p((v,i)) where s is the slot of out-port (v,i).
+	dest []int32
+	// src[t] is the slot of p⁻¹((u,j)) where t is the slot of in-port (u,j):
+	// the reverse index making Source O(1).
+	src []int32
+}
+
+// compileRoutes flattens the out/in bijections of p into slot arrays.
+// It runs once per numbering (see Numbering.Routes).
+func compileRoutes(p *Numbering) *Routes {
+	g := p.g
+	n := g.N()
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(v))
+	}
+	total := int(off[n])
+	r := &Routes{
+		off:  off,
+		node: make([]int32, total),
+		dest: make([]int32, total),
+		src:  make([]int32, total),
+	}
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		for j := 0; j < deg; j++ {
+			r.node[int(off[v])+j] = int32(v)
+			a := p.out[v][j]
+			u := g.Neighbor(v, a)
+			back := g.NeighborIndex(u, v)
+			i := p.in[u][back]
+			s := off[v] + int32(j)
+			t := off[u] + int32(i-1)
+			r.dest[s] = t
+			r.src[t] = s
+		}
+	}
+	return r
+}
+
+// NumPorts returns the total number of ports |P(G)| = Σ deg(v).
+func (r *Routes) NumPorts() int { return len(r.dest) }
+
+// Slot returns the dense slot of port (v,i), 1-based i.
+func (r *Routes) Slot(v, i int) int { return int(r.off[v]) + i - 1 }
+
+// PortAt is the inverse of Slot.
+func (r *Routes) PortAt(slot int) Port {
+	v := r.node[slot]
+	return Port{Node: int(v), Index: slot - int(r.off[v]) + 1}
+}
+
+// DestSlot returns the slot of p(port-at-slot-s).
+func (r *Routes) DestSlot(s int) int { return int(r.dest[s]) }
+
+// SourceSlot returns the slot of p⁻¹(port-at-slot-t).
+func (r *Routes) SourceSlot(t int) int { return int(r.src[t]) }
+
+// Offsets exposes the CSR offset array (length n+1) for hot loops.
+// Callers must not modify it.
+func (r *Routes) Offsets() []int32 { return r.off }
+
+// DestTable exposes the raw out-slot → inbox-slot table for hot loops.
+// Callers must not modify it.
+func (r *Routes) DestTable() []int32 { return r.dest }

@@ -1,0 +1,151 @@
+package port
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/graph"
+)
+
+// destScan is the original O(deg) Dest implementation, kept as the
+// reference the compiled routing table is tested against.
+func destScan(p *Numbering, v, i int) Port {
+	a := p.out[v][i-1]
+	u := p.g.Neighbor(v, a)
+	back := p.g.NeighborIndex(u, v)
+	return Port{Node: u, Index: p.in[u][back]}
+}
+
+// sourceScan is the original O(deg²) Source implementation (double linear
+// scan), kept as the reference for the reverse routing index.
+func sourceScan(p *Numbering, u, j int) Port {
+	for a, jj := range p.in[u] {
+		if jj == j {
+			v := p.g.Neighbor(u, a)
+			back := p.g.NeighborIndex(v, u)
+			for i, aa := range p.out[v] {
+				if aa == back {
+					return Port{Node: v, Index: i + 1}
+				}
+			}
+		}
+	}
+	panic(fmt.Sprintf("port: no source for %v", Port{Node: u, Index: j}))
+}
+
+func routeTestNumberings(t *testing.T) map[string]*Numbering {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	graphs := map[string]*graph.Graph{
+		"path6":     graph.Path(6),
+		"cycle7":    graph.Cycle(7),
+		"star5":     graph.Star(5),
+		"complete5": graph.Complete(5),
+		"petersen":  graph.Petersen(),
+		"grid4x3":   graph.Grid(4, 3),
+		"disjoint":  graph.DisjointUnion(graph.Cycle(3), graph.Path(4)),
+	}
+	ps := make(map[string]*Numbering)
+	for name, g := range graphs {
+		ps[name+"/canonical"] = Canonical(g)
+		ps[name+"/random"] = Random(g, rng)
+		ps[name+"/consistent"] = RandomConsistent(g, rng)
+	}
+	// Symmetric numberings (Lemma 15): the in/out pairing differs
+	// structurally from the consistent constructions above.
+	ps["cycle7/symmetric"] = SymmetricCycle(7)
+	petersen := graph.Petersen()
+	perms, err := graph.DoubleCoverFactorPermutations(petersen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := FromPermutationFactors(petersen, perms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps["petersen/factors"] = sym
+	return ps
+}
+
+// TestRoutesMatchScans asserts the compiled table agrees with the original
+// scan-based Dest/Source on every port of a spread of numberings.
+func TestRoutesMatchScans(t *testing.T) {
+	for name, p := range routeTestNumberings(t) {
+		g := p.Graph()
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				if got, want := p.Dest(v, i), destScan(p, v, i); got != want {
+					t.Fatalf("%s: Dest(%d,%d) = %v, want %v", name, v, i, got, want)
+				}
+				if got, want := p.Source(v, i), sourceScan(p, v, i); got != want {
+					t.Fatalf("%s: Source(%d,%d) = %v, want %v", name, v, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesSlotRoundTrip checks Slot/PortAt are inverse bijections and
+// that DestSlot/SourceSlot are mutually inverse (p is a bijection on ports).
+func TestRoutesSlotRoundTrip(t *testing.T) {
+	for name, p := range routeTestNumberings(t) {
+		g := p.Graph()
+		r := p.Routes()
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			total += g.Degree(v)
+		}
+		if r.NumPorts() != total {
+			t.Fatalf("%s: NumPorts = %d, want %d", name, r.NumPorts(), total)
+		}
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Degree(v); i++ {
+				s := r.Slot(v, i)
+				if got := r.PortAt(s); got != (Port{Node: v, Index: i}) {
+					t.Fatalf("%s: PortAt(Slot(%d,%d)) = %v", name, v, i, got)
+				}
+				if back := r.SourceSlot(r.DestSlot(s)); back != s {
+					t.Fatalf("%s: SourceSlot(DestSlot(%d)) = %d", name, s, back)
+				}
+			}
+		}
+		// The offset/dest tables exposed for hot loops agree with the
+		// accessor views.
+		off, dest := r.Offsets(), r.DestTable()
+		if len(off) != g.N()+1 || len(dest) != total {
+			t.Fatalf("%s: raw table lengths %d/%d", name, len(off), len(dest))
+		}
+		for s := 0; s < total; s++ {
+			if int(dest[s]) != r.DestSlot(s) {
+				t.Fatalf("%s: DestTable[%d] = %d, want %d", name, s, dest[s], r.DestSlot(s))
+			}
+		}
+	}
+}
+
+func BenchmarkSource(b *testing.B) {
+	g := graph.Torus(30, 30)
+	p := Canonical(g)
+	p.Routes() // compile outside the timer
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < g.N(); v++ {
+				for j := 1; j <= g.Degree(v); j++ {
+					_ = p.Source(v, j)
+				}
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < g.N(); v++ {
+				for j := 1; j <= g.Degree(v); j++ {
+					_ = sourceScan(p, v, j)
+				}
+			}
+		}
+	})
+}
