@@ -1,8 +1,9 @@
-// Engine scale benchmarks: the flat-routed executors on tori and random
-// regular graphs across the three receive modes, at sizes up to n=10⁴.
+// Engine scale benchmarks: the flat-routed executors on tori, random
+// regular graphs, expanders and preferential-attachment graphs across the
+// three receive modes, at sizes up to n=10⁴.
 // These are the perf-trajectory benchmarks of the engine subsystem; run
 //
-//	go test -bench='BenchmarkEngine(Seq|Pool)' -benchmem
+//	go test -bench='BenchmarkEngine(Seq|Pool|Async)' -benchmem
 //
 // for the full sweep, or emit the machine-readable record with
 //
@@ -55,10 +56,19 @@ func constCountdown(delta int, class machine.Class) machine.Machine {
 }
 
 // engineBenchGraphs builds the benchmark graph family: tori (the paper's
-// grid workloads) and sparse random regular graphs.
+// grid workloads), sparse random regular graphs, random expanders and
+// preferential-attachment graphs (hub-heavy degree skew).
 func engineBenchGraphs(tb testing.TB) map[string]*graph.Graph {
 	tb.Helper()
 	rr, err := graph.RandomRegular(1000, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ex, err := graph.Expander(1000, 4, 13)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pa, err := graph.PreferentialAttachment(1000, 3, 17)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -66,6 +76,8 @@ func engineBenchGraphs(tb testing.TB) map[string]*graph.Graph {
 		"n=1024/torus32":   graph.Torus(32, 32),
 		"n=10000/torus100": graph.Torus(100, 100),
 		"n=1000/rr3":       rr,
+		"n=1000/expander4": ex,
+		"n=1000/pa3":       pa,
 	}
 }
 
@@ -98,6 +110,11 @@ func BenchmarkEngineSeq(b *testing.B) { benchEngine(b, engine.ExecutorSeq) }
 // BenchmarkEnginePool sweeps the sharded worker-pool executor.
 func BenchmarkEnginePool(b *testing.B) { benchEngine(b, engine.ExecutorPool) }
 
+// BenchmarkEngineAsync sweeps the asynchronous executor under its default
+// Synchronous schedule: the cost of per-link queueing relative to the
+// double-buffered arena, at identical semantics.
+func BenchmarkEngineAsync(b *testing.B) { benchEngine(b, engine.ExecutorAsync) }
+
 // engineBenchRecord is one row of BENCH_engine.json.
 type engineBenchRecord struct {
 	Name        string  `json:"name"`
@@ -117,7 +134,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 		t.Skip("BENCH_ENGINE_JSON not set")
 	}
 	var records []engineBenchRecord
-	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
+	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool, engine.ExecutorAsync} {
 		for gname, g := range engineBenchGraphs(t) {
 			p := port.Canonical(g)
 			p.Routes()

@@ -1,0 +1,109 @@
+// Command benchdiff compares two BENCH_engine.json perf records and fails
+// when a benchmark regressed beyond a threshold, guarding the engine's perf
+// trajectory across PRs:
+//
+//	BENCH_ENGINE_JSON=/tmp/bench_new.json go test -run TestEmitEngineBenchJSON
+//	benchdiff -old BENCH_engine.json -new /tmp/bench_new.json
+//
+// Entries are matched by name; only entries present in both files are
+// compared (new benchmarks are listed, never failed on). The exit status is
+// 1 when any matching entry's ns/op regressed by more than -max-regress
+// percent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// record mirrors the rows TestEmitEngineBenchJSON writes.
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func load(path string) (map[string]record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []record
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]record, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	oldPath := fs.String("old", "BENCH_engine.json", "committed baseline record")
+	newPath := fs.String("new", "", "freshly emitted record to compare")
+	maxRegress := fs.Float64("max-regress", 25, "max tolerated ns/op regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *newPath == "" {
+		return fmt.Errorf("pass -new (a record emitted via TestEmitEngineBenchJSON)")
+	}
+	oldRows, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRows, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newRows))
+	for name := range newRows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions, added, compared int
+	for _, name := range names {
+		nr := newRows[name]
+		or, ok := oldRows[name]
+		if !ok {
+			added++
+			fmt.Fprintf(out, "NEW   %-50s %12.0f ns/op\n", name, nr.NsPerOp)
+			continue
+		}
+		compared++
+		delta := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-5s %-50s %12.0f → %-12.0f %+6.1f%%\n", status, name, or.NsPerOp, nr.NsPerOp, delta)
+	}
+	for name := range oldRows {
+		if _, ok := newRows[name]; !ok {
+			fmt.Fprintf(out, "GONE  %-50s (in baseline only)\n", name)
+		}
+	}
+	fmt.Fprintf(out, "compared %d entries (%d new) against %s, threshold %.0f%%\n",
+		compared, added, *oldPath, *maxRegress)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in ns/op", regressions, *maxRegress)
+	}
+	return nil
+}

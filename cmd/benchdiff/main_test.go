@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, name, blob string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `[
+  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 8, "bytes_per_op": 64},
+  {"name": "Engine/seq/b", "ns_per_op": 2000, "allocs_per_op": 8, "bytes_per_op": 64},
+  {"name": "Engine/seq/gone", "ns_per_op": 10, "allocs_per_op": 0, "bytes_per_op": 0}
+]`
+
+func TestBenchdiffWithinThreshold(t *testing.T) {
+	old := writeRecord(t, "old.json", baseline)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1200, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/b", "ns_per_op": 1500, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/async/new", "ns_per_op": 9000, "allocs_per_op": 16, "bytes_per_op": 64}
+	]`)
+	var sb strings.Builder
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"NEW", "GONE", "compared 2 entries (1 new)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchdiffFlagsRegression(t *testing.T) {
+	old := writeRecord(t, "old.json", baseline)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1300, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/b", "ns_per_op": 2000, "allocs_per_op": 8, "bytes_per_op": 64}
+	]`)
+	var sb strings.Builder
+	err := run([]string{"-old", old, "-new", fresh, "-max-regress", "25"}, &sb)
+	if err == nil {
+		t.Fatalf("30%% regression passed a 25%% threshold:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("output missing REGRESSED marker:\n%s", sb.String())
+	}
+	// The same diff passes a looser threshold.
+	sb.Reset()
+	if err := run([]string{"-old", old, "-new", fresh, "-max-regress", "50"}, &sb); err != nil {
+		t.Errorf("30%% regression failed a 50%% threshold: %v", err)
+	}
+}
+
+func TestBenchdiffErrors(t *testing.T) {
+	old := writeRecord(t, "old.json", baseline)
+	bad := writeRecord(t, "bad.json", "not json")
+	for _, args := range [][]string{
+		{"-old", old},                  // missing -new
+		{"-old", old, "-new", "/nope"}, // unreadable
+		{"-old", "/nope", "-new", old}, // unreadable baseline
+		{"-old", old, "-new", bad},     // malformed
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

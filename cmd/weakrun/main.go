@@ -5,10 +5,13 @@
 //
 //	weakrun -alg odd-odd -graph cycle:8 -ports random:7
 //	weakrun -alg vertex-cover -graph petersen -ports canonical -executor pool
+//	weakrun -alg odd-odd -graph torus:6x6 -executor async -schedule adversary:4 -seed 9
 //	weakrun -formula "<*,*> q1" -graph star:5
 //
 // With -formula the algorithm is compiled from a modal formula via
-// Theorem 2 and the satisfying nodes are printed.
+// Theorem 2 and the satisfying nodes are printed. With -executor async the
+// run is driven by the -schedule/-seed adversary and the summary reports
+// per-node activation counts and whether a global fixpoint was detected.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"weakmodels/internal/engine"
 	"weakmodels/internal/logic"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/schedule"
 	"weakmodels/internal/spec"
 )
 
@@ -39,20 +43,50 @@ func run(args []string, out io.Writer) error {
 	formula := fs.String("formula", "", "modal formula to compile instead of -alg")
 	graphSpec := fs.String("graph", "cycle:6", "graph specification")
 	portSpec := fs.String("ports", "canonical", "port numbering: canonical|random:SEED|consistent:SEED|symmetric")
-	executor := fs.String("executor", "seq", "execution strategy: seq|pool")
-	workers := fs.Int("workers", 0, "pool executor worker count (0 = GOMAXPROCS)")
+	executor := fs.String("executor", "seq", "execution strategy: seq|pool|async")
+	workers := fs.Int("workers", 0, "pool executor worker count (default GOMAXPROCS)")
+	schedSpec := fs.String("schedule", "sync", "async schedule: "+schedule.ValidSpecs)
+	seed := fs.Int64("seed", 1, "seed for seeded async schedules")
 	concurrent := fs.Bool("concurrent", false, "deprecated: alias for -executor=pool")
-	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = default)")
+	maxRounds := fs.Int("max-rounds", 0, "round budget (async: step budget; 0 = default)")
 	trace := fs.Bool("trace", false, "print the per-round state trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Validate every flag up front, so a bad spelling fails with the list of
+	// valid values instead of a confusing downstream error.
 	exec, err := engine.ParseExecutor(*executor)
 	if err != nil {
 		return err
 	}
 	if *concurrent {
 		exec = engine.ExecutorPool
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["workers"] {
+		if *workers < 1 {
+			return fmt.Errorf("-workers must be ≥ 1, got %d", *workers)
+		}
+		if exec != engine.ExecutorPool {
+			return fmt.Errorf("-workers is only meaningful with -executor=pool (got -executor=%v)", exec)
+		}
+	}
+	sched, err := schedule.Parse(*schedSpec, *seed)
+	if err != nil {
+		return err
+	}
+	if exec != engine.ExecutorAsync {
+		if set["schedule"] {
+			return fmt.Errorf("-schedule is only meaningful with -executor=async (got -executor=%v)", exec)
+		}
+		if set["seed"] {
+			return fmt.Errorf("-seed is only meaningful with -executor=async (got -executor=%v)", exec)
+		}
+		sched = nil
+	} else if set["seed"] && !schedule.UsesSeed(sched) {
+		return fmt.Errorf("-seed is only meaningful with a seeded schedule (random|staleness|adversary), got -schedule=%s", *schedSpec)
 	}
 
 	g, err := spec.ParseGraph(*graphSpec)
@@ -93,6 +127,7 @@ func run(args []string, out io.Writer) error {
 	res, err := engine.Run(m, p, engine.Options{
 		Executor:    exec,
 		Workers:     *workers,
+		Schedule:    sched,
 		MaxRounds:   *maxRounds,
 		RecordTrace: *trace,
 	})
@@ -102,6 +137,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "algorithm %s (class %v) on %v, ports=%s, consistent=%v\n",
 		m.Name(), m.Class(), g, *portSpec, p.IsConsistent())
 	fmt.Fprintf(out, "rounds=%d message-bytes=%d\n", res.Rounds, res.MessageBytes)
+	if exec == engine.ExecutorAsync && len(res.Fires) > 0 {
+		minF, maxF, total := res.Fires[0], res.Fires[0], int64(0)
+		for _, f := range res.Fires {
+			if f < minF {
+				minF = f
+			}
+			if f > maxF {
+				maxF = f
+			}
+			total += f
+		}
+		fmt.Fprintf(out, "schedule=%s steps=%d activations: min=%d max=%d total=%d fixpoint=%v\n",
+			sched.Name(), res.Rounds, minF, maxF, total, res.Fixpoint)
+	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "node\tdegree\toutput")
 	for v := 0; v < g.N(); v++ {

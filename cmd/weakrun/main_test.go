@@ -57,8 +57,98 @@ func TestRunConcurrentAlias(t *testing.T) {
 
 func TestRunBadExecutor(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-alg", "even-degree", "-executor", "warp"}, &sb); err == nil {
+	err := run([]string{"-alg", "even-degree", "-executor", "warp"}, &sb)
+	if err == nil {
 		t.Fatal("run accepted an unknown executor")
+	}
+	if !strings.Contains(err.Error(), "seq|pool|async") {
+		t.Errorf("unknown-executor error should list valid values, got %v", err)
+	}
+}
+
+func TestRunAsyncExecutor(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "odd-odd", "-graph", "star:3", "-ports", "random:5",
+		"-executor", "async", "-schedule", "roundrobin"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "schedule=roundrobin") || !strings.Contains(out, "fixpoint=false") {
+		t.Errorf("missing async summary:\n%s", out)
+	}
+	// Same outputs as the synchronous run of TestRunAlgorithm: the star
+	// centre row reads 0 / 3 / 1.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "0" && fields[1] == "3" && fields[2] == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("centre row missing:\n%s", out)
+	}
+}
+
+func TestRunAsyncSeededSchedules(t *testing.T) {
+	for _, spec := range []string{"random:0.5", "staleness:2", "adversary:3"} {
+		var sb strings.Builder
+		err := run([]string{"-alg", "even-degree", "-graph", "cycle:5",
+			"-executor", "async", "-schedule", spec, "-seed", "9"}, &sb)
+		if err != nil {
+			t.Errorf("schedule %s: %v", spec, err)
+		}
+	}
+}
+
+// TestRunFlagCrossValidation: flags that do not apply to the selected
+// executor or schedule are rejected up front, never silently ignored.
+func TestRunFlagCrossValidation(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "even-degree", "-workers", "4"},                                       // workers without pool
+		{"-alg", "even-degree", "-executor", "async", "-workers", "4"},                 // workers with async
+		{"-alg", "even-degree", "-seed", "7"},                                          // seed without async
+		{"-alg", "even-degree", "-executor", "async", "-seed", "7"},                    // seed with unseeded sync default
+		{"-alg", "even-degree", "-executor", "async", "-schedule", "rr", "-seed", "7"}, // seed with roundrobin
+		{"-alg", "even-degree", "-schedule", "roundrobin"},                             // schedule without async
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want cross-validation error", args)
+		}
+	}
+}
+
+func TestRunBadSchedule(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "even-degree", "-executor", "async", "-schedule", "chaos"}, &sb)
+	if err == nil {
+		t.Fatal("run accepted an unknown schedule")
+	}
+	if !strings.Contains(err.Error(), "sync") || !strings.Contains(err.Error(), "adversary") {
+		t.Errorf("unknown-schedule error should list valid values, got %v", err)
+	}
+}
+
+func TestRunScheduleNeedsAsync(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-schedule", "roundrobin"}, &sb); err == nil {
+		t.Fatal("run accepted -schedule without -executor=async")
+	}
+}
+
+func TestRunBadWorkers(t *testing.T) {
+	for _, w := range []string{"0", "-3"} {
+		var sb strings.Builder
+		err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-executor", "pool", "-workers", w}, &sb)
+		if err == nil {
+			t.Fatalf("run accepted -workers=%s", w)
+		}
+		if !strings.Contains(err.Error(), "≥ 1") {
+			t.Errorf("-workers=%s error unhelpful: %v", w, err)
+		}
 	}
 }
 

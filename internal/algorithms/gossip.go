@@ -52,3 +52,35 @@ func MaxDegreeWithin(delta, k int) machine.Machine {
 		},
 	}
 }
+
+// MaxConsensus broadcasts the largest value seen so far, seeded with the
+// node degree. It never halts: on a connected graph it stabilises at the
+// global maximum after diameter-many rounds, making it the canonical
+// workload for the async executor's fixpoint detection (the synchronous
+// executors can only give up at the round budget). Deliberately not in the
+// Registry, whose machines all halt.
+func MaxConsensus(delta int) machine.Machine {
+	return &machine.Func{
+		MachineName:  "max-consensus",
+		MachineClass: machine.ClassMB,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return deg },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return machine.Message(strconv.Itoa(s.(int)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			best := s.(int)
+			for _, msg := range inbox {
+				v, err := strconv.Atoi(string(msg))
+				if err != nil {
+					panic(err)
+				}
+				if v > best {
+					best = v
+				}
+			}
+			return best
+		},
+	}
+}

@@ -1,0 +1,427 @@
+package engine
+
+// async.go implements the asynchronous executor. Where the sequential and
+// pool executors run the Section 1.3 semantics directly — one global
+// barrier per round over a double-buffered arena — the async executor
+// replaces the barrier with per-link FIFO queues and hands control of time
+// to a schedule.Schedule: at every step the schedule decides which sent
+// messages are delivered and which nodes are activated.
+//
+// The execution discipline is Kahn-style. Every directed link (an in-port
+// slot of the routing table) carries two queues: messages in flight (sent,
+// undelivered) and mail (delivered, consumable). An activated node fires
+// only when every one of its in-ports has mail — a full frontier — and a
+// firing consumes exactly one message per in-port, steps δ, and emits one
+// message per out-port into the flight queues. Halted nodes keep firing to
+// drain their queues and feed m0 to their neighbours, exactly as halted
+// nodes send m0 forever in the synchronous semantics.
+//
+// One-per-port consumption makes the executor confluent: the j-th message
+// on link u→v is u's j-th emission, so the k-th firing of v computes
+//
+//	x_v^k = δ(x_v^{k-1}, [μ(x_u^{k-1}, ·)]_u)
+//
+// — exactly the synchronous recurrence. A schedule chooses how fast each
+// node advances along the synchronous trajectory, never where the
+// trajectory goes; under any fair schedule halting algorithms reach the
+// synchronous outputs, and under schedule.Synchronous the executor is
+// bit-identical to ExecutorSeq (TestAsyncSynchronousEquivalence).
+// The per-step state snapshots recorded into Result.Trace are therefore
+// causality-consistent by construction: each is a configuration of the
+// actual interleaved execution.
+//
+// Fixpoint detection: runs that stabilise without halting (the situation
+// characterised by the modal μ-fragment) are cut off without waiting for
+// the step budget. Every asyncFixpointInterval steps the executor checks
+// whether (a) every queued or in-flight message equals what its source
+// would send from its current state, and (b) no non-halted node would
+// change state or halt on that steady inbox. If both hold, induction on
+// fire events shows no future step can change any state: the run is at a
+// global fixpoint and every undelivered message is a no-op re-send.
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// asyncFixpointInterval(n) spaces the O(ports + n·Step) fixpoint probes far
+// enough apart to amortise to ~O(1) per step. The floor of 64 also keeps
+// the probe out of the bit-identity property test, whose budget is smaller:
+// within the budget, async-under-Synchronous fails with ErrNoHalt exactly
+// when the sequential executor does.
+func asyncFixpointInterval(n int) int {
+	if n > 64 {
+		return n
+	}
+	return 64
+}
+
+// msgQueue is a FIFO of delivered messages with an amortised O(1) pop.
+type msgQueue struct {
+	buf  []machine.Message
+	head int
+}
+
+func (q *msgQueue) push(m machine.Message) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) pop() machine.Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = machine.NoMessage // release the string
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return m
+}
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
+
+// flightMsg is a sent, undelivered message stamped with its send step.
+type flightMsg struct {
+	msg  machine.Message
+	born int32
+}
+
+// flightQueue is a FIFO of in-flight messages.
+type flightQueue struct {
+	buf  []flightMsg
+	head int
+}
+
+func (q *flightQueue) push(m machine.Message, born int) {
+	q.buf = append(q.buf, flightMsg{msg: m, born: int32(born)})
+}
+
+func (q *flightQueue) pop() flightMsg {
+	m := q.buf[q.head]
+	q.buf[q.head] = flightMsg{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return m
+}
+
+func (q *flightQueue) len() int { return len(q.buf) - q.head }
+
+// asyncState is the execution state of one asynchronous run.
+type asyncState struct {
+	m         machine.Machine
+	g         *graph.Graph
+	off       []int32 // CSR offsets: in-ports of v are links off[v]..off[v+1]-1
+	dest      []int32 // out-port slot → destination link
+	src       []int32 // link → out-port slot feeding it
+	node      []int32 // slot → owning node
+	broadcast bool
+	recv      machine.RecvMode
+
+	states  []machine.State
+	halted  []bool
+	outputs []machine.Output
+
+	mail   []msgQueue    // per link: delivered, consumable
+	flight []flightQueue // per link: sent, undelivered
+	ready  []int32       // per node: in-ports with non-empty mail
+	fires  []int64       // per node: completed firings
+
+	inbox   []machine.Message // frontier buffer, cap = max degree
+	scratch []machine.Message // canonicalisation buffer, cap = max degree
+}
+
+// asyncStepStats accumulates one step's telemetry.
+type asyncStepStats struct {
+	step     int
+	bytes    int64 // bytes of messages consumed by firings this step
+	newHalts int
+}
+
+func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*asyncState, int, error) {
+	n := g.N()
+	r := p.Routes()
+	links := r.NumPorts()
+	as := &asyncState{
+		m:         m,
+		g:         g,
+		off:       r.Offsets(),
+		dest:      r.DestTable(),
+		src:       r.SourceTable(),
+		node:      r.NodeTable(),
+		broadcast: m.Class().Send == machine.SendBroadcast,
+		recv:      m.Class().Recv,
+		states:    make([]machine.State, n),
+		halted:    make([]bool, n),
+		outputs:   make([]machine.Output, n),
+		mail:      make([]msgQueue, links),
+		flight:    make([]flightQueue, links),
+		ready:     make([]int32, n),
+		fires:     make([]int64, n),
+		inbox:     make([]machine.Message, g.MaxDegree()),
+		scratch:   make([]machine.Message, 0, g.MaxDegree()),
+	}
+	// Seed every queue with a capacity-1 slice carved out of one flat
+	// backing array: schedules that keep queues at depth ≤ 1 (Synchronous,
+	// RoundRobin, anything delivering promptly) then run entirely
+	// allocation-free; deeper queues grow their own buffers on demand.
+	mailBacking := make([]machine.Message, links)
+	flightBacking := make([]flightMsg, links)
+	for l := 0; l < links; l++ {
+		as.mail[l].buf = mailBacking[l : l : l+1]
+		as.flight[l].buf = flightBacking[l : l : l+1]
+	}
+	active := n
+	for v := 0; v < n; v++ {
+		s, err := initState(m, g.Degree(v), v, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		as.states[v] = s
+		if out, ok := m.Halted(s); ok {
+			as.halted[v] = true
+			as.outputs[v] = out
+			active--
+		}
+	}
+	return as, active, nil
+}
+
+// emit sends node v's current outgoing messages into the flight queues,
+// stamped with the given step. Halted nodes emit m0 (Section 1.3).
+func (as *asyncState) emit(v, step int) {
+	lo, hi := as.off[v], as.off[v+1]
+	if as.halted[v] {
+		for s := lo; s < hi; s++ {
+			as.flight[as.dest[s]].push(machine.NoMessage, step)
+		}
+		return
+	}
+	state := as.states[v]
+	if as.broadcast {
+		msg := as.m.Send(state, 1)
+		for s := lo; s < hi; s++ {
+			as.flight[as.dest[s]].push(msg, step)
+		}
+		return
+	}
+	for s := lo; s < hi; s++ {
+		as.flight[as.dest[s]].push(as.m.Send(state, int(s-lo)+1), step)
+	}
+}
+
+// deliver moves up to k oldest in-flight messages on link l into its mail
+// queue, maintaining the frontier-readiness count of the receiving node.
+func (as *asyncState) deliver(l int32, k int) {
+	fq := &as.flight[l]
+	if avail := fq.len(); k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return
+	}
+	mq := &as.mail[l]
+	if mq.len() == 0 {
+		as.ready[as.node[l]]++
+	}
+	for i := 0; i < k; i++ {
+		mq.push(fq.pop().msg)
+	}
+}
+
+// canFire reports whether node v holds a full frontier: one delivered
+// message on every in-port. Zero-degree nodes can always fire.
+func (as *asyncState) canFire(v int) bool {
+	return as.ready[v] == as.off[v+1]-as.off[v]
+}
+
+// fire consumes node v's frontier, steps δ (halted nodes discard), checks
+// halting, and emits the next messages. Callers have checked canFire.
+func (as *asyncState) fire(v int, st *asyncStepStats) {
+	lo, hi := as.off[v], as.off[v+1]
+	deg := int(hi - lo)
+	inbox := as.inbox[:deg]
+	for i := 0; i < deg; i++ {
+		q := &as.mail[lo+int32(i)]
+		msg := q.pop()
+		if q.len() == 0 {
+			as.ready[v]--
+		}
+		st.bytes += int64(len(msg))
+		inbox[i] = msg
+	}
+	as.fires[v]++
+	if !as.halted[v] {
+		cin := machine.CanonicalInboxInto(as.recv, inbox, as.scratch)
+		as.states[v] = as.m.Step(as.states[v], cin)
+		if out, ok := as.m.Halted(as.states[v]); ok {
+			as.halted[v] = true
+			as.outputs[v] = out
+			st.newHalts++
+		}
+	}
+	as.emit(v, st.step)
+}
+
+// steadyMessage returns the message the source of link l would send right
+// now: the fixpoint candidate every queued message is compared against.
+func (as *asyncState) steadyMessage(l int32) machine.Message {
+	s := as.src[l]
+	u := as.node[s]
+	if as.halted[u] {
+		return machine.NoMessage
+	}
+	if as.broadcast {
+		return as.m.Send(as.states[u], 1)
+	}
+	return as.m.Send(as.states[u], int(s-as.off[u])+1)
+}
+
+// atFixpoint reports whether the run can never change another state: every
+// queued or in-flight message equals its source's steady message, and no
+// non-halted node would halt or change state when stepped on the steady
+// inbox. Both conditions together are inductive — the next firing anywhere
+// consumes steady messages, changes nothing, and re-emits steady messages.
+func (as *asyncState) atFixpoint() bool {
+	for l := range as.mail {
+		mq, fq := &as.mail[l], &as.flight[l]
+		if mq.len() == 0 && fq.len() == 0 {
+			continue
+		}
+		want := as.steadyMessage(int32(l))
+		for i := mq.head; i < len(mq.buf); i++ {
+			if mq.buf[i] != want {
+				return false
+			}
+		}
+		for i := fq.head; i < len(fq.buf); i++ {
+			if fq.buf[i].msg != want {
+				return false
+			}
+		}
+	}
+	for v := 0; v < len(as.states); v++ {
+		if as.halted[v] {
+			continue
+		}
+		lo, hi := as.off[v], as.off[v+1]
+		inbox := as.inbox[:hi-lo]
+		for l := lo; l < hi; l++ {
+			inbox[l-lo] = as.steadyMessage(l)
+		}
+		cin := machine.CanonicalInboxInto(as.recv, inbox, as.scratch)
+		next := as.m.Step(as.states[v], cin)
+		if _, ok := as.m.Halted(next); ok {
+			return false
+		}
+		if !machine.StatesEqual(as.m, as.states[v], next) {
+			return false
+		}
+	}
+	return true
+}
+
+// asyncView adapts asyncState to schedule.View.
+type asyncView struct{ as *asyncState }
+
+func (w asyncView) Nodes() int        { return len(w.as.states) }
+func (w asyncView) Links() int        { return len(w.as.mail) }
+func (w asyncView) Fires(v int) int64 { return w.as.fires[v] }
+func (w asyncView) Halted(v int) bool { return w.as.halted[v] }
+func (w asyncView) InFlight(l int) int {
+	return w.as.flight[l].len()
+}
+func (w asyncView) OldestBorn(l int) int {
+	q := &w.as.flight[l]
+	if q.len() == 0 {
+		return -1
+	}
+	return int(q.buf[q.head].born)
+}
+
+func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+	sched := opts.Schedule
+	if sched == nil {
+		sched = schedule.Synchronous()
+	}
+	as, active, err := newAsyncState(m, g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	links := len(as.mail)
+	res := &Result{Fires: as.fires}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
+	}
+	res.Output = as.outputs
+	if active == 0 {
+		return res, nil
+	}
+	sched.Begin(n, links)
+	dec := schedule.NewDecision(n, links)
+	view := asyncView{as: as}
+
+	// Step 0: every node emits μ(x_0) (halted nodes m0) into the network.
+	for v := 0; v < n; v++ {
+		as.emit(v, 0)
+	}
+
+	maxSteps := maxRoundsOf(opts)
+	checkInterval := asyncFixpointInterval(n)
+	nextCheck := checkInterval
+	st := &asyncStepStats{}
+	for t := 1; ; t++ {
+		if t > maxSteps {
+			return nil, fmt.Errorf("%w (step budget %d, machine %q on %v, schedule %s)",
+				ErrNoHalt, maxSteps, m.Name(), g, sched.Name())
+		}
+		dec.Reset()
+		sched.Step(t, view, dec)
+
+		if dec.DeliverAll {
+			for l := 0; l < links; l++ {
+				as.deliver(int32(l), as.flight[l].len())
+			}
+		} else {
+			for l := 0; l < links; l++ {
+				if k := dec.Deliver[l]; k > 0 {
+					as.deliver(int32(l), int(k))
+				}
+			}
+		}
+
+		st.step, st.bytes, st.newHalts = t, 0, 0
+		if dec.ActivateAll {
+			for v := 0; v < n; v++ {
+				if as.canFire(v) {
+					as.fire(v, st)
+				}
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if dec.Activate[v] && as.canFire(v) {
+					as.fire(v, st)
+				}
+			}
+		}
+
+		res.MessageBytes += st.bytes
+		active -= st.newHalts
+		res.Rounds = t
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
+		}
+		if active == 0 {
+			return res, nil
+		}
+		if t >= nextCheck {
+			nextCheck = t + checkInterval
+			if as.atFixpoint() {
+				res.Fixpoint = true
+				return res, nil
+			}
+		}
+	}
+}

@@ -6,27 +6,46 @@
 //
 // # Architecture
 //
-// The engine is built for scale around three ideas:
+// Every run starts from the same substrate: the port numbering is compiled
+// (once, cached on the Numbering) into a CSR-style []int32 routing table
+// mapping each out-port slot directly to its destination inbox slot
+// (port.Routes), so message delivery is pure array indexing — no
+// Dest/NeighborIndex calls in any hot loop. On top of it sit three
+// executors with two execution semantics:
 //
-//   - Flat routing. At Run start the port numbering is compiled (once,
-//     cached on the Numbering) into a CSR-style []int32 table mapping each
-//     out-port slot directly to its destination inbox slot (port.Routes).
-//     The round loop is pure array indexing: no Dest/NeighborIndex calls.
+//   - ExecutorSeq, the single-threaded reference. All inboxes live in two
+//     flat []machine.Message arenas (double-buffered): a round is one
+//     combined pass per node — consume the inbox from the current arena,
+//     step, emit next-round messages into the other arena. Multiset/Set
+//     canonicalisation reuses scratch buffers (machine.CanonicalInboxInto),
+//     so steady rounds allocate nothing.
 //
-//   - Message arena. All inboxes live in two flat []machine.Message arenas
-//     (double-buffered): a round is one combined pass per node — consume
-//     the inbox from the current arena, step, emit next-round messages into
-//     the other arena. Multiset/Set canonicalisation reuses per-worker
-//     scratch buffers (machine.CanonicalInboxInto), so steady rounds
-//     allocate nothing.
-//
-//   - Sharded parallelism. The pool executor partitions nodes into
-//     contiguous shards over ~GOMAXPROCS workers with one barrier per
-//     round; per-worker message-byte and halt counters are merged at the
-//     barrier. Because both executors share the same per-shard pass
-//     (runState.stepShard), the pool is bit-identical to the sequential
-//     executor — a property test asserts it across the experiment suite,
+//   - ExecutorPool, the sharded parallel form of the same semantics: nodes
+//     are partitioned into contiguous shards over ~GOMAXPROCS workers with
+//     one barrier per round, and per-worker message-byte/halt counters are
+//     merged at the barrier. Both executors drive the same per-shard pass
+//     (runState.stepShard), so the pool is bit-identical to ExecutorSeq —
+//     TestExecutorEquivalence asserts it across the experiment suite,
 //     including under -race.
+//
+//   - ExecutorAsync, the asynchronous semantics. The global barrier is
+//     replaced by per-link FIFO queues and a schedule.Schedule that
+//     decides, at every step, which nodes are activated and which in-flight
+//     messages are delivered. An activated node fires only on a full
+//     frontier (one delivered message per in-port), consuming exactly one
+//     message per port — Kahn-style discipline that makes the run
+//     confluent: schedules control interleaving and latency, never the
+//     trajectory, so fair schedules reach the synchronous outputs and the
+//     Synchronous schedule reproduces ExecutorSeq bit for bit
+//     (TestAsyncSynchronousEquivalence). Runs that stabilise without
+//     halting are cut off by fixpoint detection (see async.go); Result
+//     reports per-node activation counts and a causality-consistent trace.
+//
+// The schedule abstraction (internal/schedule) supplies deterministic
+// seeded generators — Synchronous, RoundRobin, RandomSubset,
+// BoundedStaleness, Adversary — so any experiment can be re-run under a
+// reproducible adversary via Options.Schedule or weakrun's
+// -executor=async -schedule=<spec> -seed=<s>.
 package engine
 
 import (
@@ -36,6 +55,7 @@ import (
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
 )
 
 // DefaultMaxRounds bounds runs of algorithms whose time bound is unknown.
@@ -56,6 +76,12 @@ const (
 	// partitioned into contiguous shards over ~GOMAXPROCS workers with one
 	// barrier per round.
 	ExecutorPool
+	// ExecutorAsync is the asynchronous executor: per-link message queues
+	// driven by a schedule.Schedule instead of a global barrier, with
+	// fixpoint detection for runs that stabilise without halting. Unlike
+	// the other two it interprets the round budget as a step budget and
+	// honours Options.Schedule.
+	ExecutorAsync
 )
 
 // String returns the -executor flag spelling.
@@ -65,6 +91,8 @@ func (e Executor) String() string {
 		return "seq"
 	case ExecutorPool:
 		return "pool"
+	case ExecutorAsync:
+		return "async"
 	default:
 		return fmt.Sprintf("Executor(%d)", int(e))
 	}
@@ -77,8 +105,10 @@ func ParseExecutor(s string) (Executor, error) {
 		return ExecutorSeq, nil
 	case "pool", "parallel":
 		return ExecutorPool, nil
+	case "async", "asynchronous":
+		return ExecutorAsync, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown executor %q (want seq|pool)", s)
+		return 0, fmt.Errorf("engine: unknown executor %q (want seq|pool|async)", s)
 	}
 }
 
@@ -93,6 +123,11 @@ type Options struct {
 	// Workers bounds the pool executor's worker count when positive
 	// (default GOMAXPROCS, capped at the node count).
 	Workers int
+	// Schedule drives the async executor's activation and delivery
+	// decisions (default schedule.Synchronous()). Setting it with any
+	// other executor is an error. Schedules are stateful: do not share one
+	// instance between concurrent runs.
+	Schedule schedule.Schedule
 	// Concurrent selects the parallel executor.
 	//
 	// Deprecated: set Executor to ExecutorPool instead. Kept so existing
@@ -136,7 +171,19 @@ type Result struct {
 	// simulation-overhead experiments.
 	MessageBytes int64
 	// Trace, when recorded, holds the state vector x_t for t = 0..Rounds.
+	// For the async executor each entry is the configuration after one
+	// schedule step of the actual interleaved execution, so the sequence is
+	// causality-consistent.
 	Trace [][]machine.State
+	// Fires[v] counts node v's completed activations — firings that
+	// consumed a full frontier, including post-halt drain firings. Only the
+	// async executor records it; nil otherwise.
+	Fires []int64
+	// Fixpoint reports that the async executor stopped at a detected global
+	// fixpoint before every node halted: no future step could change any
+	// state, and every undelivered message was a no-op re-send. Nodes that
+	// had not halted have empty outputs.
+	Fixpoint bool
 }
 
 // Run executes m on (g, p) and returns the output vector.
@@ -153,11 +200,17 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	if opts.Inputs != nil && len(opts.Inputs) != g.N() {
 		return nil, fmt.Errorf("engine: %d inputs for %d nodes", len(opts.Inputs), g.N())
 	}
-	switch exec := opts.executor(); exec {
+	exec := opts.executor()
+	if opts.Schedule != nil && exec != ExecutorAsync {
+		return nil, fmt.Errorf("engine: Options.Schedule is only supported by the async executor, not %v", exec)
+	}
+	switch exec {
 	case ExecutorPool:
 		return runPool(m, g, p, opts)
 	case ExecutorSeq:
 		return runSequential(m, g, p, opts)
+	case ExecutorAsync:
+		return runAsync(m, g, p, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown executor %v", exec)
 	}

@@ -206,6 +206,123 @@ func RandomRegular(n, k int, rng *rand.Rand) (*Graph, error) {
 	return nil, fmt.Errorf("graph: failed to sample a simple %d-regular graph on %d nodes", k, n)
 }
 
+// Expander returns a random d-regular connected graph on n nodes built as
+// the union of ⌊d/2⌋ random permutation cycle covers (each contributes
+// degree 2 to every node) plus, for odd d, a random perfect matching.
+// Random regular graphs of this kind are expanders with high probability;
+// attempts producing self-loops, parallel edges or a disconnected union are
+// rejected and resampled. Requires 3 ≤ d < n and nd even.
+func Expander(n, d int, seed int64) (*Graph, error) {
+	if d < 3 || d >= n {
+		return nil, fmt.Errorf("graph: expander needs 3 ≤ d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: no %d-regular graph on %d nodes (nd odd)", d, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Each degree-2 layer (and the odd-d matching) is resampled on its own
+	// until it is simple against the union built so far: per-layer rejection
+	// succeeds with constant probability, where rejecting whole attempts
+	// would decay exponentially in d.
+	const attempts = 50
+	const layerAttempts = 2000
+	for try := 0; try < attempts; try++ {
+		seen := make(map[Edge]bool, n*d/2)
+		edges := make([]Edge, 0, n*d/2)
+		addLayer := func(pairs [][2]int) bool {
+			batch := make([]Edge, 0, len(pairs))
+			for _, pr := range pairs {
+				e := Edge{U: pr[0], V: pr[1]}.normalise()
+				if e.U == e.V || seen[e] {
+					for _, b := range batch {
+						delete(seen, b)
+					}
+					return false
+				}
+				seen[e] = true
+				batch = append(batch, e)
+			}
+			edges = append(edges, batch...)
+			return true
+		}
+		sampleLayer := func(pairsOf func() [][2]int) bool {
+			for a := 0; a < layerAttempts; a++ {
+				if addLayer(pairsOf()) {
+					return true
+				}
+			}
+			return false
+		}
+		ok := true
+		for c := 0; c < d/2 && ok; c++ {
+			ok = sampleLayer(func() [][2]int {
+				pairs := make([][2]int, n)
+				for v, w := range rng.Perm(n) {
+					pairs[v] = [2]int{v, w}
+				}
+				return pairs
+			})
+		}
+		if ok && d%2 == 1 {
+			ok = sampleLayer(func() [][2]int {
+				pairing := rng.Perm(n)
+				pairs := make([][2]int, 0, n/2)
+				for i := 0; i+1 < n; i += 2 {
+					pairs = append(pairs, [2]int{pairing[i], pairing[i+1]})
+				}
+				return pairs
+			})
+		}
+		if !ok {
+			continue
+		}
+		g := MustNew(n, edges)
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to sample a connected %d-regular expander on %d nodes", d, n)
+}
+
+// PreferentialAttachment returns a Barabási–Albert graph on n nodes: a
+// K_{m+1} seed clique, then each new node attaches m edges to distinct
+// existing nodes chosen proportionally to their current degree (sampled
+// from the repeated-endpoints list, the standard linear-time scheme). The
+// result is connected with n-m-1 hubs-and-leaves growth steps and
+// m(m+1)/2 + (n-m-1)m edges. Requires 1 ≤ m and n > m+1.
+func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
+	if m < 1 || n <= m+1 {
+		return nil, fmt.Errorf("graph: preferential attachment needs 1 ≤ m and n > m+1, got n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	// endpoints holds every edge endpoint seen so far, so a uniform draw
+	// from it is a degree-proportional draw over nodes.
+	endpoints := make([]int, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for u := 0; u <= m; u++ {
+		for w := u + 1; w <= m; w++ {
+			edges = append(edges, Edge{U: u, V: w})
+			endpoints = append(endpoints, u, w)
+		}
+	}
+	targets := make(map[int]bool, m)
+	for v := m + 1; v < n; v++ {
+		clear(targets)
+		for len(targets) < m {
+			targets[endpoints[rng.Intn(len(endpoints))]] = true
+		}
+		for u := range targets {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		// Append endpoints only after all m draws so a node cannot attach
+		// to itself via its own fresh edges.
+		for u := range targets {
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return New(n, edges)
+}
+
 // Caterpillar returns a path of length spine with legs extra leaves attached
 // to every spine node — a handy irregular bounded-degree family.
 func Caterpillar(spine, legs int) *Graph {

@@ -1,0 +1,109 @@
+package graph
+
+import "testing"
+
+func TestExpanderRegularConnected(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{10, 3}, {20, 4}, {50, 5}, {100, 6}, {64, 3},
+	} {
+		g, err := Expander(tc.n, tc.d, 7)
+		if err != nil {
+			t.Fatalf("Expander(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if g.N() != tc.n {
+			t.Errorf("Expander(%d,%d): N = %d", tc.n, tc.d, g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Errorf("Expander(%d,%d): degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+		if !g.IsConnected() {
+			t.Errorf("Expander(%d,%d): disconnected", tc.n, tc.d)
+		}
+	}
+}
+
+func TestExpanderSeedDeterminism(t *testing.T) {
+	a, err := Expander(40, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expander(40, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.N(); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d: degree differs across same-seed draws", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d: adjacency differs across same-seed draws", v)
+			}
+		}
+	}
+}
+
+func TestExpanderRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{5, 2}, // d < 3
+		{4, 4}, // d >= n
+		{7, 3}, // nd odd
+	} {
+		if _, err := Expander(tc.n, tc.d, 1); err == nil {
+			t.Errorf("Expander(%d,%d) succeeded, want error", tc.n, tc.d)
+		}
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{10, 1}, {50, 2}, {100, 3}, {200, 4},
+	} {
+		g, err := PreferentialAttachment(tc.n, tc.m, 13)
+		if err != nil {
+			t.Fatalf("PreferentialAttachment(%d,%d): %v", tc.n, tc.m, err)
+		}
+		if g.N() != tc.n {
+			t.Errorf("PA(%d,%d): N = %d", tc.n, tc.m, g.N())
+		}
+		wantEdges := tc.m*(tc.m+1)/2 + (tc.n-tc.m-1)*tc.m
+		if g.M() != wantEdges {
+			t.Errorf("PA(%d,%d): M = %d, want %d", tc.n, tc.m, g.M(), wantEdges)
+		}
+		if !g.IsConnected() {
+			t.Errorf("PA(%d,%d): disconnected", tc.n, tc.m)
+		}
+		// Every node keeps at least its m attachment edges (seed nodes have
+		// the clique).
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) < tc.m {
+				t.Errorf("PA(%d,%d): degree(%d) = %d < m", tc.n, tc.m, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	// Degree-proportional attachment must produce hubs: the maximum degree
+	// should clearly exceed the m+small degrees of late arrivals.
+	g, err := PreferentialAttachment(500, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() < 3*2 {
+		t.Errorf("max degree %d shows no preferential skew", g.MaxDegree())
+	}
+}
+
+func TestPreferentialAttachmentRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{5, 0}, {3, 2}, {2, 1},
+	} {
+		if _, err := PreferentialAttachment(tc.n, tc.m, 1); err == nil {
+			t.Errorf("PreferentialAttachment(%d,%d) succeeded, want error", tc.n, tc.m)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package machine
+
+import "reflect"
+
+// FixpointProber is optionally implemented by machines whose states should
+// be compared semantically during fixpoint probing — e.g. states carrying
+// caches or generation counters that do not affect δ, μ or halting. The
+// async executor uses state equality to detect a global fixpoint (a
+// configuration no future step can change) in runs that stabilise without
+// halting, the situation the modal μ-fragment characterisation of
+// asynchronous automata is about.
+type FixpointProber interface {
+	// StatesEqual reports whether a and b are equivalent states: equal
+	// states must halt identically and produce equal messages and equal
+	// successor states on equal inboxes.
+	StatesEqual(a, b State) bool
+}
+
+// StatesEqual compares two states of m for fixpoint probing, using the
+// machine's own FixpointProber when it provides one and structural equality
+// otherwise. Structural equality is sound for every machine in this
+// library: states are plain value structs, and δ is a pure function, so
+// deeply equal states share their entire future.
+func StatesEqual(m Machine, a, b State) bool {
+	if p, ok := m.(FixpointProber); ok {
+		return p.StatesEqual(a, b)
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,40 @@
+package machine
+
+import "testing"
+
+// proberFunc adapts a plain Func with a custom state-equality notion.
+type proberFunc struct {
+	*Func
+	equal func(a, b State) bool
+}
+
+func (p *proberFunc) StatesEqual(a, b State) bool { return p.equal(a, b) }
+
+func TestStatesEqualDefaultsToDeepEqual(t *testing.T) {
+	m := &Func{MachineName: "plain"}
+	type st struct {
+		X    int
+		Tags []string
+	}
+	if !StatesEqual(m, st{1, []string{"a"}}, st{1, []string{"a"}}) {
+		t.Error("deeply equal states reported unequal")
+	}
+	if StatesEqual(m, st{1, nil}, st{2, nil}) {
+		t.Error("different states reported equal")
+	}
+}
+
+func TestStatesEqualUsesProber(t *testing.T) {
+	// A prober that ignores a bookkeeping field.
+	type st struct{ X, Gen int }
+	m := &proberFunc{
+		Func:  &Func{MachineName: "probed"},
+		equal: func(a, b State) bool { return a.(st).X == b.(st).X },
+	}
+	if !StatesEqual(m, st{X: 3, Gen: 1}, st{X: 3, Gen: 9}) {
+		t.Error("prober was not consulted")
+	}
+	if StatesEqual(m, st{X: 3}, st{X: 4}) {
+		t.Error("prober result ignored")
+	}
+}

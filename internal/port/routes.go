@@ -78,3 +78,13 @@ func (r *Routes) Offsets() []int32 { return r.off }
 // DestTable exposes the raw out-slot → inbox-slot table for hot loops.
 // Callers must not modify it.
 func (r *Routes) DestTable() []int32 { return r.dest }
+
+// SourceTable exposes the raw in-slot → out-slot table (the inverse of
+// DestTable) for hot loops; the async executor uses it to find, for each
+// per-node message queue, the port that feeds it. Callers must not modify
+// it.
+func (r *Routes) SourceTable() []int32 { return r.src }
+
+// NodeTable exposes the slot → owning-node table for hot loops. Callers
+// must not modify it.
+func (r *Routes) NodeTable() []int32 { return r.node }

@@ -116,9 +116,19 @@ func TestRoutesSlotRoundTrip(t *testing.T) {
 		if len(off) != g.N()+1 || len(dest) != total {
 			t.Fatalf("%s: raw table lengths %d/%d", name, len(off), len(dest))
 		}
+		src, node := r.SourceTable(), r.NodeTable()
+		if len(src) != total || len(node) != total {
+			t.Fatalf("%s: raw src/node table lengths %d/%d", name, len(src), len(node))
+		}
 		for s := 0; s < total; s++ {
 			if int(dest[s]) != r.DestSlot(s) {
 				t.Fatalf("%s: DestTable[%d] = %d, want %d", name, s, dest[s], r.DestSlot(s))
+			}
+			if int(src[s]) != r.SourceSlot(s) {
+				t.Fatalf("%s: SourceTable[%d] = %d, want %d", name, s, src[s], r.SourceSlot(s))
+			}
+			if int(node[s]) != r.PortAt(s).Node {
+				t.Fatalf("%s: NodeTable[%d] = %d, want %d", name, s, node[s], r.PortAt(s).Node)
 			}
 		}
 	}

@@ -1,0 +1,73 @@
+package schedule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidSpecs lists the -schedule spellings accepted by Parse, for error
+// messages and usage strings.
+const ValidSpecs = "sync | roundrobin | random:P | staleness:K | adversary:F"
+
+// Parse builds a schedule from its textual specification. Supported forms:
+//
+//	sync | synchronous          — every node, every step (the default)
+//	roundrobin | rr             — central daemon, one node per step
+//	random:P                    — activate/deliver with probability P (default 0.5)
+//	staleness:K                 — bounded staleness, lag cap K (default 2)
+//	adversary:F                 — worst-case delays, fairness bound F (default 4)
+//
+// seed feeds the seeded generators; sync and roundrobin ignore it.
+func Parse(s string, seed int64) (Schedule, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "", "sync", "synchronous":
+		return Synchronous(), nil
+	case "roundrobin", "rr", "round-robin":
+		return RoundRobin(), nil
+	case "random":
+		p := 0.5
+		if arg != "" {
+			var err error
+			if p, err = strconv.ParseFloat(arg, 64); err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("schedule: bad probability %q in %q (want 0 < P ≤ 1)", arg, s)
+			}
+		}
+		return RandomSubset(seed, p), nil
+	case "staleness", "bounded-staleness":
+		k := 2
+		if arg != "" {
+			var err error
+			if k, err = strconv.Atoi(arg); err != nil || k < 1 {
+				return nil, fmt.Errorf("schedule: bad lag cap %q in %q (want K ≥ 1)", arg, s)
+			}
+		}
+		return BoundedStaleness(seed, k), nil
+	case "adversary":
+		f := 4
+		if arg != "" {
+			var err error
+			if f, err = strconv.Atoi(arg); err != nil || f < 1 {
+				return nil, fmt.Errorf("schedule: bad fairness bound %q in %q (want F ≥ 1)", arg, s)
+			}
+		}
+		return Adversary(seed, f), nil
+	default:
+		return nil, fmt.Errorf("schedule: unknown schedule %q (want %s)", s, ValidSpecs)
+	}
+}
+
+// UsesSeed reports whether the schedule's decisions depend on the seed
+// passed to Parse — i.e. whether a -seed flag is meaningful with it.
+func UsesSeed(s Schedule) bool {
+	switch s.(type) {
+	case *randomSubset, *boundedStaleness, *adversary:
+		return true
+	default:
+		return false
+	}
+}

@@ -17,7 +17,7 @@ import (
 //
 //	path:N  cycle:N  star:K  complete:N  bipartite:AxB  grid:RxC  torus:RxC
 //	hypercube:D  caterpillar:SxL  petersen  fig1  fig9  witness13
-//	tree:N,SEED  random-regular:N,K,SEED
+//	tree:N,SEED  random-regular:N,K,SEED  expander:N,D,SEED  pa:N,M,SEED
 func ParseGraph(s string) (*graph.Graph, error) {
 	name, arg := s, ""
 	if i := strings.IndexByte(s, ':'); i >= 0 {
@@ -108,6 +108,18 @@ func ParseGraph(s string) (*graph.Graph, error) {
 			return nil, err
 		}
 		return graph.RandomRegular(parts[0], parts[1], rand.New(rand.NewSource(int64(parts[2]))))
+	case "expander":
+		parts, err := parseInts(arg, 3)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Expander(parts[0], parts[1], int64(parts[2]))
+	case "pa", "pref-attach":
+		parts, err := parseInts(arg, 3)
+		if err != nil {
+			return nil, err
+		}
+		return graph.PreferentialAttachment(parts[0], parts[1], int64(parts[2]))
 	default:
 		return nil, fmt.Errorf("spec: unknown graph %q (try cycle:8, star:5, grid:3x4, petersen, fig9)", s)
 	}

@@ -27,6 +27,9 @@ func TestParseGraph(t *testing.T) {
 		{"witness13", 11, 9},
 		{"tree:7,3", 7, 6},
 		{"random-regular:8,3,1", 8, 12},
+		{"expander:12,4,1", 12, 24},
+		{"pa:10,2,1", 10, 17},
+		{"pref-attach:10,2,1", 10, 17},
 	}
 	for _, tc := range cases {
 		g, err := ParseGraph(tc.src)
@@ -44,6 +47,7 @@ func TestParseGraphErrors(t *testing.T) {
 	bad := []string{
 		"", "nope", "cycle:2", "cycle:x", "grid:3", "torus:2x2",
 		"hypercube:40", "tree:5", "random-regular:5,3,1", "path:-1",
+		"expander:5,2,1", "expander:9,3,1", "pa:3,2,1", "pa:5,0,1",
 	}
 	for _, src := range bad {
 		if _, err := ParseGraph(src); err == nil {
