@@ -86,6 +86,13 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "NEW   %-50s %12.0f ns/op\n", name, nr.NsPerOp)
 			continue
 		}
+		if !(or.NsPerOp > 0) || !(nr.NsPerOp > 0) {
+			// A zero/negative/NaN measurement on either side makes the
+			// percentage delta meaningless (NaN > threshold is false,
+			// hiding regressions; a 0 new value reads as ok -100%).
+			fmt.Fprintf(out, "SKIP  %-50s non-comparable ns/op (baseline %v, new %v)\n", name, or.NsPerOp, nr.NsPerOp)
+			continue
+		}
 		compared++
 		delta := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
 		status := "ok"

@@ -62,6 +62,30 @@ func TestBenchdiffFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestBenchdiffSkipsNonComparableEntries(t *testing.T) {
+	old := writeRecord(t, "old.json", `[
+	  {"name": "Engine/seq/zero-old", "ns_per_op": 0, "allocs_per_op": 0, "bytes_per_op": 0},
+	  {"name": "Engine/seq/zero-new", "ns_per_op": 1000, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 8, "bytes_per_op": 64}
+	]`)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/zero-old", "ns_per_op": 5000, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/zero-new", "ns_per_op": 0, "allocs_per_op": 0, "bytes_per_op": 0},
+	  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 8, "bytes_per_op": 64}
+	]`)
+	var sb strings.Builder
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err != nil {
+		t.Fatalf("non-comparable entries should be skipped, not failed on: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if got := strings.Count(out, "SKIP"); got != 2 {
+		t.Errorf("want 2 SKIP lines (zero baseline, zero new), got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "compared 1 entries") {
+		t.Errorf("non-comparable entries counted as compared:\n%s", out)
+	}
+}
+
 func TestBenchdiffErrors(t *testing.T) {
 	old := writeRecord(t, "old.json", baseline)
 	bad := writeRecord(t, "bad.json", "not json")

@@ -340,6 +340,36 @@ func (w asyncView) OldestBorn(l int) int {
 	return int(q.buf[q.head].born)
 }
 
+// maxDefaultAsyncSteps caps the dilation-scaled default step budget so a
+// non-halting, non-stabilising run cannot burn O(n·rounds) steps (each
+// costing O(n+links) work) before erroring. Explicit MaxRounds is never
+// capped.
+const maxDefaultAsyncSteps = 10_000_000
+
+// asyncStepBudget resolves the async step budget: an explicit MaxRounds is
+// taken literally as steps; the default round budget is scaled by the
+// schedule's worst-case steps-per-round dilation (n when the schedule does
+// not report one) so fair-but-slow schedules like roundrobin don't
+// spuriously hit ErrNoHalt, then capped at maxDefaultAsyncSteps.
+func asyncStepBudget(opts Options, sched schedule.Schedule, n int) int {
+	maxSteps := maxRoundsOf(opts)
+	if opts.MaxRounds > 0 {
+		return maxSteps
+	}
+	dilation := n
+	if d, ok := sched.(schedule.Dilated); ok {
+		dilation = d.Dilation(n)
+	}
+	if dilation > 1 {
+		if maxSteps > maxDefaultAsyncSteps/dilation {
+			maxSteps = maxDefaultAsyncSteps
+		} else {
+			maxSteps *= dilation
+		}
+	}
+	return maxSteps
+}
+
 func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
 	sched := opts.Schedule
 	if sched == nil {
@@ -368,7 +398,7 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		as.emit(v, 0)
 	}
 
-	maxSteps := maxRoundsOf(opts)
+	maxSteps := asyncStepBudget(opts, sched, n)
 	checkInterval := asyncFixpointInterval(n)
 	nextCheck := checkInterval
 	st := &asyncStepStats{}

@@ -83,6 +83,31 @@ func TestAsyncSynchronousEquivalence(t *testing.T) {
 	}
 }
 
+// undilatedSchedule is a custom schedule without a Dilation method, to
+// exercise the assume-n fallback of asyncStepBudget.
+type undilatedSchedule struct{ schedule.Schedule }
+
+func TestAsyncStepBudget(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		opts  Options
+		sched schedule.Schedule
+		n     int
+		want  int
+	}{
+		{"explicit is literal", Options{MaxRounds: 7}, schedule.RoundRobin(), 1_000_000, 7},
+		{"sync keeps the round budget", Options{}, schedule.Synchronous(), 1_000_000, DefaultMaxRounds},
+		{"roundrobin scales by n", Options{}, schedule.RoundRobin(), 50, 50 * DefaultMaxRounds},
+		{"scaled budget is capped", Options{}, schedule.RoundRobin(), 12_000, maxDefaultAsyncSteps},
+		{"adversary scales by 2·fair", Options{}, schedule.Adversary(1, 3), 50, 6 * DefaultMaxRounds},
+		{"unknown schedule assumes n", Options{}, undilatedSchedule{schedule.Synchronous()}, 50, 50 * DefaultMaxRounds},
+	} {
+		if got := asyncStepBudget(tc.opts, tc.sched, tc.n); got != tc.want {
+			t.Errorf("%s: asyncStepBudget = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
 // asyncFairSchedules builds one fresh instance of every fair non-sync
 // generator; schedules are stateful, so each run gets its own.
 func asyncFairSchedules(seed int64) []schedule.Schedule {

@@ -114,7 +114,10 @@ func ParseExecutor(s string) (Executor, error) {
 
 // Options configure a run. The zero value is ready to use.
 type Options struct {
-	// MaxRounds overrides DefaultMaxRounds when positive.
+	// MaxRounds overrides DefaultMaxRounds when positive. For ExecutorAsync
+	// it is a step budget and is taken literally; when unset, the default
+	// is scaled by the schedule's worst-case steps-per-round dilation (see
+	// schedule.Dilated), since e.g. roundrobin needs n steps per round.
 	MaxRounds int
 	// RecordTrace captures the full state vector after every round.
 	RecordTrace bool

@@ -305,18 +305,26 @@ func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
 			endpoints = append(endpoints, u, w)
 		}
 	}
-	targets := make(map[int]bool, m)
+	// targets keeps draw order (a map would iterate in randomized order and
+	// break seeded determinism); seen enforces distinctness.
+	targets := make([]int, 0, m)
+	seen := make(map[int]bool, m)
 	for v := m + 1; v < n; v++ {
-		clear(targets)
+		targets = targets[:0]
+		clear(seen)
 		for len(targets) < m {
-			targets[endpoints[rng.Intn(len(endpoints))]] = true
+			u := endpoints[rng.Intn(len(endpoints))]
+			if !seen[u] {
+				seen[u] = true
+				targets = append(targets, u)
+			}
 		}
-		for u := range targets {
+		for _, u := range targets {
 			edges = append(edges, Edge{U: u, V: v})
 		}
 		// Append endpoints only after all m draws so a node cannot attach
 		// to itself via its own fresh edges.
-		for u := range targets {
+		for _, u := range targets {
 			endpoints = append(endpoints, u, v)
 		}
 	}

@@ -98,6 +98,28 @@ func TestPreferentialAttachmentSkew(t *testing.T) {
 	}
 }
 
+func TestPreferentialAttachmentSeedDeterminism(t *testing.T) {
+	a, err := PreferentialAttachment(60, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PreferentialAttachment(60, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.N(); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d: degree differs across same-seed draws", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d: adjacency differs across same-seed draws", v)
+			}
+		}
+	}
+}
+
 func TestPreferentialAttachmentRejectsBadParameters(t *testing.T) {
 	for _, tc := range []struct{ n, m int }{
 		{5, 0}, {3, 2}, {2, 1},

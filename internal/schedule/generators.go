@@ -15,6 +15,7 @@ type synchronous struct{}
 
 func (synchronous) Name() string           { return "sync" }
 func (synchronous) Begin(nodes, links int) {}
+func (synchronous) Dilation(nodes int) int { return 1 }
 
 func (synchronous) Step(t int, view View, dec *Decision) {
 	dec.ActivateAll = true
@@ -31,6 +32,7 @@ type roundRobin struct{ nodes int }
 
 func (r *roundRobin) Name() string           { return "roundrobin" }
 func (r *roundRobin) Begin(nodes, links int) { r.nodes = nodes }
+func (r *roundRobin) Dilation(nodes int) int { return nodes }
 
 func (r *roundRobin) Step(t int, view View, dec *Decision) {
 	dec.DeliverAll = true
@@ -61,6 +63,10 @@ type randomSubset struct {
 }
 
 func (r *randomSubset) Name() string { return fmt.Sprintf("random:%g", r.p) }
+
+// Dilation: a round needs a node's links flushed and the node activated,
+// each a p-coin per step, so ~2/p expected steps; 4/p gives tail headroom.
+func (r *randomSubset) Dilation(nodes int) int { return int(4/r.p) + 1 }
 
 func (r *randomSubset) Begin(nodes, links int) {
 	r.rng = rand.New(rand.NewSource(r.seed))
@@ -97,6 +103,10 @@ type boundedStaleness struct {
 }
 
 func (b *boundedStaleness) Name() string { return fmt.Sprintf("staleness:%d", b.k) }
+
+// Dilation: delivery is immediate and the slowest nodes are activated at
+// every step, so the minimum fire count advances every couple of steps.
+func (b *boundedStaleness) Dilation(nodes int) int { return 2 }
 
 func (b *boundedStaleness) Begin(nodes, links int) {
 	b.rng = rand.New(rand.NewSource(b.seed))
@@ -147,6 +157,10 @@ type adversary struct {
 }
 
 func (a *adversary) Name() string { return fmt.Sprintf("adversary:%d", a.fair) }
+
+// Dilation: a message falls due within fair steps and its consumer is
+// activated within another fair steps, so a round costs at most 2·fair.
+func (a *adversary) Dilation(nodes int) int { return 2 * a.fair }
 
 func (a *adversary) Begin(nodes, links int) {
 	rng := rand.New(rand.NewSource(a.seed))

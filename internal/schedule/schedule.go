@@ -69,6 +69,17 @@ func (d *Decision) Reset() {
 	clear(d.Deliver)
 }
 
+// Dilated is an optional Schedule extension reporting how many schedule
+// steps it takes, in the worst case, to simulate one synchronous round on
+// an n-node run (e.g. 1 for Synchronous, n for RoundRobin, which activates
+// a single node per step). The engine multiplies its default round budget
+// by this factor for async runs so that slow-but-fair schedules do not
+// spuriously exhaust the budget; an explicit MaxRounds is never scaled.
+// Schedules that do not implement it are assumed to dilate by n.
+type Dilated interface {
+	Dilation(nodes int) int
+}
+
 // Schedule decides, per step, which nodes are activated and which in-flight
 // messages are delivered. Implementations are deterministic: the same
 // (schedule spec, seed) pair replays the same decisions, which is what
