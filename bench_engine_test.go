@@ -1,6 +1,9 @@
 // Engine scale benchmarks: the flat-routed executors on tori, random
 // regular graphs, expanders and preferential-attachment graphs across the
-// three receive modes, at sizes up to n=10⁴.
+// three receive modes, at sizes up to n=10⁴ — plus an n=10⁵ large-graph
+// sweep (BenchmarkEngineLarge*, skipped under -short so the CI bench smoke
+// stays fast) and an async-with-faults sweep measuring the fault-injection
+// hooks under an always-active message-fault plan.
 // These are the perf-trajectory benchmarks of the engine subsystem; run
 //
 //	go test -bench='BenchmarkEngine(Seq|Pool|Async)' -benchmem
@@ -9,7 +12,8 @@
 //
 //	BENCH_ENGINE_JSON=BENCH_engine.json go test -run TestEmitEngineBenchJSON
 //
-// so future PRs can compare against the committed BENCH_engine.json.
+// so future PRs can compare against the committed BENCH_engine.json
+// (cmd/benchdiff checks both ns/op and allocs/op).
 package weakmodels_test
 
 import (
@@ -21,6 +25,7 @@ import (
 	"testing"
 
 	"weakmodels/internal/engine"
+	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/port"
@@ -81,12 +86,42 @@ func engineBenchGraphs(tb testing.TB) map[string]*graph.Graph {
 	}
 }
 
+// engineBenchLargeGraphs is the n=10⁵ sweep of the ROADMAP's "sweep to
+// n≈10⁶" trajectory: the two skew-prone families at two orders of
+// magnitude past the base sweep. Built lazily — constructing 10⁵-node
+// graphs is itself measurable work that only the large benchmarks and the
+// JSON emission should pay for.
+func engineBenchLargeGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	ex, err := graph.Expander(100_000, 4, 13)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pa, err := graph.PreferentialAttachment(100_000, 3, 17)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"n=100000/expander4": ex,
+		"n=100000/pa3":       pa,
+	}
+}
+
 var engineBenchModes = []machine.Class{
 	machine.ClassVV, machine.ClassMV, machine.ClassSV,
 }
 
-func benchEngine(b *testing.B, exec engine.Executor) {
-	for gname, g := range engineBenchGraphs(b) {
+// benchFaultPlan builds the always-active message-fault plan of the
+// async-faults sweep: 5% omission + 5% duplication with an effectively
+// infinite horizon, so every delivery pays the filter. Plans are stateful,
+// so each run needs a fresh one.
+func benchFaultPlan() fault.Plan {
+	const never = 1 << 30
+	return fault.Compose(fault.DropFor(7, 0.05, never), fault.DupFor(9, 0.05, never))
+}
+
+func benchEngineGraphs(b *testing.B, exec engine.Executor, graphs map[string]*graph.Graph, plan func() fault.Plan) {
+	for gname, g := range graphs {
 		p := port.Canonical(g)
 		p.Routes() // compile the routing table outside the timers
 		for _, mode := range engineBenchModes {
@@ -95,13 +130,30 @@ func benchEngine(b *testing.B, exec engine.Executor) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := engine.Run(m, p, engine.Options{Executor: exec}); err != nil {
+					opts := engine.Options{Executor: exec}
+					if plan != nil {
+						opts.Fault = plan()
+					}
+					if _, err := engine.Run(m, p, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
 		}
 	}
+}
+
+func benchEngine(b *testing.B, exec engine.Executor) {
+	benchEngineGraphs(b, exec, engineBenchGraphs(b), nil)
+}
+
+// benchEngineLarge runs the n=10⁵ sweep; skipped under -short so the CI
+// bench smoke (which passes -short) stays fast.
+func benchEngineLarge(b *testing.B, exec engine.Executor) {
+	if testing.Short() {
+		b.Skip("n=10⁵ sweep skipped in -short mode")
+	}
+	benchEngineGraphs(b, exec, engineBenchLargeGraphs(b), nil)
 }
 
 // BenchmarkEngineSeq sweeps the sequential executor.
@@ -114,6 +166,20 @@ func BenchmarkEnginePool(b *testing.B) { benchEngine(b, engine.ExecutorPool) }
 // Synchronous schedule: the cost of per-link queueing relative to the
 // double-buffered arena, at identical semantics.
 func BenchmarkEngineAsync(b *testing.B) { benchEngine(b, engine.ExecutorAsync) }
+
+// BenchmarkEngineAsyncFaults sweeps the async executor with the delivery
+// filter live on every message: the marginal cost of fault injection.
+// Compare against BenchmarkEngineAsync; the no-plan numbers must stay
+// identical to PR 2's (the zero-overhead claim benchdiff checks).
+func BenchmarkEngineAsyncFaults(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, engineBenchGraphs(b), benchFaultPlan)
+}
+
+// BenchmarkEngineLargeSeq sweeps the sequential executor at n=10⁵.
+func BenchmarkEngineLargeSeq(b *testing.B) { benchEngineLarge(b, engine.ExecutorSeq) }
+
+// BenchmarkEngineLargePool sweeps the pool executor at n=10⁵.
+func BenchmarkEngineLargePool(b *testing.B) { benchEngineLarge(b, engine.ExecutorPool) }
 
 // engineBenchRecord is one row of BENCH_engine.json.
 type engineBenchRecord struct {
@@ -134,8 +200,8 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 		t.Skip("BENCH_ENGINE_JSON not set")
 	}
 	var records []engineBenchRecord
-	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool, engine.ExecutorAsync} {
-		for gname, g := range engineBenchGraphs(t) {
+	emit := func(family string, exec engine.Executor, graphs map[string]*graph.Graph, plan func() fault.Plan) {
+		for gname, g := range graphs {
 			p := port.Canonical(g)
 			p.Routes()
 			for _, mode := range engineBenchModes {
@@ -143,19 +209,32 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						if _, err := engine.Run(m, p, engine.Options{Executor: exec}); err != nil {
+						opts := engine.Options{Executor: exec}
+						if plan != nil {
+							opts.Fault = plan()
+						}
+						if _, err := engine.Run(m, p, opts); err != nil {
 							b.Fatal(err)
 						}
 					}
 				})
 				records = append(records, engineBenchRecord{
-					Name:        fmt.Sprintf("Engine/%s/%s/%s", exec, gname, mode.Recv),
+					Name:        fmt.Sprintf("Engine/%s/%s/%s", family, gname, mode.Recv),
 					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 					AllocsPerOp: r.AllocsPerOp(),
 					BytesPerOp:  r.AllocedBytesPerOp(),
 				})
 			}
 		}
+	}
+	small := engineBenchGraphs(t)
+	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool, engine.ExecutorAsync} {
+		emit(exec.String(), exec, small, nil)
+	}
+	emit("async-faults", engine.ExecutorAsync, small, benchFaultPlan)
+	large := engineBenchLargeGraphs(t)
+	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
+		emit(exec.String(), exec, large, nil)
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
 	blob, err := json.MarshalIndent(records, "", "  ")

@@ -8,7 +8,12 @@
 // Entries are matched by name; only entries present in both files are
 // compared (new benchmarks are listed, never failed on). The exit status is
 // 1 when any matching entry's ns/op regressed by more than -max-regress
-// percent.
+// percent, or its allocs/op grew beyond -max-allocs-regress percent (with
+// an absolute slack of allocSlack allocations, so near-zero baselines are
+// not failed on measurement jitter — allocation counts are deterministic
+// in steady state but one-time initialisation amortises differently across
+// b.N). Entries whose ns/op is not > 0 on either side are skipped with a
+// SKIP line: the percentage delta would be meaningless.
 package main
 
 import (
@@ -56,6 +61,8 @@ func run(args []string, out io.Writer) error {
 	oldPath := fs.String("old", "BENCH_engine.json", "committed baseline record")
 	newPath := fs.String("new", "", "freshly emitted record to compare")
 	maxRegress := fs.Float64("max-regress", 25, "max tolerated ns/op regression in percent")
+	maxAllocsRegress := fs.Float64("max-allocs-regress", 25,
+		"max tolerated allocs/op regression in percent (plus an absolute slack of a few allocations)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,13 +84,13 @@ func run(args []string, out io.Writer) error {
 	}
 	sort.Strings(names)
 
-	var regressions, added, compared int
+	var nsRegressions, allocRegressions, added, compared int
 	for _, name := range names {
 		nr := newRows[name]
 		or, ok := oldRows[name]
 		if !ok {
 			added++
-			fmt.Fprintf(out, "NEW   %-50s %12.0f ns/op\n", name, nr.NsPerOp)
+			fmt.Fprintf(out, "NEW   %-50s %12.0f ns/op %8d allocs/op\n", name, nr.NsPerOp, nr.AllocsPerOp)
 			continue
 		}
 		if !(or.NsPerOp > 0) || !(nr.NsPerOp > 0) {
@@ -98,19 +105,50 @@ func run(args []string, out io.Writer) error {
 		status := "ok"
 		if delta > *maxRegress {
 			status = "REGRESSED"
-			regressions++
+			nsRegressions++
 		}
-		fmt.Fprintf(out, "%-5s %-50s %12.0f → %-12.0f %+6.1f%%\n", status, name, or.NsPerOp, nr.NsPerOp, delta)
+		allocNote := ""
+		if allocsRegressed(or.AllocsPerOp, nr.AllocsPerOp, *maxAllocsRegress) {
+			allocNote = "  ALLOCS-REGRESSED"
+			allocRegressions++
+			if status == "ok" {
+				status = "ALLOC"
+			}
+		}
+		fmt.Fprintf(out, "%-5s %-50s %12.0f → %-12.0f %+6.1f%%  %6d → %-6d allocs%s\n",
+			status, name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp, allocNote)
 	}
 	for name := range oldRows {
 		if _, ok := newRows[name]; !ok {
 			fmt.Fprintf(out, "GONE  %-50s (in baseline only)\n", name)
 		}
 	}
-	fmt.Fprintf(out, "compared %d entries (%d new) against %s, threshold %.0f%%\n",
-		compared, added, *oldPath, *maxRegress)
-	if regressions > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in ns/op", regressions, *maxRegress)
+	fmt.Fprintf(out, "compared %d entries (%d new) against %s, thresholds %.0f%% ns/op, %.0f%% allocs/op\n",
+		compared, added, *oldPath, *maxRegress, *maxAllocsRegress)
+	switch {
+	case nsRegressions > 0 && allocRegressions > 0:
+		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in ns/op and %d in allocs/op",
+			nsRegressions, *maxRegress, allocRegressions)
+	case nsRegressions > 0:
+		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in ns/op", nsRegressions, *maxRegress)
+	case allocRegressions > 0:
+		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in allocs/op", allocRegressions, *maxAllocsRegress)
 	}
 	return nil
+}
+
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// percentage threshold: ±a few allocations around tiny baselines (0, 8,
+// 16 allocs/op are typical here) are amortisation jitter, not regressions.
+const allocSlack = 4
+
+// allocsRegressed reports whether the allocation count grew beyond both
+// the relative threshold and the absolute slack. Negative counts are
+// treated as non-comparable.
+func allocsRegressed(old, new int64, maxPct float64) bool {
+	if old < 0 || new < 0 {
+		return false
+	}
+	limit := float64(old) + max(allocSlack, float64(old)*maxPct/100)
+	return float64(new) > limit
 }

@@ -101,3 +101,54 @@ func TestBenchdiffErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchdiffFlagsAllocRegression: allocs/op is compared too, with an
+// absolute slack so near-zero baselines tolerate amortisation jitter.
+func TestBenchdiffFlagsAllocRegression(t *testing.T) {
+	old := writeRecord(t, "old.json", baseline)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 90, "bytes_per_op": 64},
+	  {"name": "Engine/seq/b", "ns_per_op": 2000, "allocs_per_op": 8, "bytes_per_op": 64}
+	]`)
+	var sb strings.Builder
+	err := run([]string{"-old", old, "-new", fresh}, &sb)
+	if err == nil {
+		t.Fatalf("8 → 90 allocs/op passed the default threshold:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("error should name allocs/op, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "ALLOCS-REGRESSED") {
+		t.Errorf("output missing ALLOCS-REGRESSED marker:\n%s", sb.String())
+	}
+	// A wildly loose threshold lets the same diff pass.
+	sb.Reset()
+	if err := run([]string{"-old", old, "-new", fresh, "-max-allocs-regress", "2000"}, &sb); err != nil {
+		t.Errorf("alloc regression failed a 2000%% threshold: %v", err)
+	}
+}
+
+// TestBenchdiffAllocSlack: growth within the absolute slack is jitter, not
+// a regression — including on a zero baseline.
+func TestBenchdiffAllocSlack(t *testing.T) {
+	old := writeRecord(t, "old.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/z", "ns_per_op": 1000, "allocs_per_op": 0, "bytes_per_op": 0}
+	]`)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1000, "allocs_per_op": 11, "bytes_per_op": 64},
+	  {"name": "Engine/seq/z", "ns_per_op": 1000, "allocs_per_op": 4, "bytes_per_op": 0}
+	]`)
+	var sb strings.Builder
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err != nil {
+		t.Fatalf("within-slack alloc growth failed: %v\n%s", err, sb.String())
+	}
+	// One past the slack on a zero baseline does fail.
+	fresh = writeRecord(t, "new2.json", `[
+	  {"name": "Engine/seq/z", "ns_per_op": 1000, "allocs_per_op": 5, "bytes_per_op": 0}
+	]`)
+	sb.Reset()
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err == nil {
+		t.Fatalf("0 → 5 allocs/op passed (slack is 4):\n%s", sb.String())
+	}
+}

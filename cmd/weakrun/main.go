@@ -6,12 +6,18 @@
 //	weakrun -alg odd-odd -graph cycle:8 -ports random:7
 //	weakrun -alg vertex-cover -graph petersen -ports canonical -executor pool
 //	weakrun -alg odd-odd -graph torus:6x6 -executor async -schedule adversary:4 -seed 9
+//	weakrun -alg odd-odd -graph pa:64,3,7 -executor async -faults drop:0.2+crash:2 -fault-seed 5
 //	weakrun -formula "<*,*> q1" -graph star:5
+//	weakrun -list
 //
 // With -formula the algorithm is compiled from a modal formula via
 // Theorem 2 and the satisfying nodes are printed. With -executor async the
 // run is driven by the -schedule/-seed adversary and the summary reports
-// per-node activation counts and whether a global fixpoint was detected.
+// per-node activation counts and whether a global fixpoint was detected;
+// -faults/-fault-seed additionally inject a seeded fault plan (message
+// omission/duplication, node crash/recovery) and the summary grows a fault
+// telemetry line. -list enumerates every valid value of the enumerable
+// flags and exits.
 package main
 
 import (
@@ -19,11 +25,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"weakmodels/internal/algorithms"
 	"weakmodels/internal/compile"
 	"weakmodels/internal/engine"
+	"weakmodels/internal/fault"
 	"weakmodels/internal/logic"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/schedule"
@@ -47,11 +55,17 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "pool executor worker count (default GOMAXPROCS)")
 	schedSpec := fs.String("schedule", "sync", "async schedule: "+schedule.ValidSpecs)
 	seed := fs.Int64("seed", 1, "seed for seeded async schedules")
+	faultSpec := fs.String("faults", "", "async fault plan: "+fault.ValidSpecs)
+	faultSeed := fs.Int64("fault-seed", 1, "seed for seeded fault plans")
+	list := fs.Bool("list", false, "list valid executors, schedules, graphs, ports, faults and algorithms, then exit")
 	concurrent := fs.Bool("concurrent", false, "deprecated: alias for -executor=pool")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (async: step budget; 0 = default)")
 	trace := fs.Bool("trace", false, "print the per-round state trace")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return printList(out)
 	}
 
 	// Validate every flag up front, so a bad spelling fails with the list of
@@ -87,6 +101,21 @@ func run(args []string, out io.Writer) error {
 		sched = nil
 	} else if set["seed"] && !schedule.UsesSeed(sched) {
 		return fmt.Errorf("-seed is only meaningful with a seeded schedule (random|staleness|adversary), got -schedule=%s", *schedSpec)
+	}
+	plan, err := fault.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	if plan != nil && exec != engine.ExecutorAsync {
+		return fmt.Errorf("-faults is only meaningful with -executor=async (got -executor=%v)", exec)
+	}
+	if set["fault-seed"] {
+		if plan == nil {
+			return fmt.Errorf("-fault-seed is only meaningful with -faults")
+		}
+		if !fault.FlagSeedUsed(*faultSpec) {
+			return fmt.Errorf("-fault-seed has no effect on -faults=%s: every component embeds its own ,SEED", *faultSpec)
+		}
 	}
 
 	g, err := spec.ParseGraph(*graphSpec)
@@ -128,6 +157,7 @@ func run(args []string, out io.Writer) error {
 		Executor:    exec,
 		Workers:     *workers,
 		Schedule:    sched,
+		Fault:       plan,
 		MaxRounds:   *maxRounds,
 		RecordTrace: *trace,
 	})
@@ -151,6 +181,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "schedule=%s steps=%d activations: min=%d max=%d total=%d fixpoint=%v\n",
 			sched.Name(), res.Rounds, minF, maxF, total, res.Fixpoint)
 	}
+	if plan != nil {
+		alive := 0
+		for _, a := range res.Alive {
+			if a {
+				alive++
+			}
+		}
+		fmt.Fprintf(out, "faults=%s drops=%d dups=%d crashes=%d recoveries=%d alive=%d/%d\n",
+			plan.Name(), res.Drops, res.Dups, res.Crashes, res.Recoveries, alive, g.N())
+	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "node\tdegree\toutput")
 	for v := 0; v < g.N(); v++ {
@@ -163,4 +203,18 @@ func run(args []string, out io.Writer) error {
 		return engine.RenderTrace(out, m, res)
 	}
 	return nil
+}
+
+// printList enumerates every valid value of the enumerable flags, so a
+// user never has to provoke an error to discover a spelling.
+func printList(out io.Writer) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "flag\tvalid values")
+	fmt.Fprintln(w, "-executor\tseq | pool | async")
+	fmt.Fprintln(w, "-schedule\t"+schedule.ValidSpecs)
+	fmt.Fprintln(w, "-graph\t"+strings.Join(spec.GraphSpecs(), "  "))
+	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))
+	fmt.Fprintln(w, "-faults\t"+fault.ValidSpecs)
+	fmt.Fprintln(w, "-alg\t"+strings.Join(algorithms.RegistryNames(), "  "))
+	return w.Flush()
 }

@@ -169,3 +169,67 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"-executor", "seq | pool | async",
+		"-schedule", "adversary:F",
+		"-graph", "pa:N,M,SEED",
+		"-ports", "consistent:SEED",
+		"-faults", "crashstop:K",
+		"-alg", "odd-odd",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "even-degree", "-graph", "cycle:6",
+		"-executor", "async", "-faults", "drop:0.3+dup:0.2", "-fault-seed", "9"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "faults=drop:0.3+dup:0.2") || !strings.Contains(out, "alive=6/6") {
+		t.Errorf("missing fault telemetry line:\n%s", out)
+	}
+}
+
+func TestRunBadFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "even-degree", "-executor", "async", "-faults", "chaos"}, &sb)
+	if err == nil {
+		t.Fatal("run accepted an unknown fault spec")
+	}
+	if !strings.Contains(err.Error(), "drop:P") || !strings.Contains(err.Error(), "adversary:B") {
+		t.Errorf("unknown-fault error should list valid specs, got %v", err)
+	}
+}
+
+// TestRunFaultFlagCrossValidation: fault flags that do not apply are
+// rejected up front, never silently ignored.
+func TestRunFaultFlagCrossValidation(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "even-degree", "-faults", "drop:0.5"},                      // faults without async
+		{"-alg", "even-degree", "-executor", "pool", "-faults", "drop:0.5"}, // faults with pool
+		{"-alg", "even-degree", "-executor", "async", "-fault-seed", "7"},   // fault-seed without faults
+		// fault-seed with every component's seed embedded: the flag would
+		// have no effect, which must be an error, not a silent ignore.
+		{"-alg", "even-degree", "-executor", "async", "-faults", "drop:0.5,3", "-fault-seed", "7"},
+		{"-alg", "even-degree", "-executor", "async", "-faults", "drop:0.5,3+dup:0.2,4", "-fault-seed", "7"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want cross-validation error", args)
+		}
+	}
+}

@@ -59,6 +59,14 @@ func MaxDegreeWithin(delta, k int) machine.Machine {
 // workload for the async executor's fixpoint detection (the synchronous
 // executors can only give up at the round budget). Deliberately not in the
 // Registry, whose machines all halt.
+//
+// It is also the canonical gossip of the self-stabilisation harness: max
+// is a semilattice join, so omitted (m0) and duplicated messages only
+// delay information, and a crash-reset node reboots into its degree —
+// restoring its own contribution to the maximum — and re-learns the rest
+// from neighbours that never stop broadcasting. m0 entries are skipped:
+// under fault plans (and next to crashed neighbours) silence is a valid
+// inbox entry.
 func MaxConsensus(delta int) machine.Machine {
 	return &machine.Func{
 		MachineName:  "max-consensus",
@@ -72,6 +80,9 @@ func MaxConsensus(delta int) machine.Machine {
 		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
 			best := s.(int)
 			for _, msg := range inbox {
+				if msg == machine.NoMessage {
+					continue
+				}
 				v, err := strconv.Atoi(string(msg))
 				if err != nil {
 					panic(err)

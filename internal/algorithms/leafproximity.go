@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"fmt"
+	"strconv"
 
 	"weakmodels/internal/machine"
 )
@@ -64,6 +65,62 @@ func LeafProximity(delta, k int) machine.Machine {
 				return finish(x)
 			}
 			return x
+		},
+	}
+}
+
+// LeafProximityStab is the self-stabilising form of LeafProximity: instead
+// of counting rounds, every node repeatedly recomputes its clamped
+// distance to the nearest leaf as the Bellman operator
+//
+//	d(v) = 0 if deg(v) = 1, else min(k+1, 1 + min over received d)
+//
+// and never halts. The state is the int distance in [0, k+1]; "a leaf
+// within distance k" is d ≤ k. Because every step recomputes d from the
+// inbox alone (the previous state is discarded), the iteration converges
+// to the unique fixpoint from ANY configuration: values corrupted low by
+// stale messages climb by one per hop until the k+1 clamp absorbs them,
+// and a crash-reset node reboots into its initial estimate and re-converges.
+// Convergence takes at most k+2 fault-free rounds, after which the async
+// executor's fixpoint detection stops the run. m0 entries (omission
+// faults, crashed neighbours) carry no distance and are skipped — silence
+// can only raise the estimate, never corrupt it. Class MB: min is
+// insensitive to message order and multiplicity.
+func LeafProximityStab(delta, k int) machine.Machine {
+	return &machine.Func{
+		MachineName:  fmt.Sprintf("leaf-proximity-stab-%d", k),
+		MachineClass: machine.ClassMB,
+		MaxDeg:       delta,
+		InitFunc: func(deg int) machine.State {
+			if deg == 1 {
+				return 0
+			}
+			return k + 1
+		},
+		HaltedFunc: func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc: func(s machine.State, _ int) machine.Message {
+			return machine.Message(strconv.Itoa(s.(int)))
+		},
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			// Multiset semantics keeps one entry per in-port, so the inbox
+			// length is the degree and identifies leaves.
+			if len(inbox) == 1 {
+				return 0
+			}
+			d := k + 1
+			for _, msg := range inbox {
+				if msg == machine.NoMessage {
+					continue
+				}
+				n, err := strconv.Atoi(string(msg))
+				if err != nil {
+					panic(fmt.Sprintf("algorithms: bad distance message %q", msg))
+				}
+				if n+1 < d {
+					d = n + 1
+				}
+			}
+			return d
 		},
 	}
 }

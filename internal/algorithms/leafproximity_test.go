@@ -103,3 +103,42 @@ func TestLeafProximityViaCompiler(t *testing.T) {
 		t.Errorf("compiled class %v, want SB", compiled.Class())
 	}
 }
+
+// TestLeafProximityStabMatchesHalting: the stabilising Bellman form and
+// the round-counting halting form decide the same predicate — run the
+// stabilising machine to its fixpoint and compare d ≤ k against the
+// halting outputs, across graphs with and without nearby leaves.
+func TestLeafProximityStabMatchesHalting(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(7),
+		graph.Star(5),
+		graph.Caterpillar(5, 2),
+		graph.Cycle(6), // no leaves at all: everyone decides 0
+		graph.Grid(3, 4),
+	}
+	for _, g := range graphs {
+		for _, k := range []int{0, 1, 3} {
+			p := port.Canonical(g)
+			halting := runOn(t, LeafProximity(g.MaxDegree(), k), p)
+			stab, err := engine.Run(LeafProximityStab(g.MaxDegree(), k), p, engine.Options{
+				Executor: engine.ExecutorAsync,
+			})
+			if err != nil {
+				t.Fatalf("stab on %v k=%d: %v", g, k, err)
+			}
+			if !stab.Fixpoint {
+				t.Fatalf("stab on %v k=%d did not reach a fixpoint", g, k)
+			}
+			for v, s := range stab.States {
+				got := "0"
+				if s.(int) <= k {
+					got = "1"
+				}
+				if want := string(halting.Output[v]); got != want {
+					t.Errorf("%v k=%d node %d: stab decides %s (d=%d), halting %s",
+						g, k, v, got, s.(int), want)
+				}
+			}
+		}
+	}
+}

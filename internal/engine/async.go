@@ -38,10 +38,27 @@ package engine
 // change state or halt on that steady inbox. If both hold, induction on
 // fire events shows no future step can change any state: the run is at a
 // global fixpoint and every undelivered message is a no-op re-send.
+//
+// Fault injection (Options.Fault, internal/fault) hooks into exactly two
+// places, both behind a nil check so fault-free runs pay nothing. First, a
+// delivery filter on the per-link queues: each message the schedule
+// delivers is assigned a fate — delivered, dropped (delivered as m0: the
+// omission fault of message adversaries, preserving the one-entry-per-
+// emission discipline so frontiers never starve) or duplicated (an extra
+// copy joins the mail queue). Second, a liveness mask gating activation: a
+// crashed node's firings drain its frontier and emit m0 — like a halted
+// node, so neighbours are not wedged — but never step δ; a recovery lifts
+// the mask, either resuming the frozen state or resetting it through
+// machine.Reboot. The fixpoint probe stays sound under faults by treating
+// dead nodes as frozen (their steady message is m0, their state exempt
+// from the would-change check) and by running only once the plan is
+// settled: an unsettled plan could still perturb a steady-looking
+// configuration with a future m0-substitution or reset.
 
 import (
 	"fmt"
 
+	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/port"
@@ -130,6 +147,14 @@ type asyncState struct {
 
 	inbox   []machine.Message // frontier buffer, cap = max degree
 	scratch []machine.Message // canonicalisation buffer, cap = max degree
+
+	// Fault state, allocated only when a plan runs (plan != nil): the
+	// liveness mask, the initial states recoveries reset to, and the
+	// plan's decision buffer.
+	plan  fault.Plan
+	alive []bool
+	init  []machine.State
+	fdec  *fault.Decision
 }
 
 // asyncStepStats accumulates one step's telemetry.
@@ -185,14 +210,34 @@ func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Op
 			active--
 		}
 	}
+	if opts.Fault != nil {
+		as.plan = opts.Fault
+		as.alive = make([]bool, n)
+		for v := range as.alive {
+			as.alive[v] = true
+		}
+		// Snapshot z0 per node for reset recoveries: states are immutable
+		// values (Step is pure), so sharing the initial state is safe.
+		as.init = append([]machine.State(nil), as.states...)
+		as.fdec = fault.NewDecision(n)
+	}
 	return as, active, nil
 }
 
+// dead reports whether node v is currently crashed. The alive mask is nil
+// on fault-free runs, keeping the hot paths a single nil check away from
+// their no-fault cost.
+func (as *asyncState) dead(v int) bool {
+	return as.alive != nil && !as.alive[v]
+}
+
 // emit sends node v's current outgoing messages into the flight queues,
-// stamped with the given step. Halted nodes emit m0 (Section 1.3).
+// stamped with the given step. Halted nodes emit m0 (Section 1.3), and so
+// do crashed ones — a dead process is silent, and m0 is what silence looks
+// like to a neighbour.
 func (as *asyncState) emit(v, step int) {
 	lo, hi := as.off[v], as.off[v+1]
-	if as.halted[v] {
+	if as.halted[v] || as.dead(v) {
 		for s := lo; s < hi; s++ {
 			as.flight[as.dest[s]].push(machine.NoMessage, step)
 		}
@@ -230,13 +275,48 @@ func (as *asyncState) deliver(l int32, k int) {
 	}
 }
 
+// deliverFiltered is deliver with the fault plan's delivery filter in the
+// loop: each delivered message is assigned a fate — delivered unchanged,
+// dropped (m0 takes its place in the mail queue, so the frontier count
+// still advances and the receiver observes silence) or duplicated (two
+// copies join the queue). Only called when a plan runs; fault-free runs
+// keep the branch-free deliver.
+func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
+	fq := &as.flight[l]
+	if avail := fq.len(); k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return
+	}
+	mq := &as.mail[l]
+	if mq.len() == 0 {
+		as.ready[as.node[l]]++
+	}
+	for i := 0; i < k; i++ {
+		msg := fq.pop().msg
+		switch as.plan.Filter(t, int(l)) {
+		case fault.FateDrop:
+			res.Drops++
+			mq.push(machine.NoMessage)
+		case fault.FateDup:
+			res.Dups++
+			mq.push(msg)
+			mq.push(msg)
+		default:
+			mq.push(msg)
+		}
+	}
+}
+
 // canFire reports whether node v holds a full frontier: one delivered
 // message on every in-port. Zero-degree nodes can always fire.
 func (as *asyncState) canFire(v int) bool {
 	return as.ready[v] == as.off[v+1]-as.off[v]
 }
 
-// fire consumes node v's frontier, steps δ (halted nodes discard), checks
+// fire consumes node v's frontier, steps δ (halted and crashed nodes
+// discard — the liveness mask gates the δ-step, not the drain), checks
 // halting, and emits the next messages. Callers have checked canFire.
 func (as *asyncState) fire(v int, st *asyncStepStats) {
 	lo, hi := as.off[v], as.off[v+1]
@@ -252,7 +332,7 @@ func (as *asyncState) fire(v int, st *asyncStepStats) {
 		inbox[i] = msg
 	}
 	as.fires[v]++
-	if !as.halted[v] {
+	if !as.halted[v] && !as.dead(v) {
 		cin := machine.CanonicalInboxInto(as.recv, inbox, as.scratch)
 		as.states[v] = as.m.Step(as.states[v], cin)
 		if out, ok := as.m.Halted(as.states[v]); ok {
@@ -269,7 +349,7 @@ func (as *asyncState) fire(v int, st *asyncStepStats) {
 func (as *asyncState) steadyMessage(l int32) machine.Message {
 	s := as.src[l]
 	u := as.node[s]
-	if as.halted[u] {
+	if as.halted[u] || as.dead(int(u)) {
 		return machine.NoMessage
 	}
 	if as.broadcast {
@@ -302,7 +382,9 @@ func (as *asyncState) atFixpoint() bool {
 		}
 	}
 	for v := 0; v < len(as.states); v++ {
-		if as.halted[v] {
+		// Dead nodes are frozen: the settled plan will never revive them,
+		// so their state is exempt from the would-change check.
+		if as.halted[v] || as.dead(v) {
 			continue
 		}
 		lo, hi := as.off[v], as.off[v+1]
@@ -322,7 +404,7 @@ func (as *asyncState) atFixpoint() bool {
 	return true
 }
 
-// asyncView adapts asyncState to schedule.View.
+// asyncView adapts asyncState to schedule.View and fault.View.
 type asyncView struct{ as *asyncState }
 
 func (w asyncView) Nodes() int        { return len(w.as.states) }
@@ -338,6 +420,59 @@ func (w asyncView) OldestBorn(l int) int {
 		return -1
 	}
 	return int(q.buf[q.head].born)
+}
+func (w asyncView) Alive(v int) bool { return !w.as.dead(v) }
+
+// asyncTopology adapts asyncState to fault.Topology.
+type asyncTopology struct{ as *asyncState }
+
+func (t asyncTopology) Nodes() int        { return len(t.as.states) }
+func (t asyncTopology) Links() int        { return len(t.as.mail) }
+func (t asyncTopology) Degree(v int) int  { return t.as.g.Degree(v) }
+func (t asyncTopology) LinkSrc(l int) int { return int(t.as.node[t.as.src[l]]) }
+func (t asyncTopology) LinkDst(l int) int { return int(t.as.node[l]) }
+
+// applyFaults applies the plan's crash/recovery decision for step t and
+// returns the change in the active (non-halted) node count: a reset
+// recovery can un-halt a halted node (reboot into a fresh z0) or, for
+// machines whose initial state is already a stopping state, halt it again
+// immediately.
+func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDelta int) {
+	as.fdec.Reset()
+	as.plan.Step(t, view, as.fdec)
+	for v, crash := range as.fdec.Crash {
+		if crash && as.alive[v] {
+			as.alive[v] = false
+			res.Crashes++
+		}
+	}
+	for v, kind := range as.fdec.Recover {
+		if kind == fault.RecoverNone || as.alive[v] {
+			continue
+		}
+		as.alive[v] = true
+		res.Recoveries++
+		if kind != fault.RecoverReset {
+			continue
+		}
+		ns := machine.Reboot(as.m, as.g.Degree(v), as.states[v], as.init[v])
+		as.states[v] = ns
+		wasHalted := as.halted[v]
+		out, ok := as.m.Halted(ns)
+		as.halted[v] = ok
+		if ok {
+			as.outputs[v] = out
+			if !wasHalted {
+				activeDelta--
+			}
+		} else {
+			as.outputs[v] = ""
+			if wasHalted {
+				activeDelta++
+			}
+		}
+	}
+	return activeDelta
 }
 
 // maxDefaultAsyncSteps caps the dilation-scaled default step budget so a
@@ -381,7 +516,7 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	}
 	n := g.N()
 	links := len(as.mail)
-	res := &Result{Fires: as.fires}
+	res := &Result{Fires: as.fires, States: as.states, Alive: as.alive}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
 	}
@@ -390,6 +525,9 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		return res, nil
 	}
 	sched.Begin(n, links)
+	if as.plan != nil {
+		as.plan.Begin(asyncTopology{as: as})
+	}
 	dec := schedule.NewDecision(n, links)
 	view := asyncView{as: as}
 
@@ -409,8 +547,23 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		}
 		dec.Reset()
 		sched.Step(t, view, dec)
+		if as.plan != nil {
+			active += as.applyFaults(t, view, res)
+		}
 
-		if dec.DeliverAll {
+		if as.plan != nil {
+			if dec.DeliverAll {
+				for l := 0; l < links; l++ {
+					as.deliverFiltered(int32(l), as.flight[l].len(), t, res)
+				}
+			} else {
+				for l := 0; l < links; l++ {
+					if k := dec.Deliver[l]; k > 0 {
+						as.deliverFiltered(int32(l), int(k), t, res)
+					}
+				}
+			}
+		} else if dec.DeliverAll {
 			for l := 0; l < links; l++ {
 				as.deliver(int32(l), as.flight[l].len())
 			}
@@ -448,7 +601,10 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		}
 		if t >= nextCheck {
 			nextCheck = t + checkInterval
-			if as.atFixpoint() {
+			// The probe is only sound once the plan can no longer perturb
+			// the run: an unsettled plan could still m0-substitute or reset
+			// a configuration that currently looks steady.
+			if (as.plan == nil || as.plan.Settled()) && as.atFixpoint() {
 				res.Fixpoint = true
 				return res, nil
 			}

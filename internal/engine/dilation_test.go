@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// TestScheduleDilationBoundsMeasuredSteps pins the worst-case hints of
+// schedule.Dilated against reality: a T-round synchronous algorithm run
+// under a schedule must finish within Dilation(n)·T steps on a reference
+// graph — that is the contract asyncStepBudget relies on when it scales
+// the default budget. RandomSubset's hint is a tail bound rather than a
+// hard one, so several seeds are checked; if a seed ever exceeded it, the
+// hint (and with it the budget scaling) would be too tight and this test
+// is what should catch it.
+func TestScheduleDilationBoundsMeasuredSteps(t *testing.T) {
+	g := graph.Torus(4, 4)
+	n := g.N()
+	p := port.Canonical(g)
+	const rounds = 8 // MaxDegreeWithin(_, 8) halts after exactly 8 rounds
+	for _, seed := range []int64{1, 7, 23, 99} {
+		gens := []schedule.Schedule{
+			schedule.Synchronous(),
+			schedule.RoundRobin(),
+			schedule.RandomSubset(seed, 0.25),
+			schedule.RandomSubset(seed, 0.8),
+			schedule.BoundedStaleness(seed, 2),
+			schedule.Adversary(seed, 4),
+		}
+		for _, sched := range gens {
+			d, ok := sched.(schedule.Dilated)
+			if !ok {
+				t.Fatalf("generator %s does not report a dilation", sched.Name())
+			}
+			dilation := d.Dilation(n)
+			if dilation < 1 {
+				t.Fatalf("%s: dilation %d < 1", sched.Name(), dilation)
+			}
+			m := algorithms.MaxDegreeWithin(g.MaxDegree(), rounds)
+			res, err := Run(m, p, Options{
+				MaxRounds: dilation*rounds + 1, // the bound itself, as the budget
+				Executor:  ExecutorAsync,
+				Schedule:  sched,
+			})
+			label := fmt.Sprintf("%s seed=%d", sched.Name(), seed)
+			if err != nil {
+				t.Fatalf("%s: did not halt within its dilation bound %d·%d: %v",
+					label, dilation, rounds, err)
+			}
+			if res.Rounds > dilation*rounds {
+				t.Errorf("%s: %d measured steps exceed the dilation bound %d·%d = %d",
+					label, res.Rounds, dilation, rounds, dilation*rounds)
+			}
+		}
+	}
+}

@@ -46,12 +46,22 @@
 // BoundedStaleness, Adversary — so any experiment can be re-run under a
 // reproducible adversary via Options.Schedule or weakrun's
 // -executor=async -schedule=<spec> -seed=<s>.
+//
+// Layered on top of the schedule, a fault.Plan (Options.Fault) injects
+// faults into the async executor: delivered messages can be dropped
+// (delivered as m0 — the omission fault of message adversaries, which
+// keeps the frontier discipline live) or duplicated, and nodes can crash
+// and recover. Crashed nodes keep draining their frontiers and emit m0, so
+// neighbours are never wedged; a reset recovery reinitialises the node via
+// the machine (machine.Rebooter for stable storage). Fixpoint detection is
+// gated on the plan being settled — see async.go.
 package engine
 
 import (
 	"errors"
 	"fmt"
 
+	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/port"
@@ -131,6 +141,11 @@ type Options struct {
 	// other executor is an error. Schedules are stateful: do not share one
 	// instance between concurrent runs.
 	Schedule schedule.Schedule
+	// Fault injects message loss/duplication and node crash/recovery into
+	// the async executor (default nil: no faults, and the fault hooks cost
+	// nothing). Setting it with any other executor is an error. Plans are
+	// stateful: do not share one instance between concurrent runs.
+	Fault fault.Plan
 	// Concurrent selects the parallel executor.
 	//
 	// Deprecated: set Executor to ExecutorPool instead. Kept so existing
@@ -187,6 +202,19 @@ type Result struct {
 	// state, and every undelivered message was a no-op re-send. Nodes that
 	// had not halted have empty outputs.
 	Fixpoint bool
+	// States is the final state vector x_T of the run — the stabilised
+	// configuration when the run ended at a fixpoint. Populated by every
+	// executor.
+	States []machine.State
+	// Alive[v] reports whether node v was alive when the run ended; nil
+	// unless a fault plan ran (no plan: everyone is alive). Nodes that are
+	// dead at the end were crash-stopped and never recovered.
+	Alive []bool
+	// Drops counts messages a fault plan delivered as m0, Dups the ones it
+	// duplicated, Crashes the node crashes it applied and Recoveries the
+	// revivals. All zero when no fault plan ran.
+	Drops, Dups         int64
+	Crashes, Recoveries int64
 }
 
 // Run executes m on (g, p) and returns the output vector.
@@ -206,6 +234,9 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	exec := opts.executor()
 	if opts.Schedule != nil && exec != ExecutorAsync {
 		return nil, fmt.Errorf("engine: Options.Schedule is only supported by the async executor, not %v", exec)
+	}
+	if opts.Fault != nil && exec != ExecutorAsync {
+		return nil, fmt.Errorf("engine: Options.Fault is only supported by the async executor, not %v", exec)
 	}
 	switch exec {
 	case ExecutorPool:
@@ -232,7 +263,7 @@ func runSequential(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Op
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{States: rs.states}
 	if opts.RecordTrace {
 		rs.snapshotTrace(res)
 	}

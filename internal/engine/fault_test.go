@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/fault"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// TestFaultRequiresAsyncExecutor: supplying a fault plan to a synchronous
+// executor is a configuration error, not a silent ignore.
+func TestFaultRequiresAsyncExecutor(t *testing.T) {
+	g := graph.Path(3)
+	m := degreeSum(g.MaxDegree())
+	for _, exec := range []Executor{ExecutorSeq, ExecutorPool} {
+		_, err := Run(m, port.Canonical(g), Options{Executor: exec, Fault: fault.Drop(1, 0.5)})
+		if err == nil {
+			t.Errorf("executor %v accepted Options.Fault", exec)
+		}
+	}
+}
+
+// TestAsyncDropDeliversSilence: a p=1 drop plan replaces every delivered
+// message with m0 — the receiver observes silence, but its frontier still
+// fills, so the run completes instead of wedging. inboxEcho makes the
+// substitution visible in the outputs.
+func TestAsyncDropDeliversSilence(t *testing.T) {
+	g := graph.Path(3)
+	p := port.Canonical(g)
+	m := inboxEcho(g.MaxDegree(), machine.ClassMV)
+	clean, err := Run(m, p, Options{Executor: ExecutorAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, p, Options{
+		Executor: ExecutorAsync,
+		Fault:    fault.DropFor(1, 1, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path(3) has 4 directed links; the single round delivers one message
+	// per link, all dropped.
+	if res.Drops != 4 {
+		t.Errorf("Drops = %d, want 4", res.Drops)
+	}
+	if reflect.DeepEqual(clean.Output, res.Output) {
+		t.Error("dropping every message left the echoed outputs unchanged")
+	}
+	if res.MessageBytes != 0 {
+		t.Errorf("MessageBytes = %d, want 0 (every consumed message was m0)", res.MessageBytes)
+	}
+}
+
+// TestAsyncDupKeepsOneRoundSemantics: duplicates join the queue behind the
+// original, so a 1-round machine still consumes the true round-1 inbox and
+// outputs exactly the fault-free result; only the telemetry shows the dups.
+func TestAsyncDupKeepsOneRoundSemantics(t *testing.T) {
+	g := graph.Star(4)
+	p := port.Canonical(g)
+	m := inboxEcho(g.MaxDegree(), machine.ClassVV)
+	clean, err := Run(m, p, Options{Executor: ExecutorAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, p, Options{
+		Executor: ExecutorAsync,
+		Fault:    fault.DupFor(1, 1, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dups == 0 {
+		t.Error("Dups = 0 under a p=1 duplication plan")
+	}
+	if !reflect.DeepEqual(clean.Output, res.Output) {
+		t.Errorf("duplication changed a 1-round machine's outputs\nclean: %v\nfaulty: %v",
+			clean.Output, res.Output)
+	}
+}
+
+// TestAsyncCrashStopDrains is the not-wedged guarantee: with the star
+// centre crash-stopped at step 1, the leaves observe silence (m0), run
+// their full 8 gossip rounds, and halt; the run then ends at a detected
+// fixpoint with the dead centre frozen un-halted.
+func TestAsyncCrashStopDrains(t *testing.T) {
+	g := graph.Star(4) // node 0 is the centre
+	p := port.Canonical(g)
+	m := algorithms.MaxDegreeWithin(g.MaxDegree(), 8)
+	res, err := Run(m, p, Options{
+		MaxRounds: 10_000,
+		Executor:  ExecutorAsync,
+		Fault:     fault.CrashAt(0, 1, 0, fault.RecoverNone),
+	})
+	if err != nil {
+		t.Fatalf("crash-stopped run wedged: %v", err)
+	}
+	if !res.Fixpoint {
+		t.Error("crash-stopped run did not end at a fixpoint")
+	}
+	if res.Crashes != 1 || res.Recoveries != 0 {
+		t.Errorf("telemetry crashes=%d recoveries=%d, want 1/0", res.Crashes, res.Recoveries)
+	}
+	if res.Alive == nil || res.Alive[0] || !res.Alive[1] {
+		t.Fatalf("Alive = %v, want centre dead and leaves alive", res.Alive)
+	}
+	if res.Output[0] != "" {
+		t.Errorf("dead centre has output %q, want none", res.Output[0])
+	}
+	for v := 1; v < g.N(); v++ {
+		// The centre's initial μ(x_0) broadcast was already in flight when
+		// it crashed — a crash cannot retract a sent message — so every
+		// leaf still learns the centre's degree; from then on it hears only
+		// silence and gossips to completion on its own.
+		if res.Output[v] != "4" {
+			t.Errorf("leaf %d output %q, want \"4\"", v, res.Output[v])
+		}
+	}
+}
+
+// TestAsyncCrashRecoverReset: a reset recovery reboots the victim into its
+// initial state; the self-stabilising gossip then re-learns the global
+// maximum, so the run stabilises to exactly the fault-free configuration.
+func TestAsyncCrashRecoverReset(t *testing.T) {
+	g := graph.Path(3) // degrees 1,2,1: global max 2
+	p := port.Canonical(g)
+	m := algorithms.MaxConsensus(g.MaxDegree())
+	res, err := Run(m, p, Options{
+		MaxRounds: 10_000,
+		Executor:  ExecutorAsync,
+		Fault:     fault.CrashAt(1, 3, 4, fault.RecoverReset),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fixpoint {
+		t.Error("run did not end at a fixpoint")
+	}
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Errorf("telemetry crashes=%d recoveries=%d, want 1/1", res.Crashes, res.Recoveries)
+	}
+	for v, s := range res.States {
+		if s.(int) != 2 {
+			t.Errorf("node %d stabilised at %v, want 2", v, s)
+		}
+	}
+	for v, alive := range res.Alive {
+		if !alive {
+			t.Errorf("node %d still dead after recovery", v)
+		}
+	}
+}
+
+// TestAsyncPauseResumesState: a resume recovery keeps the frozen state, so
+// a round-counting machine finishes sooner than under a reset recovery —
+// and a machine with stable storage (machine.Rebooter) turns a reset into
+// a resume.
+func TestAsyncPauseResumesState(t *testing.T) {
+	g := graph.Path(3)
+	p := port.Canonical(g)
+	run := func(m machine.Machine, kind fault.RecoverKind) *Result {
+		res, err := Run(m, p, Options{
+			MaxRounds: 10_000,
+			Executor:  ExecutorAsync,
+			Fault:     fault.CrashAt(1, 3, 4, kind),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	m := algorithms.MaxDegreeWithin(g.MaxDegree(), 8)
+	pause := run(m, fault.RecoverResume)
+	reset := run(m, fault.RecoverReset)
+	if pause.Rounds >= reset.Rounds {
+		t.Errorf("pause took %d steps, reset %d: a resumed round counter should finish sooner",
+			pause.Rounds, reset.Rounds)
+	}
+	if !reflect.DeepEqual(pause.Output, reset.Output) {
+		t.Errorf("recovery kind changed the gossip outputs\npause: %v\nreset: %v",
+			pause.Output, reset.Output)
+	}
+	stable := run(stableStore{m}, fault.RecoverReset)
+	if stable.Rounds != pause.Rounds {
+		t.Errorf("Rebooter run took %d steps, want %d (identical to pause)",
+			stable.Rounds, pause.Rounds)
+	}
+}
+
+// stableStore models persistent storage: the reboot state is the crashed
+// state, so a reset recovery degenerates to a resume.
+type stableStore struct{ machine.Machine }
+
+func (s stableStore) RebootState(deg int, crashed machine.State) machine.State { return crashed }
+
+// TestAsyncFaultSeededDeterminism is the reproducibility property of the
+// -faults/-fault-seed flags: the same (schedule seed, fault seed) pair
+// replays a bit-identical run — outputs, states, liveness, telemetry and
+// fault counters — across repeated invocations and GOMAXPROCS settings.
+func TestAsyncFaultSeededDeterminism(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	machines := []machine.Machine{
+		algorithms.MaxConsensus(g.MaxDegree()),
+		algorithms.LeafProximityStab(g.MaxDegree(), 3),
+	}
+	const faultSpec = "drop:0.3,31,200+dup:0.2,32,200+crash:2,33,200"
+	for _, m := range machines {
+		for _, schedSpec := range []string{"sync", "random:0.3", "adversary:4"} {
+			label := fmt.Sprintf("%s schedule=%s", m.Name(), schedSpec)
+			runOnce := func() *Result {
+				sched, err := schedule.Parse(schedSpec, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := fault.Parse(faultSpec, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(m, p, Options{
+					MaxRounds: 200_000,
+					Executor:  ExecutorAsync,
+					Schedule:  sched,
+					Fault:     plan,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				return res
+			}
+			base := runOnce()
+			if base.Drops == 0 {
+				t.Errorf("%s: no drops injected", label)
+			}
+			if !reflect.DeepEqual(base, runOnce()) {
+				t.Fatalf("%s: repeated run diverged", label)
+			}
+			prev := runtime.GOMAXPROCS(0)
+			for _, procs := range []int{1, 4} {
+				runtime.GOMAXPROCS(procs)
+				got := runOnce()
+				if !reflect.DeepEqual(base, got) {
+					runtime.GOMAXPROCS(prev)
+					t.Fatalf("%s: run diverged under GOMAXPROCS=%d", label, procs)
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestAsyncFaultFreeResultShape: without a plan the fault fields stay
+// zero/nil, so fault-free callers (and the benchmarks guarding the
+// zero-overhead claim) see exactly the old result shape.
+func TestAsyncFaultFreeResultShape(t *testing.T) {
+	g := graph.Cycle(5)
+	res, err := Run(degreeSum(g.MaxDegree()), port.Canonical(g), Options{Executor: ExecutorAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alive != nil {
+		t.Errorf("Alive = %v on a fault-free run, want nil", res.Alive)
+	}
+	if res.Drops+res.Dups+res.Crashes+res.Recoveries != 0 {
+		t.Error("fault telemetry non-zero on a fault-free run")
+	}
+	if len(res.States) != g.N() {
+		t.Errorf("States has %d entries, want %d", len(res.States), g.N())
+	}
+}

@@ -51,7 +51,7 @@ func runPool(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{States: rs.states}
 	if opts.RecordTrace {
 		rs.snapshotTrace(res)
 	}

@@ -1,0 +1,393 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeTopology is a star-shaped test topology: node 0 is the centre with
+// degree n-1, every other node a leaf. Links alternate leaf→centre and
+// centre→leaf as (src, dst) pairs.
+type fakeTopology struct {
+	n     int
+	links [][2]int
+}
+
+func starTopology(leaves int) *fakeTopology {
+	t := &fakeTopology{n: leaves + 1}
+	for v := 1; v <= leaves; v++ {
+		t.links = append(t.links, [2]int{v, 0}, [2]int{0, v})
+	}
+	return t
+}
+
+func (t *fakeTopology) Nodes() int { return t.n }
+func (t *fakeTopology) Links() int { return len(t.links) }
+func (t *fakeTopology) Degree(v int) int {
+	if v == 0 {
+		return t.n - 1
+	}
+	return 1
+}
+func (t *fakeTopology) LinkSrc(l int) int { return t.links[l][0] }
+func (t *fakeTopology) LinkDst(l int) int { return t.links[l][1] }
+
+// fakeView implements View over a fakeTopology with everyone alive.
+type fakeView struct{ top *fakeTopology }
+
+func (v fakeView) Nodes() int         { return v.top.Nodes() }
+func (v fakeView) Links() int         { return v.top.Links() }
+func (v fakeView) Fires(int) int64    { return 0 }
+func (v fakeView) Halted(int) bool    { return false }
+func (v fakeView) InFlight(int) int   { return 1 }
+func (v fakeView) OldestBorn(int) int { return 0 }
+func (v fakeView) Alive(int) bool     { return true }
+
+// replay drives a plan for steps steps over the topology and returns every
+// per-step decision plus every per-delivery fate (one delivery per link
+// per step), as a reproducibility fingerprint.
+func replay(p Plan, top *fakeTopology, steps int) (fates []Fate, crashes, recoveries []int) {
+	p.Begin(top)
+	view := fakeView{top: top}
+	dec := NewDecision(top.Nodes())
+	for t := 1; t <= steps; t++ {
+		dec.Reset()
+		p.Step(t, view, dec)
+		for v, c := range dec.Crash {
+			if c {
+				crashes = append(crashes, t*1000+v)
+			}
+		}
+		for v, k := range dec.Recover {
+			if k != RecoverNone {
+				recoveries = append(recoveries, t*1000+v)
+			}
+		}
+		for l := 0; l < top.Links(); l++ {
+			fates = append(fates, p.Filter(t, l))
+		}
+	}
+	return fates, crashes, recoveries
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFates(a, b []Fate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSeededDeterminism: the same (spec, seed) replays identical faults;
+// a different seed produces different ones.
+func TestSeededDeterminism(t *testing.T) {
+	top := starTopology(6)
+	specs := []string{
+		"drop:0.5", "dup:0.5", "crash:3", "pause:2", "crashstop:2",
+		"adversary:2", "drop:0.4+crash:2+dup:0.3",
+	}
+	for _, spec := range specs {
+		mk := func(seed int64) Plan {
+			p, err := Parse(spec, seed)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", spec, err)
+			}
+			return p
+		}
+		f1, c1, r1 := replay(mk(7), top, 600)
+		f2, c2, r2 := replay(mk(7), top, 600)
+		if !equalFates(f1, f2) || !equalInts(c1, c2) || !equalInts(r1, r2) {
+			t.Errorf("%s: same seed diverged", spec)
+		}
+		// Re-Begin on the same instance must reset fully.
+		p := mk(7)
+		f3, c3, r3 := replay(p, top, 600)
+		f4, c4, r4 := replay(p, top, 600)
+		if !equalFates(f3, f4) || !equalInts(c3, c4) || !equalInts(r3, r4) {
+			t.Errorf("%s: Begin did not reset the plan", spec)
+		}
+		if !equalFates(f1, f3) {
+			t.Errorf("%s: fresh instance and re-Begin disagree", spec)
+		}
+	}
+}
+
+// TestDropDupFates: a p=1 plan faults every delivery within its horizon
+// and none after; p=0 never faults.
+func TestDropDupFates(t *testing.T) {
+	top := starTopology(3)
+	for _, tc := range []struct {
+		plan Plan
+		want Fate
+	}{
+		{DropFor(3, 1, 50), FateDrop},
+		{DupFor(3, 1, 50), FateDup},
+	} {
+		fates, _, _ := replay(tc.plan, top, 60)
+		perStep := top.Links()
+		for i, f := range fates {
+			step := i/perStep + 1
+			want := tc.want
+			if step > 50 {
+				want = FateDeliver
+			}
+			if f != want {
+				t.Fatalf("%s: step %d delivery fate = %v, want %v", tc.plan.Name(), step, f, want)
+			}
+		}
+	}
+	fates, _, _ := replay(DropFor(3, 0, 50), top, 60)
+	for _, f := range fates {
+		if f != FateDeliver {
+			t.Fatalf("p=0 plan faulted a delivery")
+		}
+	}
+}
+
+// TestCrashPlansSettle: crash events all fire within the horizon, pair up
+// with recoveries (for recovering plans), and the plan reports Settled
+// exactly when no further event is pending.
+func TestCrashPlansSettle(t *testing.T) {
+	top := starTopology(6)
+	for _, spec := range []string{"crash:3", "pause:3", "crashstop:3", "adversary:3"} {
+		p, err := Parse(spec, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, crashes, recoveries := replay(p, top, 2*DefaultHorizon)
+		if len(crashes) != 3 {
+			t.Errorf("%s: %d crashes, want 3", spec, len(crashes))
+		}
+		wantRec := 3
+		if spec == "crashstop:3" {
+			wantRec = 0
+		}
+		if len(recoveries) != wantRec {
+			t.Errorf("%s: %d recoveries, want %d", spec, len(recoveries), wantRec)
+		}
+		if !p.Settled() {
+			t.Errorf("%s: not settled after 2×horizon steps", spec)
+		}
+	}
+}
+
+// TestUnsettledBeforeHorizon: a fresh plan is not settled, so the engine
+// cannot prematurely declare a fixpoint.
+func TestUnsettledBeforeHorizon(t *testing.T) {
+	for _, spec := range []string{"drop:0.5", "crash:2", "adversary:1"} {
+		p, err := Parse(spec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Begin(starTopology(4))
+		if p.Settled() {
+			t.Errorf("%s: settled before any step", spec)
+		}
+	}
+}
+
+// TestAdversaryTargetsHighDegree: on a star the highest-degree node is the
+// centre, so every adversary crash must hit node 0.
+func TestAdversaryTargetsHighDegree(t *testing.T) {
+	top := starTopology(8)
+	_, crashes, _ := replay(Adversary(9, 2), top, 2*DefaultHorizon)
+	if len(crashes) != 2 {
+		t.Fatalf("adversary:2 produced %d crashes, want 2", len(crashes))
+	}
+	for _, c := range crashes {
+		if c%1000 != 0 {
+			t.Errorf("adversary crashed node %d, want the centre (0)", c%1000)
+		}
+	}
+}
+
+// TestAdversaryDropsOnlyHubLinks: omissions stay on links incident to the
+// targeted hubs.
+func TestAdversaryDropsOnlyHubLinks(t *testing.T) {
+	// Two disjoint stars glued into one topology: hub 0 with 5 leaves, a
+	// path-ish pair (6,7) of degree-1 nodes linked to each other.
+	top := &fakeTopology{n: 8}
+	for v := 1; v <= 5; v++ {
+		top.links = append(top.links, [2]int{v, 0}, [2]int{0, v})
+	}
+	top.links = append(top.links, [2]int{6, 7}, [2]int{7, 6})
+	p := Adversary(3, 1).(*adversaryPlan)
+	p.Begin(top)
+	for t2 := 1; t2 <= DefaultHorizon; t2++ {
+		for l := 0; l < top.Links(); l++ {
+			if f := p.Filter(t2, l); f == FateDrop && !p.hubLink[l] {
+				t.Fatalf("adversary dropped on non-hub link %d", l)
+			}
+		}
+	}
+	if p.hubLink[len(top.links)-1] || p.hubLink[len(top.links)-2] {
+		t.Fatal("links between degree-1 nodes marked as hub links")
+	}
+}
+
+// TestCrashAt pins the explicit unit-test plan: crash at the exact step,
+// recovery exactly down steps later, never settled in between.
+func TestCrashAt(t *testing.T) {
+	p := CrashAt(2, 5, 3, RecoverReset)
+	top := starTopology(4)
+	_, crashes, recoveries := replay(p, top, 20)
+	if !equalInts(crashes, []int{5*1000 + 2}) {
+		t.Errorf("crashes = %v, want node 2 at step 5", crashes)
+	}
+	if !equalInts(recoveries, []int{8*1000 + 2}) {
+		t.Errorf("recoveries = %v, want node 2 at step 8", recoveries)
+	}
+	if !p.Settled() {
+		t.Error("CrashAt not settled after its event")
+	}
+	forever := CrashAt(1, 3, 0, RecoverReset)
+	_, crashes, recoveries = replay(forever, top, 20)
+	if len(crashes) != 1 || len(recoveries) != 0 {
+		t.Errorf("down≤0 CrashAt: crashes=%v recoveries=%v, want one permanent crash", crashes, recoveries)
+	}
+}
+
+// TestComposeFates: drop beats dup beats deliver, and composition flattens.
+func TestComposeFates(t *testing.T) {
+	top := starTopology(2)
+	p := Compose(DupFor(1, 1, 10), DropFor(2, 1, 10))
+	p.Begin(top)
+	if f := p.Filter(1, 0); f != FateDrop {
+		t.Errorf("drop+dup composite fate = %v, want drop", f)
+	}
+	if got := Compose(Compose(Drop(1, 0.5), Dup(2, 0.5)), CrashStop(3, 1)).(composite); len(got) != 3 {
+		t.Errorf("nested Compose did not flatten: %d components", len(got))
+	}
+	if Compose() != nil {
+		t.Error("empty Compose should be nil (no faults)")
+	}
+	single := Drop(1, 0.5)
+	if Compose(single) != single {
+		t.Error("single-plan Compose should return the plan itself")
+	}
+}
+
+// TestParse covers spellings, seeds, horizons and errors.
+func TestParse(t *testing.T) {
+	for _, tc := range []struct{ spec, name string }{
+		{"drop:0.25", "drop:0.25"},
+		{"dup:0.5,9", "dup:0.5"},
+		{"crash:2", "crash:2"},
+		{"pause:1", "pause:1"},
+		{"crashstop:2,3,100", "crashstop:2"},
+		{"adversary:4", "adversary:4"},
+		{"drop:0.1+crash:1,7", "drop:0.1+crash:1"},
+	} {
+		p, err := Parse(tc.spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if p.Name() != tc.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.spec, p.Name(), tc.name)
+		}
+	}
+	for _, none := range []string{"", "none", "  "} {
+		if p, err := Parse(none, 1); err != nil || p != nil {
+			t.Errorf("Parse(%q) = (%v, %v), want nil plan", none, p, err)
+		}
+	}
+	for _, bad := range []string{
+		"chaos", "drop", "drop:2", "drop:-1", "drop:0.5,x", "drop:0.5,1,0",
+		"crash:0", "crash:x", "adversary:0", "drop:0.5,1,2,3", "drop:0.5+chaos",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := Parse("chaos", 1); err == nil || !strings.Contains(err.Error(), "drop:P") {
+		t.Errorf("unknown-fault error should list valid specs, got %v", err)
+	}
+}
+
+// TestUsesSeed: every seeded generator reports it; CrashAt does not.
+func TestUsesSeed(t *testing.T) {
+	for _, spec := range []string{"drop:0.5", "dup:0.5", "crash:1", "crashstop:1", "adversary:1"} {
+		p, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !UsesSeed(p) {
+			t.Errorf("UsesSeed(%s) = false, want true", spec)
+		}
+	}
+	if UsesSeed(CrashAt(0, 1, 1, RecoverReset)) {
+		t.Error("UsesSeed(CrashAt) = true, want false")
+	}
+	if UsesSeed(nil) {
+		t.Error("UsesSeed(nil) = true, want false")
+	}
+	if !UsesSeed(Compose(CrashAt(0, 1, 1, RecoverReset), Drop(1, 0.5))) {
+		t.Error("composite with a seeded component should use the seed")
+	}
+}
+
+// TestCrashEventsWithinHorizon pins the documented contract: every crash
+// and recovery of a seeded plan happens at steps 1..horizon, for every
+// seed (accumulated event spacing used to overshoot for late events).
+func TestCrashEventsWithinHorizon(t *testing.T) {
+	top := starTopology(6)
+	const horizon = 100
+	for seed := int64(1); seed <= 500; seed++ {
+		for _, p := range []Plan{
+			CrashRecoverFor(seed, 4, true, horizon),
+			CrashStopFor(seed, 4, horizon),
+			AdversaryFor(seed, 4, horizon),
+		} {
+			p.Begin(top)
+			var events []crashEvent
+			switch p := p.(type) {
+			case *crashPlan:
+				events = p.events
+			case *adversaryPlan:
+				events = p.crashes.events
+			}
+			for _, ev := range events {
+				if ev.at < 1 || ev.at > horizon || ev.up > horizon {
+					t.Fatalf("seed %d %s: event at=%d up=%d escapes horizon %d",
+						seed, p.Name(), ev.at, ev.up, horizon)
+				}
+			}
+		}
+	}
+}
+
+// TestFlagSeedUsed: the flag seed is consumed exactly when some component
+// lacks an embedded ,SEED.
+func TestFlagSeedUsed(t *testing.T) {
+	for spec, want := range map[string]bool{
+		"":                     false,
+		"none":                 false,
+		"drop:0.5":             true,
+		"drop:0.5,7":           false,
+		"drop:0.5,7,100":       false,
+		"drop:0.5,7+crash:2":   true,
+		"drop:0.5,7+crash:2,9": false,
+		"adversary:3":          true,
+	} {
+		if got := FlagSeedUsed(spec); got != want {
+			t.Errorf("FlagSeedUsed(%q) = %v, want %v", spec, got, want)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// DefaultHorizon is the step horizon of the seeded generators: faults are
+// injected at steps 1..DefaultHorizon and the plan is settled afterwards.
+// Transient (finite-horizon) plans are what make the self-stabilisation
+// story well defined — convergence is demanded after the faults cease.
+const DefaultHorizon = 512
+
+// Drop returns the seeded plan that, while active, replaces each delivered
+// message independently with probability p by m0 (see the package comment
+// for why omission delivers m0 rather than starving the link).
+func Drop(seed int64, p float64) Plan { return DropFor(seed, p, DefaultHorizon) }
+
+// DropFor is Drop with an explicit fault horizon in steps.
+func DropFor(seed int64, p float64, horizon int) Plan {
+	return newMsgFaults("drop", FateDrop, seed, p, horizon)
+}
+
+// Dup returns the seeded plan that, while active, duplicates each delivered
+// message independently with probability p.
+func Dup(seed int64, p float64) Plan { return DupFor(seed, p, DefaultHorizon) }
+
+// DupFor is Dup with an explicit fault horizon in steps.
+func DupFor(seed int64, p float64, horizon int) Plan {
+	return newMsgFaults("dup", FateDup, seed, p, horizon)
+}
+
+// msgFaults injects independent per-delivery message faults up to a horizon.
+type msgFaults struct {
+	kind    string
+	fate    Fate
+	seed    int64
+	p       float64
+	horizon int
+	rng     *rand.Rand
+	last    int
+}
+
+func newMsgFaults(kind string, fate Fate, seed int64, p float64, horizon int) *msgFaults {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &msgFaults{kind: kind, fate: fate, seed: seed, p: p, horizon: horizon}
+}
+
+func (f *msgFaults) Name() string { return fmt.Sprintf("%s:%g", f.kind, f.p) }
+
+func (f *msgFaults) Begin(top Topology) {
+	f.rng = rand.New(rand.NewSource(f.seed))
+	f.last = 0
+}
+
+func (f *msgFaults) Step(t int, view View, dec *Decision) { f.last = t }
+
+func (f *msgFaults) Filter(t int, link int) Fate {
+	if t > f.horizon {
+		return FateDeliver
+	}
+	if f.rng.Float64() < f.p {
+		return f.fate
+	}
+	return FateDeliver
+}
+
+func (f *msgFaults) Settled() bool { return f.last >= f.horizon }
+
+// crashEvent is one scheduled crash, with an optional recovery.
+type crashEvent struct {
+	victim  int
+	at      int // crash step
+	up      int // recovery step; 0 = never
+	kind    RecoverKind
+	crashed bool
+	revived bool
+}
+
+// crashPlan injects a seeded sequence of non-overlapping crash events.
+type crashPlan struct {
+	name    string
+	seed    int64
+	k       int
+	kind    RecoverKind // RecoverNone = crash-stop
+	horizon int
+
+	// fixed, when non-nil, overrides the seeded event generation (CrashAt).
+	fixed []crashEvent
+
+	events    []crashEvent
+	lastEvent int
+	last      int
+}
+
+// CrashStop returns the seeded plan that permanently crashes k random
+// nodes at seeded steps within the default horizon. A crashed node stops
+// computing; its frontier keeps draining and it emits m0, so neighbours
+// observe silence rather than wedging.
+func CrashStop(seed int64, k int) Plan { return CrashStopFor(seed, k, DefaultHorizon) }
+
+// CrashStopFor is CrashStop with an explicit horizon.
+func CrashStopFor(seed int64, k, horizon int) Plan {
+	return newCrashPlan("crashstop", seed, k, RecoverNone, horizon)
+}
+
+// CrashRecover returns the seeded plan that crashes k random nodes at
+// seeded steps and revives each after a seeded downtime. With reset the
+// recovery resets the node to its initial state via the machine (the
+// transient memory-loss fault; machines with stable storage can override
+// the reboot state through machine.Rebooter); without reset the node
+// resumes its frozen state, having missed the messages its frontier
+// drained while it was down.
+func CrashRecover(seed int64, k int, reset bool) Plan {
+	return CrashRecoverFor(seed, k, reset, DefaultHorizon)
+}
+
+// CrashRecoverFor is CrashRecover with an explicit horizon.
+func CrashRecoverFor(seed int64, k int, reset bool, horizon int) Plan {
+	name, kind := "pause", RecoverResume
+	if reset {
+		name, kind = "crash", RecoverReset
+	}
+	return newCrashPlan(name, seed, k, kind, horizon)
+}
+
+// CrashAt returns the deterministic plan that crashes one explicit victim
+// at one explicit step, reviving it after down steps (down ≤ 0 crashes it
+// forever). It is the unit-test and bisection form of the crash plans.
+func CrashAt(victim, at, down int, kind RecoverKind) Plan {
+	if at < 1 {
+		at = 1
+	}
+	ev := crashEvent{victim: victim, at: at, kind: kind}
+	if down > 0 && kind != RecoverNone {
+		ev.up = at + down
+	} else {
+		ev.kind = RecoverNone
+	}
+	return &crashPlan{
+		name:  fmt.Sprintf("crashat:%d@%d", victim, at),
+		fixed: []crashEvent{ev},
+	}
+}
+
+func newCrashPlan(name string, seed int64, k int, kind RecoverKind, horizon int) *crashPlan {
+	if k < 0 {
+		k = 0
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &crashPlan{name: name, seed: seed, k: k, kind: kind, horizon: horizon}
+}
+
+func (c *crashPlan) Name() string {
+	if c.fixed != nil {
+		return c.name
+	}
+	return fmt.Sprintf("%s:%d", c.name, c.k)
+}
+
+func (c *crashPlan) Begin(top Topology) {
+	c.last = 0
+	if c.fixed != nil {
+		c.events = append(c.events[:0], c.fixed...)
+	} else {
+		c.events = c.seededEvents(top, nil)
+	}
+	c.lastEvent = 0
+	for _, ev := range c.events {
+		if ev.at > c.lastEvent {
+			c.lastEvent = ev.at
+		}
+		if ev.up > c.lastEvent {
+			c.lastEvent = ev.up
+		}
+	}
+}
+
+// seededEvents draws k non-overlapping crash events: crash steps are spread
+// across the horizon in increasing order, each event fully ends (recovery
+// inclusive) before the next begins, so composed bookkeeping stays simple
+// and the fault burst is over by a bounded step. victims, when non-nil,
+// fixes the victim sequence (the adversary's high-degree targets); nil
+// draws victims uniformly.
+func (c *crashPlan) seededEvents(top Topology, victims []int) []crashEvent {
+	n := top.Nodes()
+	if n == 0 || c.k == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	gap := c.horizon / (c.k + 1)
+	if gap < 2 {
+		gap = 2
+	}
+	down := gap / 2
+	if down < 1 {
+		down = 1
+	}
+	events := make([]crashEvent, 0, c.k)
+	next := 1
+	for i := 0; i < c.k; i++ {
+		ev := crashEvent{at: next + rng.Intn(gap), kind: c.kind}
+		if victims != nil {
+			ev.victim = victims[i%len(victims)]
+		} else {
+			ev.victim = rng.Intn(n)
+		}
+		if c.kind != RecoverNone {
+			ev.up = ev.at + 1 + rng.Intn(down)
+			next = ev.up + 1
+		} else {
+			next = ev.at + 1
+		}
+		// Clamp into the horizon: the documented contract is that every
+		// fault happens at steps 1..horizon. The accumulated spacing can
+		// overshoot for late events, which then compress toward the end —
+		// an at==up event is a reboot blip (crash and recovery applied in
+		// the same step).
+		if ev.at > c.horizon {
+			ev.at = c.horizon
+		}
+		if ev.up > c.horizon {
+			ev.up = c.horizon
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func (c *crashPlan) Step(t int, view View, dec *Decision) {
+	c.last = t
+	for i := range c.events {
+		ev := &c.events[i]
+		if !ev.crashed && t >= ev.at {
+			ev.crashed = true
+			dec.Crash[ev.victim] = true
+		}
+		if ev.crashed && !ev.revived && ev.up > 0 && t >= ev.up {
+			ev.revived = true
+			dec.Recover[ev.victim] = ev.kind
+		}
+	}
+}
+
+func (c *crashPlan) Filter(t int, link int) Fate { return FateDeliver }
+
+func (c *crashPlan) Settled() bool { return c.last >= c.lastEvent }
+
+// Adversary returns the seeded plan that spends its fault budget on the
+// highest-degree nodes: it cycles budget crash-reset events over the top
+// max(1, budget/2) hubs (ties broken by node id, so a star's centre eats
+// the whole budget) and, while active, drops messages on links incident to
+// those hubs with probability ¼. Hubs are where information concentrates —
+// preferential-attachment graphs route most gossip through them — so this
+// is the adversary that a fault-tolerance claim has to survive first.
+func Adversary(seed int64, budget int) Plan { return AdversaryFor(seed, budget, DefaultHorizon) }
+
+// AdversaryFor is Adversary with an explicit horizon.
+func AdversaryFor(seed int64, budget, horizon int) Plan {
+	if budget < 1 {
+		budget = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &adversaryPlan{seed: seed, budget: budget, horizon: horizon}
+}
+
+// adversaryHubDropP is the omission probability on hub-incident links while
+// the adversary is active.
+const adversaryHubDropP = 0.25
+
+type adversaryPlan struct {
+	seed    int64
+	budget  int
+	horizon int
+
+	crashes *crashPlan
+	hubLink []bool
+	rng     *rand.Rand
+	last    int
+}
+
+func (a *adversaryPlan) Name() string { return fmt.Sprintf("adversary:%d", a.budget) }
+
+func (a *adversaryPlan) Begin(top Topology) {
+	a.last = 0
+	a.rng = rand.New(rand.NewSource(a.seed))
+	n := top.Nodes()
+	targets := make([]int, n)
+	for v := range targets {
+		targets[v] = v
+	}
+	sort.SliceStable(targets, func(i, j int) bool {
+		di, dj := top.Degree(targets[i]), top.Degree(targets[j])
+		if di != dj {
+			return di > dj
+		}
+		return targets[i] < targets[j]
+	})
+	if hubs := max(1, a.budget/2); len(targets) > hubs {
+		targets = targets[:hubs]
+	}
+	a.crashes = newCrashPlan("adversary", a.seed+1, min(a.budget, n), RecoverReset, a.horizon)
+	if n > 0 {
+		a.crashes.events = a.crashes.seededEvents(top, targets)
+	} else {
+		a.crashes.events = nil
+	}
+	a.crashes.lastEvent = 0
+	for _, ev := range a.crashes.events {
+		a.crashes.lastEvent = max(a.crashes.lastEvent, ev.at, ev.up)
+	}
+	a.hubLink = make([]bool, top.Links())
+	isTarget := make([]bool, n)
+	for _, v := range targets {
+		isTarget[v] = true
+	}
+	for l := range a.hubLink {
+		a.hubLink[l] = isTarget[top.LinkSrc(l)] || isTarget[top.LinkDst(l)]
+	}
+}
+
+func (a *adversaryPlan) Step(t int, view View, dec *Decision) {
+	a.last = t
+	a.crashes.Step(t, view, dec)
+}
+
+func (a *adversaryPlan) Filter(t int, link int) Fate {
+	if t > a.horizon || !a.hubLink[link] {
+		return FateDeliver
+	}
+	if a.rng.Float64() < adversaryHubDropP {
+		return FateDrop
+	}
+	return FateDeliver
+}
+
+func (a *adversaryPlan) Settled() bool {
+	return a.last >= a.horizon && a.crashes.Settled()
+}
+
+// Compose combines plans into one: crash/recovery requests are unioned and
+// a delivery's fate is the worst any component assigns (drop beats dup
+// beats deliver). Every component is consulted for every delivery, so each
+// keeps its own deterministic random stream. Composing several crash plans
+// is allowed but their downtimes may interleave on a shared victim; the
+// engine resolves overlaps by ignoring redundant requests.
+func Compose(plans ...Plan) Plan {
+	flat := make([]Plan, 0, len(plans))
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		if c, ok := p.(composite); ok {
+			flat = append(flat, c...)
+			continue
+		}
+		flat = append(flat, p)
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return composite(flat)
+}
+
+type composite []Plan
+
+func (c composite) Name() string {
+	names := make([]string, len(c))
+	for i, p := range c {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+func (c composite) Begin(top Topology) {
+	for _, p := range c {
+		p.Begin(top)
+	}
+}
+
+func (c composite) Step(t int, view View, dec *Decision) {
+	for _, p := range c {
+		p.Step(t, view, dec)
+	}
+}
+
+func (c composite) Filter(t int, link int) Fate {
+	worst := FateDeliver
+	for _, p := range c {
+		switch p.Filter(t, link) {
+		case FateDrop:
+			worst = FateDrop
+		case FateDup:
+			if worst == FateDeliver {
+				worst = FateDup
+			}
+		}
+	}
+	return worst
+}
+
+func (c composite) Settled() bool {
+	for _, p := range c {
+		if !p.Settled() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidSpecs lists the -faults spellings accepted by Parse, for error
+// messages and usage strings.
+const ValidSpecs = "drop:P | dup:P | crash:K | pause:K | crashstop:K | adversary:B — each takes optional ,SEED[,HORIZON]; compose with '+'"
+
+// Parse builds a fault plan from its textual specification. Components are
+// composed with '+'; each is NAME:ARG[,SEED[,HORIZON]], where SEED
+// overrides the component's seed and HORIZON overrides the default fault
+// horizon (DefaultHorizon steps). Components without an explicit SEED get
+// distinct seeds derived from the one passed to Parse (component i uses
+// seed+i): identical seeds would flip perfectly correlated coins, making
+// e.g. drop:P+dup:P drop exactly the messages it would have duplicated.
+// Supported components:
+//
+//	drop:P       — deliver m0 instead of the message with probability P
+//	dup:P        — duplicate the delivered message with probability P
+//	crash:K      — K crash-recover events, recovery resets to the initial state
+//	pause:K      — K crash-recover events, recovery resumes the frozen state
+//	crashstop:K  — K permanent crashes
+//	adversary:B  — budget-B crash-reset + omission adversary on the
+//	               highest-degree nodes
+//
+// The empty string (and "none") parses to a nil plan: no faults.
+func Parse(s string, seed int64) (Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "+")
+	plans := make([]Plan, 0, len(parts))
+	for i, part := range parts {
+		p, err := parseOne(part, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return Compose(plans...), nil
+}
+
+func parseOne(s string, seed int64) (Plan, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	args := strings.Split(arg, ",")
+	horizon := DefaultHorizon
+	if len(args) > 3 {
+		return nil, fmt.Errorf("fault: too many arguments in %q (want NAME:ARG[,SEED[,HORIZON]])", s)
+	}
+	if len(args) >= 2 {
+		v, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad seed %q in %q", args[1], s)
+		}
+		seed = v
+	}
+	if len(args) == 3 {
+		v, err := strconv.Atoi(args[2])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("fault: bad horizon %q in %q (want ≥ 1 steps)", args[2], s)
+		}
+		horizon = v
+	}
+	switch name {
+	case "drop", "dup":
+		p, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("fault: bad probability %q in %q (want 0 ≤ P ≤ 1)", args[0], s)
+		}
+		if name == "drop" {
+			return DropFor(seed, p, horizon), nil
+		}
+		return DupFor(seed, p, horizon), nil
+	case "crash", "pause", "crashstop", "crash-stop":
+		k, err := strconv.Atoi(args[0])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("fault: bad crash count %q in %q (want K ≥ 1)", args[0], s)
+		}
+		switch name {
+		case "crash":
+			return CrashRecoverFor(seed, k, true, horizon), nil
+		case "pause":
+			return CrashRecoverFor(seed, k, false, horizon), nil
+		default:
+			return CrashStopFor(seed, k, horizon), nil
+		}
+	case "adversary":
+		b, err := strconv.Atoi(args[0])
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("fault: bad budget %q in %q (want B ≥ 1)", args[0], s)
+		}
+		return AdversaryFor(seed, b, horizon), nil
+	default:
+		return nil, fmt.Errorf("fault: unknown fault %q (want %s)", s, ValidSpecs)
+	}
+}
+
+// FlagSeedUsed reports whether Parse(s, seed) actually consumes the seed
+// argument — i.e. whether a -fault-seed flag has any effect on the spec.
+// A component with an embedded ,SEED overrides the flag, so a spec whose
+// components all embed seeds replays identically under every -fault-seed.
+// Only meaningful for specs Parse accepts.
+func FlagSeedUsed(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return false
+	}
+	for _, part := range strings.Split(s, "+") {
+		arg := ""
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			arg = part[i+1:]
+		}
+		if len(strings.Split(arg, ",")) < 2 {
+			return true // no embedded seed: this component draws from the flag
+		}
+	}
+	return false
+}
+
+// UsesSeed reports whether the plan's faults depend on the seed passed to
+// Parse — i.e. whether a -fault-seed flag is meaningful with it. Every
+// seeded generator does; only the explicit CrashAt plan does not.
+func UsesSeed(p Plan) bool {
+	switch p := p.(type) {
+	case nil:
+		return false
+	case *crashPlan:
+		return p.fixed == nil
+	case composite:
+		for _, child := range p {
+			if UsesSeed(child) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}

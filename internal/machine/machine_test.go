@@ -196,3 +196,31 @@ func TestFuncDefaults(t *testing.T) {
 		t.Errorf("Name = %q", f.Name())
 	}
 }
+
+// rebootProbe is a minimal Rebooter: the reboot state tags the crashed
+// state so the test can see which path Reboot took.
+type rebootProbe struct{ Machine }
+
+func (rebootProbe) RebootState(deg int, crashed State) State {
+	return crashed.(int) + 1000
+}
+
+// TestReboot: machines without a Rebooter reset to the fresh initial
+// state; machines with one keep control of their reboot state.
+func TestReboot(t *testing.T) {
+	plain := &Func{
+		MachineName:  "plain",
+		MachineClass: ClassSB,
+		MaxDeg:       2,
+		InitFunc:     func(int) State { return 0 },
+		HaltedFunc:   func(State) (Output, bool) { return "", false },
+		SendFunc:     func(State, int) Message { return NoMessage },
+		StepFunc:     func(s State, _ []Message) State { return s },
+	}
+	if got := Reboot(plain, 2, 7, 0); got != 0 {
+		t.Errorf("Reboot(plain) = %v, want the fresh state 0", got)
+	}
+	if got := Reboot(rebootProbe{plain}, 2, 7, 0); got != 1007 {
+		t.Errorf("Reboot(rebooter) = %v, want 1007 (stable storage)", got)
+	}
+}

@@ -1,0 +1,25 @@
+package machine
+
+// Rebooter is optionally implemented by machines whose post-recovery state
+// differs from the initial state z0 — machines modelling stable storage
+// that survives a reboot. When the fault subsystem revives a crashed node
+// with a reset recovery, the engine uses RebootState when the machine
+// provides it and falls back to the plain initial state otherwise, so by
+// default a reset is the transient memory-loss fault of the
+// self-stabilisation literature.
+type Rebooter interface {
+	// RebootState returns the state a node of the given degree reboots
+	// into, given the state it crashed in. It must return a valid machine
+	// state; returning crashed unchanged models fully persistent storage.
+	RebootState(deg int, crashed State) State
+}
+
+// Reboot resolves the post-recovery state of a node of machine m: the
+// machine's own RebootState when it is a Rebooter, else fresh — the
+// caller-supplied initial state z0(deg) (which honours local inputs).
+func Reboot(m Machine, deg int, crashed, fresh State) State {
+	if r, ok := m.(Rebooter); ok {
+		return r.RebootState(deg, crashed)
+	}
+	return fresh
+}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -64,9 +65,16 @@ type randomSubset struct {
 
 func (r *randomSubset) Name() string { return fmt.Sprintf("random:%g", r.p) }
 
-// Dilation: a round needs a node's links flushed and the node activated,
-// each a p-coin per step, so ~2/p expected steps; 4/p gives tail headroom.
-func (r *randomSubset) Dilation(nodes int) int { return int(4/r.p) + 1 }
+// Dilation: a round completes once every node has had its links flushed
+// and then been activated — two successive geometric(p) waits, and the
+// round waits for the slowest of n nodes, whose maximum concentrates
+// around (ln n)/p. (2/p)·(ln n + 4) bounds the measured worst case with
+// ample headroom (TestScheduleDilationBoundsMeasuredSteps); being a
+// probabilistic schedule it has no hard worst case, so this is a
+// high-probability tail bound, which is what budget scaling needs.
+func (r *randomSubset) Dilation(nodes int) int {
+	return int((2/r.p)*(math.Log(float64(nodes)+1)+4)) + 1
+}
 
 func (r *randomSubset) Begin(nodes, links int) {
 	r.rng = rand.New(rand.NewSource(r.seed))

@@ -17,6 +17,13 @@
 // interleaving and latency, never the trajectory. Under any fair schedule a
 // halting algorithm therefore reaches the synchronous outputs, and under
 // Synchronous the async executor is bit-identical to the sequential one.
+//
+// Schedules control when; whether is the next layer up. A fault.Plan
+// (internal/fault, Options.Fault) filters the deliveries a schedule
+// decides on — dropping a message delivers m0 in its place, so the
+// one-entry-per-emission discipline above survives omission faults — and
+// masks the activations of crashed nodes. The two layers compose: any
+// (schedule, plan) pair is a reproducible adversary.
 package schedule
 
 // View is the read-only feedback a Schedule may consult when deciding a

@@ -13,6 +13,23 @@ import (
 	"weakmodels/internal/port"
 )
 
+// GraphSpecs lists the graph specification forms accepted by ParseGraph,
+// for usage strings and weakrun's -list. TestGraphSpecsParse keeps it in
+// sync with the parser.
+func GraphSpecs() []string {
+	return []string{
+		"path:N", "cycle:N", "star:K", "complete:N", "bipartite:AxB",
+		"grid:RxC", "torus:RxC", "hypercube:D", "caterpillar:SxL",
+		"petersen", "fig1", "fig9", "witness13",
+		"tree:N,SEED", "random-regular:N,K,SEED", "expander:N,D,SEED", "pa:N,M,SEED",
+	}
+}
+
+// NumberingSpecs lists the port-numbering forms accepted by ParseNumbering.
+func NumberingSpecs() []string {
+	return []string{"canonical", "random:SEED", "consistent:SEED", "symmetric"}
+}
+
 // ParseGraph builds a graph from a specification string. Supported forms:
 //
 //	path:N  cycle:N  star:K  complete:N  bipartite:AxB  grid:RxC  torus:RxC

@@ -85,3 +85,56 @@ func TestParseNumberingErrors(t *testing.T) {
 		t.Error("bad seed accepted")
 	}
 }
+
+// TestGraphSpecsParse keeps the -list enumeration in sync with the parser:
+// every advertised form (with placeholders filled in) must parse, and every
+// form must have an example here.
+func TestGraphSpecsParse(t *testing.T) {
+	examples := map[string]string{
+		"path:N":                  "path:5",
+		"cycle:N":                 "cycle:5",
+		"star:K":                  "star:4",
+		"complete:N":              "complete:4",
+		"bipartite:AxB":           "bipartite:2x3",
+		"grid:RxC":                "grid:3x4",
+		"torus:RxC":               "torus:3x3",
+		"hypercube:D":             "hypercube:3",
+		"caterpillar:SxL":         "caterpillar:3x2",
+		"petersen":                "petersen",
+		"fig1":                    "fig1",
+		"fig9":                    "fig9",
+		"witness13":               "witness13",
+		"tree:N,SEED":             "tree:6,1",
+		"random-regular:N,K,SEED": "random-regular:8,3,1",
+		"expander:N,D,SEED":       "expander:8,4,1",
+		"pa:N,M,SEED":             "pa:8,2,1",
+	}
+	forms := GraphSpecs()
+	if len(forms) != len(examples) {
+		t.Fatalf("GraphSpecs lists %d forms, examples cover %d", len(forms), len(examples))
+	}
+	for _, form := range forms {
+		ex, ok := examples[form]
+		if !ok {
+			t.Errorf("form %q has no example", form)
+			continue
+		}
+		if _, err := ParseGraph(ex); err != nil {
+			t.Errorf("advertised form %q: example %q does not parse: %v", form, ex, err)
+		}
+	}
+	for _, form := range NumberingSpecs() {
+		ex := map[string]string{
+			"canonical": "canonical", "random:SEED": "random:7",
+			"consistent:SEED": "consistent:7", "symmetric": "symmetric",
+		}[form]
+		if ex == "" {
+			t.Errorf("numbering form %q has no example", form)
+			continue
+		}
+		g, _ := ParseGraph("cycle:6")
+		if _, err := ParseNumbering(g, ex); err != nil {
+			t.Errorf("advertised numbering %q: example %q does not parse: %v", form, ex, err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package stabilize is the self-stabilisation harness: it runs an
+// algorithm to fixpoint (or halt) under a fault plan and checks the
+// stabilised configuration against the fault-free synchronous run.
+//
+// The property it operationalises is Dijkstra's: a system is
+// self-stabilising when, after the transient faults cease, every execution
+// converges to a legitimate configuration. Here "legitimate" is made
+// concrete by the engine itself — the configuration the fault-free
+// synchronous semantics of Section 1.3 stabilises to — and "faults" are a
+// fault.Plan: seeded message omission (delivered as m0), duplication and
+// node crash/recovery layered on an asynchronous schedule. Both runs use
+// the async executor (under schedule.Synchronous it is bit-identical to
+// the sequential one, so the reference really is the synchronous run), and
+// both terminate either by halting or by the executor's global fixpoint
+// detection, which for the faulty run only fires once the plan is settled.
+//
+// Nodes that are dead at the end (crash-stopped, never recovered) are
+// reported separately rather than compared: a permanently dead node is
+// outside any self-stabilisation claim, and its neighbours legitimately
+// stabilise to the partitioned network's fixpoint, not the fault-free one.
+package stabilize
+
+import (
+	"fmt"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/fault"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// Report is the outcome of one stabilisation check.
+type Report struct {
+	// Reference is the fault-free synchronous run.
+	Reference *engine.Result
+	// Faulty is the run under the schedule and fault plan.
+	Faulty *engine.Result
+	// Dead lists the nodes that ended the faulty run crashed; they are
+	// excluded from the comparison.
+	Dead []int
+	// Mismatched lists the live nodes whose stabilised state (or halting
+	// output) differs from the reference.
+	Mismatched []int
+}
+
+// Stabilised reports whether every live node reached the fault-free
+// synchronous configuration.
+func (r *Report) Stabilised() bool { return len(r.Mismatched) == 0 }
+
+// String summarises the report for logs and walkthroughs.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"stabilised=%v (ref %d rounds, faulty %d steps, fixpoint=%v; drops=%d dups=%d crashes=%d recoveries=%d; dead=%d mismatched=%d)",
+		r.Stabilised(), r.Reference.Rounds, r.Faulty.Rounds, r.Faulty.Fixpoint,
+		r.Faulty.Drops, r.Faulty.Dups, r.Faulty.Crashes, r.Faulty.Recoveries,
+		len(r.Dead), len(r.Mismatched))
+}
+
+// Check runs m on p twice — fault-free under the synchronous schedule, and
+// under (sched, plan) — and compares the stabilised configurations.
+// maxSteps bounds the faulty run's step budget (0 uses the engine default,
+// scaled by the schedule's dilation); the reference always runs under the
+// default round budget. sched may be nil for the synchronous schedule;
+// sched and plan must be fresh instances (both are stateful within a run).
+func Check(m machine.Machine, p *port.Numbering, sched schedule.Schedule, plan fault.Plan, maxSteps int) (*Report, error) {
+	ref, err := engine.Run(m, p, engine.Options{
+		Executor: engine.ExecutorAsync,
+		Schedule: schedule.Synchronous(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stabilize: fault-free reference run: %w", err)
+	}
+	faulty, err := engine.Run(m, p, engine.Options{
+		Executor:  engine.ExecutorAsync,
+		Schedule:  sched,
+		Fault:     plan,
+		MaxRounds: maxSteps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stabilize: faulty run: %w", err)
+	}
+	rep := &Report{Reference: ref, Faulty: faulty}
+	for v := range ref.States {
+		if faulty.Alive != nil && !faulty.Alive[v] {
+			rep.Dead = append(rep.Dead, v)
+			continue
+		}
+		if stateMatches(m, ref, faulty, v) {
+			continue
+		}
+		rep.Mismatched = append(rep.Mismatched, v)
+	}
+	return rep, nil
+}
+
+// stateMatches compares node v across the two runs: equal stabilised
+// states always match; halted nodes may also match on output alone, since
+// a faulty execution can halt with different internal bookkeeping (round
+// counters, caches) yet the same verdict.
+func stateMatches(m machine.Machine, ref, faulty *engine.Result, v int) bool {
+	if machine.StatesEqual(m, ref.States[v], faulty.States[v]) {
+		return true
+	}
+	refOut, refHalted := m.Halted(ref.States[v])
+	gotOut, gotHalted := m.Halted(faulty.States[v])
+	return refHalted && gotHalted && refOut == gotOut
+}

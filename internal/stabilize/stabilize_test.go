@@ -1,0 +1,202 @@
+package stabilize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/algorithms"
+	"weakmodels/internal/fault"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// suiteGraphs is the graph side of the stabilisation matrix: the same
+// shapes the engine equivalence suite uses, kept small enough that the
+// full (graph × machine × schedule × plan) product stays fast under -race.
+func suiteGraphs(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	pa, err := graph.PreferentialAttachment(24, 2, 17)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []*graph.Graph{
+		graph.Path(6),
+		graph.Cycle(7),
+		graph.Star(5),
+		graph.Petersen(),
+		graph.Grid(3, 3),
+		graph.Torus(4, 4),
+		graph.Caterpillar(4, 2),
+		pa,
+	}
+}
+
+// suiteMachines are the self-stabilising workloads of the acceptance
+// criterion: the max gossip and the Bellman-style leaf proximity.
+func suiteMachines(delta int) []machine.Machine {
+	return []machine.Machine{
+		algorithms.MaxConsensus(delta),
+		algorithms.LeafProximityStab(delta, 3),
+	}
+}
+
+// fairPlanSpecs are transient fault plans — p<1 message faults and finite,
+// always-recovered crashes — with a short horizon so each cell converges
+// quickly. Every plan here is "fair" in the package's sense: it perturbs
+// the run only finitely and then settles.
+var fairPlanSpecs = []string{
+	"drop:0.4,%d,120",
+	"dup:0.3,%d,120",
+	"drop:0.3,%d,120+dup:0.2,%d,120",
+	"crash:2,%d,120",
+	"pause:1,%d,120",
+	"drop:0.25,%d,120+crash:1,%d,120",
+	"adversary:2,%d,120",
+}
+
+// fairSchedules builds fresh fair schedules (schedules are stateful).
+func fairSchedules(seed int64) []schedule.Schedule {
+	return []schedule.Schedule{
+		schedule.Synchronous(),
+		schedule.RoundRobin(),
+		schedule.RandomSubset(seed, 0.4),
+		schedule.Adversary(seed, 3),
+	}
+}
+
+// instantiate fills every %d in a plan spec with the seed and parses it.
+func instantiate(tb testing.TB, spec string, seed int64) fault.Plan {
+	tb.Helper()
+	args := make([]any, 0, 4)
+	for i := 0; i < 4; i++ {
+		args = append(args, seed+int64(i))
+	}
+	n := 0
+	for i := 0; i+1 < len(spec); i++ {
+		if spec[i] == '%' && spec[i+1] == 'd' {
+			n++
+		}
+	}
+	plan, err := fault.Parse(fmt.Sprintf(spec, args[:n]...), seed)
+	if err != nil {
+		tb.Fatalf("plan spec %q: %v", spec, err)
+	}
+	return plan
+}
+
+// TestSelfStabilisation is the acceptance property of the fault subsystem:
+// under any fair fault plan (p<1 message faults, finitely many crashes,
+// every crash recovered), the gossip and leaf-proximity algorithms reach
+// exactly the fault-free synchronous configuration, on every graph of the
+// suite, under lock-step and adversarial schedules alike. CI runs this
+// under -race.
+func TestSelfStabilisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, g := range suiteGraphs(t) {
+		delta := g.MaxDegree()
+		numberings := map[string]*port.Numbering{
+			"canonical": port.Canonical(g),
+			"random":    port.Random(g, rng),
+		}
+		for _, m := range suiteMachines(delta) {
+			for pname, p := range numberings {
+				for si := range fairSchedules(0) {
+					for _, planSpec := range fairPlanSpecs {
+						sched := fairSchedules(23)[si]
+						plan := instantiate(t, planSpec, 91)
+						label := fmt.Sprintf("%s on %v ports=%s schedule=%s plan=%s",
+							m.Name(), g, pname, sched.Name(), plan.Name())
+						rep, err := Check(m, p, sched, plan, 500_000)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if !rep.Faulty.Fixpoint {
+							t.Fatalf("%s: faulty run did not reach a fixpoint (%d steps)",
+								label, rep.Faulty.Rounds)
+						}
+						if len(rep.Dead) != 0 {
+							t.Fatalf("%s: %d nodes dead under an always-recovering plan", label, len(rep.Dead))
+						}
+						if !rep.Stabilised() {
+							t.Fatalf("%s: nodes %v did not stabilise to the fault-free configuration\n%s",
+								label, rep.Mismatched, rep)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrashStopPartition pins the crash-stop semantics the harness
+// excludes from the stabilisation claim: a permanently dead star centre is
+// reported dead, and the surviving leaves stabilise to the partitioned
+// network's fixpoint (their own distance estimates), not the fault-free
+// one — visible as mismatches.
+func TestCrashStopPartition(t *testing.T) {
+	g := graph.Star(5)
+	m := algorithms.LeafProximityStab(g.MaxDegree(), 3)
+	// Fault-free, every node is within distance 1 of a leaf. With the
+	// centre dead from step 1, a leaf's only neighbour is silent forever,
+	// so its estimate stays at its own leaf-ness (0) — which happens to
+	// match — but the dead centre must be excluded, not compared.
+	rep, err := Check(m, port.Canonical(g), schedule.Synchronous(),
+		fault.CrashAt(0, 1, 0, fault.RecoverNone), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dead) != 1 || rep.Dead[0] != 0 {
+		t.Fatalf("Dead = %v, want the centre [0]", rep.Dead)
+	}
+	if !rep.Faulty.Fixpoint {
+		t.Error("crash-stopped run did not end at a fixpoint")
+	}
+	if !rep.Stabilised() {
+		t.Errorf("leaves should stabilise (their d=0 matches fault-free): %v", rep.Mismatched)
+	}
+	if got := rep.Faulty.States[0].(int); got != 4 {
+		t.Errorf("dead centre state %d, want its frozen initial estimate k+1 = 4", got)
+	}
+}
+
+// TestHaltingMachinesUnderFaults: the harness also covers halting
+// algorithms — a paused node's round counter freezes while its frontier
+// drains, and the run still converges to the synchronous outputs because
+// the monotone gossip re-sends its current maximum every round. The star
+// is degree-skewed, so the comparison is not vacuous: a leaf's fault-free
+// answer (the centre's degree) differs from its own initial estimate and
+// must survive duplicated deliveries and paused nodes.
+func TestHaltingMachinesUnderFaults(t *testing.T) {
+	g := graph.Star(6)
+	m := algorithms.MaxDegreeWithin(g.MaxDegree(), 8)
+	rep, err := Check(m, port.Canonical(g), schedule.RoundRobin(),
+		instantiate(t, "dup:0.3,%d,120+pause:2,%d,120", 7), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stabilised() {
+		t.Errorf("halting gossip did not reach synchronous outputs: %s", rep)
+	}
+	// Guard against vacuity: the fault-free leaf output must depend on
+	// messages, not on the leaf's own initial state.
+	if out := string(rep.Reference.Output[1]); out != "6" {
+		t.Fatalf("leaf reference output %q, want the centre's degree \"6\"", out)
+	}
+}
+
+// TestReportString smoke-tests the walkthrough formatting.
+func TestReportString(t *testing.T) {
+	g := graph.Cycle(5)
+	rep, err := Check(algorithms.MaxConsensus(g.MaxDegree()), port.Canonical(g),
+		schedule.Synchronous(), instantiate(t, "drop:0.5,%d,60", 3), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if s == "" || rep.Reference == nil || rep.Faulty == nil {
+		t.Fatalf("empty report: %q", s)
+	}
+}
