@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -120,7 +121,19 @@ func benchFaultPlan() fault.Plan {
 	return fault.Compose(fault.DropFor(7, 0.05, never), fault.DupFor(9, 0.05, never))
 }
 
-func benchEngineGraphs(b *testing.B, exec engine.Executor, graphs map[string]*graph.Graph, plan func() fault.Plan) {
+// benchParWorkers resolves the shard count of the parallel-async sweeps:
+// GOMAXPROCS, floored at 2 so the sharded driver (staging rings, barriers)
+// is the thing being measured even on single-core hosts — where
+// workers=GOMAXPROCS would degenerate to the single-threaded path that the
+// plain async entries already record.
+func benchParWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
+}
+
+func benchEngineGraphs(b *testing.B, exec engine.Executor, workers int, graphs map[string]*graph.Graph, plan func() fault.Plan) {
 	for gname, g := range graphs {
 		p := port.Canonical(g)
 		p.Routes() // compile the routing table outside the timers
@@ -130,7 +143,7 @@ func benchEngineGraphs(b *testing.B, exec engine.Executor, graphs map[string]*gr
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					opts := engine.Options{Executor: exec}
+					opts := engine.Options{Executor: exec, Workers: workers}
 					if plan != nil {
 						opts.Fault = plan()
 					}
@@ -144,7 +157,7 @@ func benchEngineGraphs(b *testing.B, exec engine.Executor, graphs map[string]*gr
 }
 
 func benchEngine(b *testing.B, exec engine.Executor) {
-	benchEngineGraphs(b, exec, engineBenchGraphs(b), nil)
+	benchEngineGraphs(b, exec, 0, engineBenchGraphs(b), nil)
 }
 
 // benchEngineLarge runs the n=10⁵ sweep; skipped under -short so the CI
@@ -153,7 +166,7 @@ func benchEngineLarge(b *testing.B, exec engine.Executor) {
 	if testing.Short() {
 		b.Skip("n=10⁵ sweep skipped in -short mode")
 	}
-	benchEngineGraphs(b, exec, engineBenchLargeGraphs(b), nil)
+	benchEngineGraphs(b, exec, 0, engineBenchLargeGraphs(b), nil)
 }
 
 // BenchmarkEngineSeq sweeps the sequential executor.
@@ -163,16 +176,36 @@ func BenchmarkEngineSeq(b *testing.B) { benchEngine(b, engine.ExecutorSeq) }
 func BenchmarkEnginePool(b *testing.B) { benchEngine(b, engine.ExecutorPool) }
 
 // BenchmarkEngineAsync sweeps the asynchronous executor under its default
-// Synchronous schedule: the cost of per-link queueing relative to the
-// double-buffered arena, at identical semantics.
-func BenchmarkEngineAsync(b *testing.B) { benchEngine(b, engine.ExecutorAsync) }
+// Synchronous schedule on the single-threaded driver (workers=1): the cost
+// of per-link queueing relative to the double-buffered arena, at identical
+// semantics. Pinned at one worker so the entry keeps measuring the same
+// code path it always has; the sharded driver has its own sweep below.
+func BenchmarkEngineAsync(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, 1, engineBenchGraphs(b), nil)
+}
+
+// BenchmarkEngineAsyncPar sweeps the sharded parallel async driver at
+// benchParWorkers shards — the workers=GOMAXPROCS row of the async speedup
+// record. Compare against BenchmarkEngineAsync (workers=1): identical
+// semantics, bit-identical results.
+func BenchmarkEngineAsyncPar(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, benchParWorkers(), engineBenchGraphs(b), nil)
+}
 
 // BenchmarkEngineAsyncFaults sweeps the async executor with the delivery
 // filter live on every message: the marginal cost of fault injection.
 // Compare against BenchmarkEngineAsync; the no-plan numbers must stay
 // identical to PR 2's (the zero-overhead claim benchdiff checks).
 func BenchmarkEngineAsyncFaults(b *testing.B) {
-	benchEngineGraphs(b, engine.ExecutorAsync, engineBenchGraphs(b), benchFaultPlan)
+	benchEngineGraphs(b, engine.ExecutorAsync, 1, engineBenchGraphs(b), benchFaultPlan)
+}
+
+// BenchmarkEngineAsyncFaultsPar sweeps the sharded async driver with the
+// fault plan live: the coordinator pre-draws every delivery fate in link
+// order, so this measures the serial fate pass on top of the parallel
+// delivery/firing phases.
+func BenchmarkEngineAsyncFaultsPar(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, benchParWorkers(), engineBenchGraphs(b), benchFaultPlan)
 }
 
 // BenchmarkEngineLargeSeq sweeps the sequential executor at n=10⁵.
@@ -200,7 +233,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 		t.Skip("BENCH_ENGINE_JSON not set")
 	}
 	var records []engineBenchRecord
-	emit := func(family string, exec engine.Executor, graphs map[string]*graph.Graph, plan func() fault.Plan) {
+	emit := func(family string, exec engine.Executor, workers int, graphs map[string]*graph.Graph, plan func() fault.Plan) {
 		for gname, g := range graphs {
 			p := port.Canonical(g)
 			p.Routes()
@@ -209,7 +242,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						opts := engine.Options{Executor: exec}
+						opts := engine.Options{Executor: exec, Workers: workers}
 						if plan != nil {
 							opts.Fault = plan()
 						}
@@ -228,13 +261,19 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 		}
 	}
 	small := engineBenchGraphs(t)
-	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool, engine.ExecutorAsync} {
-		emit(exec.String(), exec, small, nil)
+	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
+		emit(exec.String(), exec, 0, small, nil)
 	}
-	emit("async-faults", engine.ExecutorAsync, small, benchFaultPlan)
+	// The async speedup record: workers=1 (the single-threaded driver,
+	// comparable with every earlier baseline) vs the sharded driver at
+	// benchParWorkers ("-par"), plus the fault-filter sweeps on both.
+	emit("async", engine.ExecutorAsync, 1, small, nil)
+	emit("async-par", engine.ExecutorAsync, benchParWorkers(), small, nil)
+	emit("async-faults", engine.ExecutorAsync, 1, small, benchFaultPlan)
+	emit("async-faults-par", engine.ExecutorAsync, benchParWorkers(), small, benchFaultPlan)
 	large := engineBenchLargeGraphs(t)
 	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
-		emit(exec.String(), exec, large, nil)
+		emit(exec.String(), exec, 0, large, nil)
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
 	blob, err := json.MarshalIndent(records, "", "  ")

@@ -118,10 +118,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-5s %-50s %12.0f → %-12.0f %+6.1f%%  %6d → %-6d allocs%s\n",
 			status, name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp, allocNote)
 	}
+	// Sorted like the NEW/compared rows above: map iteration order would
+	// make the report differ between runs on identical inputs.
+	gone := make([]string, 0)
 	for name := range oldRows {
 		if _, ok := newRows[name]; !ok {
-			fmt.Fprintf(out, "GONE  %-50s (in baseline only)\n", name)
+			gone = append(gone, name)
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(out, "GONE  %-50s (in baseline only)\n", name)
 	}
 	fmt.Fprintf(out, "compared %d entries (%d new) against %s, thresholds %.0f%% ns/op, %.0f%% allocs/op\n",
 		compared, added, *oldPath, *maxRegress, *maxAllocsRegress)

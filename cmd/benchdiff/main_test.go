@@ -86,6 +86,42 @@ func TestBenchdiffSkipsNonComparableEntries(t *testing.T) {
 	}
 }
 
+// TestBenchdiffNewEntriesListedNeverFailed: entries present only in the
+// fresh record — the benchmarks a PR adds — are each printed as a NEW row
+// (in sorted order, so the report is deterministic) and can never fail the
+// diff, no matter their numbers; entries only in the baseline come out as
+// deterministically ordered GONE rows.
+func TestBenchdiffNewEntriesListedNeverFailed(t *testing.T) {
+	old := writeRecord(t, "old.json", `[
+	  {"name": "Engine/seq/gone-b", "ns_per_op": 10, "allocs_per_op": 0, "bytes_per_op": 0},
+	  {"name": "Engine/seq/gone-a", "ns_per_op": 10, "allocs_per_op": 0, "bytes_per_op": 0}
+	]`)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/async-par/z", "ns_per_op": 999999999, "allocs_per_op": 5000, "bytes_per_op": 64},
+	  {"name": "Engine/async-par/a", "ns_per_op": 123, "allocs_per_op": 8, "bytes_per_op": 64}
+	]`)
+	var sb strings.Builder
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err != nil {
+		t.Fatalf("a diff of only NEW entries must pass: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"NEW   Engine/async-par/a", "NEW   Engine/async-par/z",
+		"GONE  Engine/seq/gone-a", "GONE  Engine/seq/gone-b",
+		"compared 0 entries (2 new)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if a, z := strings.Index(out, "async-par/a"), strings.Index(out, "async-par/z"); a > z {
+		t.Errorf("NEW rows not sorted:\n%s", out)
+	}
+	if a, b := strings.Index(out, "gone-a"), strings.Index(out, "gone-b"); a > b {
+		t.Errorf("GONE rows not sorted:\n%s", out)
+	}
+}
+
 func TestBenchdiffErrors(t *testing.T) {
 	old := writeRecord(t, "old.json", baseline)
 	bad := writeRecord(t, "bad.json", "not json")

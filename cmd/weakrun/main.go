@@ -6,6 +6,7 @@
 //	weakrun -alg odd-odd -graph cycle:8 -ports random:7
 //	weakrun -alg vertex-cover -graph petersen -ports canonical -executor pool
 //	weakrun -alg odd-odd -graph torus:6x6 -executor async -schedule adversary:4 -seed 9
+//	weakrun -alg odd-odd -graph torus:100x100 -executor async -workers 8 -schedule random:0.5
 //	weakrun -alg odd-odd -graph pa:64,3,7 -executor async -faults drop:0.2+crash:2 -fault-seed 5
 //	weakrun -formula "<*,*> q1" -graph star:5
 //	weakrun -list
@@ -13,7 +14,8 @@
 // With -formula the algorithm is compiled from a modal formula via
 // Theorem 2 and the satisfying nodes are printed. With -executor async the
 // run is driven by the -schedule/-seed adversary and the summary reports
-// per-node activation counts and whether a global fixpoint was detected;
+// per-node activation counts and whether a global fixpoint was detected
+// (-workers > 1 runs it on the sharded parallel driver, bit-identically);
 // -faults/-fault-seed additionally inject a seeded fault plan (message
 // omission/duplication, node crash/recovery) and the summary grows a fault
 // telemetry line. -list enumerates every valid value of the enumerable
@@ -52,7 +54,7 @@ func run(args []string, out io.Writer) error {
 	graphSpec := fs.String("graph", "cycle:6", "graph specification")
 	portSpec := fs.String("ports", "canonical", "port numbering: canonical|random:SEED|consistent:SEED|symmetric")
 	executor := fs.String("executor", "seq", "execution strategy: seq|pool|async")
-	workers := fs.Int("workers", 0, "pool executor worker count (default GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "shard count for the pool and async executors (default GOMAXPROCS)")
 	schedSpec := fs.String("schedule", "sync", "async schedule: "+schedule.ValidSpecs)
 	seed := fs.Int64("seed", 1, "seed for seeded async schedules")
 	faultSpec := fs.String("faults", "", "async fault plan: "+fault.ValidSpecs)
@@ -83,8 +85,8 @@ func run(args []string, out io.Writer) error {
 		if *workers < 1 {
 			return fmt.Errorf("-workers must be ≥ 1, got %d", *workers)
 		}
-		if exec != engine.ExecutorPool {
-			return fmt.Errorf("-workers is only meaningful with -executor=pool (got -executor=%v)", exec)
+		if exec != engine.ExecutorPool && exec != engine.ExecutorAsync {
+			return fmt.Errorf("-workers is only meaningful with -executor=pool or -executor=async (got -executor=%v)", exec)
 		}
 	}
 	sched, err := schedule.Parse(*schedSpec, *seed)
@@ -211,6 +213,7 @@ func printList(out io.Writer) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "flag\tvalid values")
 	fmt.Fprintln(w, "-executor\tseq | pool | async")
+	fmt.Fprintln(w, "-workers\tshard count ≥ 1, with -executor=pool or -executor=async (default GOMAXPROCS)")
 	fmt.Fprintln(w, "-schedule\t"+schedule.ValidSpecs)
 	fmt.Fprintln(w, "-graph\t"+strings.Join(spec.GraphSpecs(), "  "))
 	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))

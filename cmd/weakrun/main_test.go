@@ -91,6 +91,26 @@ func TestRunAsyncExecutor(t *testing.T) {
 	}
 }
 
+// TestRunAsyncWorkers: -workers with -executor=async selects the sharded
+// parallel async driver, whose outputs are bit-identical to the
+// single-threaded one — the flag must be accepted, not cross-validated
+// away.
+func TestRunAsyncWorkers(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run([]string{"-alg", "odd-odd", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin", "-workers", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-alg", "odd-odd", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin", "-workers", "3"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("sharded async output diverged from single-threaded\nworkers=1:\n%s\nworkers=3:\n%s",
+			seq.String(), par.String())
+	}
+}
+
 func TestRunAsyncSeededSchedules(t *testing.T) {
 	for _, spec := range []string{"random:0.5", "staleness:2", "adversary:3"} {
 		var sb strings.Builder
@@ -106,8 +126,7 @@ func TestRunAsyncSeededSchedules(t *testing.T) {
 // executor or schedule are rejected up front, never silently ignored.
 func TestRunFlagCrossValidation(t *testing.T) {
 	cases := [][]string{
-		{"-alg", "even-degree", "-workers", "4"},                                       // workers without pool
-		{"-alg", "even-degree", "-executor", "async", "-workers", "4"},                 // workers with async
+		{"-alg", "even-degree", "-workers", "4"},                                       // workers without pool/async
 		{"-alg", "even-degree", "-seed", "7"},                                          // seed without async
 		{"-alg", "even-degree", "-executor", "async", "-seed", "7"},                    // seed with unseeded sync default
 		{"-alg", "even-degree", "-executor", "async", "-schedule", "rr", "-seed", "7"}, // seed with roundrobin
@@ -178,6 +197,7 @@ func TestRunList(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"-executor", "seq | pool | async",
+		"-workers", "-executor=pool or -executor=async",
 		"-schedule", "adversary:F",
 		"-graph", "pa:N,M,SEED",
 		"-ports", "consistent:SEED",

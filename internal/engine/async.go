@@ -1,6 +1,10 @@
 package engine
 
-// async.go implements the asynchronous executor. Where the sequential and
+// async.go implements the asynchronous executor's core — the per-link
+// queue state shared by both async drivers — plus the single-threaded
+// driver (runAsync). The sharded parallel driver lives in
+// async_parallel.go and is selected through Options.Workers; it is
+// bit-identical to the driver here. Where the sequential and
 // pool executors run the Section 1.3 semantics directly — one global
 // barrier per round over a double-buffered arena — the async executor
 // replaces the barrier with per-link FIFO queues and hands control of time
@@ -97,10 +101,30 @@ func (q *msgQueue) pop() machine.Message {
 
 func (q *msgQueue) len() int { return len(q.buf) - q.head }
 
-// flightMsg is a sent, undelivered message stamped with its send step.
+// pushFated enqueues one delivered message according to its fate — the
+// single source of truth for fault application, shared by the inline
+// filter of the single-threaded driver and the pre-drawn fates of the
+// sharded one: a drop enqueues m0 in the message's place (the delivery
+// slot survives, the content does not), a dup enqueues two copies.
+func (q *msgQueue) pushFated(msg machine.Message, f fault.Fate) {
+	switch f {
+	case fault.FateDrop:
+		q.push(machine.NoMessage)
+	case fault.FateDup:
+		q.push(msg)
+		q.push(msg)
+	default:
+		q.push(msg)
+	}
+}
+
+// flightMsg is a sent, undelivered message stamped with its send step. born
+// shares the step budget's type: the dilation-scaled default budget (and
+// any explicit MaxRounds) is an int, and a narrower stamp would silently
+// wrap the schedules' age accounting (View.OldestBorn) on large sweeps.
 type flightMsg struct {
 	msg  machine.Message
-	born int32
+	born int
 }
 
 // flightQueue is a FIFO of in-flight messages.
@@ -110,7 +134,7 @@ type flightQueue struct {
 }
 
 func (q *flightQueue) push(m machine.Message, born int) {
-	q.buf = append(q.buf, flightMsg{msg: m, born: int32(born)})
+	q.buf = append(q.buf, flightMsg{msg: m, born: born})
 }
 
 func (q *flightQueue) pop() flightMsg {
@@ -145,9 +169,6 @@ type asyncState struct {
 	ready  []int32       // per node: in-ports with non-empty mail
 	fires  []int64       // per node: completed firings
 
-	inbox   []machine.Message // frontier buffer, cap = max degree
-	scratch []machine.Message // canonicalisation buffer, cap = max degree
-
 	// Fault state, allocated only when a plan runs (plan != nil): the
 	// liveness mask, the initial states recoveries reset to, and the
 	// plan's decision buffer.
@@ -162,6 +183,24 @@ type asyncStepStats struct {
 	step     int
 	bytes    int64 // bytes of messages consumed by firings this step
 	newHalts int
+}
+
+// asyncBufs is the per-goroutine scratch space of the async executors: the
+// frontier buffer firings consume through and the canonicalisation buffer,
+// both sized to the maximum degree. The single-threaded driver owns one;
+// the sharded driver gives every worker its own, which is what keeps fire
+// and the fixpoint probe data-race free across shards.
+type asyncBufs struct {
+	inbox   []machine.Message
+	scratch []machine.Message
+}
+
+// newBufs allocates a scratch space for one executor goroutine.
+func (as *asyncState) newBufs() *asyncBufs {
+	return &asyncBufs{
+		inbox:   make([]machine.Message, as.g.MaxDegree()),
+		scratch: make([]machine.Message, 0, as.g.MaxDegree()),
+	}
 }
 
 func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*asyncState, int, error) {
@@ -184,8 +223,6 @@ func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Op
 		flight:    make([]flightQueue, links),
 		ready:     make([]int32, n),
 		fires:     make([]int64, n),
-		inbox:     make([]machine.Message, g.MaxDegree()),
-		scratch:   make([]machine.Message, 0, g.MaxDegree()),
 	}
 	// Seed every queue with a capacity-1 slice carved out of one flat
 	// backing array: schedules that keep queues at depth ≤ 1 (Synchronous,
@@ -231,28 +268,46 @@ func (as *asyncState) dead(v int) bool {
 	return as.alive != nil && !as.alive[v]
 }
 
+// silent reports whether node v currently emits m0 on every port: halted
+// nodes send m0 forever (Section 1.3), and so do crashed ones — a dead
+// process is silent, and m0 is what silence looks like to a neighbour.
+func (as *asyncState) silent(v int) bool {
+	return as.halted[v] || as.dead(v)
+}
+
+// portMessage is the single source of truth for what node v emits through
+// out-port slot s (lo = v's first slot): m0 when silent, the broadcast
+// message bmsg (computed once per firing by the caller) for broadcast
+// machines, the per-port μ otherwise. Both drivers' emission paths go
+// through it, so they cannot drift apart.
+func (as *asyncState) portMessage(v int, s, lo int32, silent bool, bmsg machine.Message) machine.Message {
+	switch {
+	case silent:
+		return machine.NoMessage
+	case as.broadcast:
+		return bmsg
+	default:
+		return as.m.Send(as.states[v], int(s-lo)+1)
+	}
+}
+
+// broadcastMessage computes the one message a broadcast machine emits on
+// every port this firing, or m0 when the node is silent.
+func (as *asyncState) broadcastMessage(v int, silent bool) machine.Message {
+	if silent || !as.broadcast {
+		return machine.NoMessage
+	}
+	return as.m.Send(as.states[v], 1)
+}
+
 // emit sends node v's current outgoing messages into the flight queues,
-// stamped with the given step. Halted nodes emit m0 (Section 1.3), and so
-// do crashed ones — a dead process is silent, and m0 is what silence looks
-// like to a neighbour.
+// stamped with the given step.
 func (as *asyncState) emit(v, step int) {
 	lo, hi := as.off[v], as.off[v+1]
-	if as.halted[v] || as.dead(v) {
-		for s := lo; s < hi; s++ {
-			as.flight[as.dest[s]].push(machine.NoMessage, step)
-		}
-		return
-	}
-	state := as.states[v]
-	if as.broadcast {
-		msg := as.m.Send(state, 1)
-		for s := lo; s < hi; s++ {
-			as.flight[as.dest[s]].push(msg, step)
-		}
-		return
-	}
+	silent := as.silent(v)
+	bmsg := as.broadcastMessage(v, silent)
 	for s := lo; s < hi; s++ {
-		as.flight[as.dest[s]].push(as.m.Send(state, int(s-lo)+1), step)
+		as.flight[as.dest[s]].push(as.portMessage(v, s, lo, silent, bmsg), step)
 	}
 }
 
@@ -295,17 +350,32 @@ func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 	}
 	for i := 0; i < k; i++ {
 		msg := fq.pop().msg
-		switch as.plan.Filter(t, int(l)) {
+		f := as.plan.Filter(t, int(l))
+		switch f {
 		case fault.FateDrop:
 			res.Drops++
-			mq.push(machine.NoMessage)
 		case fault.FateDup:
 			res.Dups++
-			mq.push(msg)
-			mq.push(msg)
-		default:
-			mq.push(msg)
 		}
+		mq.pushFated(msg, f)
+	}
+}
+
+// deliverFated is deliverFiltered with the per-message fates already drawn:
+// the sharded driver's coordinator consumes the plan's random stream in
+// global (link, queue-position) order — the exact order the single-threaded
+// executor draws it in — and hands each worker the resulting fate slices,
+// so delivery itself never touches the plan. Callers guarantee
+// 0 < len(fates) ≤ the link's in-flight count; Drops/Dups were counted by
+// whoever drew the fates.
+func (as *asyncState) deliverFated(l int32, fates []fault.Fate) {
+	fq := &as.flight[l]
+	mq := &as.mail[l]
+	if mq.len() == 0 {
+		as.ready[as.node[l]]++
+	}
+	for _, f := range fates {
+		mq.pushFated(fq.pop().msg, f)
 	}
 }
 
@@ -315,13 +385,14 @@ func (as *asyncState) canFire(v int) bool {
 	return as.ready[v] == as.off[v+1]-as.off[v]
 }
 
-// fire consumes node v's frontier, steps δ (halted and crashed nodes
-// discard — the liveness mask gates the δ-step, not the drain), checks
-// halting, and emits the next messages. Callers have checked canFire.
-func (as *asyncState) fire(v int, st *asyncStepStats) {
+// consume pops node v's frontier into bufs, steps δ (halted and crashed
+// nodes discard — the liveness mask gates the δ-step, not the drain), and
+// checks halting. Callers have checked canFire and must follow up with an
+// emission of v's next messages.
+func (as *asyncState) consume(v int, st *asyncStepStats, bufs *asyncBufs) {
 	lo, hi := as.off[v], as.off[v+1]
 	deg := int(hi - lo)
-	inbox := as.inbox[:deg]
+	inbox := bufs.inbox[:deg]
 	for i := 0; i < deg; i++ {
 		q := &as.mail[lo+int32(i)]
 		msg := q.pop()
@@ -333,7 +404,7 @@ func (as *asyncState) fire(v int, st *asyncStepStats) {
 	}
 	as.fires[v]++
 	if !as.halted[v] && !as.dead(v) {
-		cin := machine.CanonicalInboxInto(as.recv, inbox, as.scratch)
+		cin := machine.CanonicalInboxInto(as.recv, inbox, bufs.scratch)
 		as.states[v] = as.m.Step(as.states[v], cin)
 		if out, ok := as.m.Halted(as.states[v]); ok {
 			as.halted[v] = true
@@ -341,6 +412,12 @@ func (as *asyncState) fire(v int, st *asyncStepStats) {
 			st.newHalts++
 		}
 	}
+}
+
+// fire is one complete firing of node v: consume the frontier, then emit
+// the next messages straight into the flight queues.
+func (as *asyncState) fire(v int, st *asyncStepStats, bufs *asyncBufs) {
+	as.consume(v, st, bufs)
 	as.emit(v, st.step)
 }
 
@@ -358,18 +435,21 @@ func (as *asyncState) steadyMessage(l int32) machine.Message {
 	return as.m.Send(as.states[u], int(s-as.off[u])+1)
 }
 
-// atFixpoint reports whether the run can never change another state: every
-// queued or in-flight message equals its source's steady message, and no
-// non-halted node would halt or change state when stepped on the steady
-// inbox. Both conditions together are inductive — the next firing anywhere
-// consumes steady messages, changes nothing, and re-emits steady messages.
-func (as *asyncState) atFixpoint() bool {
-	for l := range as.mail {
+// nodeAtFixpoint checks the fixpoint condition at node v: every message
+// queued or in flight on its in-links equals the source's steady message,
+// and — unless v is halted or dead (frozen: a settled plan will never
+// revive it, so its state is exempt) — stepping v on the steady inbox
+// would neither halt it nor change its state. It reads only v's own queues
+// plus the (quiescent) states of v's neighbours, so disjoint node sets can
+// be probed concurrently.
+func (as *asyncState) nodeAtFixpoint(v int, bufs *asyncBufs) bool {
+	lo, hi := as.off[v], as.off[v+1]
+	for l := lo; l < hi; l++ {
 		mq, fq := &as.mail[l], &as.flight[l]
 		if mq.len() == 0 && fq.len() == 0 {
 			continue
 		}
-		want := as.steadyMessage(int32(l))
+		want := as.steadyMessage(l)
 		for i := mq.head; i < len(mq.buf); i++ {
 			if mq.buf[i] != want {
 				return false
@@ -381,23 +461,31 @@ func (as *asyncState) atFixpoint() bool {
 			}
 		}
 	}
+	if as.halted[v] || as.dead(v) {
+		return true
+	}
+	inbox := bufs.inbox[:hi-lo]
+	for l := lo; l < hi; l++ {
+		inbox[l-lo] = as.steadyMessage(l)
+	}
+	cin := machine.CanonicalInboxInto(as.recv, inbox, bufs.scratch)
+	next := as.m.Step(as.states[v], cin)
+	if _, ok := as.m.Halted(next); ok {
+		return false
+	}
+	return machine.StatesEqual(as.m, as.states[v], next)
+}
+
+// atFixpoint reports whether the run can never change another state: every
+// queued or in-flight message equals its source's steady message, and no
+// non-halted node would halt or change state when stepped on the steady
+// inbox. Both conditions together are inductive — the next firing anywhere
+// consumes steady messages, changes nothing, and re-emits steady messages.
+// Every in-link belongs to exactly one node, so the per-node sweep covers
+// every queue.
+func (as *asyncState) atFixpoint(bufs *asyncBufs) bool {
 	for v := 0; v < len(as.states); v++ {
-		// Dead nodes are frozen: the settled plan will never revive them,
-		// so their state is exempt from the would-change check.
-		if as.halted[v] || as.dead(v) {
-			continue
-		}
-		lo, hi := as.off[v], as.off[v+1]
-		inbox := as.inbox[:hi-lo]
-		for l := lo; l < hi; l++ {
-			inbox[l-lo] = as.steadyMessage(l)
-		}
-		cin := machine.CanonicalInboxInto(as.recv, inbox, as.scratch)
-		next := as.m.Step(as.states[v], cin)
-		if _, ok := as.m.Halted(next); ok {
-			return false
-		}
-		if !machine.StatesEqual(as.m, as.states[v], next) {
+		if !as.nodeAtFixpoint(v, bufs) {
 			return false
 		}
 	}
@@ -419,7 +507,7 @@ func (w asyncView) OldestBorn(l int) int {
 	if q.len() == 0 {
 		return -1
 	}
-	return int(q.buf[q.head].born)
+	return q.buf[q.head].born
 }
 func (w asyncView) Alive(v int) bool { return !w.as.dead(v) }
 
@@ -530,6 +618,7 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	}
 	dec := schedule.NewDecision(n, links)
 	view := asyncView{as: as}
+	bufs := as.newBufs()
 
 	// Step 0: every node emits μ(x_0) (halted nodes m0) into the network.
 	for v := 0; v < n; v++ {
@@ -579,13 +668,13 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		if dec.ActivateAll {
 			for v := 0; v < n; v++ {
 				if as.canFire(v) {
-					as.fire(v, st)
+					as.fire(v, st, bufs)
 				}
 			}
 		} else {
 			for v := 0; v < n; v++ {
 				if dec.Activate[v] && as.canFire(v) {
-					as.fire(v, st)
+					as.fire(v, st, bufs)
 				}
 			}
 		}
@@ -604,7 +693,7 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 			// The probe is only sound once the plan can no longer perturb
 			// the run: an unsettled plan could still m0-substitute or reset
 			// a configuration that currently looks steady.
-			if (as.plan == nil || as.plan.Settled()) && as.atFixpoint() {
+			if (as.plan == nil || as.plan.Settled()) && as.atFixpoint(bufs) {
 				res.Fixpoint = true
 				return res, nil
 			}

@@ -1,0 +1,366 @@
+package engine
+
+// async_parallel.go implements the sharded parallel form of the async
+// executor. The single-threaded driver (async.go) runs every schedule and
+// fault plan on one core; here the node set is partitioned into W
+// locality-aware shards — contiguous slices of a breadth-first order from a
+// max-degree root (graph.ShardByBFS), so shard boundaries cut few links —
+// and W persistent workers own their shard's nodes outright: the mail and
+// flight queues of the shard's in-ports, its ready counters, states, halt
+// flags and fire counts are touched by no other goroutine.
+//
+// The schedule and the fault plan stay the single source of nondeterminism,
+// which is what makes the sharded run bit-identical to the single-threaded
+// one (TestAsyncShardedEquivalence pins every Result field, under -race):
+//
+//   - Schedule and plan callbacks run on the coordinator between barriers,
+//     over quiescent state, exactly as in the single-threaded driver.
+//   - The plan's per-delivery random stream must be drawn in global
+//     (link, queue-position) order, so the coordinator pre-draws this
+//     step's fates (planFates) and workers only apply them.
+//   - Within one step, deliveries happen before firings, and a message
+//     emitted at step t is not deliverable before step t+1 — so workers
+//     never observe each other's mid-step writes. Same-shard emissions go
+//     straight into the owned flight queues; cross-shard emissions are
+//     parked in per-(sender, receiver) staging rings and pushed by the
+//     receiving shard at the merge barrier. A node fires at most once per
+//     step and each out-port emits once per firing, so every flight queue
+//     gains at most one message per step and the merge order cannot
+//     reorder any queue.
+//   - Per-worker byte/halt counters are merged by the coordinator at the
+//     barrier; the fixpoint probe (settlement-gated exactly as in the
+//     single-threaded driver) fans out per shard, each worker checking its
+//     own nodes and queues against the quiescent global state.
+//
+// At most two barriers per step (fire, then merge — skipped when no worker
+// staged anything, the common case under a well-cut sharding and a sparse
+// schedule) replace the single-threaded driver's free ordering; everything
+// between barriers is data-race free by ownership, which CI's -race run of
+// the equivalence suite demonstrates.
+
+import (
+	"fmt"
+
+	"sync"
+	"weakmodels/internal/fault"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// stagedMsg is one cross-shard emission, parked in the sending worker's
+// outbound ring until the receiving shard pushes it at the merge barrier.
+type stagedMsg struct {
+	link int32
+	born int
+	msg  machine.Message
+}
+
+// asyncAutoShardMinNodes gates the default (Workers unset) choice of the
+// sharded driver: below this size, two barrier round-trips per step
+// outweigh the per-step work and the single-threaded driver wins. An
+// explicit Workers > 1 always selects the sharded driver.
+const asyncAutoShardMinNodes = 512
+
+// asyncShard is one worker's territory and scratch space.
+type asyncShard struct {
+	nodes  []int32        // owned nodes, in BFS-locality order
+	bufs   *asyncBufs     // frontier/canonicalisation buffers
+	stats  asyncStepStats // per-step telemetry, merged at the barrier
+	out    [][]stagedMsg  // out[d]: this step's emissions bound for shard d
+	staged bool           // whether any out ring is non-empty this step
+	probe  bool           // this shard's verdict from the last fixpoint probe
+}
+
+// asyncPhase is a command executed by every worker between two barriers.
+type asyncPhase int
+
+const (
+	// asyncPhaseStep delivers the scheduled messages on the shard's links,
+	// then fires the shard's activated full-frontier nodes, staging
+	// cross-shard emissions.
+	asyncPhaseStep asyncPhase = iota
+	// asyncPhaseMerge pushes the emissions other shards staged for this one
+	// into the owned flight queues.
+	asyncPhaseMerge
+	// asyncPhaseProbe evaluates the fixpoint condition over the shard.
+	asyncPhaseProbe
+)
+
+// shardedAsyncRun is the coordinator state of one sharded run. Fields are
+// written by the coordinator only while every worker is parked at its
+// command channel; the channel send / WaitGroup barrier pair orders those
+// writes against the workers' reads.
+type shardedAsyncRun struct {
+	as        *asyncState
+	dec       *schedule.Decision
+	shards    []*asyncShard
+	linkOwner []int32 // link → shard id of the receiving node
+	t         int     // step being executed
+
+	// This step's pre-drawn delivery fates (plan runs only): link l's
+	// deliveries take fates[fateOff[l]:fateOff[l+1]].
+	fates   []fault.Fate
+	fateOff []int
+}
+
+// planFates draws this step's delivery fates from the plan in global
+// (link, queue-position) order — the exact order the single-threaded
+// executor consumes the plan's random stream in — so the workers can apply
+// them shard-locally without touching the plan. Drops/Dups are counted
+// here, in the same order, for the same reason.
+func (d *shardedAsyncRun) planFates(t int, res *Result) {
+	as, dec := d.as, d.dec
+	d.fates = d.fates[:0]
+	for l := range as.mail {
+		d.fateOff[l] = len(d.fates)
+		k := int(dec.Deliver[l])
+		if dec.DeliverAll || k > as.flight[l].len() {
+			k = as.flight[l].len()
+		}
+		for i := 0; i < k; i++ {
+			f := as.plan.Filter(t, l)
+			switch f {
+			case fault.FateDrop:
+				res.Drops++
+			case fault.FateDup:
+				res.Dups++
+			}
+			d.fates = append(d.fates, f)
+		}
+	}
+	d.fateOff[len(as.mail)] = len(d.fates)
+}
+
+// stepShard runs one step's delivery and firing pass over a shard. Links
+// owned by the shard are exactly the in-ports of its nodes, so both passes
+// touch only owned queues; emissions to other shards are staged.
+func (d *shardedAsyncRun) stepShard(wID int, sh *asyncShard) {
+	as, dec := d.as, d.dec
+	st := &sh.stats
+	st.step, st.bytes, st.newHalts = d.t, 0, 0
+	sh.staged = false
+	for _, v32 := range sh.nodes {
+		v := int(v32)
+		lo, hi := as.off[v], as.off[v+1]
+		for l := lo; l < hi; l++ {
+			if d.fateOff != nil {
+				if fates := d.fates[d.fateOff[l]:d.fateOff[l+1]]; len(fates) > 0 {
+					as.deliverFated(l, fates)
+				}
+			} else if dec.DeliverAll {
+				as.deliver(l, as.flight[l].len())
+			} else if k := dec.Deliver[l]; k > 0 {
+				as.deliver(l, int(k))
+			}
+		}
+	}
+	for _, v32 := range sh.nodes {
+		v := int(v32)
+		if (dec.ActivateAll || dec.Activate[v]) && as.canFire(v) {
+			as.consume(v, st, sh.bufs)
+			d.emitStaged(wID, sh, v, st.step)
+		}
+	}
+}
+
+// emitStaged is the sharded form of asyncState.emit: same-shard
+// destinations are pushed directly (their delivery pass for this step is
+// over — a step-t emission is deliverable at step t+1 at the earliest,
+// exactly as in the single-threaded driver), cross-shard destinations are
+// staged for the merge barrier.
+func (d *shardedAsyncRun) emitStaged(wID int, sh *asyncShard, v, step int) {
+	as := d.as
+	lo, hi := as.off[v], as.off[v+1]
+	silent := as.silent(v)
+	bmsg := as.broadcastMessage(v, silent)
+	for s := lo; s < hi; s++ {
+		msg := as.portMessage(v, s, lo, silent, bmsg)
+		dl := as.dest[s]
+		if o := d.linkOwner[dl]; o == int32(wID) {
+			as.flight[dl].push(msg, step)
+		} else {
+			sh.out[o] = append(sh.out[o], stagedMsg{link: dl, born: step, msg: msg})
+			sh.staged = true
+		}
+	}
+}
+
+// mergeShard ingests the emissions every other shard staged for this one,
+// in sender order. Each flight queue gains at most one message per step, so
+// the sender order cannot reorder any single queue.
+func (d *shardedAsyncRun) mergeShard(wID int, sh *asyncShard) {
+	for _, src := range d.shards {
+		in := src.out[wID]
+		for i := range in {
+			d.as.flight[in[i].link].push(in[i].msg, in[i].born)
+			in[i] = stagedMsg{} // release the string
+		}
+		src.out[wID] = in[:0]
+	}
+}
+
+// probeShard evaluates the fixpoint condition over the shard's nodes (and
+// with them all of its in-link queues). It reads neighbour states across
+// shard boundaries, which is safe: nothing is mutated during a probe phase.
+func (d *shardedAsyncRun) probeShard(sh *asyncShard) bool {
+	for _, v := range sh.nodes {
+		if !d.as.nodeAtFixpoint(int(v), sh.bufs) {
+			return false
+		}
+	}
+	return true
+}
+
+// runAsyncSharded executes the async semantics over W = poolWorkers shards.
+// Callers have ensured W ≥ 2; W is additionally clamped to the node count
+// by the shard assignment.
+func runAsyncSharded(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+	sched := opts.Schedule
+	if sched == nil {
+		sched = schedule.Synchronous()
+	}
+	as, active, err := newAsyncState(m, g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	links := len(as.mail)
+	res := &Result{Fires: as.fires, States: as.states, Alive: as.alive}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
+	}
+	res.Output = as.outputs
+	if active == 0 {
+		return res, nil
+	}
+
+	// Locality-aware shard assignment: worker w owns the w-th contiguous
+	// slice of the BFS order, and with it every in-port of those nodes.
+	shardNodes := graph.ShardByBFS(g, poolWorkers(opts, n))
+	workers := len(shardNodes)
+	d := &shardedAsyncRun{
+		as:        as,
+		dec:       schedule.NewDecision(n, links),
+		shards:    make([]*asyncShard, workers),
+		linkOwner: make([]int32, links),
+	}
+	owner := make([]int32, n)
+	for w, nodes := range shardNodes {
+		sh := &asyncShard{
+			nodes: make([]int32, len(nodes)),
+			bufs:  as.newBufs(),
+			out:   make([][]stagedMsg, workers),
+		}
+		for i, v := range nodes {
+			sh.nodes[i] = int32(v)
+			owner[v] = int32(w)
+		}
+		d.shards[w] = sh
+	}
+	for l := range d.linkOwner {
+		d.linkOwner[l] = owner[as.node[l]]
+	}
+	if as.plan != nil {
+		d.fateOff = make([]int, links+1)
+	}
+
+	sched.Begin(n, links)
+	if as.plan != nil {
+		as.plan.Begin(asyncTopology{as: as})
+	}
+	view := asyncView{as: as}
+
+	// Step 0: every node emits μ(x_0) (halted nodes m0) into the network —
+	// on the coordinator, before the workers exist.
+	for v := 0; v < n; v++ {
+		as.emit(v, 0)
+	}
+
+	var barrier sync.WaitGroup
+	cmds := make([]chan asyncPhase, workers)
+	for w := 0; w < workers; w++ {
+		cmds[w] = make(chan asyncPhase, 1)
+		go func(wID int, sh *asyncShard, cmd <-chan asyncPhase) {
+			for ph := range cmd {
+				switch ph {
+				case asyncPhaseStep:
+					d.stepShard(wID, sh)
+				case asyncPhaseMerge:
+					d.mergeShard(wID, sh)
+				case asyncPhaseProbe:
+					sh.probe = d.probeShard(sh)
+				}
+				barrier.Done()
+			}
+		}(w, d.shards[w], cmds[w])
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			close(cmd)
+		}
+	}()
+	runPhase := func(ph asyncPhase) {
+		barrier.Add(workers)
+		for _, cmd := range cmds {
+			cmd <- ph
+		}
+		barrier.Wait()
+	}
+
+	maxSteps := asyncStepBudget(opts, sched, n)
+	checkInterval := asyncFixpointInterval(n)
+	nextCheck := checkInterval
+	for t := 1; ; t++ {
+		if t > maxSteps {
+			return nil, fmt.Errorf("%w (step budget %d, machine %q on %v, schedule %s)",
+				ErrNoHalt, maxSteps, m.Name(), g, sched.Name())
+		}
+		d.dec.Reset()
+		sched.Step(t, view, d.dec)
+		if as.plan != nil {
+			active += as.applyFaults(t, view, res)
+			d.planFates(t, res)
+		}
+		d.t = t
+
+		runPhase(asyncPhaseStep)
+		// A well-cut sharding stages nothing on most steps under sparse
+		// schedules; skipping an empty merge skips a whole barrier.
+		staged := false
+		for _, sh := range d.shards {
+			staged = staged || sh.staged
+		}
+		if staged {
+			runPhase(asyncPhaseMerge)
+		}
+		for _, sh := range d.shards {
+			res.MessageBytes += sh.stats.bytes
+			active -= sh.stats.newHalts
+		}
+		res.Rounds = t
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
+		}
+		if active == 0 {
+			return res, nil
+		}
+		if t >= nextCheck {
+			nextCheck = t + checkInterval
+			// Settlement-gated exactly as in the single-threaded driver: an
+			// unsettled plan could still perturb a steady-looking run.
+			if as.plan == nil || as.plan.Settled() {
+				runPhase(asyncPhaseProbe)
+				fix := true
+				for _, sh := range d.shards {
+					fix = fix && sh.probe
+				}
+				if fix {
+					res.Fixpoint = true
+					return res, nil
+				}
+			}
+		}
+	}
+}

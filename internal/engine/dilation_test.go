@@ -17,44 +17,50 @@ import (
 // the default budget. RandomSubset's hint is a tail bound rather than a
 // hard one, so several seeds are checked; if a seed ever exceeded it, the
 // hint (and with it the budget scaling) would be too tight and this test
-// is what should catch it.
+// is what should catch it. Both async drivers are pinned — the
+// single-threaded one and the sharded one — and at two sizes, since
+// RandomSubset's hint grows with ln n.
 func TestScheduleDilationBoundsMeasuredSteps(t *testing.T) {
-	g := graph.Torus(4, 4)
-	n := g.N()
-	p := port.Canonical(g)
-	const rounds = 8 // MaxDegreeWithin(_, 8) halts after exactly 8 rounds
-	for _, seed := range []int64{1, 7, 23, 99} {
-		gens := []schedule.Schedule{
-			schedule.Synchronous(),
-			schedule.RoundRobin(),
-			schedule.RandomSubset(seed, 0.25),
-			schedule.RandomSubset(seed, 0.8),
-			schedule.BoundedStaleness(seed, 2),
-			schedule.Adversary(seed, 4),
-		}
-		for _, sched := range gens {
-			d, ok := sched.(schedule.Dilated)
-			if !ok {
-				t.Fatalf("generator %s does not report a dilation", sched.Name())
-			}
-			dilation := d.Dilation(n)
-			if dilation < 1 {
-				t.Fatalf("%s: dilation %d < 1", sched.Name(), dilation)
-			}
-			m := algorithms.MaxDegreeWithin(g.MaxDegree(), rounds)
-			res, err := Run(m, p, Options{
-				MaxRounds: dilation*rounds + 1, // the bound itself, as the budget
-				Executor:  ExecutorAsync,
-				Schedule:  sched,
-			})
-			label := fmt.Sprintf("%s seed=%d", sched.Name(), seed)
-			if err != nil {
-				t.Fatalf("%s: did not halt within its dilation bound %d·%d: %v",
-					label, dilation, rounds, err)
-			}
-			if res.Rounds > dilation*rounds {
-				t.Errorf("%s: %d measured steps exceed the dilation bound %d·%d = %d",
-					label, res.Rounds, dilation, rounds, dilation*rounds)
+	for _, g := range []*graph.Graph{graph.Torus(4, 4), graph.Torus(16, 16)} {
+		n := g.N()
+		p := port.Canonical(g)
+		const rounds = 8 // MaxDegreeWithin(_, 8) halts after exactly 8 rounds
+		for _, workers := range []int{1, 4} {
+			for _, seed := range []int64{1, 7, 23, 99} {
+				gens := []schedule.Schedule{
+					schedule.Synchronous(),
+					schedule.RoundRobin(),
+					schedule.RandomSubset(seed, 0.25),
+					schedule.RandomSubset(seed, 0.8),
+					schedule.BoundedStaleness(seed, 2),
+					schedule.Adversary(seed, 4),
+				}
+				for _, sched := range gens {
+					d, ok := sched.(schedule.Dilated)
+					if !ok {
+						t.Fatalf("generator %s does not report a dilation", sched.Name())
+					}
+					dilation := d.Dilation(n)
+					if dilation < 1 {
+						t.Fatalf("%s: dilation %d < 1", sched.Name(), dilation)
+					}
+					m := algorithms.MaxDegreeWithin(g.MaxDegree(), rounds)
+					res, err := Run(m, p, Options{
+						MaxRounds: dilation*rounds + 1, // the bound itself, as the budget
+						Executor:  ExecutorAsync,
+						Workers:   workers,
+						Schedule:  sched,
+					})
+					label := fmt.Sprintf("%s n=%d workers=%d seed=%d", sched.Name(), n, workers, seed)
+					if err != nil {
+						t.Fatalf("%s: did not halt within its dilation bound %d·%d: %v",
+							label, dilation, rounds, err)
+					}
+					if res.Rounds > dilation*rounds {
+						t.Errorf("%s: %d measured steps exceed the dilation bound %d·%d = %d",
+							label, res.Rounds, dilation, rounds, dilation*rounds)
+					}
+				}
 			}
 		}
 	}

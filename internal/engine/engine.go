@@ -40,6 +40,14 @@
 //     (TestAsyncSynchronousEquivalence). Runs that stabilise without
 //     halting are cut off by fixpoint detection (see async.go); Result
 //     reports per-node activation counts and a causality-consistent trace.
+//     With Options.Workers > 1 the async semantics run on a sharded
+//     parallel driver (async_parallel.go): nodes are partitioned into
+//     locality-aware shards — contiguous slices of a BFS order from a
+//     max-degree root (graph.ShardByBFS), cutting few links — each worker
+//     owns its shard's queues, cross-shard sends are staged and merged at
+//     a barrier, and the result is bit-identical to the single-threaded
+//     driver for every schedule × fault × graph cell
+//     (TestAsyncShardedEquivalence, under -race).
 //
 // The schedule abstraction (internal/schedule) supplies deterministic
 // seeded generators — Synchronous, RoundRobin, RandomSubset,
@@ -90,7 +98,9 @@ const (
 	// driven by a schedule.Schedule instead of a global barrier, with
 	// fixpoint detection for runs that stabilise without halting. Unlike
 	// the other two it interprets the round budget as a step budget and
-	// honours Options.Schedule.
+	// honours Options.Schedule. Options.Workers > 1 selects its sharded
+	// parallel driver over locality-aware BFS shards, bit-identical to the
+	// single-threaded one.
 	ExecutorAsync
 )
 
@@ -133,8 +143,15 @@ type Options struct {
 	RecordTrace bool
 	// Executor selects the execution strategy (default ExecutorSeq).
 	Executor Executor
-	// Workers bounds the pool executor's worker count when positive
-	// (default GOMAXPROCS, capped at the node count).
+	// Workers bounds the shard count of the parallel executors when
+	// positive (default GOMAXPROCS, capped at the node count). For
+	// ExecutorPool it is the worker-pool size over contiguous shards; for
+	// ExecutorAsync it is the number of locality-aware (BFS-order) shards
+	// of the parallel async driver — a resolved count of 1 selects the
+	// single-threaded driver, as does leaving Workers unset on graphs too
+	// small for per-step work to outweigh the shard barriers
+	// (asyncAutoShardMinNodes). Every count produces bit-identical
+	// results. ExecutorSeq ignores it.
 	Workers int
 	// Schedule drives the async executor's activation and delivery
 	// decisions (default schedule.Synchronous()). Setting it with any
@@ -244,6 +261,16 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	case ExecutorSeq:
 		return runSequential(m, g, p, opts)
 	case ExecutorAsync:
+		// The sharded driver engages only when there is real parallelism to
+		// buy; at one worker the single-threaded driver is the same
+		// semantics without the barriers. An explicit Workers > 1 is always
+		// honoured; the GOMAXPROCS default additionally requires a graph
+		// big enough that per-step work outweighs two barriers. Both
+		// drivers are bit-identical for every schedule × fault × graph
+		// cell (TestAsyncShardedEquivalence).
+		if poolWorkers(opts, g.N()) > 1 && (opts.Workers > 0 || g.N() >= asyncAutoShardMinNodes) {
+			return runAsyncSharded(m, g, p, opts)
+		}
 		return runAsync(m, g, p, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown executor %v", exec)

@@ -152,7 +152,11 @@ type Plan interface {
 	Step(t int, view View, dec *Decision)
 	// Filter assigns a fate to one message the schedule is delivering on
 	// link l at step t. The engine calls it once per delivered message, in
-	// deterministic (link, queue-position) order.
+	// deterministic (link, queue-position) order — always from a single
+	// goroutine: the sharded async executor pre-draws a step's fates on its
+	// coordinator in exactly that order and only hands the results to its
+	// workers, so a Plan's random stream stays sequential (and the sharded
+	// run bit-identical) without any locking in the Plan.
 	Filter(t int, link int) Fate
 	// Settled reports that the plan will never again perturb the run: no
 	// future drop, duplication, crash or recovery is possible. The engine

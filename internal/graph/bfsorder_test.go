@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shardOfMap inverts a shard partition into a node → shard id lookup.
+func shardOfMap(t *testing.T, n int, shards [][]int) []int {
+	t.Helper()
+	shardOf := make([]int, n)
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	for s, nodes := range shards {
+		for _, v := range nodes {
+			if shardOf[v] != -1 {
+				t.Fatalf("node %d assigned to shards %d and %d", v, shardOf[v], s)
+			}
+			shardOf[v] = s
+		}
+	}
+	for v, s := range shardOf {
+		if s == -1 {
+			t.Fatalf("node %d not assigned to any shard", v)
+		}
+	}
+	return shardOf
+}
+
+func TestBFSOrderIsDeterministicPermutation(t *testing.T) {
+	graphs := []*Graph{
+		Path(7),
+		Star(5),
+		Torus(6, 6),
+		Petersen(),
+		DisjointUnion(Cycle(4), Path(3)),
+		DisjointUnion(Star(3), MustNew(2, nil)), // two isolated nodes
+		MustNew(0, nil),
+	}
+	for _, g := range graphs {
+		order := BFSOrder(g)
+		if len(order) != g.N() {
+			t.Fatalf("%v: order has %d nodes, want %d", g, len(order), g.N())
+		}
+		seen := make([]bool, g.N())
+		for _, v := range order {
+			if v < 0 || v >= g.N() || seen[v] {
+				t.Fatalf("%v: order %v is not a permutation", g, order)
+			}
+			seen[v] = true
+		}
+		if g.N() > 0 {
+			rootDeg := g.Degree(order[0])
+			if rootDeg != g.MaxDegree() {
+				t.Errorf("%v: root degree %d, want max degree %d", g, rootDeg, g.MaxDegree())
+			}
+		}
+		if again := BFSOrder(g); !reflect.DeepEqual(order, again) {
+			t.Errorf("%v: BFSOrder is not deterministic", g)
+		}
+	}
+}
+
+func TestBFSOrderStarRootsAtCentre(t *testing.T) {
+	// Star(4): node 0 is the degree-4 centre, so BFS must start there and
+	// then visit the leaves in adjacency (= id) order.
+	got := BFSOrder(Star(4))
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BFSOrder(Star(4)) = %v, want %v", got, want)
+	}
+}
+
+func TestShardByBFSBalancedCover(t *testing.T) {
+	g := Torus(5, 7)
+	n := g.N()
+	for _, w := range []int{1, 2, 3, 8, n, n + 9} {
+		shards := ShardByBFS(g, w)
+		wantShards := w
+		if wantShards > n {
+			wantShards = n
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("w=%d: %d shards, want %d", w, len(shards), wantShards)
+		}
+		for s, nodes := range shards {
+			if len(nodes) == 0 {
+				t.Fatalf("w=%d: shard %d is empty", w, s)
+			}
+			if diff := len(nodes) - n/wantShards; diff < 0 || diff > 1 {
+				t.Errorf("w=%d: shard %d has %d nodes, want %d or %d",
+					w, s, len(nodes), n/wantShards, n/wantShards+1)
+			}
+		}
+		shardOfMap(t, n, shards) // disjoint cover
+	}
+	if got := ShardByBFS(MustNew(0, nil), 4); got != nil {
+		t.Errorf("ShardByBFS on the empty graph = %v, want nil", got)
+	}
+}
+
+// TestShardByBFSLocality is the point of the BFS order: on structured
+// graphs, contiguous BFS shards must cut far fewer links than sharding the
+// same nodes in a random order. Hub-heavy small-world graphs are near
+// expanders — every balanced partition cuts most links — so there the BFS
+// order only has to be no worse than random.
+func TestShardByBFSLocality(t *testing.T) {
+	pa, err := PreferentialAttachment(800, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomCutOf := func(g *Graph, w int) int {
+		// The adversarial baseline: shards of a seeded random permutation.
+		perm := rand.New(rand.NewSource(3)).Perm(g.N())
+		randomOf := make([]int, g.N())
+		for rank, v := range perm {
+			randomOf[v] = rank * w / g.N()
+		}
+		return CutLinks(g, randomOf)
+	}
+	const w = 4
+	torus := Torus(24, 24)
+	bfsCut := CutLinks(torus, shardOfMap(t, torus.N(), ShardByBFS(torus, w)))
+	if randomCut := randomCutOf(torus, w); bfsCut*2 >= randomCut {
+		t.Errorf("%v: BFS shards cut %d links, random shards %d — want well under half",
+			torus, bfsCut, randomCut)
+	}
+	paCut := CutLinks(pa, shardOfMap(t, pa.N(), ShardByBFS(pa, w)))
+	if randomCut := randomCutOf(pa, w); paCut > randomCut {
+		t.Errorf("%v: BFS shards cut %d links, random shards only %d",
+			pa, paCut, randomCut)
+	}
+}
