@@ -122,10 +122,10 @@ func benchFaultPlan() fault.Plan {
 }
 
 // benchParWorkers resolves the shard count of the parallel-async sweeps:
-// GOMAXPROCS, floored at 2 so the sharded driver (staging rings, barriers)
-// is the thing being measured even on single-core hosts — where
-// workers=GOMAXPROCS would degenerate to the single-threaded path that the
-// plain async entries already record.
+// GOMAXPROCS, floored at 2 so the sharded runtime (staging rings,
+// barriers) is the thing being measured even on single-core hosts — where
+// workers=GOMAXPROCS would degenerate to the inline path that the plain
+// async entries already record.
 func benchParWorkers() int {
 	if w := runtime.GOMAXPROCS(0); w > 2 {
 		return w
@@ -176,10 +176,11 @@ func BenchmarkEngineSeq(b *testing.B) { benchEngine(b, engine.ExecutorSeq) }
 func BenchmarkEnginePool(b *testing.B) { benchEngine(b, engine.ExecutorPool) }
 
 // BenchmarkEngineAsync sweeps the asynchronous executor under its default
-// Synchronous schedule on the single-threaded driver (workers=1): the cost
-// of per-link queueing relative to the double-buffered arena, at identical
-// semantics. Pinned at one worker so the entry keeps measuring the same
-// code path it always has; the sharded driver has its own sweep below.
+// Synchronous schedule on the inline single-shard runtime (workers=1): the
+// cost of per-link queueing relative to the double-buffered arena, at
+// identical semantics. Pinned at one worker so the entry keeps measuring
+// the same code path it always has; the sharded form has its own sweep
+// below.
 func BenchmarkEngineAsync(b *testing.B) {
 	benchEngineGraphs(b, engine.ExecutorAsync, 1, engineBenchGraphs(b), nil)
 }

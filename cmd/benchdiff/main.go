@@ -14,6 +14,12 @@
 // in steady state but one-time initialisation amortises differently across
 // b.N). Entries whose ns/op is not > 0 on either side are skipped with a
 // SKIP line: the percentage delta would be meaningless.
+//
+// When GITHUB_STEP_SUMMARY is set (as it is in every GitHub Actions step),
+// benchdiff additionally appends a markdown summary table to that file, so
+// the perf deltas of a PR are visible on its Actions summary page without
+// opening logs. Regressed and new entries are always listed; unchanged
+// entries are folded into a count.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 func main() {
@@ -84,6 +91,7 @@ func run(args []string, out io.Writer) error {
 	}
 	sort.Strings(names)
 
+	var rows []diffRow
 	var nsRegressions, allocRegressions, added, compared int
 	for _, name := range names {
 		nr := newRows[name]
@@ -91,6 +99,7 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			added++
 			fmt.Fprintf(out, "NEW   %-50s %12.0f ns/op %8d allocs/op\n", name, nr.NsPerOp, nr.AllocsPerOp)
+			rows = append(rows, diffRow{status: "NEW", name: name, newRow: nr})
 			continue
 		}
 		if !(or.NsPerOp > 0) || !(nr.NsPerOp > 0) {
@@ -98,6 +107,7 @@ func run(args []string, out io.Writer) error {
 			// percentage delta meaningless (NaN > threshold is false,
 			// hiding regressions; a 0 new value reads as ok -100%).
 			fmt.Fprintf(out, "SKIP  %-50s non-comparable ns/op (baseline %v, new %v)\n", name, or.NsPerOp, nr.NsPerOp)
+			rows = append(rows, diffRow{status: "SKIP", name: name, oldRow: or, newRow: nr})
 			continue
 		}
 		compared++
@@ -117,6 +127,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%-5s %-50s %12.0f → %-12.0f %+6.1f%%  %6d → %-6d allocs%s\n",
 			status, name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp, allocNote)
+		rows = append(rows, diffRow{status: status, name: name, oldRow: or, newRow: nr, delta: delta})
 	}
 	// Sorted like the NEW/compared rows above: map iteration order would
 	// make the report differ between runs on identical inputs.
@@ -129,9 +140,18 @@ func run(args []string, out io.Writer) error {
 	sort.Strings(gone)
 	for _, name := range gone {
 		fmt.Fprintf(out, "GONE  %-50s (in baseline only)\n", name)
+		rows = append(rows, diffRow{status: "GONE", name: name, oldRow: oldRows[name]})
 	}
 	fmt.Fprintf(out, "compared %d entries (%d new) against %s, thresholds %.0f%% ns/op, %.0f%% allocs/op\n",
 		compared, added, *oldPath, *maxRegress, *maxAllocsRegress)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := appendStepSummary(path, rows, compared, *oldPath); err != nil {
+			// The summary is a convenience mirror of the report above: a
+			// write failure must not mask the regression verdict below
+			// (or fail an otherwise clean diff).
+			fmt.Fprintf(out, "WARN  could not write step summary to %s: %v\n", path, err)
+		}
+	}
 	switch {
 	case nsRegressions > 0 && allocRegressions > 0:
 		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in ns/op and %d in allocs/op",
@@ -142,6 +162,62 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% in allocs/op", allocRegressions, *maxAllocsRegress)
 	}
 	return nil
+}
+
+// diffRow is one comparison outcome, kept for the markdown summary.
+type diffRow struct {
+	status string // ok | REGRESSED | ALLOC | NEW | GONE | SKIP
+	name   string
+	oldRow record
+	newRow record
+	delta  float64 // ns/op delta in percent; meaningful for compared rows only
+}
+
+// appendStepSummary appends a markdown digest of the diff to the GitHub
+// Actions step summary file, so a PR's perf deltas are readable on the
+// Actions page without opening logs. Regressed/new/gone/skipped entries
+// get a table row each; unchanged entries are folded into the headline.
+func appendStepSummary(path string, rows []diffRow, compared int, oldPath string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sb strings.Builder
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.status]++
+	}
+	fmt.Fprintf(&sb, "## benchdiff vs %s\n\n", oldPath)
+	fmt.Fprintf(&sb, "%d compared, %d ok, %d regressed (ns/op), %d regressed (allocs), %d new, %d gone, %d skipped\n\n",
+		compared, counts["ok"], counts["REGRESSED"], counts["ALLOC"], counts["NEW"], counts["GONE"], counts["SKIP"])
+	fmt.Fprintln(&sb, "| status | benchmark | ns/op (old → new) | Δ ns/op | allocs/op (old → new) |")
+	fmt.Fprintln(&sb, "|---|---|---|---|---|")
+	listed := 0
+	for _, r := range rows {
+		if r.status == "ok" {
+			continue // folded into the headline; the table carries the news
+		}
+		listed++
+		switch r.status {
+		case "NEW":
+			fmt.Fprintf(&sb, "| NEW | `%s` | %.0f | — | %d |\n", r.name, r.newRow.NsPerOp, r.newRow.AllocsPerOp)
+		case "GONE":
+			fmt.Fprintf(&sb, "| GONE | `%s` | %.0f → — | — | %d → — |\n", r.name, r.oldRow.NsPerOp, r.oldRow.AllocsPerOp)
+		case "SKIP":
+			fmt.Fprintf(&sb, "| SKIP | `%s` | %v → %v | — | %d → %d |\n",
+				r.name, r.oldRow.NsPerOp, r.newRow.NsPerOp, r.oldRow.AllocsPerOp, r.newRow.AllocsPerOp)
+		default: // REGRESSED, ALLOC
+			fmt.Fprintf(&sb, "| **%s** | `%s` | %.0f → %.0f | %+.1f%% | %d → %d |\n",
+				r.status, r.name, r.oldRow.NsPerOp, r.newRow.NsPerOp, r.delta, r.oldRow.AllocsPerOp, r.newRow.AllocsPerOp)
+		}
+	}
+	if listed == 0 {
+		fmt.Fprintln(&sb, "| ok | _no regressions, additions or removals_ | | | |")
+	}
+	sb.WriteString("\n")
+	_, err = f.WriteString(sb.String())
+	return err
 }
 
 // allocSlack is the absolute allocs/op headroom granted on top of the

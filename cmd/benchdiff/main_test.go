@@ -7,6 +7,14 @@ import (
 	"testing"
 )
 
+// TestMain clears GITHUB_STEP_SUMMARY so unit tests don't append junk to a
+// real Actions summary when the suite itself runs in CI; the summary tests
+// below opt back in with t.Setenv.
+func TestMain(m *testing.M) {
+	os.Unsetenv("GITHUB_STEP_SUMMARY")
+	os.Exit(m.Run())
+}
+
 func writeRecord(t *testing.T, name, blob string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), name)
@@ -186,5 +194,67 @@ func TestBenchdiffAllocSlack(t *testing.T) {
 	sb.Reset()
 	if err := run([]string{"-old", old, "-new", fresh}, &sb); err == nil {
 		t.Fatalf("0 → 5 allocs/op passed (slack is 4):\n%s", sb.String())
+	}
+}
+
+// TestBenchdiffStepSummary: with GITHUB_STEP_SUMMARY set, a diff appends a
+// markdown digest — headline counts plus one table row per regressed, new,
+// gone and skipped entry (ok entries are folded into the headline).
+func TestBenchdiffStepSummary(t *testing.T) {
+	old := writeRecord(t, "old.json", baseline)
+	fresh := writeRecord(t, "new.json", `[
+	  {"name": "Engine/seq/a", "ns_per_op": 1300, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/seq/b", "ns_per_op": 2000, "allocs_per_op": 8, "bytes_per_op": 64},
+	  {"name": "Engine/async/new", "ns_per_op": 9000, "allocs_per_op": 16, "bytes_per_op": 64}
+	]`)
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	t.Setenv("GITHUB_STEP_SUMMARY", summary)
+	var sb strings.Builder
+	if err := run([]string{"-old", old, "-new", fresh}, &sb); err == nil {
+		t.Fatal("30% regression must still fail with the summary enabled")
+	}
+	blob, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(blob)
+	for _, want := range []string{
+		"## benchdiff vs " + old,
+		"1 regressed (ns/op)",
+		"| **REGRESSED** | `Engine/seq/a` | 1000 → 1300 | +30.0% | 8 → 8 |",
+		"| NEW | `Engine/async/new` | 9000 | — | 16 |",
+		"| GONE | `Engine/seq/gone` |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "`Engine/seq/b`") {
+		t.Errorf("unchanged entry should be folded into the headline, not listed:\n%s", got)
+	}
+
+	// A clean diff appends (not truncates) a no-news table.
+	clean := writeRecord(t, "clean.json", baseline)
+	if err := run([]string{"-old", old, "-new", clean}, &sb); err != nil {
+		t.Fatalf("identical records failed: %v", err)
+	}
+	blob, err = os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(blob); !strings.Contains(got, "_no regressions, additions or removals_") ||
+		!strings.Contains(got, "REGRESSED") {
+		t.Errorf("second diff should append a no-news table after the first summary:\n%s", got)
+	}
+
+	// An unwritable summary path warns but must not mask the verdict: a
+	// clean diff still passes.
+	t.Setenv("GITHUB_STEP_SUMMARY", filepath.Join(t.TempDir(), "no", "such", "dir", "s.md"))
+	sb.Reset()
+	if err := run([]string{"-old", old, "-new", clean}, &sb); err != nil {
+		t.Errorf("unwritable summary failed a clean diff: %v", err)
+	}
+	if !strings.Contains(sb.String(), "WARN  could not write step summary") {
+		t.Errorf("missing summary-write warning:\n%s", sb.String())
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"weakmodels/internal/compile"
 	"weakmodels/internal/engine"
 	"weakmodels/internal/fault"
+	"weakmodels/internal/graph"
 	"weakmodels/internal/logic"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/schedule"
@@ -60,7 +61,6 @@ func run(args []string, out io.Writer) error {
 	faultSpec := fs.String("faults", "", "async fault plan: "+fault.ValidSpecs)
 	faultSeed := fs.Int64("fault-seed", 1, "seed for seeded fault plans")
 	list := fs.Bool("list", false, "list valid executors, schedules, graphs, ports, faults and algorithms, then exit")
-	concurrent := fs.Bool("concurrent", false, "deprecated: alias for -executor=pool")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (async: step budget; 0 = default)")
 	trace := fs.Bool("trace", false, "print the per-round state trace")
 	if err := fs.Parse(args); err != nil {
@@ -75,9 +75,6 @@ func run(args []string, out io.Writer) error {
 	exec, err := engine.ParseExecutor(*executor)
 	if err != nil {
 		return err
-	}
-	if *concurrent {
-		exec = engine.ExecutorPool
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -168,7 +165,22 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "algorithm %s (class %v) on %v, ports=%s, consistent=%v\n",
 		m.Name(), m.Class(), g, *portSpec, p.IsConsistent())
-	fmt.Fprintf(out, "rounds=%d message-bytes=%d\n", res.Rounds, res.MessageBytes)
+	fmt.Fprintf(out, "rounds=%d message-bytes=%d", res.Rounds, res.MessageBytes)
+	if res.Shards > 1 {
+		// A sharded runtime engaged: report the shard count and the
+		// directed links its BFS partition cuts — the cross-shard traffic
+		// the run paid barrier/staging costs for. The engine shards by
+		// contiguous slices of the same BFS order, so recomputing the
+		// partition here reproduces its boundaries exactly.
+		shardOf := make([]int, g.N())
+		for s, nodes := range graph.ShardByBFS(g, res.Shards) {
+			for _, v := range nodes {
+				shardOf[v] = s
+			}
+		}
+		fmt.Fprintf(out, " shards=%d cut-links=%d", res.Shards, graph.CutLinks(g, shardOf))
+	}
+	fmt.Fprintln(out)
 	if exec == engine.ExecutorAsync && len(res.Fires) > 0 {
 		minF, maxF, total := res.Fires[0], res.Fires[0], int64(0)
 		for _, f := range res.Fires {
@@ -213,7 +225,7 @@ func printList(out io.Writer) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "flag\tvalid values")
 	fmt.Fprintln(w, "-executor\tseq | pool | async")
-	fmt.Fprintln(w, "-workers\tshard count ≥ 1, with -executor=pool or -executor=async (default GOMAXPROCS)")
+	fmt.Fprintln(w, "-workers\tshard count ≥ 1, with -executor=pool or -executor=async (default GOMAXPROCS); sharded runs report shards= and cut-links= (graph.CutLinks) on the telemetry line")
 	fmt.Fprintln(w, "-schedule\t"+schedule.ValidSpecs)
 	fmt.Fprintln(w, "-graph\t"+strings.Join(spec.GraphSpecs(), "  "))
 	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))

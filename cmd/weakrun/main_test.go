@@ -48,10 +48,35 @@ func TestRunPoolExecutor(t *testing.T) {
 	}
 }
 
-func TestRunConcurrentAlias(t *testing.T) {
+// TestRunConcurrentFlagRemoved: the deprecated -concurrent alias is gone;
+// -executor=pool is the spelling.
+func TestRunConcurrentFlagRemoved(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-concurrent"}, &sb); err != nil {
+	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:4", "-concurrent"}, &sb); err == nil {
+		t.Fatal("run accepted the removed -concurrent flag")
+	}
+}
+
+// TestRunShardTelemetry: a sharded run reports its shard count and the
+// directed links the BFS partition cuts on the telemetry line; inline runs
+// stay silent about shards.
+func TestRunShardTelemetry(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:8",
+		"-executor", "pool", "-workers", "2"}, &sb); err != nil {
 		t.Fatal(err)
+	}
+	// C8 split into two contiguous BFS halves cuts two edges → 4 directed
+	// links.
+	if !strings.Contains(sb.String(), "shards=2 cut-links=4") {
+		t.Errorf("missing shard telemetry:\n%s", sb.String())
+	}
+	var seq strings.Builder
+	if err := run([]string{"-alg", "even-degree", "-graph", "cycle:8"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(seq.String(), "shards=") {
+		t.Errorf("inline run printed shard telemetry:\n%s", seq.String())
 	}
 }
 
@@ -105,7 +130,23 @@ func TestRunAsyncWorkers(t *testing.T) {
 		"-executor", "async", "-schedule", "roundrobin", "-workers", "3"}, &par); err != nil {
 		t.Fatal(err)
 	}
-	if seq.String() != par.String() {
+	if !strings.Contains(par.String(), "shards=3 cut-links=") {
+		t.Errorf("sharded async run missing shard telemetry:\n%s", par.String())
+	}
+	// Apart from the shard telemetry suffix the outputs must be
+	// bit-identical.
+	stripShards := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, ln := range lines {
+			if strings.HasPrefix(ln, "rounds=") {
+				if idx := strings.Index(ln, " shards="); idx >= 0 {
+					lines[i] = ln[:idx]
+				}
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if stripShards(seq.String()) != stripShards(par.String()) {
 		t.Errorf("sharded async output diverged from single-threaded\nworkers=1:\n%s\nworkers=3:\n%s",
 			seq.String(), par.String())
 	}

@@ -142,7 +142,7 @@ func TestConcurrentWithInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	con, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: inputs, Concurrent: true})
+	con, err := engine.Run(m, port.Canonical(g), engine.Options{Inputs: inputs, Executor: engine.ExecutorPool})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,14 @@
 package engine
 
-// async.go implements the asynchronous executor's core — the per-link
-// queue state shared by both async drivers — plus the single-threaded
-// driver (runAsync). The sharded parallel driver lives in
-// async_parallel.go and is selected through Options.Workers; it is
-// bit-identical to the driver here. Where the sequential and
-// pool executors run the Section 1.3 semantics directly — one global
-// barrier per round over a double-buffered arena — the async executor
-// replaces the barrier with per-link FIFO queues and hands control of time
-// to a schedule.Schedule: at every step the schedule decides which sent
-// messages are delivered and which nodes are activated.
+// async.go implements the asynchronous executor's Kahn-frontier core:
+// the per-link queue state, the delivery and firing primitives and the
+// fixpoint condition. The driver — the step loop over the shard runtime —
+// lives in async_driver.go. Where the synchronous executors run the
+// Section 1.3 semantics directly — one global barrier per round over a
+// double-buffered arena — the async executor replaces the barrier with
+// per-link FIFO queues and hands control of time to a schedule.Schedule:
+// at every step the schedule decides which sent messages are delivered
+// and which nodes are activated.
 //
 // The execution discipline is Kahn-style. Every directed link (an in-port
 // slot of the routing table) carries two queues: messages in flight (sent,
@@ -60,8 +59,6 @@ package engine
 // configuration with a future m0-substitution or reset.
 
 import (
-	"fmt"
-
 	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
@@ -103,7 +100,7 @@ func (q *msgQueue) len() int { return len(q.buf) - q.head }
 
 // pushFated enqueues one delivered message according to its fate — the
 // single source of truth for fault application, shared by the inline
-// filter of the single-threaded driver and the pre-drawn fates of the
+// filter of the single-shard delivery pass and the pre-drawn fates of the
 // sharded one: a drop enqueues m0 in the message's place (the delivery
 // slot survives, the content does not), a dup enqueues two copies.
 func (q *msgQueue) pushFated(msg machine.Message, f fault.Fate) {
@@ -178,26 +175,18 @@ type asyncState struct {
 	fdec  *fault.Decision
 }
 
-// asyncStepStats accumulates one step's telemetry.
-type asyncStepStats struct {
-	step     int
-	bytes    int64 // bytes of messages consumed by firings this step
-	newHalts int
-}
-
-// asyncBufs is the per-goroutine scratch space of the async executors: the
+// asyncBufs is the per-shard scratch space of the async executor: the
 // frontier buffer firings consume through and the canonicalisation buffer,
-// both sized to the maximum degree. The single-threaded driver owns one;
-// the sharded driver gives every worker its own, which is what keeps fire
-// and the fixpoint probe data-race free across shards.
+// both sized to the maximum degree. Every shard owns its own, which is
+// what keeps firings and the fixpoint probe data-race free across shards.
 type asyncBufs struct {
 	inbox   []machine.Message
 	scratch []machine.Message
 }
 
-// newBufs allocates a scratch space for one executor goroutine.
-func (as *asyncState) newBufs() *asyncBufs {
-	return &asyncBufs{
+// newBufs allocates a scratch space for one shard.
+func (as *asyncState) newBufs() asyncBufs {
+	return asyncBufs{
 		inbox:   make([]machine.Message, as.g.MaxDegree()),
 		scratch: make([]machine.Message, 0, as.g.MaxDegree()),
 	}
@@ -334,8 +323,10 @@ func (as *asyncState) deliver(l int32, k int) {
 // loop: each delivered message is assigned a fate — delivered unchanged,
 // dropped (m0 takes its place in the mail queue, so the frontier count
 // still advances and the receiver observes silence) or duplicated (two
-// copies join the queue). Only called when a plan runs; fault-free runs
-// keep the branch-free deliver.
+// copies join the queue). Only called by a single shard walking every
+// link in global order, so the plan's random stream is drawn exactly as
+// planFates pre-draws it for sharded runs; fault-free runs keep the
+// branch-free deliver.
 func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 	fq := &as.flight[l]
 	if avail := fq.len(); k > avail {
@@ -362,10 +353,10 @@ func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 }
 
 // deliverFated is deliverFiltered with the per-message fates already drawn:
-// the sharded driver's coordinator consumes the plan's random stream in
-// global (link, queue-position) order — the exact order the single-threaded
-// executor draws it in — and hands each worker the resulting fate slices,
-// so delivery itself never touches the plan. Callers guarantee
+// the coordinator of a sharded run consumes the plan's random stream in
+// global (link, queue-position) order — the exact order a single shard
+// draws it in — and hands each worker the resulting fate slices, so
+// delivery itself never touches the plan. Callers guarantee
 // 0 < len(fates) ≤ the link's in-flight count; Drops/Dups were counted by
 // whoever drew the fates.
 func (as *asyncState) deliverFated(l int32, fates []fault.Fate) {
@@ -389,7 +380,7 @@ func (as *asyncState) canFire(v int) bool {
 // nodes discard — the liveness mask gates the δ-step, not the drain), and
 // checks halting. Callers have checked canFire and must follow up with an
 // emission of v's next messages.
-func (as *asyncState) consume(v int, st *asyncStepStats, bufs *asyncBufs) {
+func (as *asyncState) consume(v int, st *stepStats, bufs *asyncBufs) {
 	lo, hi := as.off[v], as.off[v+1]
 	deg := int(hi - lo)
 	inbox := bufs.inbox[:deg]
@@ -412,13 +403,6 @@ func (as *asyncState) consume(v int, st *asyncStepStats, bufs *asyncBufs) {
 			st.newHalts++
 		}
 	}
-}
-
-// fire is one complete firing of node v: consume the frontier, then emit
-// the next messages straight into the flight queues.
-func (as *asyncState) fire(v int, st *asyncStepStats, bufs *asyncBufs) {
-	as.consume(v, st, bufs)
-	as.emit(v, st.step)
 }
 
 // steadyMessage returns the message the source of link l would send right
@@ -474,22 +458,6 @@ func (as *asyncState) nodeAtFixpoint(v int, bufs *asyncBufs) bool {
 		return false
 	}
 	return machine.StatesEqual(as.m, as.states[v], next)
-}
-
-// atFixpoint reports whether the run can never change another state: every
-// queued or in-flight message equals its source's steady message, and no
-// non-halted node would halt or change state when stepped on the steady
-// inbox. Both conditions together are inductive — the next firing anywhere
-// consumes steady messages, changes nothing, and re-emits steady messages.
-// Every in-link belongs to exactly one node, so the per-node sweep covers
-// every queue.
-func (as *asyncState) atFixpoint(bufs *asyncBufs) bool {
-	for v := 0; v < len(as.states); v++ {
-		if !as.nodeAtFixpoint(v, bufs) {
-			return false
-		}
-	}
-	return true
 }
 
 // asyncView adapts asyncState to schedule.View and fault.View.
@@ -591,112 +559,4 @@ func asyncStepBudget(opts Options, sched schedule.Schedule, n int) int {
 		}
 	}
 	return maxSteps
-}
-
-func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
-	sched := opts.Schedule
-	if sched == nil {
-		sched = schedule.Synchronous()
-	}
-	as, active, err := newAsyncState(m, g, p, opts)
-	if err != nil {
-		return nil, err
-	}
-	n := g.N()
-	links := len(as.mail)
-	res := &Result{Fires: as.fires, States: as.states, Alive: as.alive}
-	if opts.RecordTrace {
-		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
-	}
-	res.Output = as.outputs
-	if active == 0 {
-		return res, nil
-	}
-	sched.Begin(n, links)
-	if as.plan != nil {
-		as.plan.Begin(asyncTopology{as: as})
-	}
-	dec := schedule.NewDecision(n, links)
-	view := asyncView{as: as}
-	bufs := as.newBufs()
-
-	// Step 0: every node emits μ(x_0) (halted nodes m0) into the network.
-	for v := 0; v < n; v++ {
-		as.emit(v, 0)
-	}
-
-	maxSteps := asyncStepBudget(opts, sched, n)
-	checkInterval := asyncFixpointInterval(n)
-	nextCheck := checkInterval
-	st := &asyncStepStats{}
-	for t := 1; ; t++ {
-		if t > maxSteps {
-			return nil, fmt.Errorf("%w (step budget %d, machine %q on %v, schedule %s)",
-				ErrNoHalt, maxSteps, m.Name(), g, sched.Name())
-		}
-		dec.Reset()
-		sched.Step(t, view, dec)
-		if as.plan != nil {
-			active += as.applyFaults(t, view, res)
-		}
-
-		if as.plan != nil {
-			if dec.DeliverAll {
-				for l := 0; l < links; l++ {
-					as.deliverFiltered(int32(l), as.flight[l].len(), t, res)
-				}
-			} else {
-				for l := 0; l < links; l++ {
-					if k := dec.Deliver[l]; k > 0 {
-						as.deliverFiltered(int32(l), int(k), t, res)
-					}
-				}
-			}
-		} else if dec.DeliverAll {
-			for l := 0; l < links; l++ {
-				as.deliver(int32(l), as.flight[l].len())
-			}
-		} else {
-			for l := 0; l < links; l++ {
-				if k := dec.Deliver[l]; k > 0 {
-					as.deliver(int32(l), int(k))
-				}
-			}
-		}
-
-		st.step, st.bytes, st.newHalts = t, 0, 0
-		if dec.ActivateAll {
-			for v := 0; v < n; v++ {
-				if as.canFire(v) {
-					as.fire(v, st, bufs)
-				}
-			}
-		} else {
-			for v := 0; v < n; v++ {
-				if dec.Activate[v] && as.canFire(v) {
-					as.fire(v, st, bufs)
-				}
-			}
-		}
-
-		res.MessageBytes += st.bytes
-		active -= st.newHalts
-		res.Rounds = t
-		if opts.RecordTrace {
-			res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
-		}
-		if active == 0 {
-			return res, nil
-		}
-		if t >= nextCheck {
-			nextCheck = t + checkInterval
-			// The probe is only sound once the plan can no longer perturb
-			// the run: an unsettled plan could still m0-substitute or reset
-			// a configuration that currently looks steady.
-			if (as.plan == nil || as.plan.Settled()) && as.atFixpoint(bufs) {
-				res.Fixpoint = true
-				return res, nil
-			}
-		}
-	}
 }

@@ -100,6 +100,14 @@ func TestAsyncShardedEquivalence(t *testing.T) {
 								}
 								continue
 							}
+							if want := min(workers, g.N()); got.Shards != want {
+								t.Fatalf("%s workers=%d: ran on %d shards, want %d",
+									label, workers, got.Shards, want)
+							}
+							// Shards reports the runtime fan-out, not the
+							// semantics: it is the one field allowed to
+							// differ across worker counts.
+							got.Shards = ref.Shards
 							if !reflect.DeepEqual(ref, got) {
 								t.Fatalf("%s workers=%d: results diverged\nsingle:  %+v\nsharded: %+v",
 									label, workers, ref, got)
@@ -133,7 +141,17 @@ func TestAsyncShardedWorkerClamp(t *testing.T) {
 	}
 	ref := run(1)
 	for _, workers := range []int{0, 64} {
-		if got := run(workers); !reflect.DeepEqual(ref, got) {
+		got := run(workers)
+		switch {
+		case workers == 0 && got.Shards != 1:
+			// Star(5) is far below the auto-shard threshold: the default
+			// must stay inline.
+			t.Fatalf("workers=0: ran on %d shards, want 1", got.Shards)
+		case workers == 64 && got.Shards != g.N():
+			t.Fatalf("workers=64: ran on %d shards, want the node-count clamp %d", got.Shards, g.N())
+		}
+		got.Shards = ref.Shards // runtime fan-out, not semantics
+		if !reflect.DeepEqual(ref, got) {
 			t.Fatalf("workers=%d diverged from the single-threaded run", workers)
 		}
 	}

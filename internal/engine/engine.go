@@ -10,43 +10,50 @@
 // (once, cached on the Numbering) into a CSR-style []int32 routing table
 // mapping each out-port slot directly to its destination inbox slot
 // (port.Routes), so message delivery is pure array indexing — no
-// Dest/NeighborIndex calls in any hot loop. On top of it sit three
-// executors with two execution semantics:
+// Dest/NeighborIndex calls in any hot loop.
 //
-//   - ExecutorSeq, the single-threaded reference. All inboxes live in two
-//     flat []machine.Message arenas (double-buffered): a round is one
+// On top of it sits one shard-owned runtime (runtime.go) and two execution
+// semantics. The runtime partitions the node set into locality-aware
+// shards — contiguous slices of a breadth-first order grown from a
+// max-degree root (graph.ShardByBFS via port.Locality), so shard
+// boundaries cut few links — and owns everything sharding needs: the
+// per-shard telemetry counters and scratch buffers, the per-shard arena
+// regions, and the worker/barrier fan-out loop. The three Executor values
+// are thin selections over it:
+//
+//   - ExecutorSeq and ExecutorPool run the synchronous semantics of
+//     Section 1.3 (router.go): all inboxes live in one flat
+//     double-buffered arena laid out in BFS rank order, so each shard's
+//     inbox slots form one contiguous per-shard region; a round is one
 //     combined pass per node — consume the inbox from the current arena,
-//     step, emit next-round messages into the other arena. Multiset/Set
-//     canonicalisation reuses scratch buffers (machine.CanonicalInboxInto),
-//     so steady rounds allocate nothing.
+//     step, emit next-round messages into the other arena — with one
+//     barrier per round and the per-shard byte/halt counters folded at it.
+//     Multiset/Set canonicalisation reuses per-shard scratch buffers
+//     (machine.CanonicalInboxInto), so steady rounds allocate nothing.
+//     ExecutorSeq is the W=1 degenerate case running inline on the
+//     caller; ExecutorPool spawns ~GOMAXPROCS shard workers. Both are
+//     bit-identical — TestExecutorEquivalence asserts it across the
+//     experiment suite, including under -race.
 //
-//   - ExecutorPool, the sharded parallel form of the same semantics: nodes
-//     are partitioned into contiguous shards over ~GOMAXPROCS workers with
-//     one barrier per round, and per-worker message-byte/halt counters are
-//     merged at the barrier. Both executors drive the same per-shard pass
-//     (runState.stepShard), so the pool is bit-identical to ExecutorSeq —
-//     TestExecutorEquivalence asserts it across the experiment suite,
-//     including under -race.
-//
-//   - ExecutorAsync, the asynchronous semantics. The global barrier is
-//     replaced by per-link FIFO queues and a schedule.Schedule that
-//     decides, at every step, which nodes are activated and which in-flight
-//     messages are delivered. An activated node fires only on a full
-//     frontier (one delivered message per in-port), consuming exactly one
-//     message per port — Kahn-style discipline that makes the run
-//     confluent: schedules control interleaving and latency, never the
-//     trajectory, so fair schedules reach the synchronous outputs and the
-//     Synchronous schedule reproduces ExecutorSeq bit for bit
+//   - ExecutorAsync runs the asynchronous semantics (async.go, the Kahn
+//     core; async_driver.go, the driver). The global barrier is replaced
+//     by per-link FIFO queues and a schedule.Schedule that decides, at
+//     every step, which nodes are activated and which in-flight messages
+//     are delivered. An activated node fires only on a full frontier (one
+//     delivered message per in-port), consuming exactly one message per
+//     port — Kahn-style discipline that makes the run confluent:
+//     schedules control interleaving and latency, never the trajectory,
+//     so fair schedules reach the synchronous outputs and the Synchronous
+//     schedule reproduces ExecutorSeq bit for bit
 //     (TestAsyncSynchronousEquivalence). Runs that stabilise without
 //     halting are cut off by fixpoint detection (see async.go); Result
-//     reports per-node activation counts and a causality-consistent trace.
-//     With Options.Workers > 1 the async semantics run on a sharded
-//     parallel driver (async_parallel.go): nodes are partitioned into
-//     locality-aware shards — contiguous slices of a BFS order from a
-//     max-degree root (graph.ShardByBFS), cutting few links — each worker
-//     owns its shard's queues, cross-shard sends are staged and merged at
-//     a barrier, and the result is bit-identical to the single-threaded
-//     driver for every schedule × fault × graph cell
+//     reports per-node activation counts and a causality-consistent
+//     trace. The driver runs on the same shard runtime: each shard owns
+//     its nodes' queues outright, cross-shard sends are staged in
+//     per-(sender, receiver) rings merged at a barrier, and schedule/
+//     fault decisions stay on the coordinator — so one shard (inline, the
+//     default below the sharding threshold) and W shards are bit-identical
+//     for every schedule × fault × graph cell
 //     (TestAsyncShardedEquivalence, under -race).
 //
 // The schedule abstraction (internal/schedule) supplies deterministic
@@ -70,7 +77,6 @@ import (
 	"fmt"
 
 	"weakmodels/internal/fault"
-	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
@@ -88,19 +94,19 @@ var ErrNoHalt = errors.New("engine: machine did not halt within the round budget
 type Executor int
 
 const (
-	// ExecutorSeq is the single-threaded reference executor (the default).
+	// ExecutorSeq is the single-threaded reference executor (the default):
+	// the synchronous semantics on one inline runtime shard.
 	ExecutorSeq Executor = iota
-	// ExecutorPool is the sharded worker-pool executor: nodes are
-	// partitioned into contiguous shards over ~GOMAXPROCS workers with one
-	// barrier per round.
+	// ExecutorPool is the sharded worker-pool executor: the same
+	// synchronous semantics over ~GOMAXPROCS locality-aware BFS shards
+	// (graph.ShardByBFS) with one barrier per round.
 	ExecutorPool
 	// ExecutorAsync is the asynchronous executor: per-link message queues
 	// driven by a schedule.Schedule instead of a global barrier, with
 	// fixpoint detection for runs that stabilise without halting. Unlike
 	// the other two it interprets the round budget as a step budget and
-	// honours Options.Schedule. Options.Workers > 1 selects its sharded
-	// parallel driver over locality-aware BFS shards, bit-identical to the
-	// single-threaded one.
+	// honours Options.Schedule. Options.Workers > 1 shards it over the
+	// same runtime, bit-identically to the single-shard form.
 	ExecutorAsync
 )
 
@@ -143,12 +149,10 @@ type Options struct {
 	RecordTrace bool
 	// Executor selects the execution strategy (default ExecutorSeq).
 	Executor Executor
-	// Workers bounds the shard count of the parallel executors when
-	// positive (default GOMAXPROCS, capped at the node count). For
-	// ExecutorPool it is the worker-pool size over contiguous shards; for
-	// ExecutorAsync it is the number of locality-aware (BFS-order) shards
-	// of the parallel async driver — a resolved count of 1 selects the
-	// single-threaded driver, as does leaving Workers unset on graphs too
+	// Workers bounds the number of locality-aware (BFS-order) runtime
+	// shards of the parallel executors when positive (default GOMAXPROCS,
+	// capped at the node count). For ExecutorAsync a resolved count of 1
+	// runs the driver inline, as does leaving Workers unset on graphs too
 	// small for per-step work to outweigh the shard barriers
 	// (asyncAutoShardMinNodes). Every count produces bit-identical
 	// results. ExecutorSeq ignores it.
@@ -163,23 +167,10 @@ type Options struct {
 	// nothing). Setting it with any other executor is an error. Plans are
 	// stateful: do not share one instance between concurrent runs.
 	Fault fault.Plan
-	// Concurrent selects the parallel executor.
-	//
-	// Deprecated: set Executor to ExecutorPool instead. Kept so existing
-	// callers keep working; it is equivalent to ExecutorPool.
-	Concurrent bool
 	// Inputs, when non-nil, supplies the local inputs f(v) of §3.4; the
 	// machine must implement machine.InputAware and len(Inputs) must equal
 	// the node count.
 	Inputs []string
-}
-
-// executor resolves the Executor/Concurrent options.
-func (o Options) executor() Executor {
-	if o.Concurrent {
-		return ExecutorPool
-	}
-	return o.Executor
 }
 
 // initState initialises a node's state, honouring local inputs.
@@ -232,6 +223,10 @@ type Result struct {
 	// revivals. All zero when no fault plan ran.
 	Drops, Dups         int64
 	Crashes, Recoveries int64
+	// Shards is the number of runtime shards the run executed on: 1 for
+	// the single-threaded paths, the resolved worker count otherwise.
+	// Telemetry only — every shard count produces bit-identical results.
+	Shards int
 }
 
 // Run executes m on (g, p) and returns the output vector.
@@ -248,7 +243,7 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	if opts.Inputs != nil && len(opts.Inputs) != g.N() {
 		return nil, fmt.Errorf("engine: %d inputs for %d nodes", len(opts.Inputs), g.N())
 	}
-	exec := opts.executor()
+	exec := opts.Executor
 	if opts.Schedule != nil && exec != ExecutorAsync {
 		return nil, fmt.Errorf("engine: Options.Schedule is only supported by the async executor, not %v", exec)
 	}
@@ -256,21 +251,12 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("engine: Options.Fault is only supported by the async executor, not %v", exec)
 	}
 	switch exec {
-	case ExecutorPool:
-		return runPool(m, g, p, opts)
 	case ExecutorSeq:
-		return runSequential(m, g, p, opts)
+		// The W=1 degenerate case of the pool path, run inline.
+		return runSync(m, g, p, opts, 1, false)
+	case ExecutorPool:
+		return runSync(m, g, p, opts, poolWorkers(opts, g.N()), true)
 	case ExecutorAsync:
-		// The sharded driver engages only when there is real parallelism to
-		// buy; at one worker the single-threaded driver is the same
-		// semantics without the barriers. An explicit Workers > 1 is always
-		// honoured; the GOMAXPROCS default additionally requires a graph
-		// big enough that per-step work outweighs two barriers. Both
-		// drivers are bit-identical for every schedule × fault × graph
-		// cell (TestAsyncShardedEquivalence).
-		if poolWorkers(opts, g.N()) > 1 && (opts.Workers > 0 || g.N() >= asyncAutoShardMinNodes) {
-			return runAsyncSharded(m, g, p, opts)
-		}
 		return runAsync(m, g, p, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown executor %v", exec)
@@ -283,34 +269,4 @@ func maxRoundsOf(opts Options) int {
 		return opts.MaxRounds
 	}
 	return DefaultMaxRounds
-}
-
-func runSequential(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
-	rs, active, err := newRunState(m, g, p, opts)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{States: rs.states}
-	if opts.RecordTrace {
-		rs.snapshotTrace(res)
-	}
-	if active == 0 {
-		res.Output = rs.outputs
-		return res, nil
-	}
-	n := g.N()
-	st := &shardStats{scratch: rs.newScratch()}
-	if err := rs.driveRounds(active, opts, res, func(ph poolPhase) (int64, int) {
-		st.pendingBytes, st.newHalts = 0, 0
-		if ph == phaseSend {
-			rs.sendShard(0, n, st)
-		} else {
-			rs.stepShard(0, n, st)
-		}
-		return st.pendingBytes, st.newHalts
-	}); err != nil {
-		return nil, err
-	}
-	res.Output = rs.outputs
-	return res, nil
 }

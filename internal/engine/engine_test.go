@@ -3,7 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -217,33 +216,6 @@ func TestFigure4BroadcastEnforcement(t *testing.T) {
 	}
 	if res.Output[0] != "1|1|1" {
 		t.Errorf("centre received %q; broadcast enforcement failed", res.Output[0])
-	}
-}
-
-// TestDeprecatedConcurrentAlias checks that the legacy Options.Concurrent
-// flag still selects the parallel executor and agrees with the sequential
-// one. (The full equivalence matrix lives in TestExecutorEquivalence.)
-func TestDeprecatedConcurrentAlias(t *testing.T) {
-	rng := rand.New(rand.NewSource(30))
-	g := graph.Petersen()
-	m := degreeSum(g.MaxDegree())
-	p := port.Random(g, rng)
-	seq, err := Run(m, p, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	con, err := Run(m, p, Options{Concurrent: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if seq.Rounds != con.Rounds || seq.MessageBytes != con.MessageBytes {
-		t.Errorf("telemetry differs (rounds %d/%d bytes %d/%d)",
-			seq.Rounds, con.Rounds, seq.MessageBytes, con.MessageBytes)
-	}
-	for v := range seq.Output {
-		if seq.Output[v] != con.Output[v] {
-			t.Fatalf("node %d: %q vs %q", v, seq.Output[v], con.Output[v])
-		}
 	}
 }
 

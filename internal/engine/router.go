@@ -1,20 +1,26 @@
 package engine
 
-// router.go holds the compiled per-run execution state shared by the
-// sequential and worker-pool executors: the flat CSR routing table borrowed
-// from port.Routes and the double-buffered message arena.
+// router.go holds the synchronous (Section 1.3) semantics on top of the
+// shard runtime: the per-run execution state, the combined
+// receive/step/send pass, and the one driver behind both ExecutorSeq and
+// ExecutorPool.
 //
-// All inboxes live in one flat []machine.Message; the inbox of node v is
-// arena[off[v]:off[v+1]]. The routing table dest maps each out-port slot
-// directly to its destination inbox slot, so delivering a message is a
-// single indexed store — no Dest/NeighborIndex calls in the round loop.
+// All inboxes live in one flat double-buffered arena laid out in the BFS
+// locality order of port.Locality: the inbox of the node ranked r is
+// arena[off[r]:off[r+1]], so the inbox slots of a shard's nodes form one
+// contiguous per-shard region, and the routing table dest maps each
+// out-port slot directly to its destination inbox slot — delivering a
+// message is a single indexed store, and a low-cut sharding keeps most of
+// those stores inside the sender's own region.
 //
-// Rounds are executed as one combined pass per node: consume the inbox from
-// the current arena, step, then emit next-round messages into the other
-// arena. Because every inbox slot is written by exactly one out-port (the
-// numbering is a bijection) and reads only touch the current arena, shards
-// of nodes can run the pass concurrently with no synchronisation beyond a
-// barrier between rounds.
+// Rounds are executed as one combined pass per node: consume the inbox
+// from the current arena, step, then emit next-round messages into the
+// other arena. Because every inbox slot is written by exactly one out-port
+// (the numbering is a bijection) and reads only touch the current arena,
+// shards run the pass concurrently with no synchronisation beyond the
+// runtime's barrier between rounds. ExecutorSeq is the same pass on an
+// inline single-shard runtime — the W=1 degenerate case, bit-identical by
+// construction and pinned by TestExecutorEquivalence.
 
 import (
 	"fmt"
@@ -24,45 +30,59 @@ import (
 	"weakmodels/internal/port"
 )
 
-// runState is the flattened execution state of one run.
+// runState is the flattened execution state of one synchronous run.
 type runState struct {
 	m         machine.Machine
 	g         *graph.Graph
-	off       []int32 // CSR offsets: inbox of v is arena[off[v]:off[v+1]]
-	dest      []int32 // out-port slot → inbox slot in the destination arena
+	order     []int32 // locality order: rank → node id
+	off       []int32 // rank-indexed CSR offsets: inbox of rank r is arena[off[r]:off[r+1]]
+	dest      []int32 // locality out-slot → inbox slot in the destination arena
 	broadcast bool
 	recv      machine.RecvMode
 
-	states  []machine.State
-	halted  []bool
-	outputs []machine.Output
-	// haltAge[v] counts halted send passes of v, capped at 2: after a
-	// halted node has written m0 into both arenas its inbox slots stay m0
-	// forever, so further writes are skipped.
+	states  []machine.State  // node-indexed (shared with Result)
+	halted  []bool           // node-indexed
+	outputs []machine.Output // node-indexed (shared with Result)
+	// haltAge[r] counts halted send passes of the node ranked r, capped at
+	// 2: after a halted node has written m0 into both arenas its inbox
+	// slots stay m0 forever, so further writes are skipped.
 	haltAge []uint8
 
 	// cur holds the messages consumed this round; next receives the
-	// messages produced for the following round. Swapped at each barrier.
+	// messages produced for the following round (two halves of one backing
+	// array). Swapped at each barrier.
 	cur, next []machine.Message
+
+	rt shardRuntime
 }
 
-// poolPhase is a command executed between two round barriers.
-type poolPhase int
-
+// Phases of the synchronous driver.
 const (
-	phaseSend poolPhase = iota // initial μ(x_0) emission
-	phaseStep                  // one combined receive+step+send round
+	phaseSend runtimePhase = iota // initial μ(x_0) emission
+	phaseStep                     // one combined receive+step+send round
 )
 
-// driveRounds is the round loop shared by both executors. runPhase executes
-// one phase over every node — inline for the sequential executor, fan-out
-// plus barrier for the pool — and returns the bytes produced for the next
-// round and the number of nodes that halted. active is the count of
-// initially non-halted nodes (> 0; callers short-circuit the zero-round
-// case).
-func (rs *runState) driveRounds(active int, opts Options, res *Result, runPhase func(poolPhase) (int64, int)) error {
+// runPhase executes one phase over shard w; the runtime fans it out.
+func (rs *runState) runPhase(w int, ph runtimePhase) {
+	lo, hi := rs.rt.span(w)
+	st := &rs.rt.stats[w]
+	if ph == phaseSend {
+		for r := lo; r < hi; r++ {
+			rs.sendRank(r, rs.cur, st)
+		}
+		return
+	}
+	rs.stepShard(lo, hi, st)
+}
+
+// driveRounds is the round loop shared by every synchronous run: one
+// runtime phase per round over all shards, counters folded at the barrier.
+// active is the count of initially non-halted nodes (> 0; callers
+// short-circuit the zero-round case).
+func (rs *runState) driveRounds(active int, opts Options, res *Result) error {
 	maxRounds := maxRoundsOf(opts)
-	pending, _ := runPhase(phaseSend)
+	rs.rt.run(phaseSend)
+	pending, _ := rs.rt.fold()
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return fmt.Errorf("%w (budget %d, machine %q on %v)",
@@ -71,7 +91,8 @@ func (rs *runState) driveRounds(active int, opts Options, res *Result, runPhase 
 		// The messages produced at the previous barrier are consumed now;
 		// their bytes count only for rounds that execute.
 		res.MessageBytes += pending
-		bytes, halts := runPhase(phaseStep)
+		rs.rt.run(phaseStep)
+		bytes, halts := rs.rt.fold()
 		rs.swap()
 		pending = bytes
 		active -= halts
@@ -85,33 +106,31 @@ func (rs *runState) driveRounds(active int, opts Options, res *Result, runPhase 
 	}
 }
 
-// shardStats accumulates one worker's per-round telemetry, merged by the
-// coordinator at the barrier. scratch is the worker-local canonicalisation
-// buffer (capacity = max degree), reused across nodes and rounds.
-type shardStats struct {
-	pendingBytes int64 // bytes of messages produced for the next round
-	newHalts     int   // nodes that halted during this round's pass
-	scratch      []machine.Message
-}
-
-// newRunState initialises states, halt flags and the arenas, and returns
-// the number of initially active (non-halted) nodes.
-func newRunState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*runState, int, error) {
+// newRunState initialises states, halt flags, the arena and the shard
+// runtime, and returns the number of initially active (non-halted) nodes.
+func newRunState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options, workers int) (*runState, int, error) {
 	n := g.N()
-	r := p.Routes()
+	loc := p.Locality()
+	ports := len(loc.Dest)
+	arena := make([]machine.Message, 2*ports)
 	rs := &runState{
 		m:         m,
 		g:         g,
-		off:       r.Offsets(),
-		dest:      r.DestTable(),
+		order:     loc.Order,
+		off:       loc.Off,
+		dest:      loc.Dest,
 		broadcast: m.Class().Send == machine.SendBroadcast,
 		recv:      m.Class().Recv,
 		states:    make([]machine.State, n),
 		halted:    make([]bool, n),
 		outputs:   make([]machine.Output, n),
 		haltAge:   make([]uint8, n),
-		cur:       make([]machine.Message, r.NumPorts()),
-		next:      make([]machine.Message, r.NumPorts()),
+		cur:       arena[:ports:ports],
+		next:      arena[ports:],
+	}
+	rs.rt.init(loc, workers)
+	for w := range rs.rt.stats {
+		rs.rt.stats[w].scratch = rs.newScratch()
 	}
 	active := n
 	for v := 0; v < n; v++ {
@@ -135,17 +154,19 @@ func (rs *runState) newScratch() []machine.Message {
 	return make([]machine.Message, 0, rs.g.MaxDegree())
 }
 
-// sendNode emits node v's outgoing messages into dst via the routing table.
-// Halted nodes send m0 forever (Section 1.3) and contribute no bytes; after
-// two halted passes both arenas already hold m0 in v's destination slots
-// (each slot has a unique writer), so the stores are skipped.
-func (rs *runState) sendNode(v int, dst []machine.Message, st *shardStats) {
-	lo, hi := rs.off[v], rs.off[v+1]
+// sendRank emits the outgoing messages of the node ranked r into dst via
+// the routing table. Halted nodes send m0 forever (Section 1.3) and
+// contribute no bytes; after two halted passes both arenas already hold m0
+// in the node's destination slots (each slot has a unique writer), so the
+// stores are skipped.
+func (rs *runState) sendRank(r int, dst []machine.Message, st *stepStats) {
+	lo, hi := rs.off[r], rs.off[r+1]
+	v := rs.order[r]
 	if rs.halted[v] {
-		if rs.haltAge[v] >= 2 {
+		if rs.haltAge[r] >= 2 {
 			return
 		}
-		rs.haltAge[v]++
+		rs.haltAge[r]++
 		for s := lo; s < hi; s++ {
 			dst[rs.dest[s]] = machine.NoMessage
 		}
@@ -156,34 +177,28 @@ func (rs *runState) sendNode(v int, dst []machine.Message, st *shardStats) {
 		msg := rs.m.Send(state, 1)
 		for s := lo; s < hi; s++ {
 			dst[rs.dest[s]] = msg
-			st.pendingBytes += int64(len(msg))
+			st.bytes += int64(len(msg))
 		}
 		return
 	}
 	for s := lo; s < hi; s++ {
 		msg := rs.m.Send(state, int(s-lo)+1)
 		dst[rs.dest[s]] = msg
-		st.pendingBytes += int64(len(msg))
+		st.bytes += int64(len(msg))
 	}
 }
 
-// sendShard performs the initial send phase for nodes [lo,hi): every node
-// emits μ(x_0) into the current arena, to be consumed by round 1.
-func (rs *runState) sendShard(lo, hi int, st *shardStats) {
-	for v := lo; v < hi; v++ {
-		rs.sendNode(v, rs.cur, st)
-	}
-}
-
-// stepShard runs the combined receive+send pass of one round for nodes
-// [lo,hi): consume the inbox from cur, step, check halting, then emit the
-// next round's messages into next. Safe to run concurrently on disjoint
-// shards: writes to states/halted/outputs are per-node, writes to next are
-// per-inbox-slot (a bijection), and cur is read-only during the pass.
-func (rs *runState) stepShard(lo, hi int, st *shardStats) {
-	for v := lo; v < hi; v++ {
+// stepShard runs the combined receive+send pass of one round for the
+// ranks [lo,hi): consume the inbox from cur, step, check halting, then
+// emit the next round's messages into next. Safe to run concurrently on
+// disjoint shards: writes to states/halted/outputs are per-node, writes to
+// next are per-inbox-slot (a bijection), and cur is read-only during the
+// pass.
+func (rs *runState) stepShard(lo, hi int, st *stepStats) {
+	for r := lo; r < hi; r++ {
+		v := rs.order[r]
 		if !rs.halted[v] {
-			inbox := rs.cur[rs.off[v]:rs.off[v+1]]
+			inbox := rs.cur[rs.off[r]:rs.off[r+1]]
 			inbox = machine.CanonicalInboxInto(rs.recv, inbox, st.scratch)
 			rs.states[v] = rs.m.Step(rs.states[v], inbox)
 			if out, ok := rs.m.Halted(rs.states[v]); ok {
@@ -192,9 +207,35 @@ func (rs *runState) stepShard(lo, hi int, st *shardStats) {
 				st.newHalts++
 			}
 		}
-		rs.sendNode(v, rs.next, st)
+		rs.sendRank(r, rs.next, st)
 	}
 }
 
 // swap flips the double buffer at the round barrier.
 func (rs *runState) swap() { rs.cur, rs.next = rs.next, rs.cur }
+
+// runSync is the one driver behind ExecutorSeq and ExecutorPool: the
+// synchronous semantics over a shard runtime. ExecutorSeq passes one
+// inline shard; ExecutorPool spawns a worker per BFS shard. Both are
+// bit-identical for every worker count (TestExecutorEquivalence).
+func runSync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options, workers int, spawn bool) (*Result, error) {
+	rs, active, err := newRunState(m, g, p, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{States: rs.states, Shards: rs.rt.workers}
+	if opts.RecordTrace {
+		rs.snapshotTrace(res)
+	}
+	if active == 0 {
+		res.Output = rs.outputs
+		return res, nil
+	}
+	rs.rt.start(rs, spawn)
+	defer rs.rt.stop()
+	if err := rs.driveRounds(active, opts, res); err != nil {
+		return nil, err
+	}
+	res.Output = rs.outputs
+	return res, nil
+}

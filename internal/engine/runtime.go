@@ -1,0 +1,193 @@
+package engine
+
+// runtime.go is the shard-owned runtime layer every executor runs on: one
+// place that partitions the node set into locality-aware shards, owns the
+// per-shard telemetry counters and scratch buffers, and drives the
+// worker/barrier fan-out loop. The synchronous driver (router.go) and the
+// asynchronous driver (async_driver.go) differ only in the phases they
+// plug in; the shard assignment, the counter merge and the barrier
+// machinery live here and nowhere else.
+//
+// Shards are contiguous rank ranges of the graph's BFS locality order
+// (graph.BFSOrder via port.Locality, cached per numbering): shard w owns
+// the nodes ranked [w·n/W, (w+1)·n/W), a connected, roughly ball-shaped
+// patch of the graph whose boundary cuts few links. For the synchronous
+// semantics the locality table also lays the message arena out in rank
+// order, so each shard's inbox slots are one contiguous region of the
+// double-buffered arena — the per-shard arena carve-up that keeps a
+// worker's steady-round traffic inside its own patch (and the stepping
+// stone to per-socket NUMA arenas).
+//
+// A runtime runs in one of two forms, chosen at start:
+//
+//   - inline: no goroutines; run() executes every shard's phase on the
+//     caller, in shard order. This is ExecutorSeq — the W=1 degenerate
+//     case of the sharded path — and the async driver below the sharding
+//     threshold.
+//   - spawned: one persistent worker goroutine per shard, parked on a
+//     command channel, separated from the coordinator by a WaitGroup
+//     barrier per phase. Workers touch only their own shard's stats (and
+//     whatever shard state the driver's ownership discipline grants), so
+//     phases run with no atomics and no allocation.
+
+import (
+	"runtime"
+	"sync"
+
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// poolWorkers resolves the shard count: Options.Workers when positive,
+// else GOMAXPROCS, always within [1, n].
+func poolWorkers(opts Options, n int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runtimePhase is a command executed by every shard between two barriers.
+// Each driver defines its own phase constants; the runtime only transports
+// them.
+type runtimePhase uint8
+
+// phaseRunner executes one phase over one shard. Drivers implement it;
+// the runtime fans it out.
+type phaseRunner interface {
+	runPhase(w int, ph runtimePhase)
+}
+
+// stepStats accumulates one shard's per-phase telemetry, merged (and
+// cleared) by the coordinator's fold at the barrier, plus the shard's
+// canonicalisation scratch buffer. Only the owning shard writes to its
+// entry during a phase, so the round loop needs no atomic operations.
+type stepStats struct {
+	step     int   // async only: the schedule step being executed
+	bytes    int64 // message bytes produced (sync) or consumed (async)
+	newHalts int   // nodes that halted during the phase
+	// scratch is the shard's canonicalisation buffer (capacity = max
+	// degree), reused across nodes and rounds by the synchronous driver;
+	// the async driver keeps its frontier scratch in asyncBufs instead.
+	scratch []machine.Message
+}
+
+// shardRuntime is the shard-owned execution substrate. Embed it by value
+// in a driver's run state and call init before use.
+type shardRuntime struct {
+	loc     *port.Locality
+	workers int
+	stats   []stepStats
+	runner  phaseRunner
+	cmds    []chan runtimePhase // nil in inline form
+	barrier sync.WaitGroup
+}
+
+// init binds the runtime to a locality table and resolves the shard count,
+// clamped to [1, n] (an empty graph keeps one degenerate shard so spans
+// stay well-defined).
+func (rt *shardRuntime) init(loc *port.Locality, workers int) {
+	n := len(loc.Order)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rt.loc = loc
+	rt.workers = workers
+	rt.stats = make([]stepStats, workers)
+}
+
+// span returns the rank range [lo, hi) of shard w: both its slice of the
+// locality order and — through port.Locality's rank-indexed offsets — its
+// contiguous region of the message arena.
+func (rt *shardRuntime) span(w int) (lo, hi int) {
+	n := len(rt.loc.Order)
+	return w * n / rt.workers, (w + 1) * n / rt.workers
+}
+
+// nodes returns the node ids shard w owns, in BFS-locality order. The
+// slice aliases the cached locality order: callers must not modify it.
+func (rt *shardRuntime) nodes(w int) []int32 {
+	lo, hi := rt.span(w)
+	return rt.loc.Order[lo:hi]
+}
+
+// ownerTable builds the node → shard assignment of this runtime's spans.
+func (rt *shardRuntime) ownerTable() []int32 {
+	owner := make([]int32, len(rt.loc.Order))
+	for w := 0; w < rt.workers; w++ {
+		lo, hi := rt.span(w)
+		for r := lo; r < hi; r++ {
+			owner[rt.loc.Order[r]] = int32(w)
+		}
+	}
+	return owner
+}
+
+// start pins the driver and, when spawn is set, launches one persistent
+// worker goroutine per shard. Without spawn the runtime stays inline:
+// run() executes phases on the caller, which is both the W=1 degenerate
+// case and data-race free by triviality.
+func (rt *shardRuntime) start(r phaseRunner, spawn bool) {
+	rt.runner = r
+	if !spawn {
+		return
+	}
+	rt.cmds = make([]chan runtimePhase, rt.workers)
+	for w := range rt.cmds {
+		rt.cmds[w] = make(chan runtimePhase, 1)
+		go func(w int, cmd <-chan runtimePhase) {
+			for ph := range cmd {
+				r.runPhase(w, ph)
+				rt.barrier.Done()
+			}
+		}(w, rt.cmds[w])
+	}
+}
+
+// run executes one phase over every shard and returns once all of them
+// finished — the one barrier of the engine. Coordinator-side state written
+// before run is visible to the workers (the channel send orders it), and
+// shard writes are visible to the coordinator after the barrier.
+func (rt *shardRuntime) run(ph runtimePhase) {
+	if rt.cmds == nil {
+		for w := 0; w < rt.workers; w++ {
+			rt.runner.runPhase(w, ph)
+		}
+		return
+	}
+	rt.barrier.Add(len(rt.cmds))
+	for _, cmd := range rt.cmds {
+		cmd <- ph
+	}
+	rt.barrier.Wait()
+}
+
+// fold merges and clears the per-shard telemetry counters — the one
+// counter-merge loop of the engine, run by the coordinator between
+// barriers.
+func (rt *shardRuntime) fold() (bytes int64, halts int) {
+	for w := range rt.stats {
+		st := &rt.stats[w]
+		bytes += st.bytes
+		halts += st.newHalts
+		st.bytes, st.newHalts = 0, 0
+	}
+	return bytes, halts
+}
+
+// stop shuts the spawned workers down; a no-op for inline runtimes.
+func (rt *shardRuntime) stop() {
+	for _, cmd := range rt.cmds {
+		close(cmd)
+	}
+}

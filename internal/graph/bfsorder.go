@@ -16,7 +16,18 @@ import "sort"
 // for every further component. Adjacency lists are sorted, so the order is
 // fully deterministic. Every node appears exactly once; isolated nodes form
 // their own one-node components at the tail of the degree order.
+//
+// The order is computed once per graph and cached (the graph is immutable),
+// so per-run consumers — ShardByBFS, the engine's shard runtime, weakrun's
+// cut telemetry — pay O(1) after the first call. The returned slice is
+// shared: callers must not modify it.
 func BFSOrder(g *Graph) []int {
+	g.bfsOnce.Do(func() { g.bfsOrder = computeBFSOrder(g) })
+	return g.bfsOrder
+}
+
+// computeBFSOrder is the uncached traversal behind BFSOrder.
+func computeBFSOrder(g *Graph) []int {
 	n := g.N()
 	order := make([]int, 0, n)
 	visited := make([]bool, n)
@@ -52,7 +63,8 @@ func BFSOrder(g *Graph) []int {
 // [s·n/w, (s+1)·n/w) in the breadth-first order, so shard sizes differ by
 // at most one and shard boundaries cut few links. The returned shards are
 // non-empty, disjoint, cover every node, and are deterministic for a given
-// (graph, w). An empty graph yields no shards.
+// (graph, w). They alias the cached order: callers must not modify them.
+// An empty graph yields no shards.
 func ShardByBFS(g *Graph, w int) [][]int {
 	n := g.N()
 	if n == 0 {

@@ -63,6 +63,17 @@ func TestBFSOrderIsDeterministicPermutation(t *testing.T) {
 	}
 }
 
+// TestBFSOrderCached: the order is computed once per (immutable) graph and
+// the cached slice is shared, so per-run consumers pay O(1) after the
+// first call.
+func TestBFSOrderCached(t *testing.T) {
+	g := Torus(4, 4)
+	a, b := BFSOrder(g), BFSOrder(g)
+	if &a[0] != &b[0] {
+		t.Error("BFSOrder rebuilt the order instead of returning the cache")
+	}
+}
+
 func TestBFSOrderStarRootsAtCentre(t *testing.T) {
 	// Star(4): node 0 is the degree-4 centre, so BFS must start there and
 	// then visit the leaves in adjacency (= id) order.

@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable simple undirected graph on nodes 0..N-1. The zero
@@ -16,6 +17,11 @@ import (
 // node v in adjacency order" is deterministic.
 type Graph struct {
 	adj [][]int
+
+	// bfs is the locality order of bfsorder.go, computed lazily on first
+	// use and shared by every sharded executor run on this graph.
+	bfsOnce  sync.Once
+	bfsOrder []int
 }
 
 // Edge is an undirected edge; U < V in normalised form.

@@ -42,6 +42,10 @@ type Numbering struct {
 	// shared by Dest/Source and the execution engine.
 	routesOnce sync.Once
 	routes     *Routes
+	// locality is the BFS-rank-permuted routing table (see Locality),
+	// compiled lazily for the engine's shard runtime.
+	localityOnce sync.Once
+	locality     *Locality
 }
 
 // Routes returns the compiled flat routing table of p, building it on first

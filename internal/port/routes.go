@@ -1,5 +1,7 @@
 package port
 
+import "weakmodels/internal/graph"
+
 // Routes is a port numbering compiled into a flat CSR-style routing table.
 // Ports are mapped to dense int32 "slots": the ports (v,1)..(v,deg(v)) of
 // node v occupy slots off[v]..off[v+1]-1 in order. The table answers
@@ -88,3 +90,59 @@ func (r *Routes) SourceTable() []int32 { return r.src }
 // NodeTable exposes the slot → owning-node table for hot loops. Callers
 // must not modify it.
 func (r *Routes) NodeTable() []int32 { return r.node }
+
+// Locality is the routing table re-indexed by the graph's BFS locality
+// order (graph.BFSOrder): node ranks replace node ids, so the inbox slots
+// of the nodes a BFS shard owns form one contiguous range of the arena —
+// the per-shard arena carve-up the engine's shard runtime is built on.
+//
+// Rank r owns slots Off[r]..Off[r+1]-1; slot Off[r]+j is out-port j+1 and
+// in-port j+1 of node Order[r], and Dest maps each locality out-slot to the
+// locality inbox slot its message lands in (preserving in-port indices, so
+// vector-mode inboxes are unchanged). Like Routes, a Locality is immutable
+// and safe for concurrent use; callers must not modify the tables.
+type Locality struct {
+	// Order is the BFS locality order: Order[r] is the node of rank r.
+	Order []int32
+	// Off has length n+1; Off[r] is the first locality slot of rank r.
+	Off []int32
+	// Dest maps each locality out-slot to its destination locality inbox
+	// slot.
+	Dest []int32
+}
+
+// compileLocality permutes the routing table of p into BFS rank space.
+// It runs once per numbering (see Numbering.Locality).
+func compileLocality(p *Numbering) *Locality {
+	r := p.Routes()
+	order := graph.BFSOrder(p.g)
+	n := len(order)
+	loc := &Locality{
+		Order: make([]int32, n),
+		Off:   make([]int32, n+1),
+		Dest:  make([]int32, len(r.dest)),
+	}
+	rank := make([]int32, n)
+	for rk, v := range order {
+		loc.Order[rk] = int32(v)
+		rank[v] = int32(rk)
+		loc.Off[rk+1] = loc.Off[rk] + int32(p.g.Degree(v))
+	}
+	for rk, v := range order {
+		lo := r.off[v]
+		deg := r.off[v+1] - lo
+		for j := int32(0); j < deg; j++ {
+			d := r.dest[lo+j]
+			u := r.node[d]
+			loc.Dest[loc.Off[rk]+j] = loc.Off[rank[u]] + (d - r.off[u])
+		}
+	}
+	return loc
+}
+
+// Locality returns the BFS-rank-permuted routing table of p, building it
+// on first use. The table is cached: repeated calls are free.
+func (p *Numbering) Locality() *Locality {
+	p.localityOnce.Do(func() { p.locality = compileLocality(p) })
+	return p.locality
+}

@@ -159,3 +159,58 @@ func BenchmarkSource(b *testing.B) {
 		}
 	})
 }
+
+// TestLocalityPermutesRoutes: the locality view is the routing table under
+// the BFS rank permutation — same degrees per node, same destination node
+// and in-port index for every out-port — and contiguous: rank r's slots
+// sit at Off[r]..Off[r+1] over the BFS order.
+func TestLocalityPermutesRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*graph.Graph{
+		graph.Torus(5, 4),
+		graph.Star(6),
+		graph.Petersen(),
+		graph.DisjointUnion(graph.Cycle(3), graph.MustNew(2, nil)),
+	} {
+		for _, p := range []*Numbering{Canonical(g), Random(g, rng)} {
+			loc := p.Locality()
+			order := graph.BFSOrder(g)
+			if len(loc.Order) != g.N() || int(loc.Off[g.N()]) != p.Routes().NumPorts() {
+				t.Fatalf("%v: locality shape wrong", g)
+			}
+			rank := make([]int32, g.N())
+			for r, v := range order {
+				if int(loc.Order[r]) != v {
+					t.Fatalf("%v: Order[%d]=%d, BFSOrder says %d", g, r, loc.Order[r], v)
+				}
+				rank[v] = int32(r)
+				if deg := int(loc.Off[r+1] - loc.Off[r]); deg != g.Degree(v) {
+					t.Fatalf("%v: rank %d (node %d) has %d slots, want degree %d",
+						g, r, v, deg, g.Degree(v))
+				}
+			}
+			// Every out-port (v, j) must land at the same destination port
+			// as the id-space table, translated through the rank mapping.
+			for r, v := range order {
+				for j := 1; j <= g.Degree(v); j++ {
+					want := p.Dest(v, j)
+					s2 := loc.Off[r] + int32(j-1)
+					d2 := loc.Dest[s2]
+					// Find the rank owning slot d2.
+					ur := rank[want.Node]
+					if d2 < loc.Off[ur] || d2 >= loc.Off[ur+1] {
+						t.Fatalf("%v: locality dest of (%d,%d) lands outside node %d's slots",
+							g, v, j, want.Node)
+					}
+					if idx := int(d2-loc.Off[ur]) + 1; idx != want.Index {
+						t.Fatalf("%v: locality dest of (%d,%d) is in-port %d, want %d",
+							g, v, j, idx, want.Index)
+					}
+				}
+			}
+			if again := p.Locality(); again != loc {
+				t.Errorf("%v: Locality rebuilt instead of returning the cache", g)
+			}
+		}
+	}
+}
