@@ -2,8 +2,9 @@
 // regular graphs, expanders and preferential-attachment graphs across the
 // three receive modes, at sizes up to n=10⁴ — plus an n=10⁵ large-graph
 // sweep (BenchmarkEngineLarge*, skipped under -short so the CI bench smoke
-// stays fast) and an async-with-faults sweep measuring the fault-injection
-// hooks under an always-active message-fault plan.
+// stays fast), an async-with-faults sweep measuring the fault-injection
+// hooks under an always-active message-fault plan, and an async-byzantine
+// sweep with the payload corrupter live on every delivery.
 // These are the perf-trajectory benchmarks of the engine subsystem; run
 //
 //	go test -bench='BenchmarkEngine(Seq|Pool|Async)' -benchmem
@@ -121,6 +122,17 @@ func benchFaultPlan() fault.Plan {
 	return fault.Compose(fault.DropFor(7, 0.05, never), fault.DupFor(9, 0.05, never))
 }
 
+// benchByzantinePlan builds the hostile-link plan of the async-byzantine
+// sweep: 10% Byzantine corruption with an effectively infinite horizon, so
+// every delivery pays the filter and one in ten pays the payload rewrite
+// (and, sharded, the coordinator's corrupted-payload pre-draw). The
+// countdown workload ignores its inbox, so corrupted payloads cannot
+// change the run's length — the sweep isolates the corruption machinery.
+func benchByzantinePlan() fault.Plan {
+	const never = 1 << 30
+	return fault.ByzantineFor(7, 0.10, never)
+}
+
 // benchParWorkers resolves the shard count of the parallel-async sweeps:
 // GOMAXPROCS, floored at 2 so the sharded runtime (staging rings,
 // barriers) is the thing being measured even on single-core hosts — where
@@ -209,6 +221,21 @@ func BenchmarkEngineAsyncFaultsPar(b *testing.B) {
 	benchEngineGraphs(b, engine.ExecutorAsync, benchParWorkers(), engineBenchGraphs(b), benchFaultPlan)
 }
 
+// BenchmarkEngineAsyncByzantine sweeps the async executor with Byzantine
+// corruption live: the delivery filter plus a 10% payload-rewrite rate.
+// Compare against BenchmarkEngineAsyncFaults — the delta is the corrupter
+// (RNG draws interleaved with the filter's, byte-level rewrites).
+func BenchmarkEngineAsyncByzantine(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, 1, engineBenchGraphs(b), benchByzantinePlan)
+}
+
+// BenchmarkEngineAsyncByzantinePar is the sharded form: the coordinator
+// pre-draws corrupted payloads alongside the fates, so this measures the
+// serial corrupt-and-stash pass on top of the parallel phases.
+func BenchmarkEngineAsyncByzantinePar(b *testing.B) {
+	benchEngineGraphs(b, engine.ExecutorAsync, benchParWorkers(), engineBenchGraphs(b), benchByzantinePlan)
+}
+
 // BenchmarkEngineLargeSeq sweeps the sequential executor at n=10⁵.
 func BenchmarkEngineLargeSeq(b *testing.B) { benchEngineLarge(b, engine.ExecutorSeq) }
 
@@ -272,6 +299,8 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	emit("async-par", engine.ExecutorAsync, benchParWorkers(), small, nil)
 	emit("async-faults", engine.ExecutorAsync, 1, small, benchFaultPlan)
 	emit("async-faults-par", engine.ExecutorAsync, benchParWorkers(), small, benchFaultPlan)
+	emit("async-byzantine", engine.ExecutorAsync, 1, small, benchByzantinePlan)
+	emit("async-byzantine-par", engine.ExecutorAsync, benchParWorkers(), small, benchByzantinePlan)
 	large := engineBenchLargeGraphs(t)
 	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
 		emit(exec.String(), exec, 0, large, nil)

@@ -17,9 +17,10 @@
 // per-node activation counts and whether a global fixpoint was detected
 // (-workers > 1 runs it on the sharded parallel driver, bit-identically);
 // -faults/-fault-seed additionally inject a seeded fault plan (message
-// omission/duplication, node crash/recovery) and the summary grows a fault
-// telemetry line. -list enumerates every valid value of the enumerable
-// flags and exits.
+// omission/duplication, Byzantine corruption, link partitions with healing,
+// sender-side retransmission, node crash/recovery) and the summary grows a
+// fault telemetry line. -list enumerates every valid value of the
+// enumerable flags and exits.
 package main
 
 import (
@@ -202,8 +203,9 @@ func run(args []string, out io.Writer) error {
 				alive++
 			}
 		}
-		fmt.Fprintf(out, "faults=%s drops=%d dups=%d crashes=%d recoveries=%d alive=%d/%d\n",
-			plan.Name(), res.Drops, res.Dups, res.Crashes, res.Recoveries, alive, g.N())
+		fmt.Fprintf(out, "faults=%s drops=%d dups=%d corruptions=%d crashes=%d recoveries=%d retransmits=%d healed=%d alive=%d/%d\n",
+			plan.Name(), res.Drops, res.Dups, res.Corruptions, res.Crashes, res.Recoveries,
+			res.Retransmits, res.Healed, alive, g.N())
 	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "node\tdegree\toutput")

@@ -242,7 +242,7 @@ func TestRunList(t *testing.T) {
 		"-schedule", "adversary:F",
 		"-graph", "pa:N,M,SEED",
 		"-ports", "consistent:SEED",
-		"-faults", "crashstop:K",
+		"-faults", "crashstop:K", "byzantine:P", "partition:K", "retransmit:R",
 		"-alg", "odd-odd",
 	} {
 		if !strings.Contains(out, want) {
@@ -261,6 +261,35 @@ func TestRunFaults(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "faults=drop:0.3+dup:0.2") || !strings.Contains(out, "alive=6/6") {
 		t.Errorf("missing fault telemetry line:\n%s", out)
+	}
+	// The telemetry line carries every counter, zero or not, so a reader
+	// can grep one line for the whole fault story.
+	for _, want := range []string{"corruptions=0", "retransmits=0", "healed=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault telemetry missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunHostileFaults: the hostile-link families show up on the telemetry
+// line with live counters — corruption rewrites, healed partition links,
+// and retransmissions for recovering crash victims.
+func TestRunHostileFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin",
+		"-faults", "byzantine:0.3,41,80+partition:3,42,80+crash:1,43,80+retransmit:2,44,80"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, banned := range []string{"corruptions=0 ", "healed=0 ", "retransmits=0 "} {
+		if strings.Contains(out, banned) {
+			t.Errorf("hostile run left %q at zero:\n%s", strings.TrimSpace(banned), out)
+		}
+	}
+	if !strings.Contains(out, "alive=16/16") {
+		t.Errorf("recovering plan should leave every node alive:\n%s", out)
 	}
 }
 

@@ -5,8 +5,12 @@
 // The fault subsystem (internal/fault) layers a Plan on top of the async
 // executor's schedule: delivered messages can be dropped (delivered as m0,
 // the omission fault of message adversaries — the receiver hears silence
-// but is never wedged) or duplicated, and nodes can crash and recover,
-// with recovery resetting them to their initial state. Every plan is
+// but is never wedged), duplicated, or Byzantine-corrupted (bit-flipped,
+// silenced, or replayed from the link's previous payload — tolerated
+// through the machines' declared message alphabets); link sets can be cut
+// by a healing partition; senders can retransmit to recovering
+// neighbours; and nodes can crash and recover, with recovery resetting
+// them to their initial state. Every plan is
 // transient — it perturbs the run up to a seeded horizon and then settles —
 // which is precisely the setting of self-stabilisation: convergence is
 // demanded after the faults cease. The harness (internal/stabilize)
@@ -37,7 +41,7 @@ func main() {
 	p := port.Canonical(g)
 	m := algorithms.MaxConsensus(g.MaxDegree())
 	fmt.Printf("max-consensus gossip on %v\n", g)
-	fmt.Println("fault plan                     schedule    steps  drops  dups  crash/rec  stabilised")
+	fmt.Println("fault plan                                    schedule    steps  drops  dups  corrupt  crash/rec  resend  healed  stabilised")
 
 	const seed = 42
 	for _, tc := range []struct{ faults, sched string }{
@@ -48,6 +52,19 @@ func main() {
 		{"crash:3", "sync"},
 		{"drop:0.2+crash:2", "adversary:4"},
 		{"adversary:4", "sync"},
+		// The hostile-link families. Byzantine corruption rewrites payloads
+		// in flight; the gossip's message guard ([0, Δ]) degrades junk to m0,
+		// so a lie is never worse than silence. The partition cuts a seeded
+		// 8-node island off the graph and heals mid-horizon — pure correlated
+		// omission, so the island just gossips internally until the cut
+		// links come back. Retransmission is the constructive one: every
+		// in-neighbour of a recovering crash victim re-sends its steady
+		// message with seeded backoff, re-seeding the frontier the reset
+		// wiped.
+		{"byzantine:0.3", "random:0.5"},
+		{"partition:8", "roundrobin"},
+		{"crash:2+retransmit:3", "sync"},
+		{"byzantine:0.2+partition:6+crash:1+retransmit:2", "adversary:4"},
 	} {
 		plan, err := fault.Parse(tc.faults, seed)
 		if err != nil {
@@ -65,10 +82,32 @@ func main() {
 		if plan != nil {
 			name = plan.Name()
 		}
-		fmt.Printf("%-30s %-10s %6d %6d %5d %6d/%-3d  %v\n",
+		fmt.Printf("%-45s %-10s %6d %6d %5d %8d %6d/%-3d %7d %7d  %v\n",
 			name, sched.Name(), rep.Faulty.Rounds, rep.Faulty.Drops, rep.Faulty.Dups,
-			rep.Faulty.Crashes, rep.Faulty.Recoveries, rep.Stabilised())
+			rep.Faulty.Corruptions, rep.Faulty.Crashes, rep.Faulty.Recoveries,
+			rep.Faulty.Retransmits, rep.Faulty.Healed, rep.Stabilised())
 	}
+
+	// Partition-and-heal, close up. The plan cuts every link between a
+	// seeded BFS island and the rest of a torus, holds the cut for a seeded
+	// stretch, then heals — each suppressed delivery lands as m0, so the
+	// frontiers on both sides keep cycling and the fixpoint detector only
+	// fires once the plan is settled. After healing, the cut links carry the
+	// steady maxima across and both sides agree with the fault-free run.
+	fmt.Println("\npartition-and-heal on a 6x6 torus (island of 9 cut, then healed):")
+	torus := graph.Torus(6, 6)
+	tm := algorithms.MaxConsensus(torus.MaxDegree())
+	plan, err := fault.Parse("partition:9", seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := stabilize.Check(tm, port.Canonical(torus), schedule.RoundRobin(), plan, 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n", prep)
+	fmt.Printf("  healed=%d directed links carried the cut — every one delivered m0 while the island was adrift\n",
+		prep.Faulty.Healed)
 
 	// The guarantee has exactly one edge: a node that never comes back. A
 	// crash-stopped hub partitions the information flow, and the survivors

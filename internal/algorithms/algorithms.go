@@ -295,6 +295,7 @@ func Registry() map[string]func(delta int) machine.Machine {
 		"odd-odd":        OddOdd,
 		"even-degree":    EvenDegree,
 		"local-type-max": LocalTypeMax,
+		"max-consensus":  MaxConsensus,
 		"vertex-cover":   VertexCover2,
 	}
 }

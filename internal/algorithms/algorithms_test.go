@@ -198,7 +198,7 @@ func TestVertexCover2Invariance(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := RegistryNames()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("registry has %d entries: %v", len(names), names)
 	}
 	for _, name := range names {

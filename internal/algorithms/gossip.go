@@ -7,6 +7,20 @@ import (
 	"weakmodels/internal/machine"
 )
 
+// boundedIntMessage is the MessageGuard predicate of the integer gossips:
+// it accepts exactly the decimal encodings of integers in [0, hi]. Under a
+// Byzantine fault plan the engine then delivers out-of-alphabet garbage as
+// m0 (which the Step functions already skip), and rejects
+// in-alphabet-but-out-of-range lies — essential for monotone aggregates
+// like max, where a single value above the true maximum would poison the
+// configuration forever.
+func boundedIntMessage(hi int) func(machine.Message) bool {
+	return func(m machine.Message) bool {
+		n, err := strconv.Atoi(string(m))
+		return err == nil && n >= 0 && n <= hi
+	}
+}
+
 // MaxDegreeWithin computes, at every node, the maximum degree occurring
 // within distance k — a semilattice gossip that works in class MB: max is
 // insensitive to both message order and multiplicity (it would even be an
@@ -50,6 +64,7 @@ func MaxDegreeWithin(delta, k int) machine.Machine {
 			x.Done = x.Round >= k
 			return x
 		},
+		ValidFunc: boundedIntMessage(delta),
 	}
 }
 
@@ -66,7 +81,10 @@ func MaxDegreeWithin(delta, k int) machine.Machine {
 // restoring its own contribution to the maximum — and re-learns the rest
 // from neighbours that never stop broadcasting. m0 entries are skipped:
 // under fault plans (and next to crashed neighbours) silence is a valid
-// inbox entry.
+// inbox entry. The message alphabet is declared as [0, Δ] through
+// ValidFunc: corrupted payloads outside it arrive as m0, and since every
+// legitimate value is ≤ Δ — the global maximum itself — an in-range lie
+// is washed out by the monotone convergence to Δ.
 func MaxConsensus(delta int) machine.Machine {
 	return &machine.Func{
 		MachineName:  "max-consensus",
@@ -93,5 +111,6 @@ func MaxConsensus(delta int) machine.Machine {
 			}
 			return best
 		},
+		ValidFunc: boundedIntMessage(delta),
 	}
 }

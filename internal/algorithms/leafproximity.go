@@ -84,7 +84,10 @@ func LeafProximity(delta, k int) machine.Machine {
 // Convergence takes at most k+2 fault-free rounds, after which the async
 // executor's fixpoint detection stops the run. m0 entries (omission
 // faults, crashed neighbours) carry no distance and are skipped — silence
-// can only raise the estimate, never corrupt it. Class MB: min is
+// can only raise the estimate, never corrupt it. The message alphabet is
+// declared as [0, k+1] through ValidFunc, so Byzantine garbage arrives as
+// m0 and an in-range lie is just another transient configuration the
+// recompute-from-inbox iteration converges away from. Class MB: min is
 // insensitive to message order and multiplicity.
 func LeafProximityStab(delta, k int) machine.Machine {
 	return &machine.Func{
@@ -122,5 +125,6 @@ func LeafProximityStab(delta, k int) machine.Machine {
 			}
 			return d
 		},
+		ValidFunc: boundedIntMessage(k + 1),
 	}
 }

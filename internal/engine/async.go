@@ -42,21 +42,31 @@ package engine
 // fire events shows no future step can change any state: the run is at a
 // global fixpoint and every undelivered message is a no-op re-send.
 //
-// Fault injection (Options.Fault, internal/fault) hooks into exactly two
-// places, both behind a nil check so fault-free runs pay nothing. First, a
+// Fault injection (Options.Fault, internal/fault) hooks into three
+// places, all behind a nil check so fault-free runs pay nothing. First, a
 // delivery filter on the per-link queues: each message the schedule
 // delivers is assigned a fate — delivered, dropped (delivered as m0: the
 // omission fault of message adversaries, preserving the one-entry-per-
-// emission discipline so frontiers never starve) or duplicated (an extra
-// copy joins the mail queue). Second, a liveness mask gating activation: a
-// crashed node's firings drain its frontier and emit m0 — like a halted
-// node, so neighbours are not wedged — but never step δ; a recovery lifts
-// the mask, either resuming the frozen state or resetting it through
-// machine.Reboot. The fixpoint probe stays sound under faults by treating
-// dead nodes as frozen (their steady message is m0, their state exempt
-// from the would-change check) and by running only once the plan is
-// settled: an unsettled plan could still perturb a steady-looking
-// configuration with a future m0-substitution or reset.
+// emission discipline so frontiers never starve), duplicated (an extra
+// copy joins the mail queue) or corrupted (a Byzantine plan's Corrupter
+// rewrites the payload; receivers implementing machine.MessageGuard
+// degrade out-of-alphabet garbage to m0 at canonicalisation, so corruption
+// is at worst omission to a guarded machine). Partition plans are
+// correlated omission over a cut link set, so they ride the same filter.
+// Second, a liveness mask gating activation: a crashed node's firings
+// drain its frontier and emit m0 — like a halted node, so neighbours are
+// not wedged — but never step δ; a recovery lifts the mask, either
+// resuming the frozen state or resetting it through machine.Reboot.
+// Third, sender-side retransmissions (fault.Decision.Resend): the
+// coordinator pushes a link's steady message into its flight queue behind
+// whatever is in flight, so a recovering node re-receives its frontier —
+// for the fixpoint argument the extra copy is a no-op re-send, and for
+// the Kahn discipline it is indistinguishable from a duplication. The
+// fixpoint probe stays sound under faults by treating dead nodes as
+// frozen (their steady message is m0, their state exempt from the
+// would-change check) and by running only once the plan is settled: an
+// unsettled plan could still perturb a steady-looking configuration with
+// a future m0-substitution, retransmission or reset.
 
 import (
 	"weakmodels/internal/fault"
@@ -102,7 +112,9 @@ func (q *msgQueue) len() int { return len(q.buf) - q.head }
 // single source of truth for fault application, shared by the inline
 // filter of the single-shard delivery pass and the pre-drawn fates of the
 // sharded one: a drop enqueues m0 in the message's place (the delivery
-// slot survives, the content does not), a dup enqueues two copies.
+// slot survives, the content does not), a dup enqueues two copies. A
+// corruption enqueues msg unchanged: whoever drew the fate already
+// substituted the corruptor's rewrite for the genuine payload.
 func (q *msgQueue) pushFated(msg machine.Message, f fault.Fate) {
 	switch f {
 	case fault.FateDrop:
@@ -110,7 +122,7 @@ func (q *msgQueue) pushFated(msg machine.Message, f fault.Fate) {
 	case fault.FateDup:
 		q.push(msg)
 		q.push(msg)
-	default:
+	default: // FateDeliver, or FateCorrupt with the payload rewritten
 		q.push(msg)
 	}
 }
@@ -168,11 +180,16 @@ type asyncState struct {
 
 	// Fault state, allocated only when a plan runs (plan != nil): the
 	// liveness mask, the initial states recoveries reset to, and the
-	// plan's decision buffer.
-	plan  fault.Plan
-	alive []bool
-	init  []machine.State
-	fdec  *fault.Decision
+	// plan's decision buffer. corrupt is the plan's Corrupter when it can
+	// emit FateCorrupt (nil otherwise), and guard the machine's alphabet
+	// guard, consulted per firing only when a corrupter runs — fault-free
+	// and corruption-free runs pay a nil check and nothing else.
+	plan    fault.Plan
+	alive   []bool
+	init    []machine.State
+	fdec    *fault.Decision
+	corrupt fault.Corrupter
+	guard   machine.MessageGuard
 }
 
 // asyncBufs is the per-shard scratch space of the async executor: the
@@ -245,7 +262,13 @@ func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Op
 		// Snapshot z0 per node for reset recoveries: states are immutable
 		// values (Step is pure), so sharing the initial state is safe.
 		as.init = append([]machine.State(nil), as.states...)
-		as.fdec = fault.NewDecision(n)
+		as.fdec = fault.NewDecision(n, links)
+		if fault.CanCorrupt(opts.Fault) {
+			as.corrupt = opts.Fault.(fault.Corrupter)
+			if g, ok := m.(machine.MessageGuard); ok {
+				as.guard = g
+			}
+		}
 	}
 	return as, active, nil
 }
@@ -347,6 +370,9 @@ func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 			res.Drops++
 		case fault.FateDup:
 			res.Dups++
+		case fault.FateCorrupt:
+			res.Corruptions++
+			msg = as.corrupt.Corrupt(t, int(l), msg)
 		}
 		mq.pushFated(msg, f)
 	}
@@ -356,17 +382,23 @@ func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 // the coordinator of a sharded run consumes the plan's random stream in
 // global (link, queue-position) order — the exact order a single shard
 // draws it in — and hands each worker the resulting fate slices, so
-// delivery itself never touches the plan. Callers guarantee
-// 0 < len(fates) ≤ the link's in-flight count; Drops/Dups were counted by
-// whoever drew the fates.
-func (as *asyncState) deliverFated(l int32, fates []fault.Fate) {
+// delivery itself never touches the plan. crpt, parallel to fates, holds
+// the pre-drawn corruption rewrites (meaningful only at FateCorrupt
+// entries; nil when the plan cannot corrupt). Callers guarantee
+// 0 < len(fates) ≤ the link's in-flight count; Drops/Dups/Corruptions
+// were counted by whoever drew the fates.
+func (as *asyncState) deliverFated(l int32, fates []fault.Fate, crpt []machine.Message) {
 	fq := &as.flight[l]
 	mq := &as.mail[l]
 	if mq.len() == 0 {
 		as.ready[as.node[l]]++
 	}
-	for _, f := range fates {
-		mq.pushFated(fq.pop().msg, f)
+	for i, f := range fates {
+		msg := fq.pop().msg
+		if f == fault.FateCorrupt {
+			msg = crpt[i]
+		}
+		mq.pushFated(msg, f)
 	}
 }
 
@@ -395,6 +427,12 @@ func (as *asyncState) consume(v int, st *stepStats, bufs *asyncBufs) {
 	}
 	as.fires[v]++
 	if !as.halted[v] && !as.dead(v) {
+		// Corruption-tolerant canonicalisation: under a corrupting plan,
+		// payloads outside the machine's alphabet degrade to m0 — the
+		// receiver treats garbage as silence, like an omission fault.
+		if as.guard != nil {
+			machine.GuardInbox(as.guard, inbox)
+		}
 		cin := machine.CanonicalInboxInto(as.recv, inbox, bufs.scratch)
 		as.states[v] = as.m.Step(as.states[v], cin)
 		if out, ok := as.m.Halted(as.states[v]); ok {
@@ -488,11 +526,11 @@ func (t asyncTopology) Degree(v int) int  { return t.as.g.Degree(v) }
 func (t asyncTopology) LinkSrc(l int) int { return int(t.as.node[t.as.src[l]]) }
 func (t asyncTopology) LinkDst(l int) int { return int(t.as.node[l]) }
 
-// applyFaults applies the plan's crash/recovery decision for step t and
-// returns the change in the active (non-halted) node count: a reset
-// recovery can un-halt a halted node (reboot into a fresh z0) or, for
-// machines whose initial state is already a stopping state, halt it again
-// immediately.
+// applyFaults applies the plan's crash/recovery/retransmission decision
+// for step t and returns the change in the active (non-halted) node
+// count: a reset recovery can un-halt a halted node (reboot into a fresh
+// z0) or, for machines whose initial state is already a stopping state,
+// halt it again immediately.
 func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDelta int) {
 	as.fdec.Reset()
 	as.plan.Step(t, view, as.fdec)
@@ -526,6 +564,20 @@ func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDel
 			if wasHalted {
 				activeDelta++
 			}
+		}
+	}
+	// Sender-side retransmissions: push the source's current steady message
+	// onto each requested link, stamped with this step, behind whatever is
+	// already in flight. This runs on the coordinator over quiescent state
+	// (before the step's deliveries), in ascending link order, and both the
+	// single-shard and pre-draw delivery paths compute their per-link
+	// delivery counts after it — so the shard count stays invisible. A dead
+	// or halted source retransmits m0; for the fixpoint argument the extra
+	// copy is exactly a no-op re-send.
+	for l, resend := range as.fdec.Resend {
+		if resend {
+			as.flight[l].push(as.steadyMessage(int32(l)), t)
+			res.Retransmits++
 		}
 	}
 	return activeDelta

@@ -102,9 +102,12 @@ type asyncDriver struct {
 	t         int // step being executed
 
 	// This step's pre-drawn delivery fates (multi-shard plan runs only):
-	// link l's deliveries take fates[fateOff[l]:fateOff[l+1]].
+	// link l's deliveries take fates[fateOff[l]:fateOff[l+1]]. crpt, kept
+	// parallel to fates when the plan can corrupt (nil otherwise), holds
+	// the pre-drawn corruption rewrites at FateCorrupt positions.
 	fates   []fault.Fate
 	fateOff []int
+	crpt    []machine.Message
 
 	rt shardRuntime
 }
@@ -124,11 +127,16 @@ func (d *asyncDriver) runPhase(w int, ph runtimePhase) {
 // planFates draws this step's delivery fates from the plan in global
 // (link, queue-position) order — the exact order a single shard consumes
 // the plan's random stream in — so the workers can apply them shard-
-// locally without touching the plan. Drops/Dups are counted here, in the
-// same order, for the same reason.
+// locally without touching the plan. Drops/Dups/Corruptions are counted
+// here, in the same order, for the same reason; and because the
+// Corrupter's stream must interleave with Filter's exactly as in the
+// inline path, each corruption's rewrite is drawn immediately, peeking
+// the pending payload at its queue position (deliveries pop in FIFO
+// order, so the i-th delivery on link l is flight[l].buf[head+i]).
 func (d *asyncDriver) planFates(t int, res *Result) {
 	as, dec := d.as, d.dec
 	d.fates = d.fates[:0]
+	d.crpt = d.crpt[:0]
 	for l := range as.mail {
 		d.fateOff[l] = len(d.fates)
 		k := int(dec.Deliver[l])
@@ -142,8 +150,18 @@ func (d *asyncDriver) planFates(t int, res *Result) {
 				res.Drops++
 			case fault.FateDup:
 				res.Dups++
+			case fault.FateCorrupt:
+				res.Corruptions++
 			}
 			d.fates = append(d.fates, f)
+			if as.corrupt != nil {
+				var c machine.Message
+				if f == fault.FateCorrupt {
+					fq := &as.flight[l]
+					c = as.corrupt.Corrupt(t, l, fq.buf[fq.head+i].msg)
+				}
+				d.crpt = append(d.crpt, c)
+			}
 		}
 	}
 	d.fateOff[len(as.mail)] = len(d.fates)
@@ -191,7 +209,11 @@ func (d *asyncDriver) stepShard(w int) {
 		for l := as.off[v]; l < as.off[v+1]; l++ {
 			if d.fateOff != nil {
 				if fates := d.fates[d.fateOff[l]:d.fateOff[l+1]]; len(fates) > 0 {
-					as.deliverFated(l, fates)
+					var crpt []machine.Message
+					if as.corrupt != nil {
+						crpt = d.crpt[d.fateOff[l]:d.fateOff[l+1]]
+					}
+					as.deliverFated(l, fates, crpt)
 				}
 			} else if dec.DeliverAll {
 				as.deliver(l, as.flight[l].len())
@@ -315,6 +337,13 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	sched.Begin(n, links)
 	if as.plan != nil {
 		as.plan.Begin(asyncTopology{as: as})
+		// Copy the partition-heal telemetry out on every exit path (normal
+		// halt, fixpoint, budget error): the plan owns the running count.
+		defer func() {
+			if h, ok := as.plan.(fault.Healer); ok {
+				res.Healed = h.Healed()
+			}
+		}()
 	}
 	view := asyncView{as: as}
 

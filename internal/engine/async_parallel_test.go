@@ -28,9 +28,9 @@ func shardedSuiteGraphs() []*graph.Graph {
 // across shard counts and at GOMAXPROCS 1 and 4, the sharded executor must
 // be bit-identical to the single-threaded one — the whole Result (Output,
 // Rounds, MessageBytes, Trace, Fires, Fixpoint, States, Alive, Drops,
-// Dups, Crashes, Recoveries), and identical ErrNoHalt failures. CI runs
-// this under -race, which also proves the shard ownership discipline is
-// data-race free.
+// Dups, Corruptions, Crashes, Recoveries, Retransmits, Healed), and
+// identical ErrNoHalt failures. CI runs this under -race, which also
+// proves the shard ownership discipline is data-race free.
 func TestAsyncShardedEquivalence(t *testing.T) {
 	const budget = 4_000
 	schedSpecs := []string{"sync", "roundrobin", "random:0.4", "staleness:2", "adversary:3"}
@@ -38,6 +38,13 @@ func TestAsyncShardedEquivalence(t *testing.T) {
 		"",
 		"drop:0.3,31,60+dup:0.2,32,60+crash:1,33,60",
 		"adversary:2,9,60",
+		// Hostile links: the corrupter's stream must interleave with the
+		// filter's identically in the inline and pre-draw paths, partition
+		// cuts are correlated per-link state, and retransmissions are
+		// coordinator-side queue pushes — all three must be invisible to
+		// the shard count.
+		"byzantine:0.3,41,60+partition:3,42,60",
+		"crash:1,43,60+retransmit:2,44,60",
 	}
 	machinesOf := func(delta int, faulty bool) []machine.Machine {
 		if faulty {

@@ -65,8 +65,13 @@
 // Layered on top of the schedule, a fault.Plan (Options.Fault) injects
 // faults into the async executor: delivered messages can be dropped
 // (delivered as m0 — the omission fault of message adversaries, which
-// keeps the frontier discipline live) or duplicated, and nodes can crash
-// and recover. Crashed nodes keep draining their frontiers and emit m0, so
+// keeps the frontier discipline live), duplicated or corrupted (a
+// Byzantine plan rewrites the payload; machines bound their alphabet via
+// machine.MessageGuard so garbage degrades to m0), links can be cut and
+// healed (partition plans — correlated omission, so frontiers never
+// starve), senders can retransmit their steady message onto links of
+// recovering nodes (fault.Decision.Resend), and nodes can crash and
+// recover. Crashed nodes keep draining their frontiers and emit m0, so
 // neighbours are never wedged; a reset recovery reinitialises the node via
 // the machine (machine.Rebooter for stable storage). Fixpoint detection is
 // gated on the plan being settled — see async.go.
@@ -223,6 +228,11 @@ type Result struct {
 	// revivals. All zero when no fault plan ran.
 	Drops, Dups         int64
 	Crashes, Recoveries int64
+	// Corruptions counts messages a Byzantine plan rewrote before delivery,
+	// Healed the cut links a partition plan restored, and Retransmits the
+	// sender-side retries a retransmit plan injected into the flight
+	// queues. All zero when no fault plan ran.
+	Corruptions, Healed, Retransmits int64
 	// Shards is the number of runtime shards the run executed on: 1 for
 	// the single-threaded paths, the resolved worker count otherwise.
 	// Telemetry only — every shard count produces bit-identical results.

@@ -200,10 +200,140 @@ type stableStore struct{ machine.Machine }
 
 func (s stableStore) RebootState(deg int, crashed machine.State) machine.State { return crashed }
 
+// TestAsyncByzantineGuardedConvergence: under heavy Byzantine corruption,
+// a machine that bounds its alphabet (MaxConsensus's MessageGuard rejects
+// values outside [0, Δ]) still stabilises to exactly the fault-free
+// configuration once the plan settles — garbage degrades to m0 and
+// in-range lies are washed out by the monotone convergence to Δ.
+func TestAsyncByzantineGuardedConvergence(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	m := algorithms.MaxConsensus(g.MaxDegree())
+	res, err := Run(m, p, Options{
+		MaxRounds: 200_000,
+		Executor:  ExecutorAsync,
+		Fault:     fault.ByzantineFor(7, 0.5, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corruptions == 0 {
+		t.Fatal("no corruptions under a p=0.5 byzantine plan")
+	}
+	if !res.Fixpoint {
+		t.Error("corrupted run did not reach a fixpoint")
+	}
+	for v, s := range res.States {
+		if s.(int) != g.MaxDegree() {
+			t.Errorf("node %d stabilised at %v, want the true maximum %d", v, s, g.MaxDegree())
+		}
+	}
+}
+
+// TestAsyncByzantineVisibleWithoutGuard: a machine that accepts every
+// payload (inboxEcho has no ValidFunc) sees the corrupted bytes — the
+// faulty outputs differ from the clean run, proving corruption really
+// rewrites payloads rather than dropping them.
+func TestAsyncByzantineVisibleWithoutGuard(t *testing.T) {
+	g := graph.Path(3)
+	p := port.Canonical(g)
+	m := inboxEcho(g.MaxDegree(), machine.ClassMV)
+	clean, err := Run(m, p, Options{Executor: ExecutorAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, p, Options{
+		Executor: ExecutorAsync,
+		Fault:    fault.ByzantineFor(3, 1, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path(3) has 4 directed links; the single echoed round delivers one
+	// message per link, all corrupted.
+	if res.Corruptions != 4 {
+		t.Errorf("Corruptions = %d, want 4", res.Corruptions)
+	}
+	if reflect.DeepEqual(clean.Output, res.Output) {
+		t.Error("corrupting every message left the echoed outputs unchanged")
+	}
+}
+
+// TestAsyncPartitionHealsAndConverges: a partition plan cuts a seeded
+// island (visible as correlated drops), heals within its horizon (visible
+// as Healed), and the gossip then floods across the restored links to the
+// fault-free fixpoint.
+func TestAsyncPartitionHealsAndConverges(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	m := algorithms.MaxConsensus(g.MaxDegree())
+	res, err := Run(m, p, Options{
+		MaxRounds: 200_000,
+		Executor:  ExecutorAsync,
+		Fault:     fault.PartitionFor(5, 5, 80),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Error("partition cut no deliveries (Drops = 0)")
+	}
+	if res.Healed == 0 {
+		t.Error("Healed = 0 after the horizon")
+	}
+	if !res.Fixpoint {
+		t.Error("partitioned run did not reach a fixpoint after healing")
+	}
+	for v, s := range res.States {
+		if s.(int) != g.MaxDegree() {
+			t.Errorf("node %d stabilised at %v, want %d", v, s, g.MaxDegree())
+		}
+	}
+}
+
+// TestAsyncRetransmitRejoinsRecovery: composed with a crash plan, the
+// retransmit layer re-sends steady messages on the recovered nodes'
+// in-links — counted in Retransmits — and the run still stabilises to the
+// fault-free configuration.
+func TestAsyncRetransmitRejoinsRecovery(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	m := algorithms.MaxConsensus(g.MaxDegree())
+	plan, err := fault.Parse("crash:2,5,100+retransmit:2,6,100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, p, Options{
+		MaxRounds: 200_000,
+		Executor:  ExecutorAsync,
+		Schedule:  schedule.RoundRobin(),
+		Fault:     plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 2 {
+		t.Errorf("Recoveries = %d, want 2", res.Recoveries)
+	}
+	if res.Retransmits == 0 {
+		t.Error("Retransmits = 0 after two recoveries under retransmit:2")
+	}
+	if !res.Fixpoint {
+		t.Error("run did not reach a fixpoint")
+	}
+	for v, s := range res.States {
+		if s.(int) != g.MaxDegree() {
+			t.Errorf("node %d stabilised at %v, want %d", v, s, g.MaxDegree())
+		}
+	}
+}
+
 // TestAsyncFaultSeededDeterminism is the reproducibility property of the
 // -faults/-fault-seed flags: the same (schedule seed, fault seed) pair
 // replays a bit-identical run — outputs, states, liveness, telemetry and
-// fault counters — across repeated invocations and GOMAXPROCS settings.
+// fault counters — across repeated invocations and GOMAXPROCS settings,
+// for the silent fault families and the hostile-link ones (byzantine
+// corruption, partition-and-heal, sender-side retransmission) alike.
 func TestAsyncFaultSeededDeterminism(t *testing.T) {
 	g := graph.Torus(4, 4)
 	p := port.Canonical(g)
@@ -211,47 +341,59 @@ func TestAsyncFaultSeededDeterminism(t *testing.T) {
 		algorithms.MaxConsensus(g.MaxDegree()),
 		algorithms.LeafProximityStab(g.MaxDegree(), 3),
 	}
-	const faultSpec = "drop:0.3,31,200+dup:0.2,32,200+crash:2,33,200"
+	faultSpecs := []struct {
+		spec    string
+		nonzero func(*Result) int64 // the counter this family must move
+	}{
+		{"drop:0.3,31,200+dup:0.2,32,200+crash:2,33,200", func(r *Result) int64 { return r.Drops }},
+		{"byzantine:0.3,41,200", func(r *Result) int64 { return r.Corruptions }},
+		{"partition:4,42,200", func(r *Result) int64 { return r.Healed }},
+		{"crash:2,43,200+retransmit:2,44,200", func(r *Result) int64 { return r.Retransmits }},
+		{"byzantine:0.2,45,200+partition:3,46,200+crash:1,47,200+retransmit:1,48,200",
+			func(r *Result) int64 { return r.Corruptions + r.Healed }},
+	}
 	for _, m := range machines {
 		for _, schedSpec := range []string{"sync", "random:0.3", "adversary:4"} {
-			label := fmt.Sprintf("%s schedule=%s", m.Name(), schedSpec)
-			runOnce := func() *Result {
-				sched, err := schedule.Parse(schedSpec, 77)
-				if err != nil {
-					t.Fatal(err)
+			for _, fs := range faultSpecs {
+				label := fmt.Sprintf("%s schedule=%s faults=%s", m.Name(), schedSpec, fs.spec)
+				runOnce := func() *Result {
+					sched, err := schedule.Parse(schedSpec, 77)
+					if err != nil {
+						t.Fatal(err)
+					}
+					plan, err := fault.Parse(fs.spec, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(m, p, Options{
+						MaxRounds: 200_000,
+						Executor:  ExecutorAsync,
+						Schedule:  sched,
+						Fault:     plan,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					return res
 				}
-				plan, err := fault.Parse(faultSpec, 1)
-				if err != nil {
-					t.Fatal(err)
+				base := runOnce()
+				if fs.nonzero(base) == 0 {
+					t.Errorf("%s: fault family injected nothing", label)
 				}
-				res, err := Run(m, p, Options{
-					MaxRounds: 200_000,
-					Executor:  ExecutorAsync,
-					Schedule:  sched,
-					Fault:     plan,
-				})
-				if err != nil {
-					t.Fatalf("%s: %v", label, err)
+				if !reflect.DeepEqual(base, runOnce()) {
+					t.Fatalf("%s: repeated run diverged", label)
 				}
-				return res
-			}
-			base := runOnce()
-			if base.Drops == 0 {
-				t.Errorf("%s: no drops injected", label)
-			}
-			if !reflect.DeepEqual(base, runOnce()) {
-				t.Fatalf("%s: repeated run diverged", label)
-			}
-			prev := runtime.GOMAXPROCS(0)
-			for _, procs := range []int{1, 4} {
-				runtime.GOMAXPROCS(procs)
-				got := runOnce()
-				if !reflect.DeepEqual(base, got) {
-					runtime.GOMAXPROCS(prev)
-					t.Fatalf("%s: run diverged under GOMAXPROCS=%d", label, procs)
+				prev := runtime.GOMAXPROCS(0)
+				for _, procs := range []int{1, 4} {
+					runtime.GOMAXPROCS(procs)
+					got := runOnce()
+					if !reflect.DeepEqual(base, got) {
+						runtime.GOMAXPROCS(prev)
+						t.Fatalf("%s: run diverged under GOMAXPROCS=%d", label, procs)
+					}
 				}
+				runtime.GOMAXPROCS(prev)
 			}
-			runtime.GOMAXPROCS(prev)
 		}
 	}
 }
@@ -268,7 +410,7 @@ func TestAsyncFaultFreeResultShape(t *testing.T) {
 	if res.Alive != nil {
 		t.Errorf("Alive = %v on a fault-free run, want nil", res.Alive)
 	}
-	if res.Drops+res.Dups+res.Crashes+res.Recoveries != 0 {
+	if res.Drops+res.Dups+res.Corruptions+res.Crashes+res.Recoveries+res.Retransmits+res.Healed != 0 {
 		t.Error("fault telemetry non-zero on a fault-free run")
 	}
 	if len(res.States) != g.N() {

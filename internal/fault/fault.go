@@ -55,6 +55,12 @@ const (
 	// FateDup delivers the message twice: the receiver's queue gains an
 	// extra copy, to be consumed by a later firing.
 	FateDup
+	// FateCorrupt delivers a rewritten payload in the message's place: the
+	// Byzantine channel fault. Only plans implementing Corrupter may return
+	// it — the engine follows up every FateCorrupt with a Corrupt call for
+	// the replacement payload, on the same goroutine and in the same
+	// (link, queue-position) order as the Filter that drew it.
+	FateCorrupt
 )
 
 // String returns the -faults vocabulary for the fate.
@@ -66,6 +72,8 @@ func (f Fate) String() string {
 		return "drop"
 	case FateDup:
 		return "dup"
+	case FateCorrupt:
+		return "corrupt"
 	default:
 		return "Fate(?)"
 	}
@@ -112,22 +120,31 @@ type View interface {
 }
 
 // Decision is the engine-owned buffer a Plan fills at each step with its
-// crash and recovery requests. The engine clamps requests to what is
-// possible: crashing a crashed node and recovering an alive one are no-ops.
-// Message fates are not part of the Decision — they are decided per
-// delivery through Filter, after the schedule has chosen what to deliver.
+// crash, recovery and retransmission requests. The engine clamps requests
+// to what is possible: crashing a crashed node and recovering an alive one
+// are no-ops, and a retransmission on a link whose source is dead or
+// halted re-sends m0 (a dead sender has nothing to say). Message fates are
+// not part of the Decision — they are decided per delivery through Filter,
+// after the schedule has chosen what to deliver.
 type Decision struct {
 	// Crash[v] requests that node v crash this step.
 	Crash []bool
 	// Recover[v] requests that node v recover this step, and how.
 	Recover []RecoverKind
+	// Resend[l] requests that the source of link l retransmit its current
+	// steady message onto l this step — the sender-side retry of the
+	// retransmit plan. The extra copy joins the link's flight queue behind
+	// whatever is already in flight, exactly like a duplication, so Kahn
+	// frontiers stay well formed.
+	Resend []bool
 }
 
 // NewDecision allocates a Decision sized for a run.
-func NewDecision(nodes int) *Decision {
+func NewDecision(nodes, links int) *Decision {
 	return &Decision{
 		Crash:   make([]bool, nodes),
 		Recover: make([]RecoverKind, nodes),
+		Resend:  make([]bool, links),
 	}
 }
 
@@ -135,6 +152,7 @@ func NewDecision(nodes int) *Decision {
 func (d *Decision) Reset() {
 	clear(d.Crash)
 	clear(d.Recover)
+	clear(d.Resend)
 }
 
 // Plan decides, per step, which delivered messages are dropped or
@@ -159,8 +177,48 @@ type Plan interface {
 	// run bit-identical) without any locking in the Plan.
 	Filter(t int, link int) Fate
 	// Settled reports that the plan will never again perturb the run: no
-	// future drop, duplication, crash or recovery is possible. The engine
-	// gates fixpoint detection on it, because an unsettled plan could still
-	// perturb a configuration that currently looks steady.
+	// future drop, duplication, corruption, retransmission, crash or
+	// recovery is possible. The engine gates fixpoint detection on it,
+	// because an unsettled plan could still perturb a configuration that
+	// currently looks steady.
 	Settled() bool
+}
+
+// Corrupter is the optional Plan extension for Byzantine channels. When a
+// plan's Filter returns FateCorrupt, the engine immediately calls Corrupt
+// with the genuine payload (m0 for a silent sender) and delivers the
+// returned rewrite in its place. The call happens on the same goroutine
+// and in the same (link, queue-position) order as the Filter that drew the
+// fate — on the sharded executor both run on the coordinator during the
+// pre-draw — so a Corrupter's random stream stays sequential and the run
+// bit-identical across worker counts.
+type Corrupter interface {
+	Plan
+	// Corrupt returns the payload delivered in place of msg on link l at
+	// step t. Returning msg unchanged is allowed (the corruption is still
+	// counted); returning NoMessage models corruption-to-silence.
+	Corrupt(t int, link int, msg string) string
+}
+
+// CanCorrupt reports whether plan can ever emit FateCorrupt, looking
+// through composites (a composite satisfies Corrupter structurally even
+// when no component corrupts). The engine uses it to skip corruption
+// bookkeeping (and the receiver-side message guard) entirely for plans
+// that cannot lie.
+func CanCorrupt(plan Plan) bool {
+	if c, ok := plan.(*composite); ok {
+		return c.canCorrupt
+	}
+	_, ok := plan.(Corrupter)
+	return ok
+}
+
+// Healer is the optional Plan extension for partition plans: it exposes
+// how many cut links have been restored, for telemetry. The engine copies
+// the final count into Result.Healed after the run.
+type Healer interface {
+	Plan
+	// Healed returns the number of links cut by this plan that have healed
+	// so far in the current run.
+	Healed() int64
 }

@@ -45,11 +45,16 @@ func (v fakeView) Alive(int) bool     { return true }
 
 // replay drives a plan for steps steps over the topology and returns every
 // per-step decision plus every per-delivery fate (one delivery per link
-// per step), as a reproducibility fingerprint.
+// per step), as a reproducibility fingerprint. Corrupted deliveries fold
+// the replacement payload into the fate stream so corruptor randomness is
+// fingerprinted too; resend requests are merged into the recovery stream
+// (offset by the link id) so retransmit plans are covered by the same
+// determinism checks.
 func replay(p Plan, top *fakeTopology, steps int) (fates []Fate, crashes, recoveries []int) {
 	p.Begin(top)
 	view := fakeView{top: top}
-	dec := NewDecision(top.Nodes())
+	dec := NewDecision(top.Nodes(), top.Links())
+	corrupter, _ := p.(Corrupter)
 	for t := 1; t <= steps; t++ {
 		dec.Reset()
 		p.Step(t, view, dec)
@@ -63,8 +68,20 @@ func replay(p Plan, top *fakeTopology, steps int) (fates []Fate, crashes, recove
 				recoveries = append(recoveries, t*1000+v)
 			}
 		}
+		for l, rs := range dec.Resend {
+			if rs {
+				recoveries = append(recoveries, -(t*1000 + l))
+			}
+		}
 		for l := 0; l < top.Links(); l++ {
-			fates = append(fates, p.Filter(t, l))
+			f := p.Filter(t, l)
+			if f == FateCorrupt {
+				msg := corrupter.Corrupt(t, l, "payload")
+				for _, b := range []byte(msg) {
+					f += Fate(b) << 2
+				}
+			}
+			fates = append(fates, f)
 		}
 	}
 	return fates, crashes, recoveries
@@ -101,6 +118,8 @@ func TestSeededDeterminism(t *testing.T) {
 	specs := []string{
 		"drop:0.5", "dup:0.5", "crash:3", "pause:2", "crashstop:2",
 		"adversary:2", "drop:0.4+crash:2+dup:0.3",
+		"byzantine:0.5", "partition:2", "crash:2+retransmit:2",
+		"byzantine:0.3+partition:3+drop:0.2",
 	}
 	for _, spec := range specs {
 		mk := func(seed int64) Plan {
@@ -190,7 +209,7 @@ func TestCrashPlansSettle(t *testing.T) {
 // TestUnsettledBeforeHorizon: a fresh plan is not settled, so the engine
 // cannot prematurely declare a fixpoint.
 func TestUnsettledBeforeHorizon(t *testing.T) {
-	for _, spec := range []string{"drop:0.5", "crash:2", "adversary:1"} {
+	for _, spec := range []string{"drop:0.5", "crash:2", "adversary:1", "byzantine:0.5", "partition:2"} {
 		p, err := Parse(spec, 5)
 		if err != nil {
 			t.Fatal(err)
@@ -271,8 +290,8 @@ func TestComposeFates(t *testing.T) {
 	if f := p.Filter(1, 0); f != FateDrop {
 		t.Errorf("drop+dup composite fate = %v, want drop", f)
 	}
-	if got := Compose(Compose(Drop(1, 0.5), Dup(2, 0.5)), CrashStop(3, 1)).(composite); len(got) != 3 {
-		t.Errorf("nested Compose did not flatten: %d components", len(got))
+	if got := Compose(Compose(Drop(1, 0.5), Dup(2, 0.5)), CrashStop(3, 1)).(*composite); len(got.plans) != 3 {
+		t.Errorf("nested Compose did not flatten: %d components", len(got.plans))
 	}
 	if Compose() != nil {
 		t.Error("empty Compose should be nil (no faults)")
@@ -293,6 +312,10 @@ func TestParse(t *testing.T) {
 		{"crashstop:2,3,100", "crashstop:2"},
 		{"adversary:4", "adversary:4"},
 		{"drop:0.1+crash:1,7", "drop:0.1+crash:1"},
+		{"byzantine:0.25", "byzantine:0.25"},
+		{"partition:3,5", "partition:3"},
+		{"retransmit:2,5,100", "retransmit:2"},
+		{"byzantine:0.2+partition:2+crash:1+retransmit:1", "byzantine:0.2+partition:2+crash:1+retransmit:1"},
 	} {
 		p, err := Parse(tc.spec, 1)
 		if err != nil {
@@ -311,6 +334,8 @@ func TestParse(t *testing.T) {
 	for _, bad := range []string{
 		"chaos", "drop", "drop:2", "drop:-1", "drop:0.5,x", "drop:0.5,1,0",
 		"crash:0", "crash:x", "adversary:0", "drop:0.5,1,2,3", "drop:0.5+chaos",
+		"byzantine:1.5", "byzantine:x", "partition:0", "partition:x",
+		"retransmit:0", "retransmit:-1",
 	} {
 		if _, err := Parse(bad, 1); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", bad)
@@ -323,7 +348,10 @@ func TestParse(t *testing.T) {
 
 // TestUsesSeed: every seeded generator reports it; CrashAt does not.
 func TestUsesSeed(t *testing.T) {
-	for _, spec := range []string{"drop:0.5", "dup:0.5", "crash:1", "crashstop:1", "adversary:1"} {
+	for _, spec := range []string{
+		"drop:0.5", "dup:0.5", "crash:1", "crashstop:1", "adversary:1",
+		"byzantine:0.5", "partition:2", "retransmit:1",
+	} {
 		p, err := Parse(spec, 1)
 		if err != nil {
 			t.Fatal(err)

@@ -352,20 +352,303 @@ func (a *adversaryPlan) Settled() bool {
 	return a.last >= a.horizon && a.crashes.Settled()
 }
 
-// Compose combines plans into one: crash/recovery requests are unioned and
-// a delivery's fate is the worst any component assigns (drop beats dup
-// beats deliver). Every component is consulted for every delivery, so each
-// keeps its own deterministic random stream. Composing several crash plans
-// is allowed but their downtimes may interleave on a shared victim; the
-// engine resolves overlaps by ignoring redundant requests.
+// Byzantine returns the seeded plan that, while active, corrupts each
+// delivered message independently with probability p: the payload is
+// rewritten by a seeded corruptor drawn per corruption — a single bit
+// flip, a swap with m0 (corruption to silence), or a replay of the
+// previous payload corrupted away on the same link. See FateCorrupt for
+// the delivery semantics and machine.MessageGuard for how receivers
+// tolerate the garbage.
+func Byzantine(seed int64, p float64) Plan { return ByzantineFor(seed, p, DefaultHorizon) }
+
+// ByzantineFor is Byzantine with an explicit fault horizon in steps.
+func ByzantineFor(seed int64, p float64, horizon int) Plan {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &byzantinePlan{seed: seed, p: p, horizon: horizon}
+}
+
+type byzantinePlan struct {
+	seed    int64
+	p       float64
+	horizon int
+
+	rng  *rand.Rand
+	prev []string // per link: the last genuine payload displaced by a corruption
+	last int
+}
+
+func (b *byzantinePlan) Name() string { return fmt.Sprintf("byzantine:%g", b.p) }
+
+func (b *byzantinePlan) Begin(top Topology) {
+	b.rng = rand.New(rand.NewSource(b.seed))
+	b.prev = make([]string, top.Links())
+	b.last = 0
+}
+
+func (b *byzantinePlan) Step(t int, view View, dec *Decision) { b.last = t }
+
+func (b *byzantinePlan) Filter(t int, link int) Fate {
+	if t > b.horizon {
+		return FateDeliver
+	}
+	if b.rng.Float64() < b.p {
+		return FateCorrupt
+	}
+	return FateDeliver
+}
+
+// Corrupt rewrites msg with one of three seeded corruptors. The displaced
+// genuine payload is remembered per link so a later replay corruption can
+// re-deliver it stale. Every branch is a deterministic function of the
+// (seeded) RNG stream and the genuine payload, so replays stay
+// bit-identical.
+func (b *byzantinePlan) Corrupt(t int, link int, msg string) string {
+	defer func() { b.prev[link] = msg }()
+	switch b.rng.Intn(3) {
+	case 0: // bit flip — on m0, fabricate a junk byte (noise from silence)
+		if msg == "" {
+			return string([]byte{byte(33 + b.rng.Intn(94))})
+		}
+		buf := []byte(msg)
+		buf[b.rng.Intn(len(buf))] ^= 1 << uint(b.rng.Intn(8))
+		return string(buf)
+	case 1: // swap with m0 — corruption to silence
+		return ""
+	default: // replay of the previously displaced payload (m0 if none)
+		return b.prev[link]
+	}
+}
+
+func (b *byzantinePlan) Settled() bool { return b.last >= b.horizon }
+
+// Partition returns the seeded plan that cuts a seeded island of k nodes
+// from the rest of the graph and heals the cut at a seeded step in the
+// upper half of the default horizon. The cut is correlated per-link
+// omission: every message crossing the boundary is delivered as m0 in
+// both directions, so partitioned Kahn frontiers still see one delivery
+// per in-port and never starve, while no information crosses until the
+// heal. Healed cut links are reported through the Healer interface.
+func Partition(seed int64, k int) Plan { return PartitionFor(seed, k, DefaultHorizon) }
+
+// PartitionFor is Partition with an explicit horizon; the heal step is
+// drawn from the upper half of the horizon, so the plan is settled (and
+// fixpoint detection unblocked) from the heal onward.
+func PartitionFor(seed int64, k, horizon int) Plan {
+	if k < 1 {
+		k = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &partitionPlan{seed: seed, k: k, horizon: horizon}
+}
+
+type partitionPlan struct {
+	seed    int64
+	k       int
+	horizon int
+
+	cut      []bool
+	cutCount int
+	healAt   int
+	healed   int64
+	last     int
+}
+
+func (p *partitionPlan) Name() string { return fmt.Sprintf("partition:%d", p.k) }
+
+func (p *partitionPlan) Begin(top Topology) {
+	p.last = 0
+	p.healed = 0
+	rng := rand.New(rand.NewSource(p.seed))
+	upper := p.horizon - p.horizon/2
+	p.healAt = p.horizon/2 + 1 + rng.Intn(max(1, upper))
+	if p.healAt > p.horizon {
+		p.healAt = p.horizon
+	}
+	n := top.Nodes()
+	p.cut = make([]bool, top.Links())
+	p.cutCount = 0
+	if n < 2 {
+		return
+	}
+	// Grow the island by BFS from a seeded root, visiting out-neighbours in
+	// global link order, so the cut is a connected chunk of the graph (the
+	// realistic shape of a network partition) and fully seed-deterministic.
+	adj := make([][]int, n)
+	for l := 0; l < top.Links(); l++ {
+		src := top.LinkSrc(l)
+		adj[src] = append(adj[src], top.LinkDst(l))
+	}
+	size := min(p.k, n-1)
+	island := make([]bool, n)
+	queue := []int{rng.Intn(n)}
+	island[queue[0]] = true
+	got := 1
+	for len(queue) > 0 && got < size {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if island[w] || got >= size {
+				continue
+			}
+			island[w] = true
+			got++
+			queue = append(queue, w)
+		}
+	}
+	for l := range p.cut {
+		if island[top.LinkSrc(l)] != island[top.LinkDst(l)] {
+			p.cut[l] = true
+			p.cutCount++
+		}
+	}
+}
+
+func (p *partitionPlan) Step(t int, view View, dec *Decision) {
+	p.last = t
+	if t >= p.healAt {
+		p.healed = int64(p.cutCount)
+	}
+}
+
+func (p *partitionPlan) Filter(t int, link int) Fate {
+	if t >= p.healAt || !p.cut[link] {
+		return FateDeliver
+	}
+	return FateDrop
+}
+
+// Healed reports how many cut links have been restored (all of them, once
+// the heal step is reached).
+func (p *partitionPlan) Healed() int64 { return p.healed }
+
+func (p *partitionPlan) Settled() bool { return p.last >= p.healAt }
+
+// Retransmit returns the seeded plan that gives senders a bounded retry
+// layer: when a node recovers from a crash, each of its in-links is
+// scheduled for up to r retransmissions of the sender's current steady
+// message, spread by seeded per-link backoff. The recovering node
+// re-receives its frontier instead of waiting for neighbours to fire
+// again, so it rejoins cleanly. On its own the plan injects nothing —
+// compose it with a crash or pause plan. Backoff delays are drawn from
+// the plan's RNG in ascending global link order on the engine's
+// coordinator, so sharded runs stay bit-identical.
+func Retransmit(seed int64, r int) Plan { return RetransmitFor(seed, r, DefaultHorizon) }
+
+// RetransmitFor is Retransmit with an explicit horizon; retransmissions
+// scheduled past the horizon are clamped to it, so the plan settles with
+// the horizon.
+func RetransmitFor(seed int64, r, horizon int) Plan {
+	if r < 1 {
+		r = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &retransmitPlan{seed: seed, r: r, horizon: horizon}
+}
+
+// resendEvent is one scheduled retransmission.
+type resendEvent struct {
+	link int
+	at   int
+}
+
+type retransmitPlan struct {
+	seed    int64
+	r       int
+	horizon int
+
+	rng       *rand.Rand
+	prevAlive []bool
+	inLinks   [][]int // per node, its in-links in ascending global link order
+	pending   []resendEvent
+	last      int
+}
+
+func (r *retransmitPlan) Name() string { return fmt.Sprintf("retransmit:%d", r.r) }
+
+func (r *retransmitPlan) Begin(top Topology) {
+	r.rng = rand.New(rand.NewSource(r.seed))
+	r.last = 0
+	r.pending = r.pending[:0]
+	n := top.Nodes()
+	r.prevAlive = make([]bool, n)
+	for v := range r.prevAlive {
+		r.prevAlive[v] = true
+	}
+	r.inLinks = make([][]int, n)
+	for l := 0; l < top.Links(); l++ {
+		dst := top.LinkDst(l)
+		r.inLinks[dst] = append(r.inLinks[dst], l)
+	}
+}
+
+func (r *retransmitPlan) Step(t int, view View, dec *Decision) {
+	r.last = t
+	n := len(r.prevAlive)
+	// Observe recoveries (false→true transitions since the previous step)
+	// and schedule the retry bursts, nodes ascending, links ascending, so
+	// the RNG stream is consumed in a replay-stable order.
+	for v := 0; v < n; v++ {
+		alive := view.Alive(v)
+		if alive && !r.prevAlive[v] && t <= r.horizon {
+			for _, l := range r.inLinks[v] {
+				at := t
+				for i := 0; i < r.r; i++ {
+					at += 1 + r.rng.Intn(2<<uint(i))
+					if at > r.horizon {
+						break
+					}
+					r.pending = append(r.pending, resendEvent{link: l, at: at})
+				}
+			}
+		}
+		r.prevAlive[v] = alive
+	}
+	// Fire the retransmissions due this step.
+	kept := r.pending[:0]
+	for _, ev := range r.pending {
+		if ev.at <= t {
+			dec.Resend[ev.link] = true
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	r.pending = kept
+}
+
+func (r *retransmitPlan) Filter(t int, link int) Fate { return FateDeliver }
+
+func (r *retransmitPlan) Settled() bool {
+	return r.last >= r.horizon && len(r.pending) == 0
+}
+
+// Compose combines plans into one: crash/recovery/retransmit requests are
+// unioned and a delivery's fate is the worst any component assigns (drop
+// beats corrupt beats dup beats deliver). Every component is consulted for
+// every delivery, so each keeps its own deterministic random stream. When
+// a corrupting component wins, the composite remembers it so the engine's
+// follow-up Corrupt call reaches the right corruptor. Composing several
+// crash plans is allowed but their downtimes may interleave on a shared
+// victim; the engine resolves overlaps by ignoring redundant requests.
 func Compose(plans ...Plan) Plan {
 	flat := make([]Plan, 0, len(plans))
 	for _, p := range plans {
 		if p == nil {
 			continue
 		}
-		if c, ok := p.(composite); ok {
-			flat = append(flat, c...)
+		if c, ok := p.(*composite); ok {
+			flat = append(flat, c.plans...)
 			continue
 		}
 		flat = append(flat, p)
@@ -376,48 +659,88 @@ func Compose(plans ...Plan) Plan {
 	case 1:
 		return flat[0]
 	}
-	return composite(flat)
+	c := &composite{plans: flat}
+	for _, p := range flat {
+		if _, ok := p.(Corrupter); ok {
+			c.canCorrupt = true
+		}
+	}
+	return c
 }
 
-type composite []Plan
+type composite struct {
+	plans      []Plan
+	canCorrupt bool
+	// hit is the component whose FateCorrupt won the most recent Filter;
+	// the engine's Corrupt follow-up happens immediately after Filter on
+	// the same goroutine (see Corrupter), so a single slot suffices.
+	hit Corrupter
+}
 
-func (c composite) Name() string {
-	names := make([]string, len(c))
-	for i, p := range c {
+func (c *composite) Name() string {
+	names := make([]string, len(c.plans))
+	for i, p := range c.plans {
 		names[i] = p.Name()
 	}
 	return strings.Join(names, "+")
 }
 
-func (c composite) Begin(top Topology) {
-	for _, p := range c {
+func (c *composite) Begin(top Topology) {
+	c.hit = nil
+	for _, p := range c.plans {
 		p.Begin(top)
 	}
 }
 
-func (c composite) Step(t int, view View, dec *Decision) {
-	for _, p := range c {
+func (c *composite) Step(t int, view View, dec *Decision) {
+	for _, p := range c.plans {
 		p.Step(t, view, dec)
 	}
 }
 
-func (c composite) Filter(t int, link int) Fate {
+func (c *composite) Filter(t int, link int) Fate {
 	worst := FateDeliver
-	for _, p := range c {
+	c.hit = nil
+	for _, p := range c.plans {
 		switch p.Filter(t, link) {
 		case FateDrop:
 			worst = FateDrop
+		case FateCorrupt:
+			if worst != FateDrop {
+				worst = FateCorrupt
+				c.hit = p.(Corrupter)
+			}
 		case FateDup:
 			if worst == FateDeliver {
 				worst = FateDup
 			}
 		}
 	}
+	if worst != FateCorrupt {
+		c.hit = nil
+	}
 	return worst
 }
 
-func (c composite) Settled() bool {
-	for _, p := range c {
+// Corrupt delegates to the component whose FateCorrupt won the preceding
+// Filter call.
+func (c *composite) Corrupt(t int, link int, msg string) string {
+	return c.hit.Corrupt(t, link, msg)
+}
+
+// Healed sums the healed-link counts of every partition component.
+func (c *composite) Healed() int64 {
+	var total int64
+	for _, p := range c.plans {
+		if h, ok := p.(Healer); ok {
+			total += h.Healed()
+		}
+	}
+	return total
+}
+
+func (c *composite) Settled() bool {
+	for _, p := range c.plans {
 		if !p.Settled() {
 			return false
 		}

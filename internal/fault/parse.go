@@ -8,7 +8,7 @@ import (
 
 // ValidSpecs lists the -faults spellings accepted by Parse, for error
 // messages and usage strings.
-const ValidSpecs = "drop:P | dup:P | crash:K | pause:K | crashstop:K | adversary:B — each takes optional ,SEED[,HORIZON]; compose with '+'"
+const ValidSpecs = "drop:P | dup:P | byzantine:P | crash:K | pause:K | crashstop:K | partition:K | retransmit:R | adversary:B — each takes optional ,SEED[,HORIZON]; compose with '+'"
 
 // Parse builds a fault plan from its textual specification. Components are
 // composed with '+'; each is NAME:ARG[,SEED[,HORIZON]], where SEED
@@ -21,9 +21,15 @@ const ValidSpecs = "drop:P | dup:P | crash:K | pause:K | crashstop:K | adversary
 //
 //	drop:P       — deliver m0 instead of the message with probability P
 //	dup:P        — duplicate the delivered message with probability P
+//	byzantine:P  — corrupt the delivered payload with probability P
+//	               (seeded bit-flip / swap-with-m0 / replay corruptors)
 //	crash:K      — K crash-recover events, recovery resets to the initial state
 //	pause:K      — K crash-recover events, recovery resumes the frozen state
 //	crashstop:K  — K permanent crashes
+//	partition:K  — cut a seeded K-node island off the graph, heal it at a
+//	               seeded step in the upper half of the horizon
+//	retransmit:R — up to R seeded-backoff retransmissions per in-link of
+//	               every recovering node (compose with crash/pause)
 //	adversary:B  — budget-B crash-reset + omission adversary on the
 //	               highest-degree nodes
 //
@@ -70,15 +76,31 @@ func parseOne(s string, seed int64) (Plan, error) {
 		horizon = v
 	}
 	switch name {
-	case "drop", "dup":
+	case "drop", "dup", "byzantine":
 		p, err := strconv.ParseFloat(args[0], 64)
 		if err != nil || p < 0 || p > 1 {
 			return nil, fmt.Errorf("fault: bad probability %q in %q (want 0 ≤ P ≤ 1)", args[0], s)
 		}
-		if name == "drop" {
+		switch name {
+		case "drop":
 			return DropFor(seed, p, horizon), nil
+		case "dup":
+			return DupFor(seed, p, horizon), nil
+		default:
+			return ByzantineFor(seed, p, horizon), nil
 		}
-		return DupFor(seed, p, horizon), nil
+	case "partition":
+		k, err := strconv.Atoi(args[0])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("fault: bad island size %q in %q (want K ≥ 1)", args[0], s)
+		}
+		return PartitionFor(seed, k, horizon), nil
+	case "retransmit":
+		r, err := strconv.Atoi(args[0])
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("fault: bad retry count %q in %q (want R ≥ 1)", args[0], s)
+		}
+		return RetransmitFor(seed, r, horizon), nil
 	case "crash", "pause", "crashstop", "crash-stop":
 		k, err := strconv.Atoi(args[0])
 		if err != nil || k < 1 {
@@ -134,8 +156,8 @@ func UsesSeed(p Plan) bool {
 		return false
 	case *crashPlan:
 		return p.fixed == nil
-	case composite:
-		for _, child := range p {
+	case *composite:
+		for _, child := range p.plans {
 			if UsesSeed(child) {
 				return true
 			}

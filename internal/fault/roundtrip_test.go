@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// specGrammar generates a random well-formed spec from Parse's grammar,
+// without embedded seeds, so the plan's identity is fully captured by its
+// Name and the Parse seed.
+func specGrammar(rng *rand.Rand) string {
+	one := func() string {
+		switch rng.Intn(9) {
+		case 0:
+			return fmt.Sprintf("drop:%g", float64(rng.Intn(101))/100)
+		case 1:
+			return fmt.Sprintf("dup:%g", float64(rng.Intn(101))/100)
+		case 2:
+			return fmt.Sprintf("byzantine:%g", float64(rng.Intn(101))/100)
+		case 3:
+			return fmt.Sprintf("crash:%d", 1+rng.Intn(4))
+		case 4:
+			return fmt.Sprintf("pause:%d", 1+rng.Intn(4))
+		case 5:
+			return fmt.Sprintf("crashstop:%d", 1+rng.Intn(4))
+		case 6:
+			return fmt.Sprintf("partition:%d", 1+rng.Intn(5))
+		case 7:
+			return fmt.Sprintf("retransmit:%d", 1+rng.Intn(3))
+		default:
+			return fmt.Sprintf("adversary:%d", 1+rng.Intn(4))
+		}
+	}
+	spec := one()
+	for rng.Intn(2) == 0 {
+		spec += "+" + one()
+	}
+	return spec
+}
+
+// TestParseNameRoundTrip: for seedless generated specs, Parse(spec) and
+// Parse(Parse(spec).Name()) are equivalent plans — same Name and, replayed
+// under the same Parse seed, bit-identical fault fingerprints. This is the
+// satellite guarantee that every generated spec string re-parses to an
+// equivalent plan.
+func TestParseNameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	top := starTopology(5)
+	for i := 0; i < 300; i++ {
+		spec := specGrammar(rng)
+		p1, err := Parse(spec, 13)
+		if err != nil {
+			t.Fatalf("generated spec %q: %v", spec, err)
+		}
+		p2, err := Parse(p1.Name(), 13)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", p1.Name(), spec, err)
+		}
+		if p1.Name() != p2.Name() {
+			t.Fatalf("Name not a fixpoint: %q → %q", p1.Name(), p2.Name())
+		}
+		f1, c1, r1 := replay(p1, top, 2*DefaultHorizon)
+		f2, c2, r2 := replay(p2, top, 2*DefaultHorizon)
+		if !equalFates(f1, f2) || !equalInts(c1, c2) || !equalInts(r1, r2) {
+			t.Fatalf("spec %q: re-parsed plan %q replays differently", spec, p1.Name())
+		}
+	}
+}
+
+// FuzzParseRoundTrip: any accepted spec has a Name that re-parses, and the
+// Name is a fixpoint of Parse∘Name. (Seeds and horizons embedded in the
+// spec are deliberately not part of the Name — the fingerprint equivalence
+// for seedless specs is pinned by TestParseNameRoundTrip.)
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("drop:0.5")
+	f.Add("byzantine:0.3+partition:2")
+	f.Add("crash:1,9,64+retransmit:2")
+	f.Add("adversary:3+dup:0.25,7")
+	f.Add("none")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s, 7)
+		if err != nil || p == nil {
+			return
+		}
+		name := p.Name()
+		p2, err := Parse(name, 7)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but its Name %q does not re-parse: %v", s, name, err)
+		}
+		if p2 == nil {
+			t.Fatalf("Name %q of a non-nil plan re-parsed to nil", name)
+		}
+		if p2.Name() != name {
+			t.Fatalf("Name not a fixpoint: %q → %q", name, p2.Name())
+		}
+	})
+}

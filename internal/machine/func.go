@@ -15,9 +15,16 @@ type Func struct {
 	HaltedFunc   func(s State) (Output, bool)
 	SendFunc     func(s State, port int) Message
 	StepFunc     func(s State, inbox []Message) State
+	// ValidFunc, when set, bounds the machine's message alphabet for the
+	// MessageGuard extension: under a corrupting fault plan the engine
+	// replaces inbox entries it rejects with m0. Nil accepts every payload.
+	ValidFunc func(m Message) bool
 }
 
-var _ Machine = (*Func)(nil)
+var (
+	_ Machine      = (*Func)(nil)
+	_ MessageGuard = (*Func)(nil)
+)
 
 // Name implements Machine.
 func (f *Func) Name() string {
@@ -44,6 +51,11 @@ func (f *Func) Send(s State, port int) Message { return f.SendFunc(s, port) }
 
 // Step implements Machine.
 func (f *Func) Step(s State, inbox []Message) State { return f.StepFunc(s, inbox) }
+
+// ValidMessage implements MessageGuard; a nil ValidFunc accepts everything.
+func (f *Func) ValidMessage(m Message) bool {
+	return f.ValidFunc == nil || f.ValidFunc(m)
+}
 
 // CheckSendInvariance verifies that a machine declaring SendBroadcast really
 // sends the same message on every port, by probing the given states across

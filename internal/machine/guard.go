@@ -1,0 +1,32 @@
+package machine
+
+// MessageGuard is the optional Machine extension for corruption-tolerant
+// canonicalisation. A machine's message alphabet M is usually a thin
+// subset of all strings, and the concrete algorithms here decode messages
+// with panics on malformed input — correct under the synchronous
+// semantics, where only μ-produced payloads exist, but fatal under a
+// Byzantine fault plan that rewrites payloads in flight. ValidMessage
+// reports whether m is a payload the machine could legitimately receive
+// (m ∈ M); the engine consults it only when a corrupting plan runs,
+// replacing every invalid inbox entry with m0 before canonicalisation —
+// the receiver treats unparseable garbage exactly like silence, the same
+// degradation an omission fault produces. Machines that bound their
+// alphabet semantically (e.g. gossip values within [0, Δ]) also use the
+// guard to reject in-alphabet-but-out-of-range lies that a monotone
+// aggregate could never recover from.
+type MessageGuard interface {
+	// ValidMessage reports whether m is in the machine's message alphabet.
+	// It is never called with m0 (silence is always legitimate) and must be
+	// a pure function of m.
+	ValidMessage(m Message) bool
+}
+
+// GuardInbox rewrites inbox in place, replacing every message the guard
+// rejects with m0. m0 entries are kept as is.
+func GuardInbox(g MessageGuard, inbox []Message) {
+	for i, m := range inbox {
+		if m != NoMessage && !g.ValidMessage(m) {
+			inbox[i] = NoMessage
+		}
+	}
+}

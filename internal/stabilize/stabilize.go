@@ -7,8 +7,10 @@
 // converges to a legitimate configuration. Here "legitimate" is made
 // concrete by the engine itself — the configuration the fault-free
 // synchronous semantics of Section 1.3 stabilises to — and "faults" are a
-// fault.Plan: seeded message omission (delivered as m0), duplication and
-// node crash/recovery layered on an asynchronous schedule. Both runs use
+// fault.Plan: seeded message omission (delivered as m0), duplication,
+// Byzantine payload corruption, link partitions with healing, sender-side
+// retransmission and node crash/recovery layered on an asynchronous
+// schedule. Both runs use
 // the async executor (under schedule.Synchronous it is bit-identical to
 // the sequential one, so the reference really is the synchronous run), and
 // both terminate either by halting or by the executor's global fixpoint
@@ -51,9 +53,11 @@ func (r *Report) Stabilised() bool { return len(r.Mismatched) == 0 }
 // String summarises the report for logs and walkthroughs.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"stabilised=%v (ref %d rounds, faulty %d steps, fixpoint=%v; drops=%d dups=%d crashes=%d recoveries=%d; dead=%d mismatched=%d)",
+		"stabilised=%v (ref %d rounds, faulty %d steps, fixpoint=%v; drops=%d dups=%d corruptions=%d crashes=%d recoveries=%d retransmits=%d healed=%d; dead=%d mismatched=%d)",
 		r.Stabilised(), r.Reference.Rounds, r.Faulty.Rounds, r.Faulty.Fixpoint,
-		r.Faulty.Drops, r.Faulty.Dups, r.Faulty.Crashes, r.Faulty.Recoveries,
+		r.Faulty.Drops, r.Faulty.Dups, r.Faulty.Corruptions,
+		r.Faulty.Crashes, r.Faulty.Recoveries,
+		r.Faulty.Retransmits, r.Faulty.Healed,
 		len(r.Dead), len(r.Mismatched))
 }
 

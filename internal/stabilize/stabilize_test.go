@@ -55,6 +55,14 @@ var fairPlanSpecs = []string{
 	"pause:1,%d,120",
 	"drop:0.25,%d,120+crash:1,%d,120",
 	"adversary:2,%d,120",
+	// The hostile-link families: Byzantine corruption (tolerated through
+	// the machines' MessageGuard alphabets), a partition that cuts a seeded
+	// island and heals within the horizon, sender-side retransmission for
+	// recovering crash victims, and all of them at once.
+	"byzantine:0.35,%d,120",
+	"partition:3,%d,120",
+	"crash:1,%d,120+retransmit:2,%d,120",
+	"byzantine:0.25,%d,120+partition:2,%d,120+crash:1,%d,120+retransmit:1,%d,120",
 }
 
 // fairSchedules builds fresh fair schedules (schedules are stateful).
