@@ -30,8 +30,57 @@ import (
 	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 )
+
+// benchMetrics is the shared metrics registry of the bench sweeps, nil
+// unless BENCH_METRICS names a snapshot path. When set, every benchmarked
+// engine.Run accumulates into the one registry and TestMain writes the
+// Prometheus text snapshot on exit — the CI bench smoke uploads it as a
+// workflow artifact next to the benchdiff digest. The registry is a fixed
+// set of pre-registered series, so attaching it does not add per-op
+// allocations that would skew -benchmem.
+var benchMetrics = func() *obs.Metrics {
+	if os.Getenv("BENCH_METRICS") == "" {
+		return nil
+	}
+	return obs.NewMetrics()
+}()
+
+// benchObs resolves the Options.Obs hook of a benchmarked run: nil (the
+// zero-overhead path) unless BENCH_METRICS is set.
+func benchObs() *obs.Obs {
+	if benchMetrics == nil {
+		return nil
+	}
+	return &obs.Obs{Metrics: benchMetrics}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_METRICS"); path != "" && benchMetrics != nil {
+		if err := writeBenchMetrics(path); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_METRICS:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = benchMetrics.WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // engineBenchRounds fixes the round count so runs are comparable across
 // graphs and modes.
@@ -155,7 +204,7 @@ func benchEngineGraphs(b *testing.B, exec engine.Executor, workers int, graphs m
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					opts := engine.Options{Executor: exec, Workers: workers}
+					opts := engine.Options{Executor: exec, Workers: workers, Obs: benchObs()}
 					if plan != nil {
 						opts.Fault = plan()
 					}
@@ -270,7 +319,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						opts := engine.Options{Executor: exec, Workers: workers}
+						opts := engine.Options{Executor: exec, Workers: workers, Obs: benchObs()}
 						if plan != nil {
 							opts.Fault = plan()
 						}

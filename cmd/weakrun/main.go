@@ -21,12 +21,23 @@
 // sender-side retransmission, node crash/recovery) and the summary grows a
 // fault telemetry line. -list enumerates every valid value of the
 // enumerable flags and exits.
+//
+// Observability (internal/obs): -journal writes the run's deterministic
+// JSONL event journal to a path ("-" appends it to the output stream);
+// -metrics either writes a Prometheus text snapshot to a path after the
+// run or, given a host:port, serves /metrics and /debug/pprof over HTTP
+// for the run's duration; -json replaces the text report with one JSON
+// object carrying the full telemetry block.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -38,6 +49,7 @@ import (
 	"weakmodels/internal/graph"
 	"weakmodels/internal/logic"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/schedule"
 	"weakmodels/internal/spec"
 )
@@ -64,11 +76,20 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list valid executors, schedules, graphs, ports, faults and algorithms, then exit")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (async: step budget; 0 = default)")
 	trace := fs.Bool("trace", false, "print the per-round state trace")
+	jsonOut := fs.Bool("json", false, "emit the run summary as a single JSON object instead of the text report")
+	journalPath := fs.String("journal", "", `write the run's JSONL event journal to this path ("-" = the output stream)`)
+	metricsSpec := fs.String("metrics", "", "host:port serves /metrics and /debug/pprof during the run; any other value is a path the Prometheus snapshot is written to after it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return printList(out)
+	}
+	if *jsonOut && *trace {
+		return fmt.Errorf("-json and -trace are mutually exclusive: the trace renderer is a text report")
+	}
+	if *jsonOut && *journalPath == "-" {
+		return fmt.Errorf(`-journal=- would interleave JSONL records with the -json object; journal to a file instead`)
 	}
 
 	// Validate every flag up front, so a bad spelling fails with the list of
@@ -128,6 +149,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var m machine.Machine
+	var compiledFrom *formulaReport
 	switch {
 	case *formula != "" && *algName != "":
 		return fmt.Errorf("pass either -alg or -formula, not both")
@@ -140,8 +162,15 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "compiled %q for %v (class %v, md %d)\n",
-			f.String(), variant, compiled.Class(), logic.ModalDepth(f))
+		compiledFrom = &formulaReport{
+			Formula:    f.String(),
+			Variant:    fmt.Sprint(variant),
+			ModalDepth: logic.ModalDepth(f),
+		}
+		if !*jsonOut {
+			fmt.Fprintf(out, "compiled %q for %v (class %v, md %d)\n",
+				f.String(), variant, compiled.Class(), logic.ModalDepth(f))
+		}
 		m = compiled
 	case *algName != "":
 		build, ok := algorithms.Registry()[*algName]
@@ -153,6 +182,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("pass -alg or -formula")
 	}
 
+	o, reg, metricsPath, closeObs, err := setupObs(*journalPath, *metricsSpec, out)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+
 	res, err := engine.Run(m, p, engine.Options{
 		Executor:    exec,
 		Workers:     *workers,
@@ -160,26 +195,24 @@ func run(args []string, out io.Writer) error {
 		Fault:       plan,
 		MaxRounds:   *maxRounds,
 		RecordTrace: *trace,
+		Obs:         o,
 	})
 	if err != nil {
 		return err
+	}
+	if metricsPath != "" {
+		if err := writeMetricsSnapshot(reg, metricsPath); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return printJSON(out, m, g, res, exec, sched, plan, *portSpec, p.IsConsistent(), compiledFrom)
 	}
 	fmt.Fprintf(out, "algorithm %s (class %v) on %v, ports=%s, consistent=%v\n",
 		m.Name(), m.Class(), g, *portSpec, p.IsConsistent())
 	fmt.Fprintf(out, "rounds=%d message-bytes=%d", res.Rounds, res.MessageBytes)
 	if res.Shards > 1 {
-		// A sharded runtime engaged: report the shard count and the
-		// directed links its BFS partition cuts — the cross-shard traffic
-		// the run paid barrier/staging costs for. The engine shards by
-		// contiguous slices of the same BFS order, so recomputing the
-		// partition here reproduces its boundaries exactly.
-		shardOf := make([]int, g.N())
-		for s, nodes := range graph.ShardByBFS(g, res.Shards) {
-			for _, v := range nodes {
-				shardOf[v] = s
-			}
-		}
-		fmt.Fprintf(out, " shards=%d cut-links=%d", res.Shards, graph.CutLinks(g, shardOf))
+		fmt.Fprintf(out, " shards=%d cut-links=%d", res.Shards, cutLinksOf(g, res.Shards))
 	}
 	fmt.Fprintln(out)
 	if exec == engine.ExecutorAsync && len(res.Fires) > 0 {
@@ -219,6 +252,196 @@ func run(args []string, out io.Writer) error {
 		return engine.RenderTrace(out, m, res)
 	}
 	return nil
+}
+
+// cutLinksOf counts the directed links the engine's BFS shard partition
+// cuts — the cross-shard traffic a sharded run paid barrier/staging costs
+// for. The engine shards by contiguous slices of the same BFS order, so
+// recomputing the partition here reproduces its boundaries exactly.
+func cutLinksOf(g *graph.Graph, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	shardOf := make([]int, g.N())
+	for s, nodes := range graph.ShardByBFS(g, shards) {
+		for _, v := range nodes {
+			shardOf[v] = s
+		}
+	}
+	return graph.CutLinks(g, shardOf)
+}
+
+// setupObs resolves the -journal/-metrics flags into the engine's obs
+// hook. The returned cleanup closes whatever was opened (journal file,
+// metrics listener) and is safe to call on every exit path; metricsPath
+// is non-empty when a snapshot must be written after the run.
+func setupObs(journalPath, metricsSpec string, out io.Writer) (o *obs.Obs, reg *obs.Metrics, metricsPath string, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	if journalPath != "" {
+		w := out
+		if journalPath != "-" {
+			f, err := os.Create(journalPath)
+			if err != nil {
+				return nil, nil, "", cleanup, err
+			}
+			closers = append(closers, func() { f.Close() })
+			w = f
+		}
+		o = &obs.Obs{Sink: obs.NewJournalWriter(w)}
+	}
+	if metricsSpec != "" {
+		reg = obs.NewMetrics()
+		if o == nil {
+			o = &obs.Obs{}
+		}
+		o.Metrics = reg
+		if _, _, splitErr := net.SplitHostPort(metricsSpec); splitErr != nil {
+			metricsPath = metricsSpec
+		} else {
+			ln, err := net.Listen("tcp", metricsSpec)
+			if err != nil {
+				return nil, nil, "", cleanup, err
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			srv := &http.Server{Handler: mux}
+			go srv.Serve(ln)
+			closers = append(closers, func() { srv.Close() })
+			fmt.Fprintf(os.Stderr, "weakrun: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		}
+	}
+	return o, reg, metricsPath, cleanup, nil
+}
+
+// writeMetricsSnapshot dumps the registry in the Prometheus text format.
+func writeMetricsSnapshot(reg *obs.Metrics, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// The -json report: one object, fixed schema (TestRunJSONSchema pins the
+// key sets), optional blocks present exactly when their flag/executor is.
+type formulaReport struct {
+	Formula    string `json:"formula"`
+	Variant    string `json:"variant"`
+	ModalDepth int    `json:"modal_depth"`
+}
+
+type scheduleReport struct {
+	Name       string `json:"name"`
+	Steps      int    `json:"steps"`
+	MinFires   int64  `json:"min_fires"`
+	MaxFires   int64  `json:"max_fires"`
+	TotalFires int64  `json:"total_fires"`
+	Fixpoint   bool   `json:"fixpoint"`
+}
+
+type faultsReport struct {
+	Plan        string `json:"plan"`
+	Drops       int64  `json:"drops"`
+	Dups        int64  `json:"dups"`
+	Corruptions int64  `json:"corruptions"`
+	Crashes     int64  `json:"crashes"`
+	Recoveries  int64  `json:"recoveries"`
+	Retransmits int64  `json:"retransmits"`
+	Healed      int64  `json:"healed"`
+	Alive       int    `json:"alive"`
+}
+
+type runReport struct {
+	Algorithm    string          `json:"algorithm"`
+	Class        string          `json:"class"`
+	Formula      *formulaReport  `json:"formula,omitempty"`
+	Graph        string          `json:"graph"`
+	Nodes        int             `json:"nodes"`
+	Ports        string          `json:"ports"`
+	Consistent   bool            `json:"consistent"`
+	Executor     string          `json:"executor"`
+	Rounds       int             `json:"rounds"`
+	MessageBytes int64           `json:"message_bytes"`
+	Shards       int             `json:"shards"`
+	CutLinks     int             `json:"cut_links"`
+	Schedule     *scheduleReport `json:"schedule,omitempty"`
+	Faults       *faultsReport   `json:"faults,omitempty"`
+	Outputs      []string        `json:"outputs"`
+}
+
+// printJSON emits the whole telemetry block as a single indented JSON
+// object — the machine-readable twin of the text report.
+func printJSON(out io.Writer, m machine.Machine, g *graph.Graph, res *engine.Result,
+	exec engine.Executor, sched schedule.Schedule, plan fault.Plan,
+	portSpec string, consistent bool, compiledFrom *formulaReport) error {
+	outputs := make([]string, g.N())
+	for v := range outputs {
+		outputs[v] = string(res.Output[v])
+	}
+	rep := runReport{
+		Algorithm:    m.Name(),
+		Class:        fmt.Sprint(m.Class()),
+		Formula:      compiledFrom,
+		Graph:        g.String(),
+		Nodes:        g.N(),
+		Ports:        portSpec,
+		Consistent:   consistent,
+		Executor:     fmt.Sprint(exec),
+		Rounds:       res.Rounds,
+		MessageBytes: res.MessageBytes,
+		Shards:       res.Shards,
+		CutLinks:     cutLinksOf(g, res.Shards),
+		Outputs:      outputs,
+	}
+	if exec == engine.ExecutorAsync && len(res.Fires) > 0 {
+		sr := &scheduleReport{Name: sched.Name(), Steps: res.Rounds, Fixpoint: res.Fixpoint}
+		sr.MinFires, sr.MaxFires = res.Fires[0], res.Fires[0]
+		for _, f := range res.Fires {
+			if f < sr.MinFires {
+				sr.MinFires = f
+			}
+			if f > sr.MaxFires {
+				sr.MaxFires = f
+			}
+			sr.TotalFires += f
+		}
+		rep.Schedule = sr
+	}
+	if plan != nil {
+		fr := &faultsReport{
+			Plan:        plan.Name(),
+			Drops:       res.Drops,
+			Dups:        res.Dups,
+			Corruptions: res.Corruptions,
+			Crashes:     res.Crashes,
+			Recoveries:  res.Recoveries,
+			Retransmits: res.Retransmits,
+			Healed:      res.Healed,
+		}
+		for _, a := range res.Alive {
+			if a {
+				fr.Alive++
+			}
+		}
+		rep.Faults = fr
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
 }
 
 // printList enumerates every valid value of the enumerable flags, so a

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -320,6 +325,193 @@ func TestRunFaultFlagCrossValidation(t *testing.T) {
 		var sb strings.Builder
 		if err := run(args, &sb); err == nil {
 			t.Errorf("run(%v) succeeded, want cross-validation error", args)
+		}
+	}
+}
+
+// TestRunJSONSchema pins the -json object's key sets: a consumer parsing
+// today's schema must keep parsing tomorrow's, so adding a key is fine
+// only in the optional blocks' presence rules, and removing or renaming
+// one must fail here first.
+func TestRunJSONSchema(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin", "-workers", "2",
+		"-faults", "partition:3,42,80", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(sb.String()))
+	var obj map[string]any
+	if err := dec.Decode(&obj); err != nil {
+		t.Fatalf("-json did not emit valid JSON: %v\n%s", err, sb.String())
+	}
+	if dec.More() {
+		t.Fatalf("-json emitted more than one JSON value:\n%s", sb.String())
+	}
+	keysOf := func(m map[string]any) []string {
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	want := []string{"algorithm", "class", "consistent", "cut_links", "executor",
+		"faults", "graph", "message_bytes", "nodes", "outputs", "ports",
+		"rounds", "schedule", "shards"}
+	if got := keysOf(obj); !reflect.DeepEqual(got, want) {
+		t.Errorf("top-level keys = %v, want %v", got, want)
+	}
+	wantSched := []string{"fixpoint", "max_fires", "min_fires", "name", "steps", "total_fires"}
+	if got := keysOf(obj["schedule"].(map[string]any)); !reflect.DeepEqual(got, wantSched) {
+		t.Errorf("schedule keys = %v, want %v", got, wantSched)
+	}
+	wantFaults := []string{"alive", "corruptions", "crashes", "drops", "dups",
+		"healed", "plan", "recoveries", "retransmits"}
+	if got := keysOf(obj["faults"].(map[string]any)); !reflect.DeepEqual(got, wantFaults) {
+		t.Errorf("faults keys = %v, want %v", got, wantFaults)
+	}
+	if n := len(obj["outputs"].([]any)); n != 16 {
+		t.Errorf("outputs has %d entries, want 16", n)
+	}
+	if obj["shards"].(float64) != 2 || obj["cut_links"].(float64) == 0 {
+		t.Errorf("shard telemetry wrong: shards=%v cut_links=%v", obj["shards"], obj["cut_links"])
+	}
+}
+
+// TestRunJSONSeqOmitsAsyncBlocks: without async or faults the optional
+// blocks are absent, not null, and the formula block appears only with
+// -formula (whose text banner -json suppresses).
+func TestRunJSONSeqOmitsAsyncBlocks(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "odd-odd", "-graph", "star:3", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &obj); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"schedule", "faults", "formula"} {
+		if _, ok := obj[absent]; ok {
+			t.Errorf("seq -json object has a %q block", absent)
+		}
+	}
+
+	var fb strings.Builder
+	if err := run([]string{"-formula", "q1 & <*,*> q3", "-graph", "star:3", "-json"}, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fb.String(), "compiled ") {
+		t.Errorf("-json did not suppress the compile banner:\n%s", fb.String())
+	}
+	var fobj map[string]any
+	if err := json.Unmarshal([]byte(fb.String()), &fobj); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := fobj["formula"].(map[string]any)
+	if !ok {
+		t.Fatalf("-formula -json object missing the formula block:\n%s", fb.String())
+	}
+	for _, k := range []string{"formula", "variant", "modal_depth"} {
+		if _, ok := f[k]; !ok {
+			t.Errorf("formula block missing %q", k)
+		}
+	}
+}
+
+// TestRunJSONTraceExcluded: -trace renders a text report, so combining it
+// with -json is a flag error, as is journaling JSONL onto the -json stream.
+func TestRunJSONTraceExcluded(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "odd-odd", "-graph", "star:3", "-json", "-trace"},
+		{"-alg", "odd-odd", "-graph", "star:3", "-json", "-journal", "-"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want flag error", args)
+		}
+	}
+}
+
+// TestRunJournalFlag: -journal writes one JSON object per line with the
+// pinned record schema, to a file or ("-") the output stream.
+func TestRunJournalFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin",
+		"-faults", "partition:3,42,80", "-journal", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("journal has %d records, want a partition-and-heal run's worth", len(lines))
+	}
+	kinds := map[string]bool{}
+	for _, ln := range lines {
+		var rec struct {
+			Step *int64  `json:"step"`
+			Kind *string `json:"kind"`
+			Node *int64  `json:"node"`
+			Link *int64  `json:"link"`
+			Arg  *int64  `json:"arg"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", ln, err)
+		}
+		if rec.Step == nil || rec.Kind == nil || rec.Node == nil || rec.Link == nil || rec.Arg == nil {
+			t.Fatalf("journal line %q is missing a schema key", ln)
+		}
+		kinds[*rec.Kind] = true
+	}
+	for _, want := range []string{"fire", "drop", "heal", "probe"} {
+		if !kinds[want] {
+			t.Errorf("journal never recorded a %q event; kinds seen: %v", want, kinds)
+		}
+	}
+
+	// "-" sends the same records to the output stream, ahead of the report.
+	var dash strings.Builder
+	if err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin",
+		"-faults", "partition:3,42,80", "-journal", "-"}, &dash); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dash.String(), lines[0]) {
+		t.Errorf("-journal=- output does not start with the journal:\n%.200s", dash.String())
+	}
+}
+
+// TestRunMetricsFlag: a non-address -metrics value is a snapshot path
+// holding the Prometheus text rendition of the run's counters.
+func TestRunMetricsFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var sb strings.Builder
+	err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin",
+		"-faults", "partition:3,42,80", "-metrics", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := string(data)
+	for _, want := range []string{
+		"weak_engine_runs_total 1",
+		"weak_engine_healed_total 16",
+		"weak_engine_nodes 16",
+		"# TYPE weak_engine_round_us histogram",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
 		}
 	}
 }

@@ -72,6 +72,7 @@ import (
 	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
 )
@@ -190,6 +191,11 @@ type asyncState struct {
 	fdec    *fault.Decision
 	corrupt fault.Corrupter
 	guard   machine.MessageGuard
+
+	// jr is the run's journal, nil when no sink is attached. Shard phases
+	// append fire/halt events to their stepStats buffer; everything else
+	// is emitted on the coordinator in global order (see journal.go).
+	jr *journal
 }
 
 // asyncBufs is the per-shard scratch space of the async executor: the
@@ -229,6 +235,7 @@ func newAsyncState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Op
 		flight:    make([]flightQueue, links),
 		ready:     make([]int32, n),
 		fires:     make([]int64, n),
+		jr:        newJournal(opts.Obs),
 	}
 	// Seed every queue with a capacity-1 slice carved out of one flat
 	// backing array: schedules that keep queues at depth ≤ 1 (Synchronous,
@@ -374,6 +381,13 @@ func (as *asyncState) deliverFiltered(l int32, k, t int, res *Result) {
 			res.Corruptions++
 			msg = as.corrupt.Corrupt(t, int(l), msg)
 		}
+		if as.jr != nil && f != fault.FateDeliver {
+			// A single shard owns every link here, so this emission order is
+			// the global (link, queue-position) order — the same order
+			// planFates journals the pre-drawn fates in for sharded runs.
+			as.jr.coordEvent(obs.Event{
+				Step: int64(t), Kind: fateKind(f), Node: -1, Link: l, Arg: int64(i)})
+		}
 		mq.pushFated(msg, f)
 	}
 }
@@ -426,6 +440,11 @@ func (as *asyncState) consume(v int, st *stepStats, bufs *asyncBufs) {
 		inbox[i] = msg
 	}
 	as.fires[v]++
+	if as.jr != nil {
+		st.events = append(st.events, obs.Event{
+			Step: int64(st.step), Kind: obs.KindFire, Node: int32(v), Link: -1,
+			Arg: as.fires[v]})
+	}
 	if !as.halted[v] && !as.dead(v) {
 		// Corruption-tolerant canonicalisation: under a corrupting plan,
 		// payloads outside the machine's alphabet degrade to m0 — the
@@ -439,6 +458,10 @@ func (as *asyncState) consume(v int, st *stepStats, bufs *asyncBufs) {
 			as.halted[v] = true
 			as.outputs[v] = out
 			st.newHalts++
+			if as.jr != nil {
+				st.events = append(st.events, obs.Event{
+					Step: int64(st.step), Kind: obs.KindHalt, Node: int32(v), Link: -1})
+			}
 		}
 	}
 }
@@ -538,6 +561,10 @@ func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDel
 		if crash && as.alive[v] {
 			as.alive[v] = false
 			res.Crashes++
+			if as.jr != nil {
+				as.jr.coordEvent(obs.Event{
+					Step: int64(t), Kind: obs.KindCrash, Node: int32(v), Link: -1})
+			}
 		}
 	}
 	for v, kind := range as.fdec.Recover {
@@ -546,6 +573,11 @@ func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDel
 		}
 		as.alive[v] = true
 		res.Recoveries++
+		if as.jr != nil {
+			as.jr.coordEvent(obs.Event{
+				Step: int64(t), Kind: obs.KindRecover, Node: int32(v), Link: -1,
+				Arg: int64(kind)})
+		}
 		if kind != fault.RecoverReset {
 			continue
 		}
@@ -578,6 +610,10 @@ func (as *asyncState) applyFaults(t int, view asyncView, res *Result) (activeDel
 		if resend {
 			as.flight[l].push(as.steadyMessage(int32(l)), t)
 			res.Retransmits++
+			if as.jr != nil {
+				as.jr.coordEvent(obs.Event{
+					Step: int64(t), Kind: obs.KindRetransmit, Node: -1, Link: int32(l)})
+			}
 		}
 	}
 	return activeDelta

@@ -46,6 +46,7 @@ import (
 	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
 )
@@ -152,6 +153,13 @@ func (d *asyncDriver) planFates(t int, res *Result) {
 				res.Dups++
 			case fault.FateCorrupt:
 				res.Corruptions++
+			}
+			if as.jr != nil && f != fault.FateDeliver {
+				// Journaled here — not in deliverFated — because this is where
+				// the global (link, queue-position) order lives; the emission
+				// matches deliverFiltered's byte for byte.
+				as.jr.coordEvent(obs.Event{
+					Step: int64(t), Kind: fateKind(f), Node: -1, Link: int32(l), Arg: int64(i)})
 			}
 			d.fates = append(d.fates, f)
 			if as.corrupt != nil {
@@ -292,7 +300,7 @@ func asyncShards(opts Options, n int) int {
 }
 
 // runAsync executes the asynchronous semantics over the shard runtime.
-func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (*Result, error) {
+func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options) (res *Result, err error) {
 	sched := opts.Schedule
 	if sched == nil {
 		sched = schedule.Synchronous()
@@ -302,8 +310,22 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		return nil, err
 	}
 	n := g.N()
+	met := newRunMetrics(opts.Obs, n)
+	defer func() {
+		// Registered first so it runs last (after the healer defer below has
+		// copied res.Healed out): flush the journal on every exit path, then
+		// mirror the counters of a completed run into the registry.
+		if as.jr != nil {
+			as.jr.finish(&err)
+		}
+		if err != nil {
+			res = nil
+		} else if met != nil {
+			met.finish(res)
+		}
+	}()
 	links := len(as.mail)
-	res := &Result{Fires: as.fires, States: as.states, Alive: as.alive}
+	res = &Result{Fires: as.fires, States: as.states, Alive: as.alive}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
 	}
@@ -335,13 +357,17 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	}
 
 	sched.Begin(n, links)
+	var healer fault.Healer
+	var healedSeen int64
 	if as.plan != nil {
 		as.plan.Begin(asyncTopology{as: as})
+		healer, _ = as.plan.(fault.Healer)
 		// Copy the partition-heal telemetry out on every exit path (normal
-		// halt, fixpoint, budget error): the plan owns the running count.
+		// halt, fixpoint, budget error — res is nil on the error paths): the
+		// plan owns the running count.
 		defer func() {
-			if h, ok := as.plan.(fault.Healer); ok {
-				res.Healed = h.Healed()
+			if healer != nil && res != nil {
+				res.Healed = healer.Healed()
 			}
 		}()
 	}
@@ -368,12 +394,25 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		sched.Step(t, view, d.dec)
 		if as.plan != nil {
 			active += as.applyFaults(t, view, res)
+			if as.jr != nil && healer != nil {
+				// The plan exposes only the cumulative heal count; the step it
+				// grew at is the step the partition healed.
+				if h := healer.Healed(); h > healedSeen {
+					as.jr.coordEvent(obs.Event{
+						Step: int64(t), Kind: obs.KindHeal, Node: -1, Link: -1,
+						Arg: h - healedSeen})
+					healedSeen = h
+				}
+			}
 			if d.fateOff != nil {
 				d.planFates(t, res)
 			}
 		}
 		d.t = t
 
+		if met != nil {
+			met.roundStart()
+		}
 		d.rt.run(asyncPhaseStep)
 		// A well-cut sharding stages nothing on most steps under sparse
 		// schedules; skipping an empty merge skips a whole barrier.
@@ -385,6 +424,12 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 			d.rt.run(asyncPhaseMerge)
 		}
 		bytes, halts := d.rt.fold()
+		if met != nil {
+			met.roundEnd()
+		}
+		if as.jr != nil {
+			as.jr.flushStep(d.rt.stats)
+		}
 		res.MessageBytes += bytes
 		active -= halts
 		res.Rounds = t
@@ -404,6 +449,17 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 				fix := true
 				for w := range d.shards {
 					fix = fix && d.shards[w].probe
+				}
+				if as.jr != nil {
+					// Emitted directly: step t's buffered events were already
+					// flushed above, and the probe runs on quiescent state.
+					verdict := int64(0)
+					if fix {
+						verdict = 1
+					}
+					as.jr.event(obs.Event{
+						Step: int64(t), Kind: obs.KindProbe, Node: -1, Link: -1,
+						Arg: verdict})
 				}
 				if fix {
 					res.Fixpoint = true

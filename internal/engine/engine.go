@@ -75,6 +75,13 @@
 // neighbours are never wedged; a reset recovery reinitialises the node via
 // the machine (machine.Rebooter for stable storage). Fixpoint detection is
 // gated on the plan being settled — see async.go.
+//
+// Observability (Options.Obs, internal/obs) rides the same barriers: shard
+// phases append fixed-width journal events to per-shard buffers that the
+// coordinator drains in a canonical global order at each fold (journal.go),
+// so the serialized JSONL of a seeded run is byte-identical across worker
+// counts, and a metrics registry accumulates round timings and the Result
+// counters across runs. A nil Obs costs one pointer test per emit site.
 package engine
 
 import (
@@ -83,6 +90,7 @@ import (
 
 	"weakmodels/internal/fault"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
 )
@@ -176,6 +184,15 @@ type Options struct {
 	// machine must implement machine.InputAware and len(Inputs) must equal
 	// the node count.
 	Inputs []string
+	// Obs attaches observability (internal/obs): a Sink receives the
+	// run's event journal — every fire, delivery fate, crash/recovery,
+	// partition heal and fixpoint probe, in a deterministic global order
+	// that is byte-stable across Workers and GOMAXPROCS — and a Metrics
+	// registry receives round timings plus a mirror of the Result
+	// counters. Default nil: no telemetry, and the hooks cost nothing —
+	// the fault-free sequential path keeps its committed alloc budget.
+	// Attaching a journal never changes a run's Result.
+	Obs *obs.Obs
 }
 
 // initState initialises a node's state, honouring local inputs.

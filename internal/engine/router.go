@@ -27,6 +27,7 @@ import (
 
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 )
 
@@ -52,6 +53,14 @@ type runState struct {
 	// messages produced for the following round (two halves of one backing
 	// array). Swapped at each barrier.
 	cur, next []machine.Message
+
+	// jr/met are the observability hooks, nil when Options.Obs does not
+	// ask for them; round is the round being executed, written by the
+	// coordinator before each phase (the barrier orders it against shard
+	// reads) and stamped into the shards' journal events.
+	jr    *journal
+	met   *runMetrics
+	round int
 
 	rt shardRuntime
 }
@@ -91,8 +100,18 @@ func (rs *runState) driveRounds(active int, opts Options, res *Result) error {
 		// The messages produced at the previous barrier are consumed now;
 		// their bytes count only for rounds that execute.
 		res.MessageBytes += pending
+		rs.round = round
+		if rs.met != nil {
+			rs.met.roundStart()
+		}
 		rs.rt.run(phaseStep)
 		bytes, halts := rs.rt.fold()
+		if rs.met != nil {
+			rs.met.roundEnd()
+		}
+		if rs.jr != nil {
+			rs.jr.flushStep(rs.rt.stats)
+		}
 		rs.swap()
 		pending = bytes
 		active -= halts
@@ -127,6 +146,8 @@ func newRunState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Opti
 		haltAge:   make([]uint8, n),
 		cur:       arena[:ports:ports],
 		next:      arena[ports:],
+		jr:        newJournal(opts.Obs),
+		met:       newRunMetrics(opts.Obs, n),
 	}
 	rs.rt.init(loc, workers)
 	for w := range rs.rt.stats {
@@ -201,10 +222,18 @@ func (rs *runState) stepShard(lo, hi int, st *stepStats) {
 			inbox := rs.cur[rs.off[r]:rs.off[r+1]]
 			inbox = machine.CanonicalInboxInto(rs.recv, inbox, st.scratch)
 			rs.states[v] = rs.m.Step(rs.states[v], inbox)
+			if rs.jr != nil {
+				st.events = append(st.events, obs.Event{
+					Step: int64(rs.round), Kind: obs.KindFire, Node: v, Link: -1})
+			}
 			if out, ok := rs.m.Halted(rs.states[v]); ok {
 				rs.halted[v] = true
 				rs.outputs[v] = out
 				st.newHalts++
+				if rs.jr != nil {
+					st.events = append(st.events, obs.Event{
+						Step: int64(rs.round), Kind: obs.KindHalt, Node: v, Link: -1})
+				}
 			}
 		}
 		rs.sendRank(r, rs.next, st)
@@ -218,12 +247,25 @@ func (rs *runState) swap() { rs.cur, rs.next = rs.next, rs.cur }
 // synchronous semantics over a shard runtime. ExecutorSeq passes one
 // inline shard; ExecutorPool spawns a worker per BFS shard. Both are
 // bit-identical for every worker count (TestExecutorEquivalence).
-func runSync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options, workers int, spawn bool) (*Result, error) {
+func runSync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options, workers int, spawn bool) (res *Result, err error) {
 	rs, active, err := newRunState(m, g, p, opts, workers)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{States: rs.states, Shards: rs.rt.workers}
+	defer func() {
+		// The journal is flushed on every exit path; a flush failure on an
+		// otherwise successful run is the run's error. Metrics are mirrored
+		// only for completed runs.
+		if rs.jr != nil {
+			rs.jr.finish(&err)
+		}
+		if err != nil {
+			res = nil
+		} else if rs.met != nil {
+			rs.met.finish(res)
+		}
+	}()
+	res = &Result{States: rs.states, Shards: rs.rt.workers}
 	if opts.RecordTrace {
 		rs.snapshotTrace(res)
 	}

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 )
 
@@ -77,6 +78,12 @@ type stepStats struct {
 	// degree), reused across nodes and rounds by the synchronous driver;
 	// the async driver keeps its frontier scratch in asyncBufs instead.
 	scratch []machine.Message
+	// events is the shard's journal buffer for the current phase: only
+	// the owning shard appends during a phase, and the coordinator's
+	// journal drains (and clears) it at the barrier — the same fold
+	// discipline as the counters above. Never touched when the run has no
+	// journal, so the disabled path allocates nothing.
+	events []obs.Event
 }
 
 // shardRuntime is the shard-owned execution substrate. Embed it by value

@@ -1,0 +1,116 @@
+package obs
+
+// journal.go serializes Event records as JSONL. The encoding is
+// deterministic by construction — fixed key order, every key always
+// present, integers only — so two runs that emit the same event sequence
+// produce byte-identical journals; the engine's equivalence tests compare
+// the bytes directly.
+
+import (
+	"io"
+	"strconv"
+)
+
+// AppendJSONL appends one journal line (including the trailing newline)
+// for e to dst and returns the extended slice. The schema is fixed:
+//
+//	{"step":S,"kind":"K","node":N,"link":L,"arg":A}
+//
+// with every key always present (node and link are -1 when the event is
+// not node- or link-scoped). Appending allocates only when dst grows.
+func AppendJSONL(dst []byte, e Event) []byte {
+	dst = append(dst, `{"step":`...)
+	dst = strconv.AppendInt(dst, e.Step, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","node":`...)
+	dst = strconv.AppendInt(dst, int64(e.Node), 10)
+	dst = append(dst, `,"link":`...)
+	dst = strconv.AppendInt(dst, int64(e.Link), 10)
+	dst = append(dst, `,"arg":`...)
+	dst = strconv.AppendInt(dst, e.Arg, 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// journalFlushAt bounds the JournalWriter's internal buffer: once a batch
+// of appended lines crosses it, the batch is written out. Large enough to
+// amortise syscalls, small enough that tailing a live journal file sees
+// events promptly.
+const journalFlushAt = 1 << 15
+
+// JournalWriter is a Sink that serializes events as JSONL into an
+// io.Writer through one reused buffer: steady-state event emission
+// allocates nothing. Errors are sticky — the first write error is
+// remembered, subsequent events are dropped, and Flush reports it.
+type JournalWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJournalWriter returns a JournalWriter emitting to w.
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{w: w, buf: make([]byte, 0, journalFlushAt+1024)}
+}
+
+// Event appends one JSONL record, writing the buffer out when full.
+func (jw *JournalWriter) Event(e Event) {
+	if jw.err != nil {
+		return
+	}
+	jw.buf = AppendJSONL(jw.buf, e)
+	if len(jw.buf) >= journalFlushAt {
+		jw.write()
+	}
+}
+
+// Flush writes any buffered records and returns the first error the
+// writer encountered.
+func (jw *JournalWriter) Flush() error {
+	if jw.err == nil && len(jw.buf) > 0 {
+		jw.write()
+	}
+	return jw.err
+}
+
+func (jw *JournalWriter) write() {
+	_, err := jw.w.Write(jw.buf)
+	jw.buf = jw.buf[:0]
+	if err != nil && jw.err == nil {
+		jw.err = err
+	}
+}
+
+// Collect is a Sink that retains every event in memory, for tests and
+// programmatic consumers (the examples/observe walkthrough tails one).
+type Collect struct {
+	Events []Event
+}
+
+// Event appends e to the collected slice.
+func (c *Collect) Event(e Event) { c.Events = append(c.Events, e) }
+
+// Flush is a no-op; collection cannot fail.
+func (c *Collect) Flush() error { return nil }
+
+// Tee fans one event stream out to several sinks, in order.
+type Tee []Sink
+
+// Event forwards e to every sink.
+func (t Tee) Event(e Event) {
+	for _, s := range t {
+		s.Event(e)
+	}
+}
+
+// Flush flushes every sink and returns the first error.
+func (t Tee) Flush() error {
+	var first error
+	for _, s := range t {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

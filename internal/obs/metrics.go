@@ -1,0 +1,259 @@
+package obs
+
+// metrics.go is the metrics registry: named counters, gauges and
+// histograms exported in the Prometheus text exposition format. The
+// registry is deliberately tiny — no labels, no vector metrics, no
+// dependency — because the engine's telemetry is a fixed small vocabulary
+// of series and the export must stay deterministic (names are emitted in
+// sorted order, values are plain integers or shortest-form floats).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 series.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d must be ≥ 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 series.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative-bucket histogram over float64 observations,
+// in the Prometheus style: Buckets are upper bounds, counts are
+// cumulative at export, and an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	counts  []int64 // per-bound (non-cumulative internally), +Inf last
+	sum     float64
+	samples int64
+}
+
+// DurationBuckets is the default bucket ladder for microsecond timings:
+// 1µs to 10s in a 1-2.5-5 progression.
+var DurationBuckets = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed so far.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// metric is one registered series.
+type metric struct {
+	name string
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+func (m *metric) kind() string {
+	switch {
+	case m.c != nil:
+		return "counter"
+	case m.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Metrics is the registry. Registration methods are idempotent: asking
+// for an existing name of the same type returns the same series, so
+// several runs can share one registry and accumulate. Asking for an
+// existing name as a different type panics — that is a programming error,
+// not a runtime condition.
+type Metrics struct {
+	mu    sync.Mutex
+	items map[string]*metric
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{items: map[string]*metric{}}
+}
+
+func (m *Metrics) lookup(name, help, kind string) *metric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if it, ok := m.items[name]; ok {
+		if it.kind() != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, it.kind(), kind))
+		}
+		return it
+	}
+	it := &metric{name: name, help: help}
+	m.items[name] = it
+	return it
+}
+
+// Counter registers (or returns the existing) counter named name.
+func (m *Metrics) Counter(name, help string) *Counter {
+	it := m.lookup(name, help, "counter")
+	if it.c == nil {
+		it.c = &Counter{}
+	}
+	return it.c
+}
+
+// Gauge registers (or returns the existing) gauge named name.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	it := m.lookup(name, help, "gauge")
+	if it.g == nil {
+		it.g = &Gauge{}
+	}
+	return it.g
+}
+
+// Histogram registers (or returns the existing) histogram named name with
+// the given upper-bound buckets (nil uses DurationBuckets). Bounds must
+// be sorted ascending.
+func (m *Metrics) Histogram(name, help string, buckets []float64) *Histogram {
+	it := m.lookup(name, help, "histogram")
+	if it.h == nil {
+		if buckets == nil {
+			buckets = DurationBuckets
+		}
+		it.h = &Histogram{
+			bounds: buckets,
+			counts: make([]int64, len(buckets)+1),
+		}
+	}
+	return it.h
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// metrics sorted by name so the output is deterministic for a given set
+// of values.
+func (m *Metrics) WriteText(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.items))
+	for name := range m.items {
+		names = append(names, name)
+	}
+	items := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		items = append(items, m.items[name])
+	}
+	m.mu.Unlock()
+
+	var buf []byte
+	for _, it := range items {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, it.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, it.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, it.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, it.kind()...)
+		buf = append(buf, '\n')
+		switch {
+		case it.c != nil:
+			buf = append(buf, it.name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, it.c.Value(), 10)
+			buf = append(buf, '\n')
+		case it.g != nil:
+			buf = append(buf, it.name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, it.g.Value(), 10)
+			buf = append(buf, '\n')
+		default:
+			buf = it.h.appendProm(buf, it.name)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendProm renders the histogram's cumulative buckets, sum and count.
+func (h *Histogram) appendProm(buf []byte, name string) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		buf = append(buf, name...)
+		buf = append(buf, `_bucket{le="`...)
+		buf = strconv.AppendFloat(buf, bound, 'g', -1, 64)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, `_bucket{le="+Inf"} `...)
+	buf = strconv.AppendInt(buf, h.samples, 10)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_sum "...)
+	buf = strconv.AppendFloat(buf, h.sum, 'g', -1, 64)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count "...)
+	buf = strconv.AppendInt(buf, h.samples, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// text endpoint — mount it at /metrics.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := m.WriteText(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			return
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExport pins the Prometheus text format: HELP/TYPE headers,
+// sorted names, cumulative histogram buckets with +Inf, sum and count.
+func TestMetricsExport(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("weak_z_total", "last alphabetically").Add(7)
+	m.Gauge("weak_a_nodes", "first alphabetically").Set(36)
+	h := m.Histogram("weak_round_us", "per-round µs", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP weak_a_nodes first alphabetically",
+		"# TYPE weak_a_nodes gauge",
+		"weak_a_nodes 36",
+		"# TYPE weak_round_us histogram",
+		`weak_round_us_bucket{le="10"} 1`,
+		`weak_round_us_bucket{le="100"} 2`,
+		`weak_round_us_bucket{le="+Inf"} 3`,
+		"weak_round_us_sum 5055",
+		"weak_round_us_count 3",
+		"# TYPE weak_z_total counter",
+		"weak_z_total 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted order: the gauge renders before the histogram before the
+	// counter.
+	if strings.Index(out, "weak_a_nodes") > strings.Index(out, "weak_round_us") ||
+		strings.Index(out, "weak_round_us") > strings.Index(out, "weak_z_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+// TestMetricsIdempotentRegistration: re-registering a name returns the
+// same series; registering it as another type panics.
+func TestMetricsIdempotentRegistration(t *testing.T) {
+	m := NewMetrics()
+	c1 := m.Counter("x_total", "")
+	c1.Add(2)
+	if c2 := m.Counter("x_total", ""); c2.Value() != 2 {
+		t.Errorf("re-registration returned a fresh counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-type registration did not panic")
+		}
+	}()
+	m.Gauge("x_total", "")
+}
+
+// TestMetricsHandler: the HTTP endpoint serves the text format.
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("weak_runs_total", "runs").Inc()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "weak_runs_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestHistogramDefaultBuckets: nil buckets fall back to DurationBuckets.
+func TestHistogramDefaultBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("t_us", "", nil)
+	h.Observe(3)
+	if h.Count() != 1 || h.Sum() != 3 {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if len(h.bounds) != len(DurationBuckets) {
+		t.Errorf("default buckets not applied")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAppendJSONLSchema pins the journal line schema: fixed key order,
+// every key always present, and valid JSON that decodes back to the
+// event's fields.
+func TestAppendJSONLSchema(t *testing.T) {
+	e := Event{Step: 42, Kind: KindDrop, Node: -1, Link: 7, Arg: 3}
+	line := AppendJSONL(nil, e)
+	want := `{"step":42,"kind":"drop","node":-1,"link":7,"arg":3}` + "\n"
+	if string(line) != want {
+		t.Errorf("line = %q, want %q", line, want)
+	}
+	var decoded struct {
+		Step int64  `json:"step"`
+		Kind string `json:"kind"`
+		Node int32  `json:"node"`
+		Link int32  `json:"link"`
+		Arg  int64  `json:"arg"`
+	}
+	if err := json.Unmarshal(line, &decoded); err != nil {
+		t.Fatalf("journal line is not valid JSON: %v", err)
+	}
+	if decoded.Step != 42 || decoded.Kind != "drop" || decoded.Node != -1 ||
+		decoded.Link != 7 || decoded.Arg != 3 {
+		t.Errorf("decoded %+v does not round-trip %+v", decoded, e)
+	}
+}
+
+// TestKindStrings: every kind has a distinct JSONL spelling.
+func TestKindStrings(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("kind %d has no spelling", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share spelling %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+// TestJournalWriterBatches: events accumulate in the buffer and come out
+// on Flush, newline-separated, in order.
+func TestJournalWriterBatches(t *testing.T) {
+	var sb bytes.Buffer
+	jw := NewJournalWriter(&sb)
+	for i := 0; i < 100; i++ {
+		jw.Event(Event{Step: int64(i), Kind: KindFire, Node: int32(i % 5), Link: -1})
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("got %d lines, want 100", len(lines))
+	}
+	if !strings.Contains(lines[7], `"step":7`) {
+		t.Errorf("line 7 out of order: %s", lines[7])
+	}
+}
+
+// errWriter fails after the first write.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestJournalWriterStickyError: the first write error is remembered and
+// reported by Flush; later events are dropped, not written out of order.
+func TestJournalWriterStickyError(t *testing.T) {
+	jw := NewJournalWriter(&errWriter{})
+	big := Event{Step: 1, Kind: KindFire, Node: 1, Link: -1}
+	for i := 0; i < journalFlushAt; i++ { // force at least two buffer writes
+		jw.Event(big)
+	}
+	if err := jw.Flush(); err == nil {
+		t.Fatal("Flush swallowed the write error")
+	}
+}
+
+// TestCollectAndTee: Collect retains events; Tee fans out to all sinks.
+func TestCollectAndTee(t *testing.T) {
+	var a, b Collect
+	tee := Tee{&a, &b}
+	tee.Event(Event{Step: 1, Kind: KindCrash, Node: 3, Link: -1})
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 1 || len(b.Events) != 1 || a.Events[0].Node != 3 {
+		t.Errorf("tee did not fan out: a=%v b=%v", a.Events, b.Events)
+	}
+}
+
+// TestManualClock: Advance moves Now.
+func TestManualClock(t *testing.T) {
+	var c ManualClock
+	if c.Now() != 0 {
+		t.Errorf("zero clock reads %v", c.Now())
+	}
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Errorf("clock reads %v, want 5ms", c.Now())
+	}
+}
+
+// TestResolveClock: nil bundles and nil clocks fall back to a wall clock.
+func TestResolveClock(t *testing.T) {
+	var o *Obs
+	if o.ResolveClock() == nil {
+		t.Fatal("nil Obs resolved a nil clock")
+	}
+	mc := &ManualClock{}
+	o = &Obs{Clock: mc}
+	if o.ResolveClock() != mc {
+		t.Fatal("set clock was not returned")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"weakmodels/internal/engine"
 	"weakmodels/internal/fault"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
 )
@@ -44,6 +45,30 @@ type Report struct {
 	// Mismatched lists the live nodes whose stabilised state (or halting
 	// output) differs from the reference.
 	Mismatched []int
+	// Divergences carries the comparison context of each mismatched node,
+	// parallel to Mismatched.
+	Divergences []Divergence
+}
+
+// Divergence is one node's failed comparison: what the fault-free
+// reference stabilised to and what the faulty run stabilised to instead.
+type Divergence struct {
+	Node int
+	Ref  string // reference state (rendered)
+	Got  string // faulty state (rendered)
+}
+
+// CheckOptions parameterises CheckWith beyond Check's positional form.
+type CheckOptions struct {
+	// MaxSteps bounds the faulty run's step budget (0 = engine default).
+	MaxSteps int
+	// Obs attaches an observability hook to the faulty run: its journal
+	// records the run's events as usual, and the harness appends one
+	// diverge record per mismatched node after the comparison, carrying
+	// the node id (Node) and its index in Report.Mismatched (Arg) — the
+	// divergence context of a failed stabilisation, greppable in the same
+	// JSONL stream as the faults that caused it.
+	Obs *obs.Obs
 }
 
 // Stabilised reports whether every live node reached the fault-free
@@ -68,6 +93,14 @@ func (r *Report) String() string {
 // default round budget. sched may be nil for the synchronous schedule;
 // sched and plan must be fresh instances (both are stateful within a run).
 func Check(m machine.Machine, p *port.Numbering, sched schedule.Schedule, plan fault.Plan, maxSteps int) (*Report, error) {
+	return CheckWith(m, p, sched, plan, CheckOptions{MaxSteps: maxSteps})
+}
+
+// CheckWith is Check with an options struct: opts.Obs rides along on the
+// faulty run (journal, metrics) and receives a trailing diverge record per
+// mismatched node, so a failed check's journal ends with exactly what
+// failed to stabilise.
+func CheckWith(m machine.Machine, p *port.Numbering, sched schedule.Schedule, plan fault.Plan, opts CheckOptions) (*Report, error) {
 	ref, err := engine.Run(m, p, engine.Options{
 		Executor: engine.ExecutorAsync,
 		Schedule: schedule.Synchronous(),
@@ -79,7 +112,8 @@ func Check(m machine.Machine, p *port.Numbering, sched schedule.Schedule, plan f
 		Executor:  engine.ExecutorAsync,
 		Schedule:  sched,
 		Fault:     plan,
-		MaxRounds: maxSteps,
+		MaxRounds: opts.MaxSteps,
+		Obs:       opts.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stabilize: faulty run: %w", err)
@@ -94,6 +128,24 @@ func Check(m machine.Machine, p *port.Numbering, sched schedule.Schedule, plan f
 			continue
 		}
 		rep.Mismatched = append(rep.Mismatched, v)
+		rep.Divergences = append(rep.Divergences, Divergence{
+			Node: v,
+			Ref:  fmt.Sprint(ref.States[v]),
+			Got:  fmt.Sprint(faulty.States[v]),
+		})
+	}
+	if opts.Obs != nil && opts.Obs.Sink != nil && len(rep.Mismatched) > 0 {
+		// The engine flushed its own records when the faulty run returned;
+		// the harness appends the comparison verdict behind them.
+		for i, v := range rep.Mismatched {
+			opts.Obs.Sink.Event(obs.Event{
+				Step: int64(faulty.Rounds), Kind: obs.KindDiverge,
+				Node: int32(v), Link: -1, Arg: int64(i),
+			})
+		}
+		if err := opts.Obs.Sink.Flush(); err != nil {
+			return nil, fmt.Errorf("stabilize: journal flush: %w", err)
+		}
 	}
 	return rep, nil
 }

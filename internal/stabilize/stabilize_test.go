@@ -9,6 +9,7 @@ import (
 	"weakmodels/internal/fault"
 	"weakmodels/internal/graph"
 	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
 	"weakmodels/internal/schedule"
 )
@@ -206,5 +207,96 @@ func TestReportString(t *testing.T) {
 	s := rep.String()
 	if s == "" || rep.Reference == nil || rep.Faulty == nil {
 		t.Fatalf("empty report: %q", s)
+	}
+}
+
+// dropSensitive is a deliberately non-stabilising workload: each node
+// counts the non-m0 messages it receives over three firings and halts
+// with the count. A total-omission plan starves every inbox, so the
+// faulty outputs diverge from the fault-free ones — the scenario the
+// divergence context exists for.
+func dropSensitive(delta int) machine.Machine {
+	type st struct {
+		rounds int
+		count  int
+		done   bool
+	}
+	return &machine.Func{
+		MachineName:  "drop-sensitive",
+		MachineClass: machine.ClassMV,
+		MaxDeg:       delta,
+		InitFunc:     func(deg int) machine.State { return st{} },
+		HaltedFunc: func(s machine.State) (machine.Output, bool) {
+			x := s.(st)
+			return machine.Output(fmt.Sprint(x.count)), x.done
+		},
+		SendFunc: func(s machine.State, p int) machine.Message { return "x" },
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			x := s.(st)
+			for _, m := range inbox {
+				if m != machine.NoMessage {
+					x.count++
+				}
+			}
+			x.rounds++
+			x.done = x.rounds >= 3
+			return x
+		},
+	}
+}
+
+// TestCheckWithDivergenceContext: a failed check reports per-node
+// divergence context, and the attached journal ends with one diverge
+// record per mismatched node behind the faulty run's own events.
+func TestCheckWithDivergenceContext(t *testing.T) {
+	g := graph.Cycle(5)
+	var collect obs.Collect
+	rep, err := CheckWith(dropSensitive(g.MaxDegree()), port.Canonical(g),
+		schedule.Synchronous(), instantiate(t, "drop:1,%d,60", 9),
+		CheckOptions{MaxSteps: 100_000, Obs: &obs.Obs{Sink: &collect}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stabilised() {
+		t.Fatal("total omission should break the drop-sensitive workload")
+	}
+	if len(rep.Divergences) != len(rep.Mismatched) {
+		t.Fatalf("Divergences has %d entries for %d mismatches", len(rep.Divergences), len(rep.Mismatched))
+	}
+	for i, d := range rep.Divergences {
+		if d.Node != rep.Mismatched[i] {
+			t.Errorf("Divergences[%d].Node = %d, want %d", i, d.Node, rep.Mismatched[i])
+		}
+		if d.Ref == d.Got {
+			t.Errorf("node %d: divergence rendered identically (%q)", d.Node, d.Ref)
+		}
+	}
+	var tail []obs.Event
+	for _, e := range collect.Events {
+		if e.Kind == obs.KindDiverge {
+			tail = append(tail, e)
+		}
+	}
+	if len(tail) != len(rep.Mismatched) {
+		t.Fatalf("journal has %d diverge records, want %d", len(tail), len(rep.Mismatched))
+	}
+	for i, e := range tail {
+		if int(e.Node) != rep.Mismatched[i] || e.Arg != int64(i) {
+			t.Errorf("diverge record %d = %+v, want node %d arg %d", i, e, rep.Mismatched[i], i)
+		}
+	}
+	if n := len(collect.Events); collect.Events[n-1].Kind != obs.KindDiverge {
+		t.Error("diverge records are not the journal's tail")
+	}
+
+	// The drop events of the faulty run share the stream.
+	drops := 0
+	for _, e := range collect.Events {
+		if e.Kind == obs.KindDrop {
+			drops++
+		}
+	}
+	if int64(drops) != rep.Faulty.Drops {
+		t.Errorf("journal has %d drop records, Result says %d", drops, rep.Faulty.Drops)
 	}
 }
