@@ -90,6 +90,13 @@ const engineBenchRounds = 8
 // per-port constant and whose states are small ints, so it allocates
 // nothing itself and the engine's own costs dominate the profile.
 func constCountdown(delta int, class machine.Class) machine.Machine {
+	return constCountdownRounds(delta, class, engineBenchRounds)
+}
+
+// constCountdownRounds is constCountdown with a parameterized round count,
+// for sweeps whose workload must outlive a cadence (the K=64 checkpoint
+// benchmark needs more than 64 rounds to capture anything).
+func constCountdownRounds(delta int, class machine.Class, rounds int) machine.Machine {
 	msgs := make([]machine.Message, delta+1)
 	for p := range msgs {
 		msgs[p] = fmt.Sprintf("m%d", p)
@@ -98,7 +105,7 @@ func constCountdown(delta int, class machine.Class) machine.Machine {
 		MachineName:  "bench-countdown-" + class.String(),
 		MachineClass: class,
 		MaxDeg:       delta,
-		InitFunc:     func(deg int) machine.State { return engineBenchRounds },
+		InitFunc:     func(deg int) machine.State { return rounds },
 		HaltedFunc: func(s machine.State) (machine.Output, bool) {
 			return "done", s.(int) == 0
 		},
@@ -291,6 +298,72 @@ func BenchmarkEngineLargeSeq(b *testing.B) { benchEngineLarge(b, engine.Executor
 // BenchmarkEngineLargePool sweeps the pool executor at n=10⁵.
 func BenchmarkEngineLargePool(b *testing.B) { benchEngineLarge(b, engine.ExecutorPool) }
 
+// benchCheckpointRounds lengthens the countdown past the K=64 checkpoint
+// cadence: 160 rounds capture snapshots at rounds 64 and 128, so the
+// per-op cost below amortizes two full-state captures.
+const benchCheckpointRounds = 160
+
+// benchCheckpointConfigs are the checkpoint configurations of the
+// checkpoint-overhead sweep. Fresh CheckpointOptions per op — the sink
+// closure is part of the measured configuration.
+var benchCheckpointConfigs = []struct {
+	name string
+	cp   func() *engine.CheckpointOptions
+}{
+	// off is the nil-checkpoint baseline on the same 160-round workload:
+	// the cadence test costs a pointer check per round and nothing else.
+	{"off", func() *engine.CheckpointOptions { return nil }},
+	// k64 captures the full executor state every 64 rounds and discards
+	// it: the pure cost of the state copy.
+	{"k64", func() *engine.CheckpointOptions {
+		return &engine.CheckpointOptions{Every: 64, Sink: func(*engine.Snapshot) error { return nil }}
+	}},
+	// k64-encode additionally serializes each snapshot to the versioned
+	// binary form a flight recorder persists: capture plus encoding.
+	{"k64-encode", func() *engine.CheckpointOptions {
+		return &engine.CheckpointOptions{Every: 64, Sink: func(s *engine.Snapshot) error {
+			_, err := s.MarshalBinary()
+			return err
+		}}
+	}},
+}
+
+// benchEngineCheckpoint sweeps the checkpoint configurations on one graph
+// with the 160-round countdown.
+func benchEngineCheckpoint(b *testing.B, g *graph.Graph) {
+	p := port.Canonical(g)
+	p.Routes()
+	m := constCountdownRounds(g.MaxDegree(), machine.ClassVV, benchCheckpointRounds)
+	for _, c := range benchCheckpointConfigs {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := engine.Options{Executor: engine.ExecutorSeq, Obs: benchObs(), Checkpoint: c.cp()}
+				if _, err := engine.Run(m, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCheckpoint measures flight-recorder snapshot overhead at
+// the default K=64 cadence on the n=10⁵ expander (skipped under -short
+// like the rest of the large sweep): nil-checkpoint baseline vs live
+// capture vs capture-plus-binary-encoding, all on the sequential executor
+// so the deltas are not masked by shard scheduling.
+func BenchmarkEngineCheckpoint(b *testing.B) {
+	if testing.Short() {
+		b.Skip("n=10⁵ checkpoint sweep skipped in -short mode")
+	}
+	ex, err := graph.Expander(100_000, 4, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineCheckpoint(b, ex)
+}
+
 // engineBenchRecord is one row of BENCH_engine.json.
 type engineBenchRecord struct {
 	Name        string  `json:"name"`
@@ -353,6 +426,32 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	large := engineBenchLargeGraphs(t)
 	for _, exec := range []engine.Executor{engine.ExecutorSeq, engine.ExecutorPool} {
 		emit(exec.String(), exec, 0, large, nil)
+	}
+	// The checkpoint-overhead record: the n=10⁵ expander under the
+	// 160-round countdown, nil-checkpoint baseline vs K=64 capture vs
+	// capture-plus-encoding (mirrors BenchmarkEngineCheckpoint).
+	{
+		g := large["n=100000/expander4"]
+		p := port.Canonical(g)
+		p.Routes()
+		m := constCountdownRounds(g.MaxDegree(), machine.ClassVV, benchCheckpointRounds)
+		for _, c := range benchCheckpointConfigs {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					opts := engine.Options{Executor: engine.ExecutorSeq, Obs: benchObs(), Checkpoint: c.cp()}
+					if _, err := engine.Run(m, p, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			records = append(records, engineBenchRecord{
+				Name:        "Engine/checkpoint/n=100000/expander4/" + c.name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+		}
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
 	blob, err := json.MarshalIndent(records, "", "  ")

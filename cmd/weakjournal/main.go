@@ -1,0 +1,263 @@
+// Command weakjournal inspects the JSONL event journals weakrun and the
+// engine's obs layer emit (one {"step","kind","node","link","arg"} object
+// per line, in deterministic global order).
+//
+// Usage:
+//
+//	weakjournal stats run.jsonl
+//	weakjournal filter -kind drop -node 3 run.jsonl
+//	weakjournal filter -from 10 -to 99 run.jsonl
+//	weakjournal diff -window 3 live.jsonl replay.jsonl
+//
+// stats prints record totals, the step range and per-kind counts. filter
+// reprints the matching records verbatim (byte-preserving, so filtered
+// streams stay diffable). diff compares two journals record by record:
+// identical journals say so and exit 0; otherwise the first divergent
+// record and a window of context from both sides are printed — the
+// divergence window of a replay gone wrong — and the exit status is
+// nonzero. Journals are byte-identical across worker counts by the
+// engine's determinism contract, so any diff is a real divergence, not
+// scheduling noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"weakmodels/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "weakjournal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: weakjournal stats FILE | filter [-kind K] [-node N] [-link L] [-from S] [-to S] FILE | diff [-window N] FILE FILE")
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "stats":
+		return runStats(args[1:], out)
+	case "filter":
+		return runFilter(args[1:], out)
+	case "diff":
+		return runDiff(args[1:], out)
+	default:
+		return usage()
+	}
+}
+
+// record is one parsed journal line plus its raw bytes, kept verbatim so
+// filter and diff never re-serialize (and never perturb) the stream.
+type record struct {
+	Step int64  `json:"step"`
+	Kind string `json:"kind"`
+	Node int64  `json:"node"`
+	Link int64  `json:"link"`
+	Arg  int64  `json:"arg"`
+	raw  string
+}
+
+// readJournal parses a JSONL journal. Every line must carry the full
+// five-key schema; anything else is a corrupt journal, reported with its
+// line number.
+func readJournal(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r := record{Step: -1, Node: -2, Link: -2, raw: line}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: not a journal record: %w", path, ln, err)
+		}
+		if r.Step < 0 || r.Kind == "" || r.Node < -1 || r.Link < -1 {
+			return nil, fmt.Errorf("%s:%d: journal record missing schema keys: %s", path, ln, line)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// runStats summarises one journal: totals, step range, per-kind counts.
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("weakjournal stats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats wants exactly one journal file")
+	}
+	recs, err := readJournal(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(out, "empty journal")
+		return nil
+	}
+	counts := map[string]int{}
+	nodes := map[int64]bool{}
+	minStep, maxStep := recs[0].Step, recs[0].Step
+	for _, r := range recs {
+		counts[r.Kind]++
+		if r.Node >= 0 {
+			nodes[r.Node] = true
+		}
+		if r.Step < minStep {
+			minStep = r.Step
+		}
+		if r.Step > maxStep {
+			maxStep = r.Step
+		}
+	}
+	fmt.Fprintf(out, "records=%d steps=%d..%d nodes=%d\n", len(recs), minStep, maxStep, len(nodes))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	// Canonical kind order first, unknown spellings (a newer journal) after.
+	for _, k := range obs.KindNames() {
+		if counts[k] > 0 {
+			fmt.Fprintf(w, "%s\t%d\n", k, counts[k])
+			delete(counts, k)
+		}
+	}
+	for k, n := range counts {
+		fmt.Fprintf(w, "%s\t%d\n", k, n)
+	}
+	return w.Flush()
+}
+
+// runFilter reprints the records matching every given predicate, verbatim.
+func runFilter(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("weakjournal filter", flag.ContinueOnError)
+	kind := fs.String("kind", "", "keep only this event kind: "+strings.Join(obs.KindNames(), "|"))
+	node := fs.Int64("node", -1, "keep only this node's events")
+	link := fs.Int64("link", -1, "keep only this link's events")
+	from := fs.Int64("from", 0, "keep only steps ≥ this")
+	to := fs.Int64("to", -1, "keep only steps ≤ this (-1 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("filter wants exactly one journal file")
+	}
+	if *kind != "" {
+		if _, err := obs.ParseKind(*kind); err != nil {
+			return err
+		}
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	recs, err := readJournal(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(out)
+	for _, r := range recs {
+		if *kind != "" && r.Kind != *kind {
+			continue
+		}
+		if set["node"] && r.Node != *node {
+			continue
+		}
+		if set["link"] && r.Link != *link {
+			continue
+		}
+		if r.Step < *from || (*to >= 0 && r.Step > *to) {
+			continue
+		}
+		fmt.Fprintln(bw, r.raw)
+	}
+	return bw.Flush()
+}
+
+// runDiff compares two journals record by record and, on the first
+// difference, prints the divergence window from both sides. Byte-identical
+// journals exit 0; divergent ones exit nonzero.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("weakjournal diff", flag.ContinueOnError)
+	window := fs.Int("window", 3, "records of context to print around the first divergence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two journal files")
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	a, err := readJournal(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := readJournal(pathB)
+	if err != nil {
+		return err
+	}
+	n := min(len(a), len(b))
+	div := -1
+	for i := 0; i < n; i++ {
+		if a[i].raw != b[i].raw {
+			div = i
+			break
+		}
+	}
+	if div == -1 {
+		if len(a) == len(b) {
+			fmt.Fprintf(out, "journals identical: %d records\n", len(a))
+			return nil
+		}
+		// One journal is a strict prefix of the other: the divergence is the
+		// first record past the shared prefix.
+		div = n
+	}
+	step := int64(-1)
+	if div < len(a) {
+		step = a[div].Step
+	} else if div < len(b) {
+		step = b[div].Step
+	}
+	fmt.Fprintf(out, "journals diverge at record %d (step %d): %d vs %d records\n", div, step, len(a), len(b))
+	printWindow(out, pathA, a, div, *window)
+	printWindow(out, pathB, b, div, *window)
+	return fmt.Errorf("journals differ at record %d", div)
+}
+
+// printWindow prints the records of recs around index div, marking the
+// divergent one.
+func printWindow(out io.Writer, path string, recs []record, div, window int) {
+	lo := max(div-window, 0)
+	hi := min(div+window+1, len(recs))
+	fmt.Fprintf(out, "--- %s\n", path)
+	for i := lo; i < hi; i++ {
+		mark := " "
+		if i == div {
+			mark = ">"
+		}
+		fmt.Fprintf(out, "%s %6d %s\n", mark, i, recs[i].raw)
+	}
+	if div >= len(recs) {
+		fmt.Fprintf(out, "> %6d <end of journal>\n", div)
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJournal drops a small synthetic journal and returns its path.
+func writeJournal(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var sample = []string{
+	`{"step":1,"kind":"drop","node":3,"link":7,"arg":0}`,
+	`{"step":1,"kind":"fire","node":0,"link":-1,"arg":1}`,
+	`{"step":2,"kind":"fire","node":3,"link":-1,"arg":1}`,
+	`{"step":3,"kind":"crash","node":5,"link":-1,"arg":0}`,
+	`{"step":4,"kind":"probe","node":-1,"link":-1,"arg":1}`,
+}
+
+func TestStats(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", sample...)
+	var sb strings.Builder
+	if err := run([]string{"stats", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"records=5 steps=1..4 nodes=3", "fire", "drop", "crash", "probe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// Canonical kind order: fire before drop before crash before probe.
+	if strings.Index(out, "fire") > strings.Index(out, "drop") {
+		t.Errorf("kinds out of canonical order:\n%s", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", sample...)
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"-kind", "fire"}, []string{sample[1], sample[2]}},
+		{[]string{"-node", "3"}, []string{sample[0], sample[2]}},
+		{[]string{"-link", "7"}, []string{sample[0]}},
+		{[]string{"-from", "2", "-to", "3"}, []string{sample[2], sample[3]}},
+		{[]string{"-kind", "fire", "-node", "3"}, []string{sample[2]}},
+		{[]string{"-node", "-1"}, []string{sample[4]}},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		if err := run(append([]string{"filter"}, append(c.args, path)...), &sb); err != nil {
+			t.Fatalf("filter %v: %v", c.args, err)
+		}
+		got := strings.TrimRight(sb.String(), "\n")
+		if got != strings.Join(c.want, "\n") {
+			t.Errorf("filter %v:\ngot:\n%s\nwant:\n%s", c.args, got, strings.Join(c.want, "\n"))
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"filter", "-kind", "explode", path}, &sb); err == nil {
+		t.Error("filter accepted an unknown kind")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := writeJournal(t, "a.jsonl", sample...)
+	same := writeJournal(t, "same.jsonl", sample...)
+	var sb strings.Builder
+	if err := run([]string{"diff", a, same}, &sb); err != nil {
+		t.Fatalf("identical journals: %v", err)
+	}
+	if !strings.Contains(sb.String(), "journals identical: 5 records") {
+		t.Errorf("missing identical verdict:\n%s", sb.String())
+	}
+
+	// One perturbed record: the diff names its index and step and prints
+	// the divergence window with the divergent record marked.
+	mutated := append([]string{}, sample...)
+	mutated[2] = `{"step":2,"kind":"fire","node":4,"link":-1,"arg":1}`
+	b := writeJournal(t, "b.jsonl", mutated...)
+	sb.Reset()
+	err := run([]string{"diff", "-window", "1", a, b}, &sb)
+	if err == nil {
+		t.Fatal("divergent journals reported no error")
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"journals diverge at record 2 (step 2)",
+		"--- " + a, "--- " + b,
+		"> " + "     2 " + sample[2],
+		"> " + "     2 " + mutated[2],
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, sample[0]) {
+		t.Errorf("-window 1 printed records outside the window:\n%s", out)
+	}
+
+	// A strict prefix diverges at its end.
+	prefix := writeJournal(t, "p.jsonl", sample[:3]...)
+	sb.Reset()
+	if err := run([]string{"diff", a, prefix}, &sb); err == nil {
+		t.Fatal("prefix journal reported identical")
+	}
+	if !strings.Contains(sb.String(), "journals diverge at record 3") ||
+		!strings.Contains(sb.String(), "<end of journal>") {
+		t.Errorf("prefix diff verdict wrong:\n%s", sb.String())
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	bad := writeJournal(t, "bad.jsonl", `{"step":1`)
+	noSchema := writeJournal(t, "nos.jsonl", `{"foo":1}`)
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"stats"},
+		{"stats", filepath.Join(t.TempDir(), "missing.jsonl")},
+		{"stats", bad},
+		{"stats", noSchema},
+		{"filter", bad},
+		{"diff", bad, bad},
+		{"diff", bad},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

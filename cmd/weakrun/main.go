@@ -27,7 +27,17 @@
 // -metrics either writes a Prometheus text snapshot to a path after the
 // run or, given a host:port, serves /metrics and /debug/pprof over HTTP
 // for the run's duration; -json replaces the text report with one JSON
-// object carrying the full telemetry block.
+// object carrying the full telemetry block (with -journal=- the JSONL
+// stream keeps stdout and the JSON object moves to stderr).
+//
+// Flight recorder (internal/replay): -checkpoint records the run's
+// decision stream and periodic state snapshots (cadence -checkpoint-every)
+// to a WRPLAY01 file; -replay reconstructs a recorded run byte-exactly
+// without re-drawing any randomness (-replay-from resumes the replay from
+// the latest snapshot at or before a step); -resume continues a possibly
+// truncated recording live from its last snapshot, given the original
+// flags. Replay and resume need the original -alg/-graph/-ports (the
+// recording stores decisions, not the topology).
 package main
 
 import (
@@ -50,9 +60,16 @@ import (
 	"weakmodels/internal/logic"
 	"weakmodels/internal/machine"
 	"weakmodels/internal/obs"
+	"weakmodels/internal/port"
+	"weakmodels/internal/replay"
 	"weakmodels/internal/schedule"
 	"weakmodels/internal/spec"
 )
+
+// stderr is the side channel for output that must not pollute the primary
+// stream (the -json object under -journal=-, the -metrics serving banner).
+// A variable so tests can capture it.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -79,6 +96,11 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the run summary as a single JSON object instead of the text report")
 	journalPath := fs.String("journal", "", `write the run's JSONL event journal to this path ("-" = the output stream)`)
 	metricsSpec := fs.String("metrics", "", "host:port serves /metrics and /debug/pprof during the run; any other value is a path the Prometheus snapshot is written to after it")
+	checkpointPath := fs.String("checkpoint", "", "record the run's decision stream and state snapshots (flight recording) to this path")
+	checkpointEvery := fs.Int("checkpoint-every", 64, "snapshot cadence in rounds/steps for -checkpoint")
+	replayPath := fs.String("replay", "", "replay a -checkpoint recording byte-exactly instead of running live (pass the original -alg/-graph/-ports)")
+	replayFrom := fs.Int("replay-from", 0, "with -replay: start from the latest snapshot at or before this step instead of step 0")
+	resumePath := fs.String("resume", "", "resume a possibly truncated -checkpoint recording live from its last snapshot (pass every original flag)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,9 +109,6 @@ func run(args []string, out io.Writer) error {
 	}
 	if *jsonOut && *trace {
 		return fmt.Errorf("-json and -trace are mutually exclusive: the trace renderer is a text report")
-	}
-	if *jsonOut && *journalPath == "-" {
-		return fmt.Errorf(`-journal=- would interleave JSONL records with the -json object; journal to a file instead`)
 	}
 
 	// Validate every flag up front, so a bad spelling fails with the list of
@@ -100,11 +119,33 @@ func run(args []string, out io.Writer) error {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *replayPath != "" {
+		// The recording owns the schedule, the fault plan and the budget; a
+		// flag that would re-introduce live randomness is a conflict, not a
+		// silent ignore.
+		for _, bad := range []string{"checkpoint", "checkpoint-every", "resume",
+			"schedule", "seed", "faults", "fault-seed", "max-rounds"} {
+			if set[bad] {
+				return fmt.Errorf("-replay drives the run from the recording; -%s conflicts with it", bad)
+			}
+		}
+	}
+	if set["replay-from"] && *replayPath == "" {
+		return fmt.Errorf("-replay-from is only meaningful with -replay")
+	}
+	if set["checkpoint-every"] && *checkpointPath == "" {
+		return fmt.Errorf("-checkpoint-every is only meaningful with -checkpoint")
+	}
+	if *resumePath != "" && *checkpointPath != "" {
+		return fmt.Errorf("-resume and -checkpoint are mutually exclusive: re-recording a resumed run would start the recording mid-stream")
+	}
 	if set["workers"] {
 		if *workers < 1 {
 			return fmt.Errorf("-workers must be ≥ 1, got %d", *workers)
 		}
-		if exec != engine.ExecutorPool && exec != engine.ExecutorAsync {
+		// -replay picks the executor from the recording, so -workers stands
+		// on its own there.
+		if exec != engine.ExecutorPool && exec != engine.ExecutorAsync && *replayPath == "" {
 			return fmt.Errorf("-workers is only meaningful with -executor=pool or -executor=async (got -executor=%v)", exec)
 		}
 	}
@@ -187,18 +228,113 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer closeObs()
+	if *jsonOut && reg == nil {
+		// The -json report always carries the timing block, so a registry
+		// rides along even without -metrics.
+		reg = obs.NewMetrics()
+		if o == nil {
+			o = &obs.Obs{}
+		}
+		o.Metrics = reg
+	}
 
-	res, err := engine.Run(m, p, engine.Options{
-		Executor:    exec,
-		Workers:     *workers,
-		Schedule:    sched,
-		Fault:       plan,
-		MaxRounds:   *maxRounds,
-		RecordTrace: *trace,
-		Obs:         o,
-	})
-	if err != nil {
-		return err
+	// schedName/faultsName label the telemetry blocks; in replay mode the
+	// live generators are gone (the recording is the generator state).
+	schedName, faultsName := "", ""
+	if sched != nil {
+		schedName = sched.Name()
+	}
+	if plan != nil {
+		faultsName = plan.Name()
+	}
+	var res *engine.Result
+	var banner string // replay/resume/checkpoint note, printed ahead of the text report
+	switch {
+	case *replayPath != "":
+		rec, err := loadRecording(*replayPath, m, p)
+		if err != nil {
+			return err
+		}
+		var from *engine.Snapshot
+		fromStep := 0
+		if set["replay-from"] {
+			if from = rec.SnapshotBefore(*replayFrom); from == nil {
+				return fmt.Errorf("-replay-from %d: %s has no snapshot at or before that step", *replayFrom, *replayPath)
+			}
+			fromStep = from.Step
+		}
+		if !rec.Sync {
+			exec = engine.ExecutorAsync
+			schedName = "replay"
+		}
+		if rec.HasPlan {
+			faultsName = "replay"
+		}
+		res, err = rec.Replay(m, p, engine.Options{
+			Executor:    exec,
+			Workers:     *workers,
+			RecordTrace: *trace,
+			Obs:         o,
+		}, from)
+		if err != nil {
+			return err
+		}
+		banner = fmt.Sprintf("replayed %s: steps %d..%d", *replayPath, fromStep, rec.FinalStep)
+	case *resumePath != "":
+		rec, err := loadRecording(*resumePath, m, p)
+		if err != nil {
+			return err
+		}
+		snaps := rec.Snapshots()
+		if len(snaps) == 0 {
+			return fmt.Errorf("-resume %s: recording holds no snapshot to resume from", *resumePath)
+		}
+		snap := snaps[len(snaps)-1]
+		res, err = engine.Run(m, p, engine.Options{
+			Executor:    exec,
+			Workers:     *workers,
+			Schedule:    sched,
+			Fault:       plan,
+			MaxRounds:   *maxRounds,
+			RecordTrace: *trace,
+			Obs:         o,
+			Resume:      snap,
+		})
+		if err != nil {
+			return err
+		}
+		banner = fmt.Sprintf("resumed %s from step %d", *resumePath, snap.Step)
+	default:
+		eopts := engine.Options{
+			Executor:    exec,
+			Workers:     *workers,
+			Schedule:    sched,
+			Fault:       plan,
+			MaxRounds:   *maxRounds,
+			RecordTrace: *trace,
+			Obs:         o,
+		}
+		var recorder *replay.Recorder
+		if *checkpointPath != "" {
+			f, err := os.Create(*checkpointPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if eopts, recorder, err = replay.New(eopts, *checkpointEvery, f); err != nil {
+				return err
+			}
+		}
+		if res, err = engine.Run(m, p, eopts); err != nil {
+			return err
+		}
+		if recorder != nil {
+			if err := recorder.Finish(res); err != nil {
+				return fmt.Errorf("seal recording %s: %w", *checkpointPath, err)
+			}
+			banner = fmt.Sprintf("recorded %s: %d snapshots every %d steps",
+				*checkpointPath, len(recorder.Recording().Snapshots()), *checkpointEvery)
+		}
 	}
 	if metricsPath != "" {
 		if err := writeMetricsSnapshot(reg, metricsPath); err != nil {
@@ -206,7 +342,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *jsonOut {
-		return printJSON(out, m, g, res, exec, sched, plan, *portSpec, p.IsConsistent(), compiledFrom)
+		jsonDst := out
+		if *journalPath == "-" {
+			// The output stream stays pure JSONL; the report moves aside.
+			jsonDst = stderr
+		}
+		return printJSON(jsonDst, m, g, res, exec, schedName, faultsName, *portSpec, p.IsConsistent(), compiledFrom, reg)
+	}
+	if banner != "" {
+		fmt.Fprintln(out, banner)
 	}
 	fmt.Fprintf(out, "algorithm %s (class %v) on %v, ports=%s, consistent=%v\n",
 		m.Name(), m.Class(), g, *portSpec, p.IsConsistent())
@@ -227,9 +371,9 @@ func run(args []string, out io.Writer) error {
 			total += f
 		}
 		fmt.Fprintf(out, "schedule=%s steps=%d activations: min=%d max=%d total=%d fixpoint=%v\n",
-			sched.Name(), res.Rounds, minF, maxF, total, res.Fixpoint)
+			schedName, res.Rounds, minF, maxF, total, res.Fixpoint)
 	}
-	if plan != nil {
+	if faultsName != "" {
 		alive := 0
 		for _, a := range res.Alive {
 			if a {
@@ -237,7 +381,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "faults=%s drops=%d dups=%d corruptions=%d crashes=%d recoveries=%d retransmits=%d healed=%d alive=%d/%d\n",
-			plan.Name(), res.Drops, res.Dups, res.Corruptions, res.Crashes, res.Recoveries,
+			faultsName, res.Drops, res.Dups, res.Corruptions, res.Crashes, res.Recoveries,
 			res.Retransmits, res.Healed, alive, g.N())
 	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -252,6 +396,22 @@ func run(args []string, out io.Writer) error {
 		return engine.RenderTrace(out, m, res)
 	}
 	return nil
+}
+
+// loadRecording opens and decodes a WRPLAY01 flight recording. Load
+// tolerates a truncated tail (a killed recorder), so -resume works on
+// exactly the recordings that need it.
+func loadRecording(path string, m machine.Machine, p *port.Numbering) (*replay.Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := replay.Load(f, m, p)
+	if err != nil {
+		return nil, fmt.Errorf("load recording %s: %w", path, err)
+	}
+	return rec, nil
 }
 
 // cutLinksOf counts the directed links the engine's BFS shard partition
@@ -317,7 +477,7 @@ func setupObs(journalPath, metricsSpec string, out io.Writer) (o *obs.Obs, reg *
 			srv := &http.Server{Handler: mux}
 			go srv.Serve(ln)
 			closers = append(closers, func() { srv.Close() })
-			fmt.Fprintf(os.Stderr, "weakrun: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+			fmt.Fprintf(stderr, "weakrun: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
 		}
 	}
 	return o, reg, metricsPath, cleanup, nil
@@ -365,6 +525,23 @@ type faultsReport struct {
 	Alive       int    `json:"alive"`
 }
 
+// histReport summarises one timing histogram; mean_us is sum/count, 0 when
+// the histogram never sampled.
+type histReport struct {
+	Count  int64   `json:"count"`
+	SumUs  float64 `json:"sum_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// timingReport carries the engine's wall-time histograms: per-round wall
+// time and the per-shard compute/merge phase split (the load-imbalance
+// signal of a sharded run).
+type timingReport struct {
+	RoundUs      histReport `json:"round_us"`
+	ShardStepUs  histReport `json:"shard_step_us"`
+	ShardMergeUs histReport `json:"shard_merge_us"`
+}
+
 type runReport struct {
 	Algorithm    string          `json:"algorithm"`
 	Class        string          `json:"class"`
@@ -380,14 +557,25 @@ type runReport struct {
 	CutLinks     int             `json:"cut_links"`
 	Schedule     *scheduleReport `json:"schedule,omitempty"`
 	Faults       *faultsReport   `json:"faults,omitempty"`
+	Timing       *timingReport   `json:"timing,omitempty"`
 	Outputs      []string        `json:"outputs"`
+}
+
+// summarize reads one histogram out of the registry.
+func summarize(reg *obs.Metrics, name string) histReport {
+	h := reg.Histogram(name, "", nil)
+	r := histReport{Count: h.Count(), SumUs: h.Sum()}
+	if r.Count > 0 {
+		r.MeanUs = r.SumUs / float64(r.Count)
+	}
+	return r
 }
 
 // printJSON emits the whole telemetry block as a single indented JSON
 // object — the machine-readable twin of the text report.
 func printJSON(out io.Writer, m machine.Machine, g *graph.Graph, res *engine.Result,
-	exec engine.Executor, sched schedule.Schedule, plan fault.Plan,
-	portSpec string, consistent bool, compiledFrom *formulaReport) error {
+	exec engine.Executor, schedName, faultsName string,
+	portSpec string, consistent bool, compiledFrom *formulaReport, reg *obs.Metrics) error {
 	outputs := make([]string, g.N())
 	for v := range outputs {
 		outputs[v] = string(res.Output[v])
@@ -408,7 +596,7 @@ func printJSON(out io.Writer, m machine.Machine, g *graph.Graph, res *engine.Res
 		Outputs:      outputs,
 	}
 	if exec == engine.ExecutorAsync && len(res.Fires) > 0 {
-		sr := &scheduleReport{Name: sched.Name(), Steps: res.Rounds, Fixpoint: res.Fixpoint}
+		sr := &scheduleReport{Name: schedName, Steps: res.Rounds, Fixpoint: res.Fixpoint}
 		sr.MinFires, sr.MaxFires = res.Fires[0], res.Fires[0]
 		for _, f := range res.Fires {
 			if f < sr.MinFires {
@@ -421,9 +609,9 @@ func printJSON(out io.Writer, m machine.Machine, g *graph.Graph, res *engine.Res
 		}
 		rep.Schedule = sr
 	}
-	if plan != nil {
+	if faultsName != "" {
 		fr := &faultsReport{
-			Plan:        plan.Name(),
+			Plan:        faultsName,
 			Drops:       res.Drops,
 			Dups:        res.Dups,
 			Corruptions: res.Corruptions,
@@ -438,6 +626,13 @@ func printJSON(out io.Writer, m machine.Machine, g *graph.Graph, res *engine.Res
 			}
 		}
 		rep.Faults = fr
+	}
+	if reg != nil {
+		rep.Timing = &timingReport{
+			RoundUs:      summarize(reg, engine.MetricRoundUs),
+			ShardStepUs:  summarize(reg, engine.MetricShardStepUs),
+			ShardMergeUs: summarize(reg, engine.MetricShardMergeUs),
+		}
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -456,5 +651,9 @@ func printList(out io.Writer) error {
 	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))
 	fmt.Fprintln(w, "-faults\t"+fault.ValidSpecs)
 	fmt.Fprintln(w, "-alg\t"+strings.Join(algorithms.RegistryNames(), "  "))
+	fmt.Fprintln(w, "-journal\tfile path, or \"-\" for the output stream; with -json the JSONL journal keeps the output stream and the JSON object moves to stderr")
+	fmt.Fprintln(w, "-checkpoint\tfile path for the run's flight recording (decision stream + a snapshot every -checkpoint-every rounds/steps)")
+	fmt.Fprintln(w, "-replay\tpath of a -checkpoint recording to reconstruct byte-exactly (with the original -alg/-graph/-ports); -replay-from STEP starts from the latest snapshot at or before STEP")
+	fmt.Fprintln(w, "-resume\tpath of a possibly truncated -checkpoint recording to continue live from its last snapshot (with every original flag)")
 	return w.Flush()
 }

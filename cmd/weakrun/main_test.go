@@ -249,6 +249,8 @@ func TestRunList(t *testing.T) {
 		"-ports", "consistent:SEED",
 		"-faults", "crashstop:K", "byzantine:P", "partition:K", "retransmit:R",
 		"-alg", "odd-odd",
+		"-journal", "the JSON object moves to stderr",
+		"-checkpoint", "-replay", "-replay-from STEP", "-resume",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list output missing %q:\n%s", want, out)
@@ -359,7 +361,7 @@ func TestRunJSONSchema(t *testing.T) {
 	}
 	want := []string{"algorithm", "class", "consistent", "cut_links", "executor",
 		"faults", "graph", "message_bytes", "nodes", "outputs", "ports",
-		"rounds", "schedule", "shards"}
+		"rounds", "schedule", "shards", "timing"}
 	if got := keysOf(obj); !reflect.DeepEqual(got, want) {
 		t.Errorf("top-level keys = %v, want %v", got, want)
 	}
@@ -377,6 +379,22 @@ func TestRunJSONSchema(t *testing.T) {
 	}
 	if obj["shards"].(float64) != 2 || obj["cut_links"].(float64) == 0 {
 		t.Errorf("shard telemetry wrong: shards=%v cut_links=%v", obj["shards"], obj["cut_links"])
+	}
+	timing := obj["timing"].(map[string]any)
+	wantTiming := []string{"round_us", "shard_merge_us", "shard_step_us"}
+	if got := keysOf(timing); !reflect.DeepEqual(got, wantTiming) {
+		t.Errorf("timing keys = %v, want %v", got, wantTiming)
+	}
+	for _, k := range wantTiming {
+		h := timing[k].(map[string]any)
+		if got := keysOf(h); !reflect.DeepEqual(got, []string{"count", "mean_us", "sum_us"}) {
+			t.Errorf("timing.%s keys = %v", k, got)
+		}
+	}
+	// Two shards, one compute sample per shard per step.
+	steps := timing["shard_step_us"].(map[string]any)
+	if steps["count"].(float64) != 2*obj["rounds"].(float64) {
+		t.Errorf("shard_step_us count = %v, want 2*rounds = %v", steps["count"], 2*obj["rounds"].(float64))
 	}
 }
 
@@ -421,16 +439,50 @@ func TestRunJSONSeqOmitsAsyncBlocks(t *testing.T) {
 }
 
 // TestRunJSONTraceExcluded: -trace renders a text report, so combining it
-// with -json is a flag error, as is journaling JSONL onto the -json stream.
+// with -json is a flag error.
 func TestRunJSONTraceExcluded(t *testing.T) {
-	for _, args := range [][]string{
-		{"-alg", "odd-odd", "-graph", "star:3", "-json", "-trace"},
-		{"-alg", "odd-odd", "-graph", "star:3", "-json", "-journal", "-"},
-	} {
-		var sb strings.Builder
-		if err := run(args, &sb); err == nil {
-			t.Errorf("run(%v) succeeded, want flag error", args)
+	var sb strings.Builder
+	if err := run([]string{"-alg", "odd-odd", "-graph", "star:3", "-json", "-trace"}, &sb); err == nil {
+		t.Error("run accepted -json with -trace, want flag error")
+	}
+}
+
+// TestRunJSONJournalDash: -json with -journal=- keeps the output stream
+// pure JSONL and moves the JSON report to stderr — neither is dropped.
+func TestRunJSONJournalDash(t *testing.T) {
+	var errBuf strings.Builder
+	orig := stderr
+	stderr = &errBuf
+	defer func() { stderr = orig }()
+
+	var sb strings.Builder
+	err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "roundrobin",
+		"-faults", "partition:3,42,80", "-json", "-journal", "-"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stdout line is a JSONL record.
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("journal stream has %d records:\n%.200s", len(lines), sb.String())
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("output stream is not pure JSONL, line %q: %v", ln, err)
 		}
+		if _, ok := rec["kind"]; !ok {
+			t.Fatalf("non-journal record on the output stream: %q", ln)
+		}
+	}
+	// The JSON report landed on stderr, intact.
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(errBuf.String()), &obj); err != nil {
+		t.Fatalf("stderr does not hold the JSON report: %v\n%s", err, errBuf.String())
+	}
+	if _, ok := obj["faults"]; !ok {
+		t.Errorf("stderr report missing the faults block:\n%s", errBuf.String())
 	}
 }
 
@@ -485,6 +537,170 @@ func TestRunJournalFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(dash.String(), lines[0]) {
 		t.Errorf("-journal=- output does not start with the journal:\n%.200s", dash.String())
+	}
+}
+
+// hostileArgs is one hostile async cell shared by the flight-recorder
+// tests: every fault family live, deterministic under its embedded seeds.
+func hostileArgs(extra ...string) []string {
+	return append([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-executor", "async", "-schedule", "random:0.3",
+		"-faults", "byzantine:0.2,45,200+partition:3,46,200+crash:1,47,200+retransmit:1,48,200"},
+		extra...)
+}
+
+// TestRunCheckpointReplay: -checkpoint records a hostile run; -replay
+// reconstructs it byte-exactly (same report, same journal) with none of
+// the original schedule/fault flags; -replay-from starts mid-run.
+func TestRunCheckpointReplay(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "run.wrplay")
+	liveJournal := filepath.Join(dir, "live.jsonl")
+
+	var live strings.Builder
+	if err := run(hostileArgs("-checkpoint", recPath, "-checkpoint-every", "8",
+		"-journal", liveJournal), &live); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(live.String(), "recorded "+recPath) {
+		t.Errorf("missing recording banner:\n%s", live.String())
+	}
+
+	replayJournal := filepath.Join(dir, "replay.jsonl")
+	var rep strings.Builder
+	if err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-replay", recPath, "-journal", replayJournal, "-workers", "3"}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "replayed "+recPath+": steps 0..") {
+		t.Errorf("missing replay banner:\n%s", rep.String())
+	}
+	// The reports agree on everything but the banner and shard telemetry.
+	strip := func(s string) string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.HasPrefix(ln, "recorded ") || strings.HasPrefix(ln, "replayed ") {
+				continue
+			}
+			if strings.HasPrefix(ln, "rounds=") {
+				if idx := strings.Index(ln, " shards="); idx >= 0 {
+					ln = ln[:idx]
+				}
+			}
+			if strings.HasPrefix(ln, "schedule=") || strings.HasPrefix(ln, "faults=") {
+				// The generator names read "replay" on the replay side.
+				ln = ""
+			}
+			keep = append(keep, ln)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(live.String()) != strip(rep.String()) {
+		t.Errorf("replay report diverged\nlive:\n%s\nreplay:\n%s", live.String(), rep.String())
+	}
+	liveJ, err := os.ReadFile(liveJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJ, err := os.ReadFile(replayJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(liveJ) != string(repJ) {
+		t.Error("replay journal is not byte-identical to the live journal")
+	}
+
+	// -replay-from replays a suffix: its journal is a suffix of the live one.
+	fromJournal := filepath.Join(dir, "from.jsonl")
+	var from strings.Builder
+	if err := run([]string{"-alg", "max-consensus", "-graph", "torus:4x4",
+		"-replay", recPath, "-replay-from", "16", "-journal", fromJournal}, &from); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(from.String(), ": steps 16..") {
+		t.Errorf("-replay-from 16 did not start at snapshot step 16:\n%s", from.String())
+	}
+	fromJ, err := os.ReadFile(fromJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromJ) == 0 || !strings.HasSuffix(string(liveJ), string(fromJ)) {
+		t.Error("mid-run replay journal is not a suffix of the live journal")
+	}
+}
+
+// TestRunResume: a truncated recording resumes live from its last snapshot
+// with the original flags and reaches the recorded run's verdict.
+func TestRunResume(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "run.wrplay")
+	var live strings.Builder
+	if err := run(hostileArgs("-checkpoint", recPath, "-checkpoint-every", "8"), &live); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the tail off: a recorder killed mid-run leaves exactly this.
+	data, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.wrplay")
+	if err := os.WriteFile(cut, data[:len(data)*3/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(hostileArgs("-resume", cut), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resumed "+cut+" from step ") {
+		t.Errorf("missing resume banner:\n%s", resumed.String())
+	}
+	// The resumed run finishes at the same step with the same outputs.
+	tail := func(s string) string {
+		i := strings.Index(s, "rounds=")
+		if i < 0 {
+			return s
+		}
+		return s[i:]
+	}
+	want := tail(live.String())
+	got := tail(resumed.String())
+	if wantRounds := strings.SplitN(want, "\n", 2)[0]; !strings.HasPrefix(got, wantRounds) {
+		t.Errorf("resumed run's telemetry line diverged\nlive:    %s\nresumed: %s",
+			strings.SplitN(want, "\n", 2)[0], strings.SplitN(got, "\n", 2)[0])
+	}
+	node0 := func(s string) string {
+		for _, ln := range strings.Split(s, "\n") {
+			// The output column may be empty for a fixpoint-stopped run, so
+			// match on the node and degree columns alone.
+			if f := strings.Fields(ln); len(f) >= 2 && f[0] == "0" && f[1] == "4" {
+				return ln
+			}
+		}
+		return ""
+	}
+	if a, b := node0(live.String()), node0(resumed.String()); a == "" || a != b {
+		t.Errorf("resumed outputs diverged: live %q, resumed %q", a, b)
+	}
+}
+
+// TestRunRecorderFlagCrossValidation: the flight-recorder flags reject
+// conflicting combinations up front.
+func TestRunRecorderFlagCrossValidation(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "even-degree", "-replay", "x", "-checkpoint", "y"},
+		{"-alg", "even-degree", "-replay", "x", "-resume", "y"},
+		{"-alg", "even-degree", "-replay", "x", "-schedule", "roundrobin"},
+		{"-alg", "even-degree", "-replay", "x", "-faults", "drop:0.5"},
+		{"-alg", "even-degree", "-replay", "x", "-max-rounds", "10"},
+		{"-alg", "even-degree", "-replay-from", "8"},
+		{"-alg", "even-degree", "-checkpoint-every", "8"},
+		{"-alg", "even-degree", "-resume", "x", "-checkpoint", "y"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want cross-validation error", args)
+		}
 	}
 }
 

@@ -1,0 +1,162 @@
+// Package enc holds the tiny binary encoding vocabulary shared by the
+// checkpoint/replay codecs: varints, length-prefixed byte strings and
+// bools appended to byte slices, plus a sticky-error Reader for decoding.
+// It exists so the schedule/fault generator state blobs, the engine's
+// snapshot codec and the replay recording format all speak one dialect
+// instead of three hand-rolled ones.
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is reported by a Reader that ran out of bytes mid-value.
+var ErrTruncated = errors.New("enc: truncated input")
+
+// Varint appends v in signed-varint encoding.
+func Varint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+// Uvarint appends v in unsigned-varint encoding.
+func Uvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// Int appends v as a signed varint.
+func Int(dst []byte, v int) []byte { return binary.AppendVarint(dst, int64(v)) }
+
+// Bool appends b as one byte (0 or 1).
+func Bool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Bytes appends b length-prefixed (uvarint length, then the raw bytes).
+func Bytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// String appends s length-prefixed.
+func String(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Reader decodes values appended by the functions above. Errors are
+// sticky: after the first malformed or truncated value every further read
+// returns a zero value, and Err reports what went wrong — decoding code
+// stays a straight line with one error check at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader keeps a reference to b;
+// callers must not mutate it while decoding.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: varint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: uvarint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed varint as an int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail(fmt.Errorf("%w: bool at offset %d", ErrTruncated, r.off))
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v != 0
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(fmt.Errorf("%w: byte at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bytes reads a length-prefixed byte string. The returned slice aliases
+// the Reader's buffer; copy it to retain it.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Len()) < n {
+		r.fail(fmt.Errorf("%w: %d-byte string at offset %d, %d left", ErrTruncated, n, r.off, r.Len()))
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Close returns the first decoding error, or an error if unread bytes
+// remain — the check a complete-decode caller ends with.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("enc: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package enc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = Varint(b, -12345)
+	b = Uvarint(b, 1<<40)
+	b = Int(b, 7)
+	b = Bool(b, true)
+	b = Bool(b, false)
+	b = Bytes(b, []byte{9, 8, 7})
+	b = Bytes(b, nil)
+	b = String(b, "hello")
+
+	r := NewReader(b)
+	if v := r.Varint(); v != -12345 {
+		t.Fatalf("Varint = %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<40 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if v := r.Int(); v != 7 {
+		t.Fatalf("Int = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip broken")
+	}
+	if v := r.Bytes(); !bytes.Equal(v, []byte{9, 8, 7}) {
+		t.Fatalf("Bytes = %v", v)
+	}
+	if v := r.Bytes(); len(v) != 0 {
+		t.Fatalf("empty Bytes = %v", v)
+	}
+	if v := r.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTruncationIsSticky(t *testing.T) {
+	b := String(nil, "payload")
+	r := NewReader(b[:3]) // length prefix intact, body cut short
+	if s := r.String(); s != "" {
+		t.Fatalf("truncated String = %q, want empty", s)
+	}
+	if v := r.Varint(); v != 0 {
+		t.Fatalf("read after error = %d, want 0", v)
+	}
+	if err := r.Close(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Close = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	b := Varint(nil, 5)
+	b = append(b, 0xFF)
+	r := NewReader(b)
+	r.Varint()
+	if err := r.Close(); err == nil {
+		t.Fatal("Close accepted trailing bytes")
+	}
+}

@@ -326,6 +326,14 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	}()
 	links := len(as.mail)
 	res = &Result{Fires: as.fires, States: as.states, Alive: as.alive}
+	if opts.Resume != nil {
+		// Restored before the trace below records its first entry, so a
+		// resumed trace starts at the resumed configuration.
+		if active, err = as.restore(opts.Resume, res); err != nil {
+			return nil, err
+		}
+		res.Rounds = opts.Resume.Step
+	}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, append([]machine.State(nil), as.states...))
 	}
@@ -333,6 +341,9 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 
 	d := &asyncDriver{as: as, dec: schedule.NewDecision(n, links), res: res}
 	d.rt.init(p.Locality(), asyncShards(opts, n))
+	if met != nil {
+		d.rt.clock = met.clock
+	}
 	workers := d.rt.workers
 	res.Shards = workers
 	if active == 0 {
@@ -357,11 +368,24 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	}
 
 	sched.Begin(n, links)
+	if opts.Resume != nil {
+		if err := restoreGenState(sched, opts.Resume.SchedState, "schedule"); err != nil {
+			return nil, err
+		}
+	}
 	var healer fault.Healer
 	var healedSeen int64
 	if as.plan != nil {
 		as.plan.Begin(asyncTopology{as: as})
 		healer, _ = as.plan.(fault.Healer)
+		if opts.Resume != nil {
+			if err := restoreGenState(as.plan, opts.Resume.PlanState, "fault plan"); err != nil {
+				return nil, err
+			}
+			// The heal-delta journaling below must not re-announce heals
+			// that happened before the snapshot.
+			healedSeen = opts.Resume.Healed
+		}
 		// Copy the partition-heal telemetry out on every exit path (normal
 		// halt, fixpoint, budget error — res is nil on the error paths): the
 		// plan owns the running count.
@@ -370,13 +394,25 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 				res.Healed = healer.Healed()
 			}
 		}()
+	} else if opts.Resume != nil {
+		if len(opts.Resume.PlanState) > 0 {
+			return nil, fmt.Errorf("engine: resume snapshot carries fault-plan state but the run has no fault plan")
+		}
+		res.Healed = opts.Resume.Healed
 	}
 	view := asyncView{as: as}
 
-	// Step 0: every node emits μ(x_0) (halted nodes m0) into the network —
-	// on the coordinator, before any worker exists.
-	for v := 0; v < n; v++ {
-		as.emit(v, 0)
+	startT := 1
+	if opts.Resume != nil {
+		startT = opts.Resume.Step + 1
+	} else {
+		// Step 0: every node emits μ(x_0) (halted nodes m0) into the
+		// network — on the coordinator, before any worker exists. A resumed
+		// run skips it: the snapshot's flight queues already hold whatever
+		// was in the network.
+		for v := 0; v < n; v++ {
+			as.emit(v, 0)
+		}
 	}
 
 	d.rt.start(d, workers > 1)
@@ -385,7 +421,12 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 	maxSteps := asyncStepBudget(opts, sched, n)
 	checkInterval := asyncFixpointInterval(n)
 	nextCheck := checkInterval
-	for t := 1; ; t++ {
+	if opts.Resume != nil {
+		// Align the fixpoint-probe cadence with the original run: probes
+		// fire at the same absolute steps whether or not the run resumed.
+		nextCheck = (opts.Resume.Step/checkInterval + 1) * checkInterval
+	}
+	for t := startT; ; t++ {
 		if t > maxSteps {
 			return nil, fmt.Errorf("%w (step budget %d, machine %q on %v, schedule %s)",
 				ErrNoHalt, maxSteps, m.Name(), g, sched.Name())
@@ -414,6 +455,9 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 			met.roundStart()
 		}
 		d.rt.run(asyncPhaseStep)
+		if met != nil {
+			met.shardPhase(d.rt.stats, met.shardStepUs)
+		}
 		// A well-cut sharding stages nothing on most steps under sparse
 		// schedules; skipping an empty merge skips a whole barrier.
 		staged := false
@@ -422,6 +466,9 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 		}
 		if staged {
 			d.rt.run(asyncPhaseMerge)
+			if met != nil {
+				met.shardPhase(d.rt.stats, met.shardMergeUs)
+			}
 		}
 		bytes, halts := d.rt.fold()
 		if met != nil {
@@ -446,6 +493,10 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 			// a configuration that currently looks steady.
 			if as.plan == nil || as.plan.Settled() {
 				d.rt.run(asyncPhaseProbe)
+				if met != nil {
+					// The probe's shard time belongs to neither histogram.
+					met.dropShardDurs(d.rt.stats)
+				}
 				fix := true
 				for w := range d.shards {
 					fix = fix && d.shards[w].probe
@@ -465,6 +516,18 @@ func runAsync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options
 					res.Fixpoint = true
 					return res, nil
 				}
+			}
+		}
+		// Captured after the probe block so a snapshot at step t sits after
+		// every journal event of step t: the journal of a replay from t is
+		// exactly the original lines with step > t.
+		if cp := opts.Checkpoint; cp != nil && t%cp.Every == 0 {
+			var healed int64
+			if healer != nil {
+				healed = healer.Healed()
+			}
+			if err := cp.Sink(as.capture(t, res, healed, sched)); err != nil {
+				return nil, fmt.Errorf("engine: checkpoint sink at step %d: %w", t, err)
 			}
 		}
 	}

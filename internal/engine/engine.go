@@ -184,6 +184,18 @@ type Options struct {
 	// machine must implement machine.InputAware and len(Inputs) must equal
 	// the node count.
 	Inputs []string
+	// Checkpoint, when non-nil, emits a full-state Snapshot every
+	// Checkpoint.Every steps (see snapshot.go). Works under every
+	// executor; costs one nil test per step when unset.
+	Checkpoint *CheckpointOptions
+	// Resume, when non-nil, restarts the run from a Snapshot instead of
+	// the initial configuration: execution continues at step Resume.Step+1
+	// with all queues, counters and generator state restored, and the run
+	// is bit-identical to the uninterrupted one from that step on. The
+	// snapshot must come from the same machine/graph/numbering and the
+	// same executor kind (sync vs async); Trace, when recorded, starts at
+	// the resumed configuration. MaxRounds still counts from step 0.
+	Resume *Snapshot
 	// Obs attaches observability (internal/obs): a Sink receives the
 	// run's event journal — every fire, delivery fate, crash/recovery,
 	// partition heal and fixpoint probe, in a deterministic global order
@@ -276,6 +288,19 @@ func Run(m machine.Machine, p *port.Numbering, opts Options) (*Result, error) {
 	}
 	if opts.Fault != nil && exec != ExecutorAsync {
 		return nil, fmt.Errorf("engine: Options.Fault is only supported by the async executor, not %v", exec)
+	}
+	if cp := opts.Checkpoint; cp != nil {
+		if cp.Every < 1 {
+			return nil, fmt.Errorf("engine: Checkpoint.Every must be ≥ 1, got %d", cp.Every)
+		}
+		if cp.Sink == nil {
+			return nil, fmt.Errorf("engine: Checkpoint.Sink is nil")
+		}
+	}
+	if snap := opts.Resume; snap != nil {
+		if wantSync := exec != ExecutorAsync; snap.Sync != wantSync {
+			return nil, fmt.Errorf("engine: snapshot executor kind (sync=%v) does not match executor %v", snap.Sync, exec)
+		}
 	}
 	switch exec {
 	case ExecutorSeq:

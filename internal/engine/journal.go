@@ -76,6 +76,13 @@ const (
 	// count — the µs/node/round trend the large sweeps watch.
 	MetricRoundUs     = "weak_engine_round_us"
 	MetricRoundNodeUs = "weak_engine_round_node_us"
+	// MetricShardStepUs observes each shard's wall time in the compute
+	// phase, one sample per shard per round/step; MetricShardMergeUs the
+	// same for the async cross-shard merge phase (sampled only on steps
+	// that staged cross-shard traffic). Their spread is the load-imbalance
+	// signal: a healthy sharding keeps all shards' samples close.
+	MetricShardStepUs  = "weak_engine_shard_step_us"
+	MetricShardMergeUs = "weak_engine_shard_merge_us"
 )
 
 // journal adapts an obs.Sink to the engine's phase structure. All methods
@@ -139,12 +146,14 @@ func (j *journal) finish(err *error) {
 // runMetrics is the per-run metrics hook: round timing plus the final
 // counter mirror. Nil when no registry is attached.
 type runMetrics struct {
-	reg     *obs.Metrics
-	clock   obs.Clock
-	nodes   int
-	roundUs *obs.Histogram
-	nodeUs  *obs.Histogram
-	t0      time.Duration
+	reg          *obs.Metrics
+	clock        obs.Clock
+	nodes        int
+	roundUs      *obs.Histogram
+	nodeUs       *obs.Histogram
+	shardStepUs  *obs.Histogram
+	shardMergeUs *obs.Histogram
+	t0           time.Duration
 }
 
 // newRunMetrics resolves the metrics hook for a run, or nil.
@@ -154,16 +163,36 @@ func newRunMetrics(o *obs.Obs, nodes int) *runMetrics {
 	}
 	reg := o.Metrics
 	return &runMetrics{
-		reg:     reg,
-		clock:   o.ResolveClock(),
-		nodes:   nodes,
-		roundUs: reg.Histogram(MetricRoundUs, "wall microseconds per round (sync) or schedule step (async)", nil),
-		nodeUs:  reg.Histogram(MetricRoundNodeUs, "wall microseconds per node per round", nil),
+		reg:          reg,
+		clock:        o.ResolveClock(),
+		nodes:        nodes,
+		roundUs:      reg.Histogram(MetricRoundUs, "wall microseconds per round (sync) or schedule step (async)", nil),
+		nodeUs:       reg.Histogram(MetricRoundNodeUs, "wall microseconds per node per round", nil),
+		shardStepUs:  reg.Histogram(MetricShardStepUs, "per-shard wall microseconds in the compute phase", nil),
+		shardMergeUs: reg.Histogram(MetricShardMergeUs, "per-shard wall microseconds in the async merge phase", nil),
 	}
 }
 
 // roundStart stamps the beginning of a round/step.
 func (rm *runMetrics) roundStart() { rm.t0 = rm.clock.Now() }
+
+// shardPhase drains the shards' accumulated phase durations into h, one
+// sample per shard. The coordinator calls it right after the phase's
+// barrier, so each drain covers exactly one phase.
+func (rm *runMetrics) shardPhase(stats []stepStats, h *obs.Histogram) {
+	for w := range stats {
+		h.Observe(float64(stats[w].dur) / float64(time.Microsecond))
+		stats[w].dur = 0
+	}
+}
+
+// dropShardDurs clears phase durations without observing them, for phases
+// (probe, initial send) outside the step/merge histograms.
+func (rm *runMetrics) dropShardDurs(stats []stepStats) {
+	for w := range stats {
+		stats[w].dur = 0
+	}
+}
 
 // roundEnd observes the round's duration into the timing histograms.
 func (rm *runMetrics) roundEnd() {

@@ -39,7 +39,7 @@ func journalRun(t *testing.T, m machine.Machine, p *port.Numbering, opts Options
 // hostileOpts builds the async options of one hostile-fault cell —
 // byzantine corruption, a healing partition, crash/recovery and
 // sender-side retransmission composed over a seeded schedule.
-func hostileOpts(t *testing.T, schedSpec string, workers int) Options {
+func hostileOpts(t testing.TB, schedSpec string, workers int) Options {
 	t.Helper()
 	sched, err := schedule.Parse(schedSpec, 77)
 	if err != nil {
@@ -234,5 +234,55 @@ func TestRunMetricsMirrorResult(t *testing.T) {
 	}
 	if got := reg.Histogram(MetricRoundNodeUs, "", nil).Count(); got != int64(res.Rounds) {
 		t.Errorf("%s samples = %d, want %d", MetricRoundNodeUs, got, res.Rounds)
+	}
+}
+
+// TestShardPhaseHistograms: with a registry attached, every shard
+// contributes one compute-phase sample per executed step (sync and async),
+// merge-phase samples come in whole shard batches on exactly the staged
+// steps, and without a registry the engine never reads a clock (no shard
+// histograms appear).
+func TestShardPhaseHistograms(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	m := algorithms.MaxConsensus(g.MaxDegree())
+
+	// Async, four spawned shards under a hostile cell.
+	reg := obs.NewMetrics()
+	opts := hostileOpts(t, "random:0.3", 4)
+	opts.Obs = &obs.Obs{Metrics: reg}
+	res, err := Run(m, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", res.Shards)
+	}
+	steps := reg.Histogram(MetricShardStepUs, "", nil).Count()
+	if want := int64(res.Rounds * res.Shards); steps != want {
+		t.Errorf("%s samples = %d, want rounds*shards = %d", MetricShardStepUs, steps, want)
+	}
+	merges := reg.Histogram(MetricShardMergeUs, "", nil).Count()
+	if merges == 0 || merges%int64(res.Shards) != 0 {
+		t.Errorf("%s samples = %d, want a positive multiple of %d", MetricShardMergeUs, merges, res.Shards)
+	}
+
+	// Synchronous pool executor: one compute sample per shard per round,
+	// no merge phase at all.
+	reg = obs.NewMetrics()
+	res, err = Run(algorithms.MaxDegreeWithin(g.MaxDegree(), 4), p, Options{
+		Executor: ExecutorPool,
+		Workers:  2,
+		Obs:      &obs.Obs{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = reg.Histogram(MetricShardStepUs, "", nil).Count()
+	if want := int64(res.Rounds * res.Shards); steps != want {
+		t.Errorf("pool %s samples = %d, want rounds*shards = %d", MetricShardStepUs, steps, want)
+	}
+	if got := reg.Histogram(MetricShardMergeUs, "", nil).Count(); got != 0 {
+		t.Errorf("pool %s samples = %d, want 0", MetricShardMergeUs, got)
 	}
 }

@@ -90,9 +90,22 @@ func (rs *runState) runPhase(w int, ph runtimePhase) {
 // short-circuit the zero-round case).
 func (rs *runState) driveRounds(active int, opts Options, res *Result) error {
 	maxRounds := maxRoundsOf(opts)
-	rs.rt.run(phaseSend)
-	pending, _ := rs.rt.fold()
-	for round := 1; ; round++ {
+	startRound := 1
+	var pending int64
+	if opts.Resume != nil {
+		// The snapshot's arena already holds the messages the next round
+		// consumes (captured post-swap), so the μ(x_0) send pass is skipped.
+		startRound = opts.Resume.Step + 1
+		pending = opts.Resume.Pending
+	} else {
+		rs.rt.run(phaseSend)
+		pending, _ = rs.rt.fold()
+		if rs.met != nil {
+			// The initial μ(x_0) emission is not a round step.
+			rs.met.dropShardDurs(rs.rt.stats)
+		}
+	}
+	for round := startRound; ; round++ {
 		if round > maxRounds {
 			return fmt.Errorf("%w (budget %d, machine %q on %v)",
 				ErrNoHalt, maxRounds, rs.m.Name(), rs.g)
@@ -105,6 +118,9 @@ func (rs *runState) driveRounds(active int, opts Options, res *Result) error {
 			rs.met.roundStart()
 		}
 		rs.rt.run(phaseStep)
+		if rs.met != nil {
+			rs.met.shardPhase(rs.rt.stats, rs.met.shardStepUs)
+		}
 		bytes, halts := rs.rt.fold()
 		if rs.met != nil {
 			rs.met.roundEnd()
@@ -121,6 +137,14 @@ func (rs *runState) driveRounds(active int, opts Options, res *Result) error {
 		}
 		if active == 0 {
 			return nil
+		}
+		// Captured post-swap, after the round's journal events flushed, so a
+		// replay from round `round` emits exactly the original journal's
+		// suffix.
+		if cp := opts.Checkpoint; cp != nil && round%cp.Every == 0 {
+			if err := cp.Sink(rs.capture(round, res, pending)); err != nil {
+				return fmt.Errorf("engine: checkpoint sink at round %d: %w", round, err)
+			}
 		}
 	}
 }
@@ -150,6 +174,9 @@ func newRunState(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Opti
 		met:       newRunMetrics(opts.Obs, n),
 	}
 	rs.rt.init(loc, workers)
+	if rs.met != nil {
+		rs.rt.clock = rs.met.clock
+	}
 	for w := range rs.rt.stats {
 		rs.rt.stats[w].scratch = rs.newScratch()
 	}
@@ -266,6 +293,15 @@ func runSync(m machine.Machine, g *graph.Graph, p *port.Numbering, opts Options,
 		}
 	}()
 	res = &Result{States: rs.states, Shards: rs.rt.workers}
+	if opts.Resume != nil {
+		if len(opts.Resume.SchedState) > 0 || len(opts.Resume.PlanState) > 0 {
+			return nil, fmt.Errorf("engine: synchronous executors have no schedule or fault plan to restore")
+		}
+		if active, err = rs.restore(opts.Resume, res); err != nil {
+			return nil, err
+		}
+		res.Rounds = opts.Resume.Step
+	}
 	if opts.RecordTrace {
 		rs.snapshotTrace(res)
 	}

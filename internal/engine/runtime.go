@@ -33,6 +33,7 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"weakmodels/internal/machine"
 	"weakmodels/internal/obs"
@@ -74,6 +75,11 @@ type stepStats struct {
 	step     int   // async only: the schedule step being executed
 	bytes    int64 // message bytes produced (sync) or consumed (async)
 	newHalts int   // nodes that halted during the phase
+	// dur accumulates the shard's wall time inside phases since the last
+	// drain, written by the owning shard when the runtime has a clock and
+	// drained by the coordinator's runMetrics at the barrier. Zero cost
+	// when no metrics registry is attached (nil clock).
+	dur time.Duration
 	// scratch is the shard's canonicalisation buffer (capacity = max
 	// degree), reused across nodes and rounds by the synchronous driver;
 	// the async driver keeps its frontier scratch in asyncBufs instead.
@@ -95,6 +101,10 @@ type shardRuntime struct {
 	runner  phaseRunner
 	cmds    []chan runtimePhase // nil in inline form
 	barrier sync.WaitGroup
+	// clock, when non-nil, makes every phase stamp its per-shard wall time
+	// into stats[w].dur. Drivers set it from their runMetrics hook, so the
+	// no-metrics path never reads a clock.
+	clock obs.Clock
 }
 
 // init binds the runtime to a locality table and resolves the shard count,
@@ -154,7 +164,13 @@ func (rt *shardRuntime) start(r phaseRunner, spawn bool) {
 		rt.cmds[w] = make(chan runtimePhase, 1)
 		go func(w int, cmd <-chan runtimePhase) {
 			for ph := range cmd {
-				r.runPhase(w, ph)
+				if rt.clock != nil {
+					t0 := rt.clock.Now()
+					r.runPhase(w, ph)
+					rt.stats[w].dur += rt.clock.Now() - t0
+				} else {
+					r.runPhase(w, ph)
+				}
 				rt.barrier.Done()
 			}
 		}(w, rt.cmds[w])
@@ -168,7 +184,13 @@ func (rt *shardRuntime) start(r phaseRunner, spawn bool) {
 func (rt *shardRuntime) run(ph runtimePhase) {
 	if rt.cmds == nil {
 		for w := 0; w < rt.workers; w++ {
-			rt.runner.runPhase(w, ph)
+			if rt.clock != nil {
+				t0 := rt.clock.Now()
+				rt.runner.runPhase(w, ph)
+				rt.stats[w].dur += rt.clock.Now() - t0
+			} else {
+				rt.runner.runPhase(w, ph)
+			}
 		}
 		return
 	}

@@ -29,7 +29,10 @@
 // and shard settings.
 package obs
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Kind identifies what a journal Event records.
 type Kind uint8
@@ -85,6 +88,23 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// KindNames lists every kind's JSONL spelling, in Kind order.
+func KindNames() []string {
+	names := make([]string, numKinds)
+	copy(names, kindNames[:])
+	return names
+}
+
+// ParseKind resolves a JSONL kind spelling back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q; have %v", s, kindNames)
 }
 
 // Event is one fixed-width journal record. Node and Link are -1 when the

@@ -1,0 +1,175 @@
+package replay
+
+// bisect.go turns a recording of a failed stabilisation run into an exact
+// culprit: the first (step, node) at which the run left the fault-free
+// synchronous trajectory. The predicate leans on the executor's confluence
+// theorem — in a fault-free asynchronous run, a node that has fired k
+// times is in exactly the synchronous state x_k — so "on trajectory" is
+// checkable per node from its firing count alone, against the reference
+// run's trace. Faults are precisely what break that invariant, and the
+// first node they break it at is where the damage entered.
+//
+// The search is two-phase: binary-search the recording's snapshots (whose
+// state vectors, firing counts and liveness masks make the predicate free
+// to evaluate) for the first off-trajectory snapshot, then replay the one
+// preceding interval with a trace and a journal to name the exact step and
+// node. The bisection assumes the recorded divergence persists once it
+// appears — true for monotone algorithms like the max-gossip family; a
+// transient divergence that heals before the last agreeing snapshot is
+// invisible to the binary search and goes unreported.
+
+import (
+	"fmt"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/obs"
+	"weakmodels/internal/port"
+)
+
+// StepDivergence names the first point a recorded run left the fault-free
+// synchronous trajectory.
+type StepDivergence struct {
+	// Step is the executor step whose firing first produced an
+	// off-trajectory state; Node is the (lowest-id) node it happened at.
+	Step int
+	Node int
+	// Fires is Node's cumulative firing count at that step; the trajectory
+	// predicate compared its state against the reference x_Fires.
+	Fires int64
+	// Ref renders the expected state (the reference trajectory's), Got the
+	// state the recorded run actually reached.
+	Ref string
+	Got string
+}
+
+func (d *StepDivergence) String() string {
+	return fmt.Sprintf("step %d node %d (firing %d): have %s, want %s",
+		d.Step, d.Node, d.Fires, d.Got, d.Ref)
+}
+
+// offTrajectory evaluates the confluence predicate on a snapshot: the
+// lowest-id live node whose state differs from the reference trajectory at
+// its own firing count. refTrace[t] is the fault-free synchronous x_t; a
+// node that fired past the end of the trace is held to the final (fixpoint
+// or halted) reference state.
+func offTrajectory(m machine.Machine, refTrace [][]machine.State, states []machine.State, fires []int64, alive []bool) (int, bool) {
+	last := len(refTrace) - 1
+	for v := range states {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		k := int(fires[v])
+		if k > last {
+			k = last
+		}
+		if !machine.StatesEqual(m, refTrace[k][v], states[v]) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// BisectDivergence locates the first (step, node) at which the recorded
+// run left the fault-free synchronous trajectory given by refTrace (the
+// reference run's Trace, refTrace[t] = x_t; it must be non-empty — run the
+// reference with RecordTrace). It binary-searches the recording's
+// snapshots for the first off-trajectory one, then replays the interval
+// since the last on-trajectory point to pin the exact step. Returns nil
+// when no step diverges — the run never left the trajectory (or only
+// transiently, see the package comment).
+func BisectDivergence(m machine.Machine, p *port.Numbering, rec *Recording, refTrace [][]machine.State) (*StepDivergence, error) {
+	if rec.FinalStep <= 0 {
+		return nil, fmt.Errorf("replay: recording has no end record (the run did not complete)")
+	}
+	if len(refTrace) == 0 {
+		return nil, fmt.Errorf("replay: empty reference trace (run the reference with RecordTrace)")
+	}
+
+	// Binary search the snapshots: initial configurations are on trajectory
+	// by definition (x_0, zero firings), so the invariant is "lo on
+	// trajectory, bad off trajectory".
+	snaps := rec.snaps
+	firstBad := len(snaps)
+	lo, hi := 0, len(snaps)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		s := snaps[mid]
+		if _, off := offTrajectory(m, refTrace, s.States, s.Fires, s.Alive); off {
+			firstBad = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	// Replay from the last on-trajectory snapshot (nil: from step 0) and
+	// scan its interval step by step. The replay necessarily runs to the
+	// recording's end; when every snapshot is on trajectory the divergence
+	// lies in the tail and the same scan covers it.
+	var from *engine.Snapshot
+	if firstBad > 0 && len(snaps) > 0 {
+		if firstBad == len(snaps) {
+			from = snaps[len(snaps)-1]
+		} else {
+			from = snaps[firstBad-1]
+		}
+	}
+	var journal obs.Collect
+	res, err := rec.Replay(m, p, engine.Options{RecordTrace: true, Obs: &obs.Obs{Sink: &journal}}, from)
+	if err != nil {
+		return nil, fmt.Errorf("replay: bisection segment: %w", err)
+	}
+
+	// Walk the segment. Trace[i] is the state vector after step base+i;
+	// firing counts and liveness advance with the journal's fire and
+	// crash/recover events, which carry cumulative counts.
+	base := 0
+	fires := make([]int64, len(res.States))
+	var alive []bool
+	if from != nil {
+		base = from.Step
+		copy(fires, from.Fires)
+		if from.Alive != nil {
+			alive = append([]bool(nil), from.Alive...)
+		}
+	}
+	ev, events := 0, journal.Events
+	for i := 1; i < len(res.Trace); i++ {
+		t := base + i
+		for ev < len(events) && events[ev].Step <= int64(t) {
+			e := events[ev]
+			ev++
+			switch e.Kind {
+			case obs.KindFire:
+				fires[e.Node] = e.Arg
+			case obs.KindCrash:
+				if alive == nil {
+					alive = make([]bool, len(res.States))
+					for v := range alive {
+						alive[v] = true
+					}
+				}
+				alive[e.Node] = false
+			case obs.KindRecover:
+				if alive != nil {
+					alive[e.Node] = true
+				}
+			}
+		}
+		if v, off := offTrajectory(m, refTrace, res.Trace[i], fires, alive); off {
+			k := int(fires[v])
+			if k > len(refTrace)-1 {
+				k = len(refTrace) - 1
+			}
+			return &StepDivergence{
+				Step:  t,
+				Node:  v,
+				Fires: fires[v],
+				Ref:   fmt.Sprint(refTrace[k][v]),
+				Got:   fmt.Sprint(res.Trace[i][v]),
+			}, nil
+		}
+	}
+	return nil, nil
+}

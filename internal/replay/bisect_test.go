@@ -1,0 +1,165 @@
+package replay
+
+// bisect_test.go pins divergence bisection on a machine built so that the
+// first fault IS the first divergence: an m0 counter, whose state counts
+// the silent (m0) deliveries it has seen. Fault-free, no node ever halts
+// and every delivery is real, so the trajectory is constantly zero; every
+// dropped message permanently bumps the receiver off it (the count is
+// monotone — the divergence-persists assumption holds exactly). That makes
+// the journal an independent oracle: the first divergent (step, node) must
+// be the first KindDrop event's step and the lowest-id receiver dropped at
+// that step.
+
+import (
+	"testing"
+
+	"weakmodels/internal/engine"
+	"weakmodels/internal/fault"
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+	"weakmodels/internal/schedule"
+)
+
+// m0Counter counts m0 inbox entries and broadcasts a constant.
+func m0Counter(delta int) machine.Machine {
+	return &machine.Func{
+		MachineName:  "m0-counter",
+		MachineClass: machine.ClassMB,
+		MaxDeg:       delta,
+		InitFunc:     func(int) machine.State { return 0 },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc:     func(machine.State, int) machine.Message { return "x" },
+		StepFunc: func(s machine.State, inbox []machine.Message) machine.State {
+			count := s.(int)
+			for _, m := range inbox {
+				if m == machine.NoMessage {
+					count++
+				}
+			}
+			return count
+		},
+	}
+}
+
+func TestBisectDivergence(t *testing.T) {
+	g := graph.Torus(4, 4)
+	p := port.Canonical(g)
+	m := m0Counter(g.MaxDegree())
+
+	ref, err := engine.Run(m, p, engine.Options{
+		Executor:    engine.ExecutorAsync,
+		Schedule:    schedule.Synchronous(),
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := schedule.Parse("random:0.3", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("drop:0.3,5,40", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.Options{
+		MaxRounds:   200_000,
+		Executor:    engine.ExecutorAsync,
+		Schedule:    sched,
+		Fault:       plan,
+		RecordTrace: true,
+	}
+	ropts, recorder, err := New(opts, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(m, p, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recorder.Finish(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Fatalf("drop plan dropped nothing: %+v", res)
+	}
+	rec := recorder.Recording()
+
+	div, err := BisectDivergence(m, p, rec, ref.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("no divergence found in a run with drops")
+	}
+
+	// Independent oracle: the reference trajectory is identically zero, so
+	// the first divergence is exactly the first nonzero count in the
+	// recorded run's own trace (at the lowest node id). A drop enters the
+	// mail queue at its journal step but only reaches the state when the
+	// receiver next fires, so the trace — not the drop event — is the
+	// ground truth.
+	wantStep, wantNode := -1, -1
+	for ti := 1; ti < len(res.Trace) && wantStep == -1; ti++ {
+		for v, s := range res.Trace[ti] {
+			if s.(int) != 0 {
+				wantStep, wantNode = ti, v
+				break
+			}
+		}
+	}
+	if div.Step != wantStep || div.Node != wantNode {
+		t.Fatalf("bisected to (step %d, node %d), trace says first nonzero count is (step %d, node %d)",
+			div.Step, div.Node, wantStep, wantNode)
+	}
+	if div.Ref != "0" || div.Got == "0" {
+		t.Fatalf("divergence states: ref %q got %q, want ref 0 and got nonzero", div.Ref, div.Got)
+	}
+
+	// The snapshot bisection agrees exactly with a brute-force full scan
+	// (a recording stripped of snapshots replays from step 0).
+	flat := *rec
+	flat.snaps = nil
+	full, err := BisectDivergence(m, p, &flat, ref.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == nil || *full != *div {
+		t.Fatalf("bisection %+v disagrees with full scan %+v", div, full)
+	}
+
+	// A fault-free recorded run never leaves the trajectory: bisection
+	// reports nothing.
+	cleanOpts := engine.Options{
+		MaxRounds: 200_000,
+		Executor:  engine.ExecutorAsync,
+		Schedule:  mustParse(t, "random:0.3", 77),
+	}
+	ropts, recorder, err = New(cleanOpts, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := engine.Run(m, p, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recorder.Finish(cleanRes); err != nil {
+		t.Fatal(err)
+	}
+	if div, err := BisectDivergence(m, p, recorder.Recording(), ref.Trace); err != nil {
+		t.Fatal(err)
+	} else if div != nil {
+		t.Fatalf("fault-free run reported divergent: %+v", div)
+	}
+}
+
+func mustParse(t *testing.T, spec string, seed int64) schedule.Schedule {
+	t.Helper()
+	s, err := schedule.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

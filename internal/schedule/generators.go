@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"weakmodels/internal/enc"
+	"weakmodels/internal/xrand"
 )
 
 // Synchronous returns the schedule of the paper's Section 1.3 semantics:
@@ -60,6 +63,7 @@ func RandomSubset(seed int64, p float64) Schedule {
 type randomSubset struct {
 	seed int64
 	p    float64
+	src  *xrand.Source
 	rng  *rand.Rand
 }
 
@@ -77,7 +81,22 @@ func (r *randomSubset) Dilation(nodes int) int {
 }
 
 func (r *randomSubset) Begin(nodes, links int) {
-	r.rng = rand.New(rand.NewSource(r.seed))
+	r.src = xrand.NewSource(r.seed)
+	r.rng = rand.New(r.src)
+}
+
+func (r *randomSubset) SnapshotState() []byte {
+	return enc.Varint(nil, r.src.Cursor())
+}
+
+func (r *randomSubset) RestoreState(b []byte) error {
+	rd := enc.NewReader(b)
+	cursor := rd.Varint()
+	if err := rd.Close(); err != nil {
+		return fmt.Errorf("random schedule state: %w", err)
+	}
+	r.src.SeekTo(cursor)
+	return nil
 }
 
 func (r *randomSubset) Step(t int, view View, dec *Decision) {
@@ -107,6 +126,7 @@ func BoundedStaleness(seed int64, k int) Schedule {
 type boundedStaleness struct {
 	seed int64
 	k    int
+	src  *xrand.Source
 	rng  *rand.Rand
 }
 
@@ -117,7 +137,22 @@ func (b *boundedStaleness) Name() string { return fmt.Sprintf("staleness:%d", b.
 func (b *boundedStaleness) Dilation(nodes int) int { return 2 }
 
 func (b *boundedStaleness) Begin(nodes, links int) {
-	b.rng = rand.New(rand.NewSource(b.seed))
+	b.src = xrand.NewSource(b.seed)
+	b.rng = rand.New(b.src)
+}
+
+func (b *boundedStaleness) SnapshotState() []byte {
+	return enc.Varint(nil, b.src.Cursor())
+}
+
+func (b *boundedStaleness) RestoreState(blob []byte) error {
+	rd := enc.NewReader(blob)
+	cursor := rd.Varint()
+	if err := rd.Close(); err != nil {
+		return fmt.Errorf("staleness schedule state: %w", err)
+	}
+	b.src.SeekTo(cursor)
+	return nil
 }
 
 func (b *boundedStaleness) Step(t int, view View, dec *Decision) {

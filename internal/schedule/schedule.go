@@ -94,6 +94,25 @@ type Dilated interface {
 	Dilation(nodes int) int
 }
 
+// Resumable is the optional extension implemented by schedules — and, by
+// the same shape, by fault plans — whose mid-run mutable state (RNG
+// cursors, pending events, observations of the run so far) cannot be
+// reconstructed by Begin alone. The engine snapshots that state into its
+// checkpoints and restores it on resume, so a resumed run draws the
+// exact randomness the uninterrupted run would have drawn. Generators
+// that are stateless after Begin (Synchronous, RoundRobin, Adversary)
+// deliberately do not implement it: re-running Begin reproduces them.
+//
+// RestoreState is only called after Begin with the topology the state
+// was captured under; the blob format is private to each generator and
+// versioned only by the snapshot that carries it.
+type Resumable interface {
+	// SnapshotState serializes the generator's mid-run mutable state.
+	SnapshotState() []byte
+	// RestoreState restores state captured by SnapshotState.
+	RestoreState(b []byte) error
+}
+
 // Schedule decides, per step, which nodes are activated and which in-flight
 // messages are delivered. Implementations are deterministic: the same
 // (schedule spec, seed) pair replays the same decisions, which is what

@@ -30,6 +30,7 @@ import (
 	"weakmodels/internal/machine"
 	"weakmodels/internal/obs"
 	"weakmodels/internal/port"
+	"weakmodels/internal/replay"
 	"weakmodels/internal/schedule"
 )
 
@@ -48,6 +49,14 @@ type Report struct {
 	// Divergences carries the comparison context of each mismatched node,
 	// parallel to Mismatched.
 	Divergences []Divergence
+	// FirstDivergence, set by a failed check run with CheckOptions.Bisect,
+	// names the first (step, node) at which the faulty run left the
+	// fault-free synchronous trajectory — where the damage entered, as
+	// opposed to Divergences, which shows where it ended up. Nil when the
+	// check stabilised, when bisection was off, or when the end-state
+	// mismatch came only from transient trajectory deviations (see
+	// replay.BisectDivergence).
+	FirstDivergence *replay.StepDivergence
 }
 
 // Divergence is one node's failed comparison: what the fault-free
@@ -69,6 +78,12 @@ type CheckOptions struct {
 	// divergence context of a failed stabilisation, greppable in the same
 	// JSONL stream as the faults that caused it.
 	Obs *obs.Obs
+	// Bisect records the faulty run through the flight recorder and, when
+	// the check fails, bisects the recording to the first (step, node) off
+	// the fault-free trajectory, reported in Report.FirstDivergence.
+	Bisect bool
+	// BisectEvery is the recording's snapshot cadence in steps (0 = 64).
+	BisectEvery int
 }
 
 // Stabilised reports whether every live node reached the fault-free
@@ -77,13 +92,17 @@ func (r *Report) Stabilised() bool { return len(r.Mismatched) == 0 }
 
 // String summarises the report for logs and walkthroughs.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"stabilised=%v (ref %d rounds, faulty %d steps, fixpoint=%v; drops=%d dups=%d corruptions=%d crashes=%d recoveries=%d retransmits=%d healed=%d; dead=%d mismatched=%d)",
 		r.Stabilised(), r.Reference.Rounds, r.Faulty.Rounds, r.Faulty.Fixpoint,
 		r.Faulty.Drops, r.Faulty.Dups, r.Faulty.Corruptions,
 		r.Faulty.Crashes, r.Faulty.Recoveries,
 		r.Faulty.Retransmits, r.Faulty.Healed,
 		len(r.Dead), len(r.Mismatched))
+	if r.FirstDivergence != nil {
+		s += fmt.Sprintf(" first divergence: %v", r.FirstDivergence)
+	}
+	return s
 }
 
 // Check runs m on p twice — fault-free under the synchronous schedule, and
@@ -104,17 +123,31 @@ func CheckWith(m machine.Machine, p *port.Numbering, sched schedule.Schedule, pl
 	ref, err := engine.Run(m, p, engine.Options{
 		Executor: engine.ExecutorAsync,
 		Schedule: schedule.Synchronous(),
+		// The reference trace is the trajectory bisection checks against.
+		RecordTrace: opts.Bisect,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stabilize: fault-free reference run: %w", err)
 	}
-	faulty, err := engine.Run(m, p, engine.Options{
+	fopts := engine.Options{
 		Executor:  engine.ExecutorAsync,
 		Schedule:  sched,
 		Fault:     plan,
 		MaxRounds: opts.MaxSteps,
 		Obs:       opts.Obs,
-	})
+	}
+	var recorder *replay.Recorder
+	if opts.Bisect {
+		every := opts.BisectEvery
+		if every <= 0 {
+			every = 64
+		}
+		// In-memory recording: live snapshots, no gob requirement on states.
+		if fopts, recorder, err = replay.New(fopts, every, nil); err != nil {
+			return nil, fmt.Errorf("stabilize: flight recorder: %w", err)
+		}
+	}
+	faulty, err := engine.Run(m, p, fopts)
 	if err != nil {
 		return nil, fmt.Errorf("stabilize: faulty run: %w", err)
 	}
@@ -133,6 +166,16 @@ func CheckWith(m machine.Machine, p *port.Numbering, sched schedule.Schedule, pl
 			Ref:  fmt.Sprint(ref.States[v]),
 			Got:  fmt.Sprint(faulty.States[v]),
 		})
+	}
+	if recorder != nil && len(rep.Mismatched) > 0 {
+		if err := recorder.Finish(faulty); err != nil {
+			return nil, fmt.Errorf("stabilize: seal recording: %w", err)
+		}
+		div, err := replay.BisectDivergence(m, p, recorder.Recording(), ref.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("stabilize: bisect divergence: %w", err)
+		}
+		rep.FirstDivergence = div
 	}
 	if opts.Obs != nil && opts.Obs.Sink != nil && len(rep.Mismatched) > 0 {
 		// The engine flushed its own records when the faulty run returned;

@@ -3,6 +3,7 @@ package stabilize
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"weakmodels/internal/algorithms"
@@ -242,6 +243,51 @@ func dropSensitive(delta int) machine.Machine {
 			x.done = x.rounds >= 3
 			return x
 		},
+	}
+}
+
+// TestCheckWithBisect: a failed check run with Bisect names the exact
+// first off-trajectory (step, node). Under total omission every node's
+// first firing consumes only m0, so the damage enters at step 1, node 0 —
+// and a check that stabilises reports no divergence point at all.
+func TestCheckWithBisect(t *testing.T) {
+	g := graph.Cycle(5)
+	rep, err := CheckWith(dropSensitive(g.MaxDegree()), port.Canonical(g),
+		schedule.Synchronous(), instantiate(t, "drop:1,%d,60", 9),
+		CheckOptions{MaxSteps: 100_000, Bisect: true, BisectEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stabilised() {
+		t.Fatal("total omission should break the drop-sensitive workload")
+	}
+	div := rep.FirstDivergence
+	if div == nil {
+		t.Fatal("failed bisecting check has no FirstDivergence")
+	}
+	if div.Step != 1 || div.Node != 0 {
+		t.Fatalf("first divergence at (step %d, node %d), want (1, 0): %v", div.Step, div.Node, div)
+	}
+	if div.Ref == div.Got {
+		t.Fatalf("divergence rendered identically: %v", div)
+	}
+	if !strings.Contains(rep.String(), "first divergence") {
+		t.Fatalf("report does not surface the divergence: %s", rep)
+	}
+
+	// A stabilising check under the same option reports nothing: max
+	// consensus washes omission out.
+	rep, err = CheckWith(algorithms.MaxConsensus(g.MaxDegree()), port.Canonical(g),
+		schedule.Synchronous(), instantiate(t, "drop:0.5,%d,60", 3),
+		CheckOptions{MaxSteps: 100_000, Bisect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stabilised() {
+		t.Fatalf("max consensus failed to stabilise: %s", rep)
+	}
+	if rep.FirstDivergence != nil {
+		t.Fatalf("stabilised check reports a divergence: %v", rep.FirstDivergence)
 	}
 }
 

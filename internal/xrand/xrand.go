@@ -1,0 +1,64 @@
+// Package xrand wraps math/rand's seeded source with a draw cursor, so
+// the seeded schedule and fault generators can checkpoint how much of
+// their random stream a run has consumed and fast-forward back to that
+// exact position on resume.
+//
+// The wrapper counts at the Source level, not the Rand level: rand.Rand
+// methods consume a variable number of source words (Float64 can loop on
+// an edge case, Intn rejects out-of-range words), so counting Float64 or
+// Intn calls would not pin the stream position. Counting Int63/Uint64
+// calls does — and because the wrapper delegates to the exact source
+// rand.NewSource returns, a generator built over it draws the same
+// stream it always drew, keeping every committed seeded expectation.
+package xrand
+
+import "math/rand"
+
+// Source is a rand.Source64 that counts every word drawn from the
+// underlying seeded source. It is not safe for concurrent use — exactly
+// like the source it wraps, and by design: the engine draws all
+// randomness on its coordinator.
+type Source struct {
+	inner rand.Source64
+	seed  int64
+	draws int64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{inner: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 draws one word.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.inner.Int63()
+}
+
+// Uint64 draws one word.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.inner.Uint64()
+}
+
+// Seed reseeds the source and resets the cursor.
+func (s *Source) Seed(seed int64) {
+	s.inner.Seed(seed)
+	s.seed, s.draws = seed, 0
+}
+
+// Cursor returns how many words have been drawn since the last seeding.
+func (s *Source) Cursor() int64 { return s.draws }
+
+// SeekTo rewinds the source to its seed and burns words until the cursor
+// reaches cursor: afterwards the source is in the exact state it was in
+// when Cursor returned that value. Int63 and Uint64 advance the
+// underlying generator identically, so the burn is draw-type agnostic.
+func (s *Source) SeekTo(cursor int64) {
+	s.inner.Seed(s.seed)
+	s.draws = 0
+	for s.draws < cursor {
+		s.draws++
+		s.inner.Uint64()
+	}
+}

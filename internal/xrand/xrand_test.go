@@ -1,0 +1,67 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The counting source must be stream-transparent: a rand.Rand built over
+// it draws exactly what one built over rand.NewSource draws. Every seeded
+// schedule/fault expectation in the repo depends on this.
+func TestSourceStreamTransparent(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		ref := rand.New(rand.NewSource(seed))
+		got := rand.New(NewSource(seed))
+		for i := 0; i < 1000; i++ {
+			switch i % 4 {
+			case 0:
+				if r, g := ref.Float64(), got.Float64(); r != g {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, g, r)
+				}
+			case 1:
+				if r, g := ref.Intn(97), got.Intn(97); r != g {
+					t.Fatalf("seed %d draw %d: Intn %v != %v", seed, i, g, r)
+				}
+			case 2:
+				if r, g := ref.Int63(), got.Int63(); r != g {
+					t.Fatalf("seed %d draw %d: Int63 %v != %v", seed, i, g, r)
+				}
+			case 3:
+				if r, g := ref.Uint64(), got.Uint64(); r != g {
+					t.Fatalf("seed %d draw %d: Uint64 %v != %v", seed, i, g, r)
+				}
+			}
+		}
+	}
+}
+
+// SeekTo(c) must put the source in the exact state it was in when Cursor
+// returned c, regardless of which Rand methods consumed the words.
+func TestSeekToReproducesTail(t *testing.T) {
+	src := NewSource(99)
+	rng := rand.New(src)
+	for i := 0; i < 500; i++ {
+		if i%3 == 0 {
+			rng.Float64()
+		} else {
+			rng.Intn(1000)
+		}
+	}
+	cursor := src.Cursor()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = rng.Float64()
+	}
+
+	src2 := NewSource(99)
+	rng2 := rand.New(src2)
+	src2.SeekTo(cursor)
+	if src2.Cursor() != cursor {
+		t.Fatalf("cursor after seek: %d, want %d", src2.Cursor(), cursor)
+	}
+	for i := range want {
+		if got := rng2.Float64(); got != want[i] {
+			t.Fatalf("tail draw %d after seek: %v, want %v", i, got, want[i])
+		}
+	}
+}
