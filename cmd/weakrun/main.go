@@ -88,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "shard count for the pool and async executors (default GOMAXPROCS)")
 	schedSpec := fs.String("schedule", "sync", "async schedule: "+schedule.ValidSpecs)
 	seed := fs.Int64("seed", 1, "seed for seeded async schedules")
-	faultSpec := fs.String("faults", "", "async fault plan: "+fault.ValidSpecs)
+	faultSpec := fs.String("faults", "", "async fault plan: "+fault.ValidSpecs())
 	faultSeed := fs.Int64("fault-seed", 1, "seed for seeded fault plans")
 	list := fs.Bool("list", false, "list valid executors, schedules, graphs, ports, faults and algorithms, then exit")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (async: step budget; 0 = default)")
@@ -649,7 +649,7 @@ func printList(out io.Writer) error {
 	fmt.Fprintln(w, "-schedule\t"+schedule.ValidSpecs)
 	fmt.Fprintln(w, "-graph\t"+strings.Join(spec.GraphSpecs(), "  "))
 	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))
-	fmt.Fprintln(w, "-faults\t"+fault.ValidSpecs)
+	fmt.Fprintln(w, "-faults\t"+fault.ValidSpecs())
 	fmt.Fprintln(w, "-alg\t"+strings.Join(algorithms.RegistryNames(), "  "))
 	fmt.Fprintln(w, "-journal\tfile path, or \"-\" for the output stream; with -json the JSONL journal keeps the output stream and the JSON object moves to stderr")
 	fmt.Fprintln(w, "-checkpoint\tfile path for the run's flight recording (decision stream + a snapshot every -checkpoint-every rounds/steps)")

@@ -1,0 +1,37 @@
+// Command weakvet is the repository's static-analysis suite: custom
+// analyzers that machine-enforce the engine's determinism,
+// seeded-randomness, observability and allocation contracts.
+//
+// Run it through go vet (the blocking CI form):
+//
+//	go build -o /tmp/weakvet ./cmd/weakvet
+//	go vet -vettool=/tmp/weakvet ./...
+//
+// or standalone over package patterns:
+//
+//	go run ./cmd/weakvet ./...
+//	go run ./cmd/weakvet -maporder ./internal/engine/...
+//
+// Each analyzer's name is also its enable flag; with no analyzer flags
+// all of them run. See the README's "Static analysis" section for the
+// contracts and the //weakvet: annotation grammar.
+package main
+
+import (
+	"weakmodels/internal/analysis/maporder"
+	"weakmodels/internal/analysis/noalloc"
+	"weakmodels/internal/analysis/obsguard"
+	"weakmodels/internal/analysis/seededrand"
+	"weakmodels/internal/analysis/unit"
+	"weakmodels/internal/analysis/weakdir"
+)
+
+func main() {
+	unit.Main(
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		obsguard.Analyzer,
+		noalloc.Analyzer,
+		weakdir.Analyzer,
+	)
+}

@@ -1,0 +1,43 @@
+package allocgen_test
+
+import (
+	"io/fs"
+	"path/filepath"
+	"testing"
+
+	"weakmodels/internal/analysis/allocgen"
+)
+
+// TestGeneratedFilesInSync walks every package of the module and checks
+// the //weakvet:noalloc ↔ generated-pin correspondence both ways: a
+// package with annotated functions must carry a byte-identical,
+// freshly-regenerable zz_generated_weakvet_alloc_test.go, and a package
+// without them must not. Annotating a function and forgetting to run
+// the generator fails here, not in review.
+func TestGeneratedFilesInSync(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		switch d.Name() {
+		case ".git", "testdata":
+			return filepath.SkipDir
+		}
+		if cerr := allocgen.Check(path); cerr != nil {
+			t.Errorf("%v", cerr)
+		}
+		checked++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 10 {
+		t.Fatalf("walked only %d directories from %s; wrong root?", checked, root)
+	}
+}

@@ -1,0 +1,51 @@
+// Command gen regenerates the zz_generated_weakvet_alloc_test.go pin
+// files from //weakvet:noalloc annotations.
+//
+// Usage:
+//
+//	go run weakmodels/internal/analysis/allocgen/gen <pkg-dir>...
+//
+// For each package directory it writes the pin file when the package
+// has annotated functions, and removes a stale one when it does not.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"weakmodels/internal/analysis/allocgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintf(os.Stderr, "usage: gen <pkg-dir>...\n")
+		os.Exit(2)
+	}
+	for _, dir := range os.Args[1:] {
+		if err := generate(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func generate(dir string) error {
+	content, ok, err := allocgen.Generate(dir)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, allocgen.Filename)
+	if !ok {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		fmt.Printf("%s: no //weakvet:noalloc functions\n", dir)
+		return nil
+	}
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package allocgen
+
+// RaceEnabled reports whether the build runs under the race detector,
+// whose runtime allocates on instrumented paths and would break the
+// AllocsPerRun pins.
+const RaceEnabled = false

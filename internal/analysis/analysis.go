@@ -1,0 +1,121 @@
+// Package analysis is a self-contained micro-framework mirroring the
+// golang.org/x/tools/go/analysis API shape, built only on the standard
+// library so the repository's static-analysis suite (cmd/weakvet) works
+// in hermetic builds with no module downloads.
+//
+// The surface is deliberately the familiar one — Analyzer, Pass,
+// Diagnostic — so the analyzers under internal/analysis/... could be
+// ported to the real x/tools framework by changing one import. What this
+// package does NOT reproduce is the parts the weakvet suite does not
+// need: facts (all weakvet checks are package-local), SSA, and the
+// dependency graph between analyzers.
+//
+// The suite machine-enforces the engine's three hand-maintained contract
+// families — determinism (maporder), seeded randomness and no wall
+// clocks (seededrand), zero-cost-when-disabled observability (obsguard)
+// — plus the allocation budgets of annotated hot functions (noalloc),
+// with //weakvet:... source annotations as the escape hatch (weakdir
+// validates the annotation grammar itself). See the README's "Static
+// analysis" section for the contract each analyzer enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (also its enable flag on
+// the weakvet command line), one paragraph of documentation, and the Run
+// function applied once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's worth of material to an analyzer: the
+// parsed files, the type information, and the Report callback. A Pass is
+// valid only for the duration of the Run call it is handed to.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report consumes one diagnostic. Drivers install it; analyzers call
+	// Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos. Diagnostics positioned
+// in _test.go files are dropped: the weakvet contracts bind the shipped
+// engine paths, and tests legitimately range maps, read clocks and
+// allocate.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if file := p.Fset.Position(pos).Filename; strings.HasSuffix(file, "_test.go") {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgShortName returns the name weakvet scopes packages by: the
+// package's own name (so analysistest fixtures named "engine" behave
+// like the real package) — except for main packages, which are scoped by
+// the last import-path element instead, so cmd/weakrun is "weakrun", not
+// "main".
+func (p *Pass) PkgShortName() string {
+	name := p.Pkg.Name()
+	if name == "main" {
+		path := p.Pkg.Path()
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return name
+}
+
+// DeterminismCritical is the set of packages on the engine's
+// deterministic paths: everything whose iteration order, randomness or
+// emission order feeds the bit-identical-across-workers and byte-exact-
+// replay guarantees. maporder scopes itself to these.
+var DeterminismCritical = map[string]bool{
+	"engine":    true,
+	"fault":     true,
+	"schedule":  true,
+	"replay":    true,
+	"obs":       true,
+	"graph":     true,
+	"port":      true,
+	"stabilize": true,
+	"spec":      true,
+}
+
+// EnginePath is the set of packages that execute inside a run — where
+// unseeded randomness or a wall-clock read breaks replay, not just
+// style. seededrand and obsguard scope themselves to these. spec and
+// graph construct seeded inputs before a run starts, so they are
+// determinism-critical for iteration order but their rand.New(NewSource)
+// constructors are the sanctioned idiom; machine and xrand are the
+// substrate the engine steps on.
+var EnginePath = map[string]bool{
+	"engine":    true,
+	"fault":     true,
+	"schedule":  true,
+	"replay":    true,
+	"obs":       true,
+	"stabilize": true,
+	"port":      true,
+	"machine":   true,
+	"xrand":     true,
+}

@@ -1,0 +1,263 @@
+// Package analysistest runs weakvet analyzers over fixture packages,
+// mirroring the golang.org/x/tools/go/analysis/analysistest contract on
+// the standard library only.
+//
+// Fixtures live under testdata/src/<pkg>/ next to the analyzer's test.
+// Every fixture file marks the diagnostics it expects with trailing
+// comments of the form
+//
+//	for k := range m { // want "nondeterministic map iteration"
+//
+// where each quoted string is a regular expression that must match a
+// diagnostic reported on that line. A want comment on a line of its own
+// binds the previous line instead — the form used when the flagged line
+// already ends in a line comment (a //weakvet: directive, say). A
+// diagnostic with no matching expectation, or an expectation with no
+// matching diagnostic, fails the test.
+//
+// Imports inside fixtures resolve in two steps: a path with a directory
+// under testdata/src/ is type-checked from those sources (so fixtures
+// can model repo packages like obs — the analyzers match hook types by
+// package name, making the fake interchangeable with the real one), and
+// anything else is loaded from compiled export data via
+// `go list -deps -export` (internal/analysis/load).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"weakmodels/internal/analysis"
+	"weakmodels/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package under
+// testdata/src/<pkg> and checks the diagnostics against the files'
+// `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			checked, err := ld.check(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      ld.fset,
+				Files:     checked.files,
+				Pkg:       checked.pkg,
+				TypesInfo: checked.info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s: %v", a.Name, err)
+			}
+			matchExpectations(t, ld.fset, checked.goFiles, diags)
+		})
+	}
+}
+
+// expectation is one `// want "re"` marker.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func matchExpectations(t *testing.T, fset *token.FileSet, goFiles []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range goFiles {
+		ws, err := parseWants(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the `// want "re" ["re"...]` markers of one file.
+func parseWants(file string) ([]*expectation, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for i, lineText := range strings.Split(string(data), "\n") {
+		prefix, rest, found := strings.Cut(lineText, "// want ")
+		if !found {
+			continue
+		}
+		// A want on a line of its own binds the previous line: directives
+		// are themselves line comments, so their expectations cannot share
+		// the line.
+		line := i + 1
+		if strings.TrimSpace(prefix) == "" {
+			line = i
+		}
+		rest = strings.TrimSpace(rest)
+		for rest != "" {
+			var quoted string
+			switch rest[0] {
+			case '"':
+				end := strings.Index(rest[1:], `"`)
+				if end < 0 {
+					return nil, fmt.Errorf("%s:%d: unterminated want expectation", file, i+1)
+				}
+				quoted = rest[:end+2]
+				rest = strings.TrimSpace(rest[end+2:])
+			case '`':
+				end := strings.Index(rest[1:], "`")
+				if end < 0 {
+					return nil, fmt.Errorf("%s:%d: unterminated want expectation", file, i+1)
+				}
+				quoted = rest[:end+2]
+				rest = strings.TrimSpace(rest[end+2:])
+			default:
+				return nil, fmt.Errorf("%s:%d: malformed want expectation at %q", file, i+1, rest)
+			}
+			raw, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: unquoting %s: %v", file, i+1, quoted, err)
+			}
+			re, err := regexp.Compile(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: compiling %q: %v", file, i+1, raw, err)
+			}
+			out = append(out, &expectation{file: file, line: line, re: re, raw: raw})
+		}
+	}
+	return out, nil
+}
+
+// loader type-checks fixture packages, resolving testdata-local imports
+// from source and everything else from export data.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	cache    map[string]*checkedPkg
+	exports  map[string]string
+	gc       types.Importer
+}
+
+type checkedPkg struct {
+	pkg     *types.Package
+	files   []*ast.File
+	goFiles []string
+	info    *types.Info
+}
+
+func newLoader(testdata string) *loader {
+	return &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		cache:    map[string]*checkedPkg{},
+	}
+}
+
+// check loads and type-checks the fixture package at testdata/src/path.
+func (ld *loader) check(path string) (*checkedPkg, error) {
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	lp, err := load.Check(ld.fset, importerFunc(ld.importPkg), path, "", goFiles)
+	if err != nil {
+		return nil, err
+	}
+	p := &checkedPkg{pkg: lp.Pkg, files: lp.Files, goFiles: goFiles, info: lp.Info}
+	ld.cache[path] = p
+	return p, nil
+}
+
+// importPkg resolves one fixture import: testdata-local packages from
+// source, the rest from export data (resolved lazily, one `go list` for
+// the whole closure of the first external import).
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil {
+		p, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	if ld.gc == nil {
+		// Resolve the full stdlib closure once; "std" lists every standard
+		// package, so any fixture import is covered by one invocation.
+		exports, err := load.Exports(".", "std")
+		if err != nil {
+			return nil, err
+		}
+		ld.exports = exports
+		ld.gc = load.Importer(ld.fset, exports)
+	}
+	return ld.gc.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

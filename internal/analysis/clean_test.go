@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis"
+	"weakmodels/internal/analysis/maporder"
+	"weakmodels/internal/analysis/noalloc"
+	"weakmodels/internal/analysis/obsguard"
+	"weakmodels/internal/analysis/seededrand"
+	"weakmodels/internal/analysis/unit"
+	"weakmodels/internal/analysis/weakdir"
+)
+
+// TestRepoClean runs every weakvet analyzer over the whole module and
+// requires zero diagnostics: the tree stays clean, and any new
+// violation needs either a fix or an annotated justification before it
+// can land. This is the same set cmd/weakvet registers, exercised
+// through the in-process driver rather than go vet.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	analyzers := []*analysis.Analyzer{
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		obsguard.Analyzer,
+		noalloc.Analyzer,
+		weakdir.Analyzer,
+	}
+	diags, err := unit.RunPatterns("../..", analyzers, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("weakvet: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d weakvet diagnostics on HEAD; fix them or annotate with a //weakvet: justification", len(diags))
+	}
+}

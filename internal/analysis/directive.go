@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //weakvet: annotation grammar. A directive is a line comment of
+// the form
+//
+//	//weakvet:NAME [argument...]
+//
+// (no space between // and weakvet, mirroring //go: directives). The
+// names and their meanings:
+//
+//	//weakvet:ordered <why>   — suppress maporder on the annotated range
+//	                            statement; <why> must say why iteration
+//	                            order cannot leak into observable state.
+//	//weakvet:rand <why>      — suppress seededrand on the annotated
+//	                            line; <why> must say why the wall clock
+//	                            or global randomness is sound here.
+//	//weakvet:obs <why>       — suppress obsguard at a call site, a
+//	                            function, or a whole type (annotating a
+//	                            type declaration exempts every method
+//	                            body's use of that type's fields); <why>
+//	                            must name the invariant that keeps the
+//	                            hook non-nil.
+//	//weakvet:noalloc [budget=N] — declare the annotated function
+//	                            allocation-free (budget allocations per
+//	                            call, default 0): noalloc AST-checks the
+//	                            body and the generated AllocsPerRun
+//	                            harness (internal/analysis/allocgen)
+//	                            pins the measured budget.
+//	//weakvet:alloc <why>     — allow the single annotated line inside a
+//	                            //weakvet:noalloc function to allocate.
+//
+// A directive written as a trailing comment applies to its own line; a
+// directive written above a statement (possibly inside a larger comment
+// block) applies to the first code line after the comment group.
+
+// KnownDirectives lists every valid directive name; weakdir reports any
+// other //weakvet: spelling as a typo.
+var KnownDirectives = map[string]bool{
+	"ordered": true,
+	"rand":    true,
+	"obs":     true,
+	"noalloc": true,
+	"alloc":   true,
+}
+
+// NeedsJustification lists the directives whose argument must be a
+// non-empty rationale.
+var NeedsJustification = map[string]bool{
+	"ordered": true,
+	"rand":    true,
+	"obs":     true,
+	"alloc":   true,
+}
+
+// Directive is one parsed //weakvet: annotation.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "ordered", "rand", ...
+	Arg  string // everything after the name, space-trimmed
+}
+
+// parseDirective parses one comment; ok is false for non-weakvet
+// comments.
+func parseDirective(c *ast.Comment) (d Directive, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//weakvet:")
+	if !found {
+		return Directive{}, false
+	}
+	name, arg, _ := strings.Cut(text, " ")
+	return Directive{Pos: c.Pos(), Name: strings.TrimSpace(name), Arg: strings.TrimSpace(arg)}, true
+}
+
+// FileDirectives returns every //weakvet: directive in the file, in
+// source order. Used by weakdir to validate the grammar.
+func FileDirectives(file *ast.File) []Directive {
+	var out []Directive
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Index resolves which source lines each directive governs.
+type Index struct {
+	byLine map[int][]Directive
+}
+
+// NewIndex builds the line index over a set of files (one package). A
+// directive governs its own line (trailing-comment form) and the first
+// line after its enclosing comment group (comment-above form).
+func NewIndex(fset *token.FileSet, files ...*ast.File) *Index {
+	ix := &Index{byLine: make(map[int][]Directive)}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			groupEnd := fset.Position(g.End()).Line
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				ix.byLine[line] = append(ix.byLine[line], d)
+				if line != groupEnd+1 {
+					ix.byLine[groupEnd+1] = append(ix.byLine[groupEnd+1], d)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// At returns the named directive governing the given line, if any.
+func (ix *Index) At(line int, name string) (Directive, bool) {
+	for _, d := range ix.byLine[line] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Allows reports whether the named directive governs the line node
+// starts on.
+func (ix *Index) Allows(fset *token.FileSet, node ast.Node, name string) (Directive, bool) {
+	return ix.At(fset.Position(node.Pos()).Line, name)
+}
+
+// DocDirective scans a declaration's doc comment group for the named
+// directive. This is the annotation point for functions (noalloc, obs)
+// and types (obs).
+func DocDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// ParseNoallocBudget parses the argument of a //weakvet:noalloc
+// directive: empty means budget 0, otherwise "budget=N" with N ≥ 0.
+func ParseNoallocBudget(arg string) (int, error) {
+	if arg == "" {
+		return 0, nil
+	}
+	val, found := strings.CutPrefix(arg, "budget=")
+	if !found {
+		return 0, &DirectiveError{Arg: arg, Reason: `want "budget=N" or nothing`}
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, &DirectiveError{Arg: arg, Reason: "budget must be a non-negative integer"}
+	}
+	return n, nil
+}
+
+// DirectiveError describes a malformed directive argument.
+type DirectiveError struct {
+	Arg    string
+	Reason string
+}
+
+func (e *DirectiveError) Error() string {
+	return "bad //weakvet:noalloc argument " + strconv.Quote(e.Arg) + ": " + e.Reason
+}

@@ -1,0 +1,190 @@
+// Package load builds type-checked packages for the weakvet analyzers
+// without golang.org/x/tools: `go list -deps -export -json` resolves
+// the import closure and compiles export data into the build cache, and
+// the standard gc importer (go/importer) reads dependency types back
+// from those export files. Only the target packages themselves are
+// parsed from source — exactly what a source-level analyzer needs, at a
+// fraction of a full source load, and fully offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// ListedPackage is the subset of `go list -json` output load consumes.
+type ListedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// List runs `go list -deps -export -json` in dir and returns the
+// package closure: every listed package, with Export set to its
+// compiled export file.
+func List(dir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(patterns, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports returns the ImportPath → export-file map of the full
+// dependency closure of patterns. The analysistest harness uses it to
+// resolve fixture imports of real (stdlib) packages.
+func Exports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Importer returns a types.Importer resolving dependencies through
+// export files: exports maps import paths to gc export-data files.
+func Importer(fset *token.FileSet, exports map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &unsafeFallback{gc: gc}
+}
+
+// unsafeFallback wraps the gc importer, resolving "unsafe" to the
+// canonical types.Unsafe package.
+type unsafeFallback struct{ gc types.Importer }
+
+func (u *unsafeFallback) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Check parses and type-checks one package from sources, resolving
+// imports through imp.
+func Check(fset *token.FileSet, imp types.Importer, path, name string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, f := range goFiles {
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, parsed)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Packages loads, parses and type-checks the packages matching patterns
+// (run from dir), sorted by import path. Dependencies come from export
+// data; only the matched packages are parsed from source. Test files
+// are not loaded: the weakvet contracts bind shipped code.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var goFiles []string
+		for _, f := range p.GoFiles {
+			goFiles = append(goFiles, p.Dir+string(os.PathSeparator)+f)
+		}
+		if len(goFiles) == 0 {
+			continue
+		}
+		pkg, err := Check(fset, imp, p.ImportPath, p.Name, goFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

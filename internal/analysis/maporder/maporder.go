@@ -1,0 +1,399 @@
+// Package maporder flags nondeterministic map iteration in the
+// determinism-critical packages (analysis.DeterminismCritical).
+//
+// Go randomises map iteration order per range statement, so any map
+// range whose body's effects depend on visit order is a determinism bug
+// on the engine's bit-identical-across-workers and byte-exact-replay
+// paths. A range over a map (or over maps.Keys/Values/All iterators) is
+// reported unless one of:
+//
+//   - the loop body is provably order-insensitive under a small
+//     write-set heuristic: it only performs commutative integer
+//     accumulation (n++, n += x, n |= x, n &= x, n ^= x, n *= x),
+//     idempotent boolean flagging (found = true), keyed map-to-map
+//     transfer (m2[k] = ... indexed by the loop key), delete, pure
+//     filtering (if cond { continue }) and extremum updates
+//     (if v > best { best = v });
+//   - the loop only collects keys/values — or call-free projections of
+//     them, like v.field — into a slice that the same function sorts
+//     afterwards (the sort-before-use idiom);
+//   - the range statement is annotated //weakvet:ordered <why>.
+//
+// Floating-point accumulation is NOT accepted: float addition is not
+// associative, so even a "commutative" += over a map produces
+// order-dependent low bits.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"weakmodels/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag nondeterministic map iteration in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical[pass.PkgShortName()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ix := analysis.NewIndex(pass.Fset, file)
+		c := &checker{pass: pass, ix: ix}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				c.walkFunc(fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ix   *analysis.Index
+	// fnBody is the innermost enclosing function body, the scope searched
+	// for a later sort of a collected slice.
+	fnBody *ast.BlockStmt
+}
+
+// walkFunc inspects one function body, re-entering for function
+// literals so the sort-after-collect search stays within the closest
+// function.
+func (c *checker) walkFunc(body *ast.BlockStmt) {
+	prev := c.fnBody
+	c.fnBody = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkFunc(n.Body)
+			return false
+		case *ast.RangeStmt:
+			c.checkRange(n)
+		}
+		return true
+	})
+	c.fnBody = prev
+}
+
+func (c *checker) checkRange(rng *ast.RangeStmt) {
+	overMap := isMapType(c.pass.TypesInfo.TypeOf(rng.X))
+	overIter := c.mapIterCall(rng.X)
+	if !overMap && !overIter {
+		return
+	}
+	if _, ok := c.ix.Allows(c.pass.Fset, rng, "ordered"); ok {
+		return
+	}
+	if overMap && c.orderInsensitive(rng) {
+		return
+	}
+	what := "map"
+	if overIter {
+		what = "maps iterator"
+	}
+	c.pass.Reportf(rng.Pos(),
+		"nondeterministic %s iteration in determinism-critical package %q: sort the keys before ranging, make the body order-insensitive, or annotate //weakvet:ordered <why>",
+		what, c.pass.PkgShortName())
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapIterCall reports whether expr contains a maps.Keys/Values/All call
+// not wrapped in slices.Sorted/SortedFunc/SortedStableFunc. Ranging such
+// an iterator (directly or via slices.Collect) visits in map order.
+func (c *checker) mapIterCall(expr ast.Expr) bool {
+	nondet := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgFunc(call, "slices", "Sorted", "SortedFunc", "SortedStableFunc") {
+			return false // sorted wrapper: whatever is inside is fine
+		}
+		if pkgFunc(call, "maps", "Keys", "Values", "All") {
+			nondet = true
+			return false
+		}
+		return true
+	})
+	return nondet
+}
+
+// pkgFunc reports whether call is pkg.name(...) for one of the names,
+// with pkg resolving to a package identifier (not a value).
+func pkgFunc(call *ast.CallExpr, pkg string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkg || id.Obj != nil {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// orderInsensitive applies the write-set heuristic to the loop body.
+func (c *checker) orderInsensitive(rng *ast.RangeStmt) bool {
+	key, _ := rng.Key.(*ast.Ident)
+	val, _ := rng.Value.(*ast.Ident)
+	return c.stmtsInsensitive(rng.Body.List, key, val, rng)
+}
+
+func (c *checker) stmtsInsensitive(stmts []ast.Stmt, key, val *ast.Ident, rng *ast.RangeStmt) bool {
+	for _, s := range stmts {
+		if !c.stmtInsensitive(s, key, val, rng) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtInsensitive(stmt ast.Stmt, key, val *ast.Ident, rng *ast.RangeStmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return c.isInteger(s.X)
+	case *ast.AssignStmt:
+		return c.assignInsensitive(s, key, val, rng)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		// delete is order-free: deleting the same set of keys in any
+		// order yields the same map.
+		fun, ok := call.Fun.(*ast.Ident)
+		return ok && fun.Name == "delete" && c.isBuiltin(fun)
+	case *ast.IfStmt:
+		return c.ifInsensitive(s, key, val, rng)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return c.stmtsInsensitive(s.List, key, val, rng)
+	case *ast.DeclStmt:
+		return true // local declarations don't escape the iteration
+	default:
+		return false
+	}
+}
+
+// assignInsensitive accepts the commutative / keyed / collect-then-sort
+// assignment forms.
+func (c *checker) assignInsensitive(s *ast.AssignStmt, key, val *ast.Ident, rng *ast.RangeStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		return true // fresh per-iteration locals
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return len(s.Lhs) == 1 && c.isInteger(s.Lhs[0])
+	case token.ASSIGN:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	// Keyed map-to-map transfer: m2[...k...] = v — each iteration owns
+	// its destination entry, so order cannot matter.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		return isMapType(c.pass.TypesInfo.TypeOf(idx.X)) && c.mentions(idx.Index, key)
+	}
+	// Idempotent boolean flag: found = true / done = false.
+	if id, ok := rhs.(*ast.Ident); ok && (id.Name == "true" || id.Name == "false") && c.isBuiltin(id) {
+		return true
+	}
+	// Collect-then-sort: s = append(s, key/val...) with a later sort of s
+	// in the same function.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" && c.isBuiltin(fun) && len(call.Args) >= 2 {
+			if types.ExprString(call.Args[0]) != types.ExprString(lhs) {
+				return false
+			}
+			for _, a := range call.Args[1:] {
+				if !c.pureProjection(a, key, val) {
+					return false
+				}
+			}
+			return c.sortedAfter(lhs, rng)
+		}
+	}
+	return false
+}
+
+// ifInsensitive accepts pure filters (if cond { continue }), extremum
+// updates (if v > best { best = v }), and conditionals whose branches
+// are themselves order-insensitive under a call-free condition.
+func (c *checker) ifInsensitive(s *ast.IfStmt, key, val *ast.Ident, rng *ast.RangeStmt) bool {
+	if s.Init != nil || s.Else != nil || !c.pureCond(s.Cond) {
+		return false
+	}
+	if c.extremumUpdate(s) {
+		return true
+	}
+	return c.stmtsInsensitive(s.Body.List, key, val, rng)
+}
+
+// extremumUpdate matches `if a < b { b = a }` and its 3 comparison
+// variants: a running min/max is order-free.
+func (c *checker) extremumUpdate(s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	l, r := types.ExprString(asg.Lhs[0]), types.ExprString(asg.Rhs[0])
+	cl, cr := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (l == cl && r == cr) || (l == cr && r == cl)
+}
+
+// pureCond accepts conditions free of calls other than len/cap, so the
+// filter itself cannot observe or affect order.
+func (c *checker) pureCond(cond ast.Expr) bool {
+	pure := true
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || (fun.Name != "len" && fun.Name != "cap") || !c.isBuiltin(fun) {
+				pure = false
+				return false
+			}
+		}
+		return true
+	})
+	return pure
+}
+
+// sortedAfter reports whether the enclosing function sorts expr (by
+// sort.* or slices.Sort*) after the range statement ends.
+func (c *checker) sortedAfter(expr ast.Expr, rng *ast.RangeStmt) bool {
+	if c.fnBody == nil {
+		return false
+	}
+	want := types.ExprString(expr)
+	found := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		isSort := pkgFunc(call, "sort", "Strings", "Ints", "Float64s", "Slice", "SliceStable") ||
+			pkgFunc(call, "slices", "Sort", "SortFunc", "SortStableFunc")
+		if isSort && types.ExprString(call.Args[0]) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pureProjection reports whether e is a call-free expression whose
+// every variable is the loop key or value (field selections, constants
+// and len/cap allowed): a pure per-element projection, which collected
+// under a later sort yields an order-independent slice. Variables from
+// outside the loop are rejected — they could mutate across iterations
+// and make the collected multiset order-dependent.
+func (c *checker) pureProjection(e ast.Expr, key, val *ast.Ident) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun, isID := n.Fun.(*ast.Ident)
+			if !isID || (fun.Name != "len" && fun.Name != "cap") || !c.isBuiltin(fun) {
+				ok = false
+				return false
+			}
+		case *ast.SelectorExpr:
+			// Sel names a field or method, not a variable: walk X only.
+			if !c.pureProjection(n.X, key, val) {
+				ok = false
+			}
+			return false
+		case *ast.Ident:
+			if c.isIdentOf(n, key) || c.isIdentOf(n, val) {
+				return true
+			}
+			o := c.pass.TypesInfo.ObjectOf(n)
+			if o == nil || o.Parent() == types.Universe {
+				return true
+			}
+			if _, isConst := o.(*types.Const); isConst {
+				return true
+			}
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func (c *checker) isInteger(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether id resolves to a universe-scope object
+// (true/false/append/delete/len/cap), not a shadowing local.
+func (c *checker) isBuiltin(id *ast.Ident) bool {
+	if o, ok := c.pass.TypesInfo.Uses[id]; ok {
+		return o.Parent() == types.Universe
+	}
+	return id.Obj == nil
+}
+
+func (c *checker) mentions(e ast.Expr, id *ast.Ident) bool {
+	if id == nil || id.Name == "_" {
+		return false
+	}
+	target := c.pass.TypesInfo.ObjectOf(id)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(*ast.Ident); ok && x.Name == id.Name && c.pass.TypesInfo.ObjectOf(x) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) isIdentOf(e ast.Expr, id *ast.Ident) bool {
+	if id == nil || id.Name == "_" {
+		return false
+	}
+	x, ok := e.(*ast.Ident)
+	return ok && x.Name == id.Name &&
+		c.pass.TypesInfo.ObjectOf(x) == c.pass.TypesInfo.ObjectOf(id)
+}

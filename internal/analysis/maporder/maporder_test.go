@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis/analysistest"
+	"weakmodels/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "engine", "util")
+}

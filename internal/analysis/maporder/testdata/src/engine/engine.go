@@ -1,0 +1,203 @@
+// Fixture for maporder: package named "engine" is determinism-critical.
+package engine
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// collectUnsorted leaks map order into the returned slice: flagged.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "nondeterministic map iteration in determinism-critical package"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the collect-then-sort idiom: accepted.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSlicesSorted uses slices.Sort instead: accepted.
+func collectSlicesSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectFiltered keeps a pure filter inside the loop: accepted.
+func collectFiltered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if len(k) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// entry is a registry value with a projectable field.
+type entry struct{ form string }
+
+// collectProjected collects a pure field projection of the loop value
+// and sorts it: accepted.
+func collectProjected(m map[string]entry) []string {
+	forms := make([]string, 0, len(m))
+	for _, e := range m {
+		forms = append(forms, e.form)
+	}
+	sort.Strings(forms)
+	return forms
+}
+
+// collectOutside appends a variable from outside the loop — it could
+// mutate across iterations, so the later sort proves nothing: flagged.
+func collectOutside(m map[string]entry, extra string) []string {
+	var forms []string
+	for _, e := range m { // want "nondeterministic map iteration"
+		forms = append(forms, e.form+extra)
+	}
+	sort.Strings(forms)
+	return forms
+}
+
+// sumValues is commutative integer accumulation: accepted.
+func sumValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sumFloats is float accumulation — addition is not associative: flagged.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "nondeterministic map iteration"
+		total += v
+	}
+	return total
+}
+
+// orFlags folds with bitwise or and counts: accepted.
+func orFlags(m map[string]uint8) (uint8, int) {
+	var bits uint8
+	count := 0
+	for _, v := range m {
+		bits |= v
+		count++
+	}
+	return bits, count
+}
+
+// anyNegative sets an idempotent boolean flag: accepted.
+func anyNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// remap is a keyed map-to-map transfer (destination indexed by the loop
+// key, so each iteration owns its entry): accepted.
+func remap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// invert writes under the loop *value*: two keys can share a value, so
+// last-writer-wins depends on iteration order — flagged.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want "nondeterministic map iteration"
+		out[v] = k
+	}
+	return out
+}
+
+// maxValue is an extremum update: accepted.
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// prune deletes while ranging: accepted (delete is order-free).
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// firstKey leaks order through an early assignment and break: flagged.
+func firstKey(m map[string]int) string {
+	first := ""
+	for k := range m { // want "nondeterministic map iteration"
+		first = k
+		break
+	}
+	return first
+}
+
+// iterKeys ranges a maps.Keys iterator: flagged.
+func iterKeys(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) { // want "nondeterministic maps iterator iteration"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// iterSorted ranges the slices.Sorted wrapper: accepted.
+func iterSorted(m map[string]int) []string {
+	var keys []string
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// annotated carries a justification: accepted.
+func annotated(m map[string]int) []string {
+	var keys []string
+	//weakvet:ordered order is re-canonicalised by the caller's sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// trailing uses the same-line directive form on an otherwise-flagged
+// loop (string concatenation is order-dependent): accepted.
+func trailing(m map[string]int) string {
+	s := ""
+	for k := range m { //weakvet:ordered result is only compared as a character multiset in tests
+		s += k
+	}
+	return s
+}

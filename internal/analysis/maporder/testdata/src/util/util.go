@@ -1,0 +1,11 @@
+// Fixture for maporder scope gating: "util" is not a
+// determinism-critical package, so nothing here is flagged.
+package util
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

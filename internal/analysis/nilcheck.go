@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NonNilConjuncts returns the expressions X for every `X != nil`
+// conjunct of cond (split on &&): the receivers a then-branch is
+// guarded for. Shared by obsguard (which requires such a guard around
+// every hook call) and noalloc (which exempts guarded blocks — they are
+// the pay-only-when-enabled path the allocation pin never executes).
+func NonNilConjuncts(cond ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	splitBinary(cond, token.LAND, func(e ast.Expr) {
+		if x, ok := nilCompare(e, token.NEQ); ok {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// NilDisjuncts returns the expressions X for every `X == nil` disjunct
+// of cond (split on ||): the receivers guarded after an early-exit
+// `if X == nil { return }`.
+func NilDisjuncts(cond ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	splitBinary(cond, token.LOR, func(e ast.Expr) {
+		if x, ok := nilCompare(e, token.EQL); ok {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+func splitBinary(e ast.Expr, op token.Token, f func(ast.Expr)) {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		splitBinary(p.X, op, f)
+		return
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == op {
+		splitBinary(b.X, op, f)
+		splitBinary(b.Y, op, f)
+		return
+	}
+	f(e)
+}
+
+// nilCompare matches `X op nil` or `nil op X`, returning X.
+func nilCompare(e ast.Expr, op token.Token) (ast.Expr, bool) {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return nil, false
+	}
+	if isNilIdent(b.Y) {
+		return b.X, true
+	}
+	if isNilIdent(b.X) {
+		return b.Y, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// Terminates reports whether a block's last statement unconditionally
+// leaves the enclosing flow: return, branch (break/continue/goto), or a
+// call to panic.
+func Terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,363 @@
+// Package noalloc checks functions annotated //weakvet:noalloc for
+// allocation-introducing constructs, the static half of the allocation
+// pins: the dynamic half is the generated testing.AllocsPerRun harness
+// (internal/analysis/allocgen) that measures each annotated function at
+// its committed budget.
+//
+// Inside an annotated function the analyzer reports:
+//
+//   - make, new, and slice/map/&composite literals;
+//   - append, unless it demonstrably writes into a preallocated buffer:
+//     appending to a reslice (append(scratch[:0], ...)) or to a local
+//     derived from one — the scratch-buffer idiom the engine hot paths
+//     use (CanonicalInboxInto);
+//   - function literals (closure allocation), go and defer statements;
+//   - string concatenation and string ↔ []byte/[]rune conversions;
+//   - calls into package fmt;
+//   - explicit conversions of a non-pointer-shaped value to an
+//     interface type (boxing).
+//
+// Two construct classes are exempt by design. Statements inside an
+// `if X != nil` guard are skipped: that is the observability layer's
+// pay-only-when-enabled path, and the AllocsPerRun pin runs with the
+// observer disabled, so the guarded block never executes on the
+// measured path. Arguments of panic calls are skipped: the failure path
+// may format freely. Anything else needs //weakvet:alloc <why> on its
+// line.
+//
+// What the AST cannot see — allocation inside callees, escape-analysis
+// spills — is exactly what the generated pin exists to catch.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"weakmodels/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check //weakvet:noalloc functions for allocation-introducing constructs",
+	Run:  run,
+}
+
+// Target is one //weakvet:noalloc-annotated function.
+type Target struct {
+	Recv   string // receiver base type name, "" for free functions
+	Name   string // function name
+	Budget int    // committed allocations per call
+	BadArg string // non-empty when the directive argument failed to parse
+	Decl   *ast.FuncDecl
+}
+
+// Display returns the receiver-qualified name, e.g. "(*runState).stepShard".
+func (t Target) Display() string {
+	if t.Recv == "" {
+		return t.Name
+	}
+	return "(*" + t.Recv + ")." + t.Name
+}
+
+// Targets scans one file for //weakvet:noalloc-annotated functions.
+// Exported because the allocgen generator consumes the same annotations
+// from a plain parse, outside any analysis driver.
+func Targets(file *ast.File) []Target {
+	var out []Target
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		d, ok := analysis.DocDirective(fn.Doc, "noalloc")
+		if !ok {
+			continue
+		}
+		t := Target{Name: fn.Name.Name, Decl: fn}
+		if fn.Recv != nil && len(fn.Recv.List) > 0 {
+			rt := fn.Recv.List[0].Type
+			if star, ok := rt.(*ast.StarExpr); ok {
+				rt = star.X
+			}
+			if id, ok := rt.(*ast.Ident); ok {
+				t.Recv = id.Name
+			}
+		}
+		budget, err := analysis.ParseNoallocBudget(d.Arg)
+		if err != nil {
+			t.BadArg = d.Arg
+		}
+		t.Budget = budget
+		out = append(out, t)
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ix := analysis.NewIndex(pass.Fset, file)
+		for _, t := range Targets(file) {
+			if t.Decl.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, ix: ix, fn: t.Display(), backed: map[string]bool{}}
+			c.block(t.Decl.Body.List)
+		}
+	}
+	return nil
+}
+
+// checker walks one annotated function body. backed is the set of local
+// names known to alias a preallocated buffer (locals derived from
+// reslices like out := scratch[:0]), keyed by identifier name — the
+// body of a single function, so names are unambiguous enough.
+type checker struct {
+	pass   *analysis.Pass
+	ix     *analysis.Index
+	fn     string
+	backed map[string]bool
+}
+
+func (c *checker) block(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		// An `if X != nil` guard marks the observability path: skipped,
+		// because the AllocsPerRun pin runs with the observer disabled.
+		if len(analysis.NonNilConjuncts(s.Cond)) == 0 {
+			c.block(s.Body.List)
+		}
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.block(s.Body.List)
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.block(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.expr(e)
+				}
+				c.block(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmt(s.Assign)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e)
+		}
+		// Capacity tracking: x := buf[:0] (or x := append(backed, ...))
+		// makes x a preallocated-buffer alias.
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if c.capacityBacked(s.Rhs[i]) {
+					c.backed[id.Name] = true
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.report(s.Pos(), "go statement spawns a goroutine")
+	case *ast.DeferStmt:
+		c.report(s.Pos(), "defer may allocate its frame")
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// capacityBacked reports whether e demonstrably aliases a preallocated
+// buffer: a reslice of anything (x[:0], x[a:b]) or an allowed append to
+// one.
+func (c *checker) capacityBacked(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		return c.backed[e.Name]
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return c.capacityBacked(e.Args[0])
+		}
+	}
+	return false
+}
+
+func (c *checker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "&composite literal allocates")
+				return false
+			}
+		case *ast.CompositeLit:
+			switch c.pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				c.report(n.Pos(), "slice/map literal allocates")
+				return false
+			}
+		case *ast.BinaryExpr:
+			if isStringType(c.pass.TypesInfo.TypeOf(n)) {
+				c.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			return c.call(n)
+		}
+		return true
+	})
+}
+
+// call checks one call expression; the return value tells ast.Inspect
+// whether to descend into the arguments.
+func (c *checker) call(call *ast.CallExpr) bool {
+	// panic arguments are the failure path; formatting there is fine.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "panic":
+			return false
+		case "make", "new":
+			if c.pass.TypesInfo.Types[call.Fun].IsBuiltin() {
+				c.report(call.Pos(), "%s allocates", id.Name)
+				return true
+			}
+		case "append":
+			if c.pass.TypesInfo.Types[call.Fun].IsBuiltin() &&
+				len(call.Args) > 0 && !c.capacityBacked(call.Args[0]) {
+				c.report(call.Pos(), "append may grow its backing array (append into a reslice of a preallocated buffer instead)")
+			}
+			return true
+		}
+	}
+	// Calls into package fmt.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if qid, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[qid].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "fmt.%s allocates", sel.Sel.Name)
+				return true
+			}
+		}
+	}
+	// Conversions: string ↔ []byte/[]rune, and boxing into an interface.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := c.pass.TypesInfo.TypeOf(call.Fun)
+		from := c.pass.TypesInfo.TypeOf(call.Args[0])
+		switch {
+		case isStringType(to) && isByteOrRuneSlice(from),
+			isByteOrRuneSlice(to) && isStringType(from):
+			c.report(call.Pos(), "string conversion copies and allocates")
+		case types.IsInterface(to) && from != nil && !types.IsInterface(from) && !pointerShaped(from):
+			c.report(call.Pos(), "conversion to interface boxes its operand")
+		}
+	}
+	return true
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if _, ok := c.ix.At(c.pass.Fset.Position(pos).Line, "alloc"); ok {
+		return
+	}
+	prefixed := append([]any{c.fn}, args...)
+	c.pass.Reportf(pos, "//weakvet:noalloc function %s: "+format+" (annotate the line //weakvet:alloc <why> if intended)", prefixed...)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without boxing-by-copy semantics mattering for allocation accounting:
+// pointers, channels, maps, funcs and unsafe pointers. (Interfaces
+// holding them still allocate no payload.)
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}

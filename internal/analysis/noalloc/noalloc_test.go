@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis/analysistest"
+	"weakmodels/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer, "hot")
+}

@@ -1,0 +1,139 @@
+// Fixture for noalloc: only functions whose doc comment carries
+// //weakvet:noalloc are checked; everything else may allocate freely.
+package hot
+
+import "fmt"
+
+type item struct {
+	key  int
+	data []byte
+}
+
+// free is unannotated: allocations here are not weakvet's business.
+func free(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// sum is alloc-free arithmetic over a slice: accepted.
+//
+//weakvet:noalloc
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// reuse appends into a caller-provided scratch buffer, the canonical
+// capacity-backed pattern: accepted.
+//
+//weakvet:noalloc
+func reuse(scratch []int, xs []int) []int {
+	out := scratch[:0]
+	for _, x := range xs {
+		if x >= 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// grow appends to a fresh nil slice, which grows on the heap: flagged.
+//
+//weakvet:noalloc
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append may grow its backing array"
+	}
+	return out
+}
+
+// builds exercises the explicit allocation forms: all flagged.
+//
+//weakvet:noalloc
+func builds(n int) int {
+	m := make(map[int]int, n) // want "make allocates"
+	p := new(item)            // want "new allocates"
+	s := []int{1, 2, 3}       // want "slice/map literal allocates"
+	q := &item{key: n}        // want "composite literal allocates"
+	return len(m) + p.key + s[0] + q.key
+}
+
+// formats exercises fmt and string building: all flagged.
+//
+//weakvet:noalloc
+func formats(name string, n int) string {
+	fmt.Println(name)                // want "fmt.Println allocates"
+	label := name + ":"              // want "string concatenation allocates"
+	raw := []byte(name)              // want "string conversion copies and allocates"
+	back := string(raw)              // want "string conversion copies and allocates"
+	_ = fmt.Sprintf("%s%d", back, n) // want "fmt.Sprintf allocates"
+	return label
+}
+
+// spawns exercises closures and new goroutines/defers: all flagged.
+//
+//weakvet:noalloc
+func spawns(xs []int) func() int {
+	go sum(xs)    // want "go statement spawns a goroutine"
+	defer sum(xs) // want "defer may allocate its frame"
+	f := func() int { // want "function literal allocates a closure"
+		return len(xs)
+	}
+	return f
+}
+
+// boxes converts a non-pointer-shaped value to an interface: flagged.
+//
+//weakvet:noalloc
+func boxes(v item) any {
+	return any(v) // want "conversion to interface boxes its operand"
+}
+
+// guardedObserver allocates only on the observer branch, which the
+// generated pin runs with the observer disabled: accepted.
+//
+//weakvet:noalloc
+func guardedObserver(sink func(string), n int) int {
+	if sink != nil {
+		sink(fmt.Sprintf("step %d", n))
+	}
+	return n * 2
+}
+
+// failure allocates only to build a panic message: accepted.
+//
+//weakvet:noalloc
+func failure(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+	return n
+}
+
+// suppressed justifies a deliberate one-off allocation: accepted.
+//
+//weakvet:noalloc
+func suppressed(n int) []int {
+	out := make([]int, n) //weakvet:alloc one-time setup before the hot loop, measured free at steady state
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// budgeted declares a nonzero per-op budget; the static check still
+// flags the sites, and the generated pin holds it to 2 allocs/op.
+//
+//weakvet:noalloc budget=2
+func budgeted(n int) *item {
+	p := &item{key: n}       // want "composite literal allocates"
+	p.data = make([]byte, 8) // want "make allocates"
+	return p
+}

@@ -1,0 +1,345 @@
+// Package obsguard enforces the observability layer's
+// zero-cost-when-disabled contract: every call on a nilable obs hook —
+// a value of type obs.Sink, obs.Clock or *obs.Metrics, the fields
+// reachable from engine.Options.Obs — must be dominated by a nil check,
+// so a run with no observer attached pays one pointer test per site and
+// allocates nothing.
+//
+// Dominance is established syntactically, per function body:
+//
+//   - an enclosing if whose condition conjoins `recv != nil` guards the
+//     then-branch (if opts.Obs != nil && opts.Obs.Sink != nil { ... });
+//   - an early exit `if recv == nil { return }` (any ||-combination of
+//     == nil tests whose body terminates) guards the rest of the block;
+//   - assignment from a guarded expression transfers the guard to the
+//     alias (reg := o.Metrics after the o.Metrics == nil early return);
+//   - a receiver that is itself a call result is accepted: the obs
+//     constructors and Registry accessors return non-nil by contract.
+//
+// Receivers matched by none of these are reported. The escape hatch is
+// //weakvet:obs <why> — on the call site's line, on the enclosing
+// function's doc comment, or on a type declaration (exempting every
+// method of the type, for wrappers like the engine's journal and
+// runMetrics that their constructors keep non-nil by construction).
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"weakmodels/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc:  "require a dominating nil check for every call on a nilable obs hook",
+	Run:  run,
+}
+
+// hookTypes are the nilable hook types from package obs. Histogram,
+// Counter and Gauge are excluded on purpose: they are obtained from a
+// *Metrics registry that is itself guarded, and the registry's accessors
+// never return nil.
+var hookTypes = map[string]bool{"Sink": true, "Metrics": true, "Clock": true}
+
+func run(pass *analysis.Pass) error {
+	short := pass.PkgShortName()
+	// The obs package is the hook implementation, not a consumer; its
+	// method bodies run only on values the caller already resolved.
+	if !analysis.EnginePath[short] || short == "obs" {
+		return nil
+	}
+	ix := analysis.NewIndex(pass.Fset, pass.Files...)
+	exempt := exemptTypes(pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := analysis.DocDirective(fn.Doc, "obs"); ok {
+				continue
+			}
+			if exempt[recvTypeName(fn)] {
+				continue
+			}
+			c := &checker{pass: pass, ix: ix}
+			c.block(fn.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// exemptTypes collects the names of types whose declarations carry a
+// //weakvet:obs directive.
+func exemptTypes(files []*ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			_, declWide := analysis.DocDirective(gd.Doc, "obs")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onSpec := analysis.DocDirective(ts.Doc, "obs")
+				_, trailing := analysis.DocDirective(ts.Comment, "obs")
+				if declWide || onSpec || trailing {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's base type name, or "".
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checker walks one function body carrying the set of guarded receiver
+// expressions (keyed by types.ExprString).
+type checker struct {
+	pass *analysis.Pass
+	ix   *analysis.Index
+}
+
+func clone(g map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(g))
+	for k := range g {
+		out[k] = true
+	}
+	return out
+}
+
+// block walks a statement sequence. guarded is mutated in place as
+// early-exit guards accumulate; nested scopes get clones so their
+// additions stay local.
+func (c *checker) block(list []ast.Stmt, guarded map[string]bool) {
+	for _, s := range list {
+		c.stmt(s, guarded)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, guarded map[string]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List, clone(guarded))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guarded)
+		}
+		c.exprWalk(s.Cond, guarded)
+		thenG := clone(guarded)
+		for _, e := range analysis.NonNilConjuncts(s.Cond) {
+			thenG[types.ExprString(e)] = true
+		}
+		c.block(s.Body.List, thenG)
+		if s.Else != nil {
+			c.stmt(s.Else, clone(guarded))
+		}
+		if analysis.Terminates(s.Body) {
+			// `if r == nil { return }` guards everything after the if.
+			for _, e := range analysis.NilDisjuncts(s.Cond) {
+				guarded[types.ExprString(e)] = true
+			}
+		}
+	case *ast.ForStmt:
+		inner := clone(guarded)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.exprWalk(s.Cond, inner)
+		}
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.exprWalk(s.X, guarded)
+		c.block(s.Body.List, clone(guarded))
+	case *ast.SwitchStmt:
+		inner := clone(guarded)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			c.exprWalk(s.Tag, inner)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.exprWalk(e, inner)
+				}
+				c.block(cl.Body, clone(inner))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := clone(guarded)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		c.stmt(s.Assign, inner)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, clone(inner))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				inner := clone(guarded)
+				if cl.Comm != nil {
+					c.stmt(cl.Comm, inner)
+				}
+				c.block(cl.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guarded)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.exprWalk(e, guarded)
+		}
+		for _, e := range s.Lhs {
+			c.exprWalk(e, guarded)
+		}
+		// Alias propagation: x := guardedExpr keeps x guarded; any other
+		// reassignment of a tracked expression drops its guard.
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				lk := types.ExprString(lhs)
+				if guarded[types.ExprString(s.Rhs[i])] {
+					guarded[lk] = true
+				} else {
+					delete(guarded, lk)
+				}
+			}
+		} else {
+			for _, lhs := range s.Lhs {
+				delete(guarded, types.ExprString(lhs))
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, e := range vs.Values {
+					c.exprWalk(e, guarded)
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						if guarded[types.ExprString(vs.Values[i])] {
+							guarded[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.exprWalk(s.X, guarded)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.exprWalk(e, guarded)
+		}
+	case *ast.GoStmt:
+		c.exprWalk(s.Call, guarded)
+	case *ast.DeferStmt:
+		c.exprWalk(s.Call, guarded)
+	case *ast.SendStmt:
+		c.exprWalk(s.Chan, guarded)
+		c.exprWalk(s.Value, guarded)
+	case *ast.IncDecStmt:
+		c.exprWalk(s.X, guarded)
+	}
+}
+
+// exprWalk visits an expression, checking every hook call. Function
+// literals are walked as nested bodies inheriting the current guards:
+// the closure is syntactically dominated by them at its definition site,
+// which is the same promise the rest of the heuristic makes.
+func (c *checker) exprWalk(e ast.Expr, guarded map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.block(n.Body.List, clone(guarded))
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, guarded)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	hook := hookTypeName(c.pass.TypesInfo.TypeOf(sel.X))
+	if hook == "" {
+		return
+	}
+	// A receiver produced by a call is non-nil by the obs API contract
+	// (ResolveClock, Registry accessors never return nil).
+	if _, isCall := sel.X.(*ast.CallExpr); isCall {
+		return
+	}
+	if guarded[types.ExprString(sel.X)] {
+		return
+	}
+	if _, ok := c.ix.Allows(c.pass.Fset, call, "obs"); ok {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to %s.%s on obs.%s hook %q is not dominated by a nil check: the zero-cost-when-disabled contract requires `if %s != nil` (or //weakvet:obs <why>)",
+		types.ExprString(sel.X), sel.Sel.Name, hook, types.ExprString(sel.X), types.ExprString(sel.X))
+}
+
+// hookTypeName returns the obs hook type name of t ("Sink", "Metrics",
+// "Clock"), or "" when t is not a nilable hook. The match is by package
+// name so analysistest fixtures with a local obs package behave like the
+// real one.
+func hookTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" || !hookTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}
+
+// Nil-guard condition parsing (NonNilConjuncts, NilDisjuncts,
+// Terminates) is shared with noalloc and lives in package analysis.

@@ -1,0 +1,12 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis/analysistest"
+	"weakmodels/internal/analysis/obsguard"
+)
+
+func TestObsguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsguard.Analyzer, "engine")
+}

@@ -1,0 +1,124 @@
+// Fixture for obsguard: package named "engine" is on the engine path,
+// and the local obs fixture package supplies the hook types.
+package engine
+
+import "obs"
+
+type Options struct{ Obs *obs.Obs }
+
+// unguarded calls a hook with no dominating check: flagged.
+func unguarded(s obs.Sink) {
+	s.Event(obs.Event{}) // want "not dominated by a nil check"
+}
+
+// guarded wraps the call in the canonical if: accepted.
+func guarded(s obs.Sink) {
+	if s != nil {
+		s.Event(obs.Event{})
+	}
+}
+
+// earlyReturn uses the ||-of-==nil early exit: accepted.
+func earlyReturn(o *obs.Obs) {
+	if o == nil || o.Sink == nil {
+		return
+	}
+	o.Sink.Event(obs.Event{})
+	_ = o.Sink.Flush()
+}
+
+// aliased transfers the guard through an assignment: accepted.
+func aliased(o *obs.Obs) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	reg := o.Metrics
+	reg.Counter("runs").Inc()
+}
+
+// conjunct guards a nested field chain: accepted.
+func conjunct(opts Options) {
+	if opts.Obs != nil && opts.Obs.Sink != nil {
+		opts.Obs.Sink.Event(obs.Event{})
+	}
+}
+
+// callReceiver calls through a call result, non-nil by API contract:
+// accepted.
+func callReceiver(o *obs.Obs) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.ResolveClock().Now()
+}
+
+// elseBranch calls the hook precisely where it is nil: flagged.
+func elseBranch(s obs.Sink) {
+	if s != nil {
+		s.Event(obs.Event{})
+	} else {
+		_ = s.Flush() // want "not dominated by a nil check"
+	}
+}
+
+// afterLoop shows the guard surviving into nested scopes: accepted.
+func afterLoop(s obs.Sink, n int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.Event(obs.Event{Node: int32(i)})
+	}
+}
+
+// site carries a line-level justification: accepted.
+func site(s obs.Sink) {
+	s.Event(obs.Event{}) //weakvet:obs test helper, caller always passes a non-nil recording sink
+}
+
+// funcLevel carries a function-level justification: accepted.
+//
+//weakvet:obs every caller resolves the sink through newJournal first
+func funcLevel(s obs.Sink) {
+	_ = s.Flush()
+}
+
+// wrap is exempted at the type level: its constructor never stores a
+// nil sink, mirroring the engine's journal.
+//
+//weakvet:obs newWrap returns nil instead of wrapping a nil sink
+type wrap struct{ sink obs.Sink }
+
+func newWrap(s obs.Sink) *wrap {
+	if s == nil {
+		return nil
+	}
+	return &wrap{sink: s}
+}
+
+func (w *wrap) emit(e obs.Event) { w.sink.Event(e) }
+
+func (w *wrap) finish() error { return w.sink.Flush() }
+
+// reassigned loses the guard when the receiver is overwritten: flagged.
+func reassigned(s obs.Sink, other obs.Sink) {
+	if s == nil {
+		return
+	}
+	s = other
+	s.Event(obs.Event{}) // want "not dominated by a nil check"
+}
+
+// clockField mirrors the runtime's rt.clock discipline.
+type clockField struct{ clock obs.Clock }
+
+func (c *clockField) good() int64 {
+	if c.clock != nil {
+		return c.clock.Now()
+	}
+	return 0
+}
+
+func (c *clockField) bad() int64 {
+	return c.clock.Now() // want "not dominated by a nil check"
+}

@@ -1,0 +1,32 @@
+// Fixture stand-in for the real internal/obs package: obsguard matches
+// hook types by package name and type name, so this minimal shape
+// exercises the same paths.
+package obs
+
+type Event struct{ Node int32 }
+
+type Sink interface {
+	Event(e Event)
+	Flush() error
+}
+
+type Clock interface{ Now() int64 }
+
+type Metrics struct{ counters map[string]*Counter }
+
+func (m *Metrics) Counter(name string) *Counter { return &Counter{} }
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Obs struct {
+	Sink    Sink
+	Metrics *Metrics
+}
+
+func (o *Obs) ResolveClock() Clock { return fixed{} }
+
+type fixed struct{}
+
+func (fixed) Now() int64 { return 0 }

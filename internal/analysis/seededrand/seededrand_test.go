@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis/analysistest"
+	"weakmodels/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "fault", "tool")
+}

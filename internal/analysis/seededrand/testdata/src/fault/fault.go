@@ -1,0 +1,47 @@
+// Fixture for seededrand: package named "fault" is on the engine path.
+package fault
+
+import (
+	crand "crypto/rand" // want "crypto/rand in engine-path package"
+	"math/rand"
+	"time"
+)
+
+// Entropy keeps the crypto/rand import used.
+var Entropy = crand.Reader
+
+// globalDraw uses the shared unseeded source: flagged.
+func globalDraw(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global unseeded source`
+}
+
+// globalShuffle too: flagged.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global unseeded source`
+}
+
+// seeded builds an explicit generator from a seed: accepted.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// wallClock reads real time: flagged.
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// elapsed also reads the clock: flagged.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// durations only use time as arithmetic: accepted (type and constant
+// references are not clock reads).
+func durations(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+// suppressed carries a justification: accepted.
+func suppressed() time.Time {
+	return time.Now() //weakvet:rand CLI-facing timestamp for log file names, never on a run path
+}

@@ -1,0 +1,16 @@
+// Fixture for seededrand scope gating: "tool" is not an engine-path
+// package, so wall clocks and global randomness are fine here.
+package tool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,282 @@
+// Package unit is the driver behind cmd/weakvet: a stdlib-only
+// re-implementation of the x/tools unitchecker protocol that `go vet
+// -vettool` speaks, plus a standalone package-pattern mode for local
+// runs and tests.
+//
+// The protocol, per cmd/go (internal/vet/vetflag.go and
+// internal/work/exec.go):
+//
+//   - `weakvet -V=full` prints one line, "<progname> version <id>",
+//     where id is stable for a given binary — cmd/go hashes it into the
+//     build cache key. We use a truncated SHA-256 of the executable.
+//   - `weakvet -flags` prints a JSON array of the flags the tool
+//     accepts ({Name,Bool,Usage}), which cmd/go uses to validate the
+//     flags the user passed to `go vet`.
+//   - For each package, cmd/go invokes `weakvet [flags] $objdir/vet.cfg`
+//     with a JSON config naming the package's files, its import map and
+//     the export files of its dependencies. Diagnostics go to stderr as
+//     "file:line:col: message" and a non-zero exit marks the package
+//     failed. Packages with VetxOnly (dependencies visited only for
+//     facts — which weakvet does not use) get an empty facts file and
+//     succeed immediately.
+//
+// Standalone mode: `weakvet ./...` loads packages via internal/
+// analysis/load and runs the same analyzers; this is what the
+// clean-on-HEAD test and local runs use.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"weakmodels/internal/analysis"
+	"weakmodels/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to $objdir/vet.cfg
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the weakvet driver over the given analyzers and exits the
+// process. Analyzer names double as boolean enable flags; with none set
+// every analyzer runs.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go handshake)")
+	flagsFlag := fs.Bool("flags", false, "print the supported flags in JSON (cmd/go handshake)")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes (weakvet analyzers emit none; accepted for vet compatibility)")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzer...] [package pattern... | vet.cfg]\n\nAnalyzers (all run when none is selected):\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  -%s\n\t%s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+	_ = fixFlag
+
+	if *versionFlag != "" {
+		if *versionFlag != "full" {
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		}
+		fmt.Printf("%s version %s\n", progname, buildID())
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		printFlagDefs(analyzers)
+		os.Exit(0)
+	}
+
+	selected := analyzers
+	if anySelected(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], selected))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := RunPatterns(".", selected, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// buildID returns a stable identifier for this binary: a truncated
+// SHA-256 of the executable file. Two runs of the same binary print the
+// same id, and rebuilding with different sources changes it — exactly
+// the contract cmd/go's cache key needs.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// printFlagDefs emits the -flags handshake JSON: the flags cmd/go may
+// pass through from the go vet command line.
+func printFlagDefs(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{
+		{Name: "fix", Bool: true, Usage: "apply suggested fixes (none emitted)"},
+	}
+	for _, a := range analyzers {
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+func anySelected(enabled map[string]*bool) bool {
+	for _, v := range enabled {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// runUnit executes one vet.cfg unit of work and returns the exit code.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "weakvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go expects the facts file to exist even though weakvet has no
+	// facts to exchange.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("weakvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := cfgImporter(fset, &cfg)
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags := Run(pkg, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// cfgImporter resolves imports the way the compiler did for this unit:
+// source import path → canonical path via ImportMap, canonical path →
+// export file via PackageFile.
+func cfgImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	base := load.Importer(fset, exports)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return base.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Run applies the analyzers to one loaded package and returns the
+// rendered diagnostics ("file:line:col: message"), sorted by position.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, fmt.Sprintf("%s: %s", pkg.Fset.Position(d.Pos), d.Message))
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, fmt.Sprintf("%s: internal error in %s: %v", pkg.Path, a.Name, err))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunPatterns loads the packages matching patterns (relative to dir)
+// and applies the analyzers, returning all diagnostics.
+func RunPatterns(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]string, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		out = append(out, Run(pkg, analyzers)...)
+	}
+	return out, nil
+}

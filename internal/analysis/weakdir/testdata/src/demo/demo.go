@@ -1,0 +1,64 @@
+// Fixture for weakdir: the grammar checker for //weakvet: annotations.
+// Directives are line comments, so expectations use the standalone
+// want-line form, which binds the previous source line.
+package demo
+
+import "sort"
+
+// typo misspells a directive name: flagged.
+func typo(m map[string]int) int {
+	s := 0
+	//weakvet:orderd addition commutes
+	// want "unknown directive //weakvet:orderd"
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// bare omits the justification that ordered requires: flagged.
+func bare(m map[string]int) []string {
+	var out []string
+	//weakvet:ordered
+	// want "//weakvet:ordered needs a justification"
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// badBudget mangles the noalloc argument: flagged.
+//
+//weakvet:noalloc budget=-1
+// want "budget must be a non-negative integer"
+func badBudget(n int) int {
+	return n + 1
+}
+
+// notAForm mangles the noalloc argument a different way: flagged.
+//
+//weakvet:noalloc limit=3
+// want `bad //weakvet:noalloc argument "limit=3": want "budget=N" or nothing`
+func notAForm(n int) int {
+	return n + 1
+}
+
+// stray puts noalloc somewhere it binds nothing: flagged.
+func stray(n int) int {
+	//weakvet:noalloc
+	// want "//weakvet:noalloc must be in a function's doc comment"
+	return n * 2
+}
+
+// wellFormed uses every directive correctly: accepted.
+//
+//weakvet:noalloc budget=2
+func wellFormed(m map[string]int) int {
+	s := 0
+	//weakvet:ordered integer addition commutes
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

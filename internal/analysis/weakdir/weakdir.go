@@ -1,0 +1,64 @@
+// Package weakdir validates the //weakvet: annotation grammar itself,
+// so a typo in an escape hatch fails the build instead of silently
+// suppressing nothing (or worse, appearing to suppress something). It
+// reports:
+//
+//   - unknown directive names (//weakvet:orderd, //weakvet:no-alloc);
+//   - directives that require a justification (ordered, rand, obs,
+//     alloc) written without one — the rationale is the point of the
+//     escape hatch, and reviews read it;
+//   - malformed //weakvet:noalloc arguments (anything but empty or
+//     budget=N with N ≥ 0);
+//   - //weakvet:noalloc directives that are not a function's doc
+//     comment — the annotation binds a function, nowhere else.
+package weakdir
+
+import (
+	"go/ast"
+	"go/token"
+
+	"weakmodels/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "weakdir",
+	Doc:  "validate the //weakvet: annotation grammar",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		onFuncDoc := funcDocPositions(file)
+		for _, d := range analysis.FileDirectives(file) {
+			switch {
+			case !analysis.KnownDirectives[d.Name]:
+				pass.Reportf(d.Pos, "unknown directive //weakvet:%s (known: alloc, noalloc, obs, ordered, rand)", d.Name)
+			case analysis.NeedsJustification[d.Name] && d.Arg == "":
+				pass.Reportf(d.Pos, "//weakvet:%s needs a justification: //weakvet:%s <why>", d.Name, d.Name)
+			case d.Name == "noalloc":
+				if _, err := analysis.ParseNoallocBudget(d.Arg); err != nil {
+					pass.Reportf(d.Pos, "%v", err)
+				} else if !onFuncDoc[d.Pos] {
+					pass.Reportf(d.Pos, "//weakvet:noalloc must be in a function's doc comment; here it binds nothing")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// funcDocPositions collects the positions of every comment that is part
+// of some function declaration's doc group.
+func funcDocPositions(file *ast.File) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			out[c.Pos()] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package weakdir_test
+
+import (
+	"testing"
+
+	"weakmodels/internal/analysis/analysistest"
+	"weakmodels/internal/analysis/weakdir"
+)
+
+func TestWeakdir(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), weakdir.Analyzer, "demo")
+}

@@ -1,0 +1,90 @@
+package engine
+
+// alloc_drivers_test.go backs the generated TestWeakvetAllocPins (see
+// zz_generated_weakvet_alloc_test.go): one driver per
+// //weakvet:noalloc function, keyed by receiver-qualified name. Each
+// driver does its setup once and returns the hot closure that
+// testing.AllocsPerRun measures.
+
+import (
+	"fmt"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/machine"
+	"weakmodels/internal/port"
+)
+
+// weakvetHotMachine is a constant-send machine that never halts and
+// keeps its states inside the runtime's small-int intern range
+// (0..255), so re-boxing the state into the machine.State interface on
+// every Step costs nothing and the measurement isolates the engine.
+func weakvetHotMachine(delta int) machine.Machine {
+	msgs := make([]machine.Message, delta+1)
+	for p := range msgs {
+		msgs[p] = fmt.Sprintf("m%d", p)
+	}
+	return &machine.Func{
+		MachineName:  "weakvet-hot",
+		MachineClass: machine.ClassMV,
+		MaxDeg:       delta,
+		InitFunc:     func(int) machine.State { return 255 },
+		HaltedFunc:   func(machine.State) (machine.Output, bool) { return "", false },
+		SendFunc:     func(s machine.State, p int) machine.Message { return msgs[p] },
+		StepFunc: func(s machine.State, _ []machine.Message) machine.State {
+			n := s.(int) - 1
+			if n < 1 {
+				n = 255
+			}
+			return n
+		},
+	}
+}
+
+// weakvetHotState builds a single-shard run over a torus, primed so the
+// hot-path drivers below can run rounds forever without allocating.
+func weakvetHotState() *runState {
+	g := graph.Torus(8, 8)
+	p := port.Canonical(g)
+	rs, _, err := newRunState(weakvetHotMachine(g.MaxDegree()), g, p, Options{}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+var weakvetAllocDrivers = map[string]func() func(){
+	"(*runState).sendRank": func() func() {
+		rs := weakvetHotState()
+		st := &rs.rt.stats[0]
+		n := len(rs.order)
+		return func() {
+			for r := 0; r < n; r++ {
+				rs.sendRank(r, rs.cur, st)
+			}
+			st.bytes = 0
+		}
+	},
+	"(*runState).stepShard": func() func() {
+		rs := weakvetHotState()
+		rs.rt.start(rs, false)
+		rs.rt.run(phaseSend) // fill the first arena so steps consume real inboxes
+		st := &rs.rt.stats[0]
+		n := len(rs.order)
+		return func() {
+			rs.stepShard(0, n, st)
+			rs.swap()
+			st.bytes, st.newHalts = 0, 0
+		}
+	},
+	"(*shardRuntime).fold": func() func() {
+		var rt shardRuntime
+		rt.init(port.Canonical(graph.Torus(8, 8)).Locality(), 4)
+		return func() {
+			for w := range rt.stats {
+				rt.stats[w].bytes = int64(w)
+				rt.stats[w].newHalts = w
+			}
+			rt.fold()
+		}
+	},
+}

@@ -89,6 +89,8 @@ const (
 // run on the coordinator goroutine; shard phases never touch the journal
 // directly — they append to their own stepStats.events buffer, which
 // flushStep drains at the barrier.
+//
+//weakvet:obs newJournal returns nil instead of a journal with a nil sink; every caller guards the *journal, so sink is non-nil by construction
 type journal struct {
 	sink  obs.Sink
 	coord []obs.Event // coordinator-side events of the current step, in emission order
@@ -145,6 +147,8 @@ func (j *journal) finish(err *error) {
 
 // runMetrics is the per-run metrics hook: round timing plus the final
 // counter mirror. Nil when no registry is attached.
+//
+//weakvet:obs newRunMetrics returns nil instead of a hook with nil fields; callers guard the *runMetrics, so reg/clock/histograms are non-nil by construction
 type runMetrics struct {
 	reg          *obs.Metrics
 	clock        obs.Clock

@@ -207,6 +207,8 @@ func (rs *runState) newScratch() []machine.Message {
 // contribute no bytes; after two halted passes both arenas already hold m0
 // in the node's destination slots (each slot has a unique writer), so the
 // stores are skipped.
+//
+//weakvet:noalloc
 func (rs *runState) sendRank(r int, dst []machine.Message, st *stepStats) {
 	lo, hi := rs.off[r], rs.off[r+1]
 	v := rs.order[r]
@@ -242,6 +244,8 @@ func (rs *runState) sendRank(r int, dst []machine.Message, st *stepStats) {
 // disjoint shards: writes to states/halted/outputs are per-node, writes to
 // next are per-inbox-slot (a bijection), and cur is read-only during the
 // pass.
+//
+//weakvet:noalloc
 func (rs *runState) stepShard(lo, hi int, st *stepStats) {
 	for r := lo; r < hi; r++ {
 		v := rs.order[r]

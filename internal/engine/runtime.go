@@ -204,6 +204,8 @@ func (rt *shardRuntime) run(ph runtimePhase) {
 // fold merges and clears the per-shard telemetry counters — the one
 // counter-merge loop of the engine, run by the coordinator between
 // barriers.
+//
+//weakvet:noalloc
 func (rt *shardRuntime) fold() (bytes int64, halts int) {
 	for w := range rt.stats {
 		st := &rt.stats[w]

@@ -2,13 +2,99 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// ValidSpecs lists the -faults spellings accepted by Parse, for error
-// messages and usage strings.
-const ValidSpecs = "drop:P | dup:P | byzantine:P | crash:K | pause:K | crashstop:K | partition:K | retransmit:R | adversary:B — each takes optional ,SEED[,HORIZON]; compose with '+'"
+// faultComponents is the registry behind Parse: one entry per component
+// name, carrying the advertised form and the parser for the component's
+// leading argument. ValidSpecs and the unknown-fault error enumerate it
+// with sorted keys, so the listings are deterministic by construction.
+var faultComponents = map[string]struct {
+	form  string
+	parse func(arg, s string, seed int64, horizon int) (Plan, error)
+}{
+	"drop": {"drop:P", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		p, err := probArg(arg, s)
+		if err != nil {
+			return nil, err
+		}
+		return DropFor(seed, p, horizon), nil
+	}},
+	"dup": {"dup:P", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		p, err := probArg(arg, s)
+		if err != nil {
+			return nil, err
+		}
+		return DupFor(seed, p, horizon), nil
+	}},
+	"byzantine": {"byzantine:P", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		p, err := probArg(arg, s)
+		if err != nil {
+			return nil, err
+		}
+		return ByzantineFor(seed, p, horizon), nil
+	}},
+	"crash": {"crash:K", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		k, err := countArg(arg, s, "crash count", "K")
+		if err != nil {
+			return nil, err
+		}
+		return CrashRecoverFor(seed, k, true, horizon), nil
+	}},
+	"pause": {"pause:K", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		k, err := countArg(arg, s, "crash count", "K")
+		if err != nil {
+			return nil, err
+		}
+		return CrashRecoverFor(seed, k, false, horizon), nil
+	}},
+	"crashstop": {"crashstop:K", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		k, err := countArg(arg, s, "crash count", "K")
+		if err != nil {
+			return nil, err
+		}
+		return CrashStopFor(seed, k, horizon), nil
+	}},
+	"partition": {"partition:K", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		k, err := countArg(arg, s, "island size", "K")
+		if err != nil {
+			return nil, err
+		}
+		return PartitionFor(seed, k, horizon), nil
+	}},
+	"retransmit": {"retransmit:R", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		r, err := countArg(arg, s, "retry count", "R")
+		if err != nil {
+			return nil, err
+		}
+		return RetransmitFor(seed, r, horizon), nil
+	}},
+	"adversary": {"adversary:B", func(arg, s string, seed int64, horizon int) (Plan, error) {
+		b, err := countArg(arg, s, "budget", "B")
+		if err != nil {
+			return nil, err
+		}
+		return AdversaryFor(seed, b, horizon), nil
+	}},
+}
+
+// faultAliases maps alternative spellings to registry names.
+var faultAliases = map[string]string{
+	"crash-stop": "crashstop",
+}
+
+// ValidSpecs lists the -faults spellings accepted by Parse in sorted
+// order, for error messages and usage strings.
+func ValidSpecs() string {
+	forms := make([]string, 0, len(faultComponents))
+	for _, c := range faultComponents {
+		forms = append(forms, c.form)
+	}
+	sort.Strings(forms)
+	return strings.Join(forms, " | ") + " — each takes optional ,SEED[,HORIZON]; compose with '+'"
+}
 
 // Parse builds a fault plan from its textual specification. Components are
 // composed with '+'; each is NAME:ARG[,SEED[,HORIZON]], where SEED
@@ -75,54 +161,32 @@ func parseOne(s string, seed int64) (Plan, error) {
 		}
 		horizon = v
 	}
-	switch name {
-	case "drop", "dup", "byzantine":
-		p, err := strconv.ParseFloat(args[0], 64)
-		if err != nil || p < 0 || p > 1 {
-			return nil, fmt.Errorf("fault: bad probability %q in %q (want 0 ≤ P ≤ 1)", args[0], s)
-		}
-		switch name {
-		case "drop":
-			return DropFor(seed, p, horizon), nil
-		case "dup":
-			return DupFor(seed, p, horizon), nil
-		default:
-			return ByzantineFor(seed, p, horizon), nil
-		}
-	case "partition":
-		k, err := strconv.Atoi(args[0])
-		if err != nil || k < 1 {
-			return nil, fmt.Errorf("fault: bad island size %q in %q (want K ≥ 1)", args[0], s)
-		}
-		return PartitionFor(seed, k, horizon), nil
-	case "retransmit":
-		r, err := strconv.Atoi(args[0])
-		if err != nil || r < 1 {
-			return nil, fmt.Errorf("fault: bad retry count %q in %q (want R ≥ 1)", args[0], s)
-		}
-		return RetransmitFor(seed, r, horizon), nil
-	case "crash", "pause", "crashstop", "crash-stop":
-		k, err := strconv.Atoi(args[0])
-		if err != nil || k < 1 {
-			return nil, fmt.Errorf("fault: bad crash count %q in %q (want K ≥ 1)", args[0], s)
-		}
-		switch name {
-		case "crash":
-			return CrashRecoverFor(seed, k, true, horizon), nil
-		case "pause":
-			return CrashRecoverFor(seed, k, false, horizon), nil
-		default:
-			return CrashStopFor(seed, k, horizon), nil
-		}
-	case "adversary":
-		b, err := strconv.Atoi(args[0])
-		if err != nil || b < 1 {
-			return nil, fmt.Errorf("fault: bad budget %q in %q (want B ≥ 1)", args[0], s)
-		}
-		return AdversaryFor(seed, b, horizon), nil
-	default:
-		return nil, fmt.Errorf("fault: unknown fault %q (want %s)", s, ValidSpecs)
+	if canonical, ok := faultAliases[name]; ok {
+		name = canonical
 	}
+	c, ok := faultComponents[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown fault %q (want %s)", s, ValidSpecs())
+	}
+	return c.parse(args[0], s, seed, horizon)
+}
+
+// probArg parses the probability argument of drop/dup/byzantine.
+func probArg(arg, s string) (float64, error) {
+	p, err := strconv.ParseFloat(arg, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("fault: bad probability %q in %q (want 0 ≤ P ≤ 1)", arg, s)
+	}
+	return p, nil
+}
+
+// countArg parses a positive integer argument, naming it in errors.
+func countArg(arg, s, what, letter string) (int, error) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("fault: bad %s %q in %q (want %s ≥ 1)", what, arg, s, letter)
+	}
+	return n, nil
 }
 
 // FlagSeedUsed reports whether Parse(s, seed) actually consumes the seed

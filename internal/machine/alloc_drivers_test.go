@@ -1,0 +1,25 @@
+package machine
+
+// alloc_drivers_test.go backs the generated TestWeakvetAllocPins (see
+// zz_generated_weakvet_alloc_test.go): the driver exercises every
+// receive mode of CanonicalInboxInto with a scratch buffer of
+// sufficient capacity — the contract under which the function promises
+// zero allocations. The inbox is longer than insertionSortCutoff so the
+// slices.Sort path is measured too.
+
+import "fmt"
+
+var weakvetAllocDrivers = map[string]func() func(){
+	"CanonicalInboxInto": func() func() {
+		inbox := make([]Message, insertionSortCutoff+8)
+		for i := range inbox {
+			inbox[i] = fmt.Sprintf("m%02d", (i*7)%len(inbox))
+		}
+		scratch := make([]Message, 0, len(inbox))
+		return func() {
+			CanonicalInboxInto(RecvVector, inbox, scratch)
+			CanonicalInboxInto(RecvMultiset, inbox, scratch)
+			CanonicalInboxInto(RecvSet, inbox, scratch)
+		}
+	},
+}

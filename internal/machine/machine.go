@@ -169,6 +169,8 @@ func CanonicalInbox(mode RecvMode, inbox []Message) []Message {
 // rounds perform no allocation. The inbox itself is never mutated. Machines
 // must not retain the returned slice across Step calls (the Machine
 // contract already requires Step to be pure).
+//
+//weakvet:noalloc
 func CanonicalInboxInto(mode RecvMode, inbox, scratch []Message) []Message {
 	switch mode {
 	case RecvVector:

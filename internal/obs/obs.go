@@ -149,10 +149,10 @@ type Clock interface {
 // wallClock reads the real monotonic clock, origin at construction.
 type wallClock struct{ base time.Time }
 
-func (c wallClock) Now() time.Duration { return time.Since(c.base) }
+func (c wallClock) Now() time.Duration { return time.Since(c.base) } //weakvet:rand wallClock IS the injectable Clock's real-time backing; never on a replayed path
 
 // WallClock returns a Clock backed by the real monotonic clock.
-func WallClock() Clock { return wallClock{base: time.Now()} }
+func WallClock() Clock { return wallClock{base: time.Now()} } //weakvet:rand the one sanctioned wall-time origin; runs feed durations through the injected Clock only
 
 // ManualClock is a hand-driven Clock for tests: Now returns whatever the
 // last Advance set. The zero value is ready to use.

@@ -1,11 +1,18 @@
 // Package spec parses the textual graph and numbering specifications used
 // by the command-line tools and examples, e.g. "cycle:8", "grid:3x4",
 // "random-regular:12,3,7", "fig9", "ports=symmetric".
+//
+// Both parsers are driven by registry maps; every enumeration of a
+// registry (the -list output, the unknown-name errors) sorts before
+// ranging, so the listings are deterministic by construction — the
+// collect-then-sort idiom weakvet's maporder analyzer enforces for this
+// package.
 package spec
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -13,41 +20,21 @@ import (
 	"weakmodels/internal/port"
 )
 
-// GraphSpecs lists the graph specification forms accepted by ParseGraph,
-// for usage strings and weakrun's -list. TestGraphSpecsParse keeps it in
-// sync with the parser.
-func GraphSpecs() []string {
-	return []string{
-		"path:N", "cycle:N", "star:K", "complete:N", "bipartite:AxB",
-		"grid:RxC", "torus:RxC", "hypercube:D", "caterpillar:SxL",
-		"petersen", "fig1", "fig9", "witness13",
-		"tree:N,SEED", "random-regular:N,K,SEED", "expander:N,D,SEED", "pa:N,M,SEED",
-	}
-}
-
-// NumberingSpecs lists the port-numbering forms accepted by ParseNumbering.
-func NumberingSpecs() []string {
-	return []string{"canonical", "random:SEED", "consistent:SEED", "symmetric"}
-}
-
-// ParseGraph builds a graph from a specification string. Supported forms:
-//
-//	path:N  cycle:N  star:K  complete:N  bipartite:AxB  grid:RxC  torus:RxC
-//	hypercube:D  caterpillar:SxL  petersen  fig1  fig9  witness13
-//	tree:N,SEED  random-regular:N,K,SEED  expander:N,D,SEED  pa:N,M,SEED
-func ParseGraph(s string) (*graph.Graph, error) {
-	name, arg := s, ""
-	if i := strings.IndexByte(s, ':'); i >= 0 {
-		name, arg = s[:i], s[i+1:]
-	}
-	switch name {
-	case "path":
+// graphBuilders is the registry behind ParseGraph: one entry per graph
+// family, keyed by its spec name, carrying the advertised form and the
+// parser for the text after the colon.
+var graphBuilders = map[string]struct {
+	form  string
+	build func(arg string) (*graph.Graph, error)
+}{
+	"path": {"path:N", func(arg string) (*graph.Graph, error) {
 		n, err := parseN(arg)
 		if err != nil {
 			return nil, err
 		}
 		return graph.Path(n), nil
-	case "cycle":
+	}},
+	"cycle": {"cycle:N", func(arg string) (*graph.Graph, error) {
 		n, err := parseN(arg)
 		if err != nil {
 			return nil, err
@@ -56,31 +43,36 @@ func ParseGraph(s string) (*graph.Graph, error) {
 			return nil, fmt.Errorf("spec: cycle needs n ≥ 3")
 		}
 		return graph.Cycle(n), nil
-	case "star":
+	}},
+	"star": {"star:K", func(arg string) (*graph.Graph, error) {
 		n, err := parseN(arg)
 		if err != nil {
 			return nil, err
 		}
 		return graph.Star(n), nil
-	case "complete":
+	}},
+	"complete": {"complete:N", func(arg string) (*graph.Graph, error) {
 		n, err := parseN(arg)
 		if err != nil {
 			return nil, err
 		}
 		return graph.Complete(n), nil
-	case "bipartite":
+	}},
+	"bipartite": {"bipartite:AxB", func(arg string) (*graph.Graph, error) {
 		a, b, err := parsePair(arg, "x")
 		if err != nil {
 			return nil, err
 		}
 		return graph.CompleteBipartite(a, b), nil
-	case "grid":
+	}},
+	"grid": {"grid:RxC", func(arg string) (*graph.Graph, error) {
 		r, c, err := parsePair(arg, "x")
 		if err != nil {
 			return nil, err
 		}
 		return graph.Grid(r, c), nil
-	case "torus":
+	}},
+	"torus": {"torus:RxC", func(arg string) (*graph.Graph, error) {
 		r, c, err := parsePair(arg, "x")
 		if err != nil {
 			return nil, err
@@ -89,7 +81,8 @@ func ParseGraph(s string) (*graph.Graph, error) {
 			return nil, fmt.Errorf("spec: torus needs r,c ≥ 3")
 		}
 		return graph.Torus(r, c), nil
-	case "hypercube":
+	}},
+	"hypercube": {"hypercube:D", func(arg string) (*graph.Graph, error) {
 		d, err := parseN(arg)
 		if err != nil {
 			return nil, err
@@ -98,51 +91,137 @@ func ParseGraph(s string) (*graph.Graph, error) {
 			return nil, fmt.Errorf("spec: hypercube dimension %d too large", d)
 		}
 		return graph.Hypercube(d), nil
-	case "caterpillar":
+	}},
+	"caterpillar": {"caterpillar:SxL", func(arg string) (*graph.Graph, error) {
 		s, l, err := parsePair(arg, "x")
 		if err != nil {
 			return nil, err
 		}
 		return graph.Caterpillar(s, l), nil
-	case "petersen":
+	}},
+	"petersen": {"petersen", func(string) (*graph.Graph, error) {
 		return graph.Petersen(), nil
-	case "fig1":
+	}},
+	"fig1": {"fig1", func(string) (*graph.Graph, error) {
 		return graph.Figure1Graph(), nil
-	case "fig9", "no1factor":
+	}},
+	"fig9": {"fig9", func(string) (*graph.Graph, error) {
 		return graph.NoOneFactorCubic(), nil
-	case "witness13":
+	}},
+	"witness13": {"witness13", func(string) (*graph.Graph, error) {
 		g, _, _ := graph.Theorem13Witness()
 		return g, nil
-	case "tree":
+	}},
+	"tree": {"tree:N,SEED", func(arg string) (*graph.Graph, error) {
 		parts, err := parseInts(arg, 2)
 		if err != nil {
 			return nil, err
 		}
 		return graph.RandomTree(parts[0], rand.New(rand.NewSource(int64(parts[1])))), nil
-	case "random-regular":
+	}},
+	"random-regular": {"random-regular:N,K,SEED", func(arg string) (*graph.Graph, error) {
 		parts, err := parseInts(arg, 3)
 		if err != nil {
 			return nil, err
 		}
 		return graph.RandomRegular(parts[0], parts[1], rand.New(rand.NewSource(int64(parts[2]))))
-	case "expander":
+	}},
+	"expander": {"expander:N,D,SEED", func(arg string) (*graph.Graph, error) {
 		parts, err := parseInts(arg, 3)
 		if err != nil {
 			return nil, err
 		}
 		return graph.Expander(parts[0], parts[1], int64(parts[2]))
-	case "pa", "pref-attach":
+	}},
+	"pa": {"pa:N,M,SEED", func(arg string) (*graph.Graph, error) {
 		parts, err := parseInts(arg, 3)
 		if err != nil {
 			return nil, err
 		}
 		return graph.PreferentialAttachment(parts[0], parts[1], int64(parts[2]))
-	default:
-		return nil, fmt.Errorf("spec: unknown graph %q (try cycle:8, star:5, grid:3x4, petersen, fig9)", s)
-	}
+	}},
 }
 
-// ParseNumbering builds a port numbering of g. Supported forms:
+// graphAliases maps alternative spellings to registry names.
+var graphAliases = map[string]string{
+	"no1factor":   "fig9",
+	"pref-attach": "pa",
+}
+
+// numberingBuilders is the registry behind ParseNumbering, shaped like
+// graphBuilders.
+var numberingBuilders = map[string]struct {
+	form  string
+	build func(g *graph.Graph, arg string) (*port.Numbering, error)
+}{
+	"canonical": {"canonical", func(g *graph.Graph, _ string) (*port.Numbering, error) {
+		return port.Canonical(g), nil
+	}},
+	"random": {"random:SEED", func(g *graph.Graph, arg string) (*port.Numbering, error) {
+		seed, err := parseSeed(arg)
+		if err != nil {
+			return nil, err
+		}
+		return port.Random(g, rand.New(rand.NewSource(seed))), nil
+	}},
+	"consistent": {"consistent:SEED", func(g *graph.Graph, arg string) (*port.Numbering, error) {
+		seed, err := parseSeed(arg)
+		if err != nil {
+			return nil, err
+		}
+		return port.RandomConsistent(g, rand.New(rand.NewSource(seed))), nil
+	}},
+	"symmetric": {"symmetric", func(g *graph.Graph, _ string) (*port.Numbering, error) {
+		perms, err := graph.DoubleCoverFactorPermutations(g)
+		if err != nil {
+			return nil, fmt.Errorf("spec: symmetric numbering needs a regular graph: %w", err)
+		}
+		return port.FromPermutationFactors(g, perms)
+	}},
+}
+
+// GraphSpecs lists the graph specification forms accepted by ParseGraph
+// in sorted order, for usage strings and weakrun's -list.
+// TestGraphSpecsParse keeps it in sync with the parser.
+func GraphSpecs() []string {
+	forms := make([]string, 0, len(graphBuilders))
+	for _, e := range graphBuilders {
+		forms = append(forms, e.form)
+	}
+	sort.Strings(forms)
+	return forms
+}
+
+// NumberingSpecs lists the port-numbering forms accepted by
+// ParseNumbering in sorted order.
+func NumberingSpecs() []string {
+	forms := make([]string, 0, len(numberingBuilders))
+	for _, e := range numberingBuilders {
+		forms = append(forms, e.form)
+	}
+	sort.Strings(forms)
+	return forms
+}
+
+// ParseGraph builds a graph from a specification string; GraphSpecs
+// lists the supported forms.
+func ParseGraph(s string) (*graph.Graph, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	if canonical, ok := graphAliases[name]; ok {
+		name = canonical
+	}
+	e, ok := graphBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown graph %q (known: %s)", s, strings.Join(GraphSpecs(), "  "))
+	}
+	return e.build(arg)
+}
+
+// ParseNumbering builds a port numbering of g; NumberingSpecs lists the
+// supported forms. The empty string means canonical.
 //
 //	canonical — the natural consistent numbering
 //	random:SEED — uniformly random (generally inconsistent)
@@ -153,30 +232,14 @@ func ParseNumbering(g *graph.Graph, s string) (*port.Numbering, error) {
 	if i := strings.IndexByte(s, ':'); i >= 0 {
 		name, arg = s[:i], s[i+1:]
 	}
-	switch name {
-	case "", "canonical":
-		return port.Canonical(g), nil
-	case "random":
-		seed, err := parseSeed(arg)
-		if err != nil {
-			return nil, err
-		}
-		return port.Random(g, rand.New(rand.NewSource(seed))), nil
-	case "consistent":
-		seed, err := parseSeed(arg)
-		if err != nil {
-			return nil, err
-		}
-		return port.RandomConsistent(g, rand.New(rand.NewSource(seed))), nil
-	case "symmetric":
-		perms, err := graph.DoubleCoverFactorPermutations(g)
-		if err != nil {
-			return nil, fmt.Errorf("spec: symmetric numbering needs a regular graph: %w", err)
-		}
-		return port.FromPermutationFactors(g, perms)
-	default:
-		return nil, fmt.Errorf("spec: unknown numbering %q (try canonical, random:7, consistent:7, symmetric)", s)
+	if name == "" {
+		name = "canonical"
 	}
+	e, ok := numberingBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown numbering %q (known: %s)", s, strings.Join(NumberingSpecs(), " | "))
+	}
+	return e.build(g, arg)
 }
 
 func parseN(arg string) (int, error) {
