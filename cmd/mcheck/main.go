@@ -1,23 +1,36 @@
 // Command mcheck model-checks a modal formula on the Kripke model
-// K_{a,b}(G, p) of a port-numbered graph (Section 4.3 of the paper).
+// K_{a,b}(G, p) of a port-numbered graph (Section 4.3 of the paper),
+// running on the interned bitset evaluator and the integer-signature
+// partition refiner, so n=10⁵ models are routine.
 //
 // Usage:
 //
 //	mcheck -formula "q1 & <*,*> q3" -graph star:3
 //	mcheck -formula "<2,1> q2" -graph fig1 -ports random:7 -variant pp
+//	mcheck -formula "<*,*>=2 q4" -graph expander:100000,4,13 -bisim -workers 4
+//	mcheck -char -node 0 -depth 3 -graph expander:100000,4,13 -graded
+//	mcheck -list
 //
-// Without -variant the minimal variant for the formula's labels is used.
+// Without -variant the minimal variant for the formula's labels is used
+// (-char defaults to mm). -char builds the depth-round characteristic
+// formula χ of -node's equivalence class, model-checks it, and verifies
+// the truth set is exactly the class — the Hennessy–Milner contract, end
+// to end on one command.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"weakmodels/internal/bisim"
 	"weakmodels/internal/compile"
 	"weakmodels/internal/kripke"
 	"weakmodels/internal/logic"
+	"weakmodels/internal/obs"
 	"weakmodels/internal/spec"
 )
 
@@ -28,23 +41,71 @@ func main() {
 	}
 }
 
+// listCap bounds how many states any single line enumerates; beyond it
+// mcheck reports counts, so n=10⁵ runs stay readable.
+const listCap = 32
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcheck", flag.ContinueOnError)
-	formula := fs.String("formula", "", "modal formula (required)")
+	formula := fs.String("formula", "", "modal formula (required unless -char or -list)")
 	graphSpec := fs.String("graph", "cycle:6", "graph specification")
 	portSpec := fs.String("ports", "canonical", "port numbering specification")
-	variantName := fs.String("variant", "", "model variant: pp|mp|pm|mm (default: inferred)")
+	variantName := fs.String("variant", "", "model variant: pp|mp|pm|mm (default: inferred; mm with -char)")
 	showBisim := fs.Bool("bisim", false, "also print the bisimulation partition")
-	graded := fs.Bool("graded", false, "use graded bisimulation with -bisim")
+	graded := fs.Bool("graded", false, "use graded (counting) bisimulation with -bisim or -char")
+	workers := fs.Int("workers", 0, "refinement signature-fill workers (default GOMAXPROCS; partitions are identical for every setting)")
+	char := fs.Bool("char", false, "characteristic-formula mode: build χ of -node's depth-round class and verify its truth set")
+	node := fs.Int("node", 0, "state whose class -char characterises")
+	depth := fs.Int("depth", 2, "refinement depth for -char (modal depth of χ)")
+	metricsPath := fs.String("metrics", "", "write a Prometheus text snapshot of the weak_logic_* metrics to this path")
+	list := fs.Bool("list", false, "list the valid values of every enumerable flag and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *formula == "" {
-		return fmt.Errorf("-formula is required")
+	if *list {
+		return printList(os.Stdout)
 	}
-	f, err := logic.Parse(*formula)
-	if err != nil {
-		return err
+
+	// Up-front validation: every conflict or out-of-range value is an
+	// error before any work starts, never a silent ignore.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *char {
+		if set["formula"] {
+			return fmt.Errorf("-char builds its own formula (the class characteristic); -formula conflicts with it")
+		}
+		if set["bisim"] {
+			return fmt.Errorf("-char already reports -node's class; -bisim conflicts with it")
+		}
+		if *depth < 0 {
+			return fmt.Errorf("-depth must be ≥ 0, got %d", *depth)
+		}
+		if *node < 0 {
+			return fmt.Errorf("-node must be ≥ 0, got %d", *node)
+		}
+	} else {
+		if *formula == "" {
+			return fmt.Errorf("-formula is required (or use -char / -list)")
+		}
+		for _, only := range []string{"node", "depth"} {
+			if set[only] {
+				return fmt.Errorf("-%s is only meaningful with -char", only)
+			}
+		}
+	}
+	if set["workers"] && *workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1, got %d", *workers)
+	}
+	if set["graded"] && !*showBisim && !*char {
+		return fmt.Errorf("-graded selects the bisimulation notion; it needs -bisim or -char")
+	}
+
+	var f logic.Formula
+	var err error
+	if !*char {
+		if f, err = logic.Parse(*formula); err != nil {
+			return err
+		}
 	}
 	g, err := spec.ParseGraph(*graphSpec)
 	if err != nil {
@@ -66,33 +127,136 @@ func run(args []string) error {
 	case "mm":
 		variant = kripke.VariantMM
 	case "":
-		variant, err = compile.VariantForFormula(f)
-		if err != nil {
+		if *char {
+			variant = kripke.VariantMM
+		} else if variant, err = compile.VariantForFormula(f); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown variant %q", *variantName)
+		return fmt.Errorf("unknown variant %q: valid values are pp | mp | pm | mm", *variantName)
+	}
+	if *char && *node >= g.N() {
+		return fmt.Errorf("-node %d out of range: graph has %d nodes", *node, g.N())
 	}
 
+	o := &obs.Obs{}
+	if *metricsPath != "" {
+		o.Metrics = obs.NewMetrics()
+	}
 	model := kripke.FromPorts(p, variant)
-	sat := logic.Eval(model, f)
-	fmt.Printf("formula: %s\n", f.String())
-	fmt.Printf("fragment: %s   modal depth: %d   model: %v over %v\n",
-		logic.ClassifyFragment(f), logic.ModalDepth(f), variant, g)
-	var holds []int
-	for v, ok := range sat {
-		if ok {
-			holds = append(holds, v)
-		}
-	}
-	fmt.Printf("‖φ‖ = %v (%d of %d nodes)\n", holds, len(holds), g.N())
 
-	if *showBisim {
-		part := bisim.Compute(model, bisim.Options{Graded: *graded})
-		fmt.Printf("bisimulation classes (graded=%v):\n", *graded)
-		for id, class := range part.Classes() {
-			fmt.Printf("  class %d: %v\n", id, class)
+	if *char {
+		err = runChar(model, g.MaxDegree(), *node, *depth, *graded, *workers, o)
+	} else {
+		err = runFormula(model, g.N(), f, variant, *showBisim, *graded, *workers, o)
+	}
+	if err != nil {
+		return err
+	}
+	if *metricsPath != "" {
+		return writeMetricsSnapshot(o.Metrics, *metricsPath)
+	}
+	return nil
+}
+
+// runFormula is the classic mode: evaluate one formula, optionally with
+// the bisimulation partition alongside.
+func runFormula(model *kripke.Model, n int, f logic.Formula, variant kripke.Variant, showBisim, graded bool, workers int, o *obs.Obs) error {
+	in := logic.NewInterner()
+	ev := logic.NewEvaluator(model, in)
+	ev.AttachObs(o)
+	id := in.Intern(f)
+	row := ev.Eval(id)
+
+	fmt.Printf("formula: %s\n", f.String())
+	fmt.Printf("fragment: %s   modal depth: %d   model: %v over %d nodes (%d distinct subformulas)\n",
+		logic.ClassifyFragment(f), logic.ModalDepth(f), variant, n, in.Len())
+	holds := ev.Count(id)
+	if holds <= listCap {
+		var states []int
+		for v := 0; v < n; v++ {
+			if row[v>>6]&(1<<(uint(v)&63)) != 0 {
+				states = append(states, v)
+			}
+		}
+		fmt.Printf("‖φ‖ = %v (%d of %d nodes)\n", states, holds, n)
+	} else {
+		fmt.Printf("‖φ‖: %d of %d nodes\n", holds, n)
+	}
+
+	if showBisim {
+		part := bisim.Compute(model, bisim.Options{Graded: graded, Workers: workers, Obs: o})
+		classes := part.Classes()
+		fmt.Printf("bisimulation classes (graded=%v): %d\n", graded, len(classes))
+		for id, class := range classes {
+			if id >= listCap {
+				fmt.Printf("  … %d more classes\n", len(classes)-listCap)
+				break
+			}
+			if len(class) <= listCap {
+				fmt.Printf("  class %d: %v\n", id, class)
+			} else {
+				fmt.Printf("  class %d: %d nodes (first %v …)\n", id, len(class), class[:listCap])
+			}
 		}
 	}
 	return nil
+}
+
+// runChar is the Hennessy–Milner mode: compute the depth-round partition,
+// build the characteristic formula of node's class, model-check it, and
+// verify the truth set is exactly the class.
+func runChar(model *kripke.Model, delta, node, depth int, graded bool, workers int, o *obs.Obs) error {
+	part := bisim.Compute(model, bisim.Options{Graded: graded, MaxRounds: depth, Workers: workers, Obs: o})
+	in := logic.NewInterner()
+	ids := bisim.CharacteristicIDs(model, depth, delta, graded, in)
+	ev := logic.NewEvaluator(model, in)
+	ev.AttachObs(o)
+	row := ev.Eval(ids[node])
+
+	n := model.N()
+	classSize := 0
+	for v := 0; v < n; v++ {
+		inClass := part[v] == part[node]
+		if inClass {
+			classSize++
+		}
+		if got := row[v>>6]&(1<<(uint(v)&63)) != 0; got != inClass {
+			return fmt.Errorf("characteristic check FAILED at state %d: χ %v, class membership %v", v, got, inClass)
+		}
+	}
+	fmt.Printf("characteristic check: node %d, depth %d, graded=%v\n", node, depth, graded)
+	fmt.Printf("partition: %d classes over %d nodes; χ interned as %d DAG nodes\n",
+		part.NumClasses(), n, in.Len())
+	fmt.Printf("‖χ‖ == class(%d): verified (%d nodes)\n", node, classSize)
+	return nil
+}
+
+// printList enumerates every valid value of the enumerable flags, so a
+// user never has to provoke an error to discover a spelling.
+func printList(out io.Writer) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "flag\tvalid values")
+	fmt.Fprintln(w, "-formula\tgrammar: or := and {\"|\" and}; and := unary {\"&\" unary}; unary := \"!\" unary | \"<i,j>\" [\"=k\"] unary | \"[i,j]\" unary | atom; atom := true | false | ident | \"(\" formula \")\"; i,j := port number or *")
+	fmt.Fprintln(w, "-graph\t"+strings.Join(spec.GraphSpecs(), "  "))
+	fmt.Fprintln(w, "-ports\t"+strings.Join(spec.NumberingSpecs(), " | "))
+	fmt.Fprintln(w, "-variant\tpp | mp | pm | mm (default: inferred from the formula's labels; mm with -char)")
+	fmt.Fprintln(w, "-bisim\talso print the bisimulation partition (with -graded for the counting notion)")
+	fmt.Fprintln(w, "-workers\trefinement signature-fill workers ≥ 1 (default GOMAXPROCS); the partition is bit-identical for every setting")
+	fmt.Fprintln(w, "-char\tbuild and verify the characteristic formula of -node's -depth-round class (Hennessy–Milner)")
+	fmt.Fprintln(w, "-metrics\tfile path for a Prometheus text snapshot of the weak_logic_* eval/refinement metrics")
+	return w.Flush()
+}
+
+// writeMetricsSnapshot dumps the registry in the Prometheus text format.
+func writeMetricsSnapshot(reg *obs.Metrics, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

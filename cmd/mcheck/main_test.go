@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunBasic(t *testing.T) {
 	if err := run([]string{"-formula", "q1 & <*,*> q3", "-graph", "star:3"}); err != nil {
@@ -31,10 +36,70 @@ func TestRunErrors(t *testing.T) {
 		{"-formula", "q1", "-ports", "zzz"},
 		{"-formula", "q1", "-variant", "zz"},
 		{"-formula", "<1,1> q1 & <*,1> q1"}, // unclassifiable without -variant
+		// Up-front validation added in PR 10.
+		{"-formula", "q1", "-node", "2"},            // -node without -char
+		{"-formula", "q1", "-depth", "3"},           // -depth without -char
+		{"-formula", "q1", "-workers", "0"},         // workers below 1
+		{"-formula", "q1", "-graded"},               // -graded without -bisim/-char
+		{"-char", "-formula", "q1"},                 // conflict
+		{"-char", "-bisim"},                         // conflict
+		{"-char", "-depth", "-1"},                   // negative depth
+		{"-char", "-node", "-1"},                    // negative node
+		{"-char", "-graph", "path:3", "-node", "9"}, // node out of range
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCharSmall(t *testing.T) {
+	for _, graded := range []bool{false, true} {
+		args := []string{"-char", "-graph", "torus:4x4", "-node", "3", "-depth", "2"}
+		if graded {
+			args = append(args, "-graded")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("graded=%v: %v", graded, err)
+		}
+	}
+}
+
+func TestRunWorkersAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.prom")
+	args := []string{
+		"-formula", "<*,*>=2 q4", "-graph", "expander:200,4,5", "-variant", "mm",
+		"-bisim", "-workers", "2", "-metrics", path,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"weak_logic_evals_total", "weak_logic_refine_rounds_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics snapshot missing %s", want)
+		}
+	}
+}
+
+// TestRunCharExpander1e5 is the ISSUE acceptance run: a characteristic-
+// formula check completing on an n=10⁵ expander through the CLI path.
+func TestRunCharExpander1e5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10⁵ model; skipped in -short")
+	}
+	args := []string{"-char", "-graph", "expander:100000,4,13", "-node", "0", "-depth", "3", "-graded", "-workers", "4"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
 	}
 }

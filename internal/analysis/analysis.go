@@ -99,6 +99,13 @@ var DeterminismCritical = map[string]bool{
 	"port":      true,
 	"stabilize": true,
 	"spec":      true,
+	// The logic stack joined the fast paths in PR 10: partitions,
+	// characteristic formulas and truth sets are pinned bit-identical
+	// across worker counts, so map-order leaks are correctness bugs here
+	// exactly as in the engine.
+	"logic":  true,
+	"bisim":  true,
+	"kripke": true,
 }
 
 // EnginePath is the set of packages that execute inside a run — where
@@ -118,4 +125,9 @@ var EnginePath = map[string]bool{
 	"port":      true,
 	"machine":   true,
 	"xrand":     true,
+	// Model checking and refinement run at engine scale with injected
+	// clocks (obs.Clock) and seeded formula generators only.
+	"logic":  true,
+	"bisim":  true,
+	"kripke": true,
 }

@@ -1,0 +1,49 @@
+package bisim
+
+// alloc_drivers_test.go backs the generated TestWeakvetAllocPins (see
+// zz_generated_weakvet_alloc_test.go): one driver per //weakvet:noalloc
+// function, keyed by receiver-qualified name. Each driver does its setup
+// once and returns the hot closure that testing.AllocsPerRun measures.
+
+import (
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/port"
+)
+
+// weakvetHotRefiner builds a graded refiner over a torus model, ready to
+// run fill/group rounds without allocating.
+func weakvetHotRefiner() *refiner {
+	g := graph.Torus(8, 8)
+	m := kripke.FromPorts(port.Canonical(g), kripke.VariantPP)
+	return newRefiner(m.CSR(), true, 1)
+}
+
+// weakvetSink keeps sameSig's result live without allocating.
+var weakvetSink bool
+
+var weakvetAllocDrivers = map[string]func() func(){
+	"(*refiner).fillRange": func() func() {
+		r := weakvetHotRefiner()
+		return func() { r.fillRange(0, r.n) }
+	},
+	"(*refiner).group": func() func() {
+		r := weakvetHotRefiner()
+		r.fillRange(0, r.n)
+		return func() { r.group() }
+	},
+	"(*refiner).sameSig": func() func() {
+		r := weakvetHotRefiner()
+		r.fillRange(0, r.n)
+		return func() { weakvetSink = r.sameSig(0, 1) }
+	},
+	"sortInt32": func() func() {
+		buf := make([]int32, 64)
+		return func() {
+			for i := range buf {
+				buf[i] = int32(len(buf) - i)
+			}
+			sortInt32(buf)
+		}
+	},
+}

@@ -11,31 +11,49 @@
 //     equivalence, which coincides with indistinguishability by formulas of
 //     modal depth ≤ t — the locality currency of the paper.
 //
-// Fact 1 (bisimilar ⇒ logically indistinguishable) is exercised as a
-// property test in this package's test suite.
+// Refinement runs on the model's compiled CSR form with integer signature
+// vectors (refine.go): no string keys, no per-round maps, and an optional
+// worker fan-out for the signature fill that leaves the partition
+// bit-identical to the sequential one. Fact 1 (bisimilar ⇒ logically
+// indistinguishable) is exercised as a property test in this package's
+// test suite.
 package bisim
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"time"
 
 	"weakmodels/internal/kripke"
+	"weakmodels/internal/obs"
 )
 
 // Partition assigns each state a class id; states are equivalent iff their
 // ids are equal. Ids are dense, starting at 0, in order of first occurrence.
 type Partition []int
 
-// Classes groups states by class id.
-func (p Partition) Classes() [][]int {
-	byID := make(map[int][]int)
-	for v, id := range p {
-		byID[id] = append(byID[id], v)
+// NumClasses returns the number of classes (max id + 1).
+func (p Partition) NumClasses() int {
+	num := 0
+	for _, id := range p {
+		if id >= num {
+			num = id + 1
+		}
 	}
-	out := make([][]int, 0, len(byID))
-	for id := 0; id < len(byID); id++ {
-		out = append(out, byID[id])
+	return num
+}
+
+// Classes groups states by class id; within a class, states ascend.
+func (p Partition) Classes() [][]int {
+	num := p.NumClasses()
+	sizes := make([]int, num)
+	for _, id := range p {
+		sizes[id]++
+	}
+	out := make([][]int, num)
+	for id, sz := range sizes {
+		out[id] = make([]int, 0, sz)
+	}
+	for v, id := range p {
+		out[id] = append(out[id], v)
 	}
 	return out
 }
@@ -43,101 +61,38 @@ func (p Partition) Classes() [][]int {
 // Same reports whether u and v are in the same class.
 func (p Partition) Same(u, v int) bool { return p[u] == p[v] }
 
-// Options select the bisimulation notion.
+// Options select the bisimulation notion and the execution shape.
 type Options struct {
 	// Graded selects counting (GML/GMML) refinement.
 	Graded bool
 	// MaxRounds bounds the refinement depth; 0 means refine to fixpoint
 	// (full bisimilarity).
 	MaxRounds int
+	// Workers fans the per-round signature fill out over contiguous state
+	// ranges; 0 defaults to GOMAXPROCS. The partition is bit-identical
+	// for every setting — grouping is sequential in state order — and
+	// small models stay inline regardless.
+	Workers int
+	// Obs attaches metrics (weak_logic_refine_*); nil disables.
+	Obs *obs.Obs
 }
 
 // Compute returns the coarsest (bounded) bisimulation partition of m.
+// Ids match the seed implementation exactly: dense, assigned by first
+// occurrence in state order, initial classes by valuation (condition B1).
 func Compute(m *kripke.Model, opts Options) Partition {
-	n := m.N()
-	part := make(Partition, n)
-	// Initial partition: by valuation (condition B1).
-	ids := make(map[string]int)
-	for v := 0; v < n; v++ {
-		sig := m.PropSig(v)
-		id, ok := ids[sig]
-		if !ok {
-			id = len(ids)
-			ids[sig] = id
-		}
-		part[v] = id
+	met := newRefineMetrics(opts.Obs)
+	var start time.Duration
+	if met != nil {
+		start = met.begin()
 	}
-	indices := m.Indices()
-	round := 0
-	for {
-		if opts.MaxRounds > 0 && round >= opts.MaxRounds {
-			return part
-		}
-		next := refine(m, part, indices, opts.Graded)
-		if equalPartition(part, next) {
-			return next
-		}
-		part = next
-		round++
+	r := newRefiner(m.CSR(), opts.Graded, opts.Workers)
+	rounds := r.run(opts.MaxRounds)
+	part := r.partition()
+	if met != nil {
+		met.end(start, rounds, r.classes)
 	}
-}
-
-// refine splits classes by successor-class signatures.
-func refine(m *kripke.Model, part Partition, indices []kripke.Index, graded bool) Partition {
-	n := m.N()
-	next := make(Partition, n)
-	ids := make(map[string]int)
-	var sb strings.Builder
-	for v := 0; v < n; v++ {
-		sb.Reset()
-		fmt.Fprintf(&sb, "c%d", part[v])
-		for _, alpha := range indices {
-			succ := m.Succ(alpha, v)
-			classes := make([]int, 0, len(succ))
-			for _, w := range succ {
-				classes = append(classes, part[w])
-			}
-			sort.Ints(classes)
-			if !graded {
-				classes = dedupInts(classes)
-			}
-			fmt.Fprintf(&sb, "|%v:%v", alpha, classes)
-		}
-		sig := sb.String()
-		id, ok := ids[sig]
-		if !ok {
-			id = len(ids)
-			ids[sig] = id
-		}
-		next[v] = id
-	}
-	return next
-}
-
-func dedupInts(xs []int) []int {
-	out := xs[:0]
-	for i, x := range xs {
-		if i == 0 || x != xs[i-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-func equalPartition(a, b Partition) bool {
-	// Partitions refine monotonically, so equality of class counts suffices;
-	// compare structurally to stay safe.
-	classesA := make(map[int]int)
-	classesB := make(map[int]int)
-	for i := range a {
-		classesA[a[i]]++
-		classesB[b[i]]++
-	}
-	if len(classesA) != len(classesB) {
-		return false
-	}
-	// Same number of classes and b refines a ⇒ identical partitions.
-	return true
+	return part
 }
 
 // Bisimilar reports whether states u and v of m are bisimilar under opts.
@@ -171,26 +126,5 @@ func BisimilarAcross(a *kripke.Model, u int, b *kripke.Model, v int, opts Option
 // the modal depth needed to distinguish everything distinguishable, a
 // locality measure used by the experiments.
 func RoundsToStable(m *kripke.Model, graded bool) int {
-	indices := m.Indices()
-	n := m.N()
-	cur := make(Partition, n)
-	ids := make(map[string]int)
-	for v := 0; v < n; v++ {
-		sig := m.PropSig(v)
-		id, ok := ids[sig]
-		if !ok {
-			id = len(ids)
-			ids[sig] = id
-		}
-		cur[v] = id
-	}
-	rounds := 0
-	for {
-		next := refine(m, cur, indices, graded)
-		if equalPartition(cur, next) {
-			return rounds
-		}
-		cur = next
-		rounds++
-	}
+	return newRefiner(m.CSR(), graded, 0).run(0)
 }

@@ -1,13 +1,5 @@
 package bisim
 
-import (
-	"fmt"
-	"sort"
-
-	"weakmodels/internal/kripke"
-	"weakmodels/internal/logic"
-)
-
 // Characteristic formulas à la Hennessy–Milner: for every state v and depth
 // t, a formula χ_v^t of modal depth ≤ t that holds at exactly the states
 // t-round bisimilar to v. This is the converse direction of Fact 1 — not
@@ -23,133 +15,188 @@ import (
 // where S(v,α) is the set of (t-round) classes of v's α-successors. The
 // graded flavour replaces the two conjuncts by exact counts
 // ⟨α⟩≥k χ_C ∧ ¬⟨α⟩≥k+1 χ_C per class.
+//
+// The construction runs on the integer refiner: states sharing a level-t
+// characteristic formula are exactly the states in the same class after t
+// refinement rounds from the Δ-valuation partition, so formulas are built
+// once per class (from a representative state) instead of once per state,
+// and subformulas are hash-consed — the level-(t-1) class formulas appear
+// by ID, not by re-rendered string.
+
+import (
+	"fmt"
+	"slices"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/logic"
+)
 
 // Characteristic returns, for every node, a formula of modal depth ≤ depth
 // characterising its depth-round equivalence class in m. delta is the Δ of
 // the valuation Φ_Δ (for the degree formulas).
 func Characteristic(m *kripke.Model, depth, delta int, graded bool) []logic.Formula {
-	n := m.N()
-	indices := m.Indices()
-
-	// Level 0: one formula per valuation signature.
-	cur := make([]logic.Formula, n)
-	for v := 0; v < n; v++ {
-		cur[v] = valuationFormula(m, v, delta)
-	}
-
-	for d := 1; d <= depth; d++ {
-		// Group the previous level by rendered formula — nodes sharing a
-		// level-(d-1) characteristic formula are (d-1)-round equivalent.
-		classOf, classFormula := groupByFormula(cur)
-		next := make([]logic.Formula, n)
-		for v := 0; v < n; v++ {
-			conjuncts := []logic.Formula{valuationFormula(m, v, delta)}
-			for _, alpha := range indices {
-				succ := m.Succ(alpha, v)
-				counts := make(map[int]int)
-				for _, w := range succ {
-					counts[classOf[w]]++
-				}
-				// Iterate classes in sorted order: map order would make
-				// formulas of same-class nodes render differently and
-				// split classes spuriously at the next level.
-				classes := sortedKeys(counts)
-				if graded {
-					for _, c := range classes {
-						k := counts[c]
-						conjuncts = append(conjuncts,
-							logic.DiaGeq(alpha, k, classFormula[c]),
-							logic.Not{F: logic.DiaGeq(alpha, k+1, classFormula[c])},
-						)
-					}
-					// No successors outside the listed classes: every
-					// successor satisfies one of them.
-					conjuncts = append(conjuncts, boxOver(alpha, counts, classFormula))
-				} else {
-					for _, c := range classes {
-						conjuncts = append(conjuncts, logic.Dia(alpha, classFormula[c]))
-					}
-					conjuncts = append(conjuncts, boxOver(alpha, counts, classFormula))
-				}
-			}
-			next[v] = logic.BigAnd(conjuncts...)
-		}
-		cur = next
-	}
-	return cur
-}
-
-// boxOver builds [α](⋁_{C} χ_C) for the classes present in counts.
-func boxOver(alpha kripke.Index, counts map[int]int, classFormula []logic.Formula) logic.Formula {
-	var present []logic.Formula
-	for c := range counts {
-		present = append(present, classFormula[c])
-	}
-	// Canonical order for determinism.
-	sortFormulas(present)
-	return logic.Box(alpha, logic.BigOr(present...))
-}
-
-func sortedKeys(counts map[int]int) []int {
-	keys := make([]int, 0, len(counts))
-	for c := range counts {
-		keys = append(keys, c)
-	}
-	sort.Ints(keys)
-	return keys
-}
-
-func sortFormulas(fs []logic.Formula) {
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j].String() < fs[j-1].String(); j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
-	}
-}
-
-// groupByFormula assigns a dense class id per node from rendered formulas
-// and returns one representative formula per class.
-func groupByFormula(fs []logic.Formula) (classOf []int, classFormula []logic.Formula) {
-	classOf = make([]int, len(fs))
-	ids := make(map[string]int)
-	for v, f := range fs {
-		key := f.String()
-		id, ok := ids[key]
+	in := logic.NewInterner()
+	ids := CharacteristicIDs(m, depth, delta, graded, in)
+	// Reconstruct each distinct class formula once; states of a class
+	// share the interface value.
+	byID := make(map[logic.ID]logic.Formula)
+	out := make([]logic.Formula, len(ids))
+	for v, id := range ids {
+		f, ok := byID[id]
 		if !ok {
-			id = len(ids)
-			ids[key] = id
-			classFormula = append(classFormula, f)
+			f = in.Formula(id)
+			byID[id] = f
 		}
-		classOf[v] = id
+		out[v] = f
 	}
-	return classOf, classFormula
+	return out
 }
 
-// valuationFormula characterises the exact valuation of v over Φ_Δ.
-func valuationFormula(m *kripke.Model, v, delta int) logic.Formula {
-	var conj []logic.Formula
+// CharacteristicIDs is Characteristic on the interned path: the returned
+// slice maps each state to the ID of its class's characteristic formula
+// in in. Evaluate the IDs with a logic.Evaluator built on the same
+// interner to keep memo rows shared across depths and states.
+func CharacteristicIDs(m *kripke.Model, depth, delta int, graded bool, in *logic.Interner) []logic.ID {
+	n := m.N()
+	csr := m.CSR()
+	r := newRefiner(csr, graded, 0)
+
+	// Level 0 partitions by the Δ-restricted valuation — what the degree
+	// formulas can express — which is at most as fine as the refiner's
+	// default full-valuation classes.
+	initDeltaPartition(r, m, delta)
+	reps := representatives(r.cur, r.classes)
+	classF := make([]logic.ID, r.classes)
+	for c, rep := range reps {
+		classF[c] = valuationID(in, m, int(rep), delta)
+	}
+
+	indices := csr.Indices()
+	var succClasses []int32 // scratch: a representative's successor classes, sorted
+	for d := 1; d <= depth; d++ {
+		prev := r.cur
+		prevF := classF
+		// One refinement round. Even at fixpoint the formulas deepen
+		// (the partition just stops splitting), matching the recursive
+		// construction; the swapped-in ids equal prev's when unchanged.
+		r.fill()
+		r.classes = r.group()
+		r.cur, r.next = r.next, r.cur
+
+		reps = representatives(r.cur, r.classes)
+		classF = make([]logic.ID, r.classes)
+		for c, rep := range reps {
+			conjuncts := []logic.ID{valuationID(in, m, int(rep), delta)}
+			for ai, alpha := range indices {
+				off, succ := r.offs[ai], r.succs[ai]
+				succClasses = succClasses[:0]
+				for _, w := range succ[off[rep]:off[rep+1]] {
+					succClasses = append(succClasses, prev[w])
+				}
+				slices.Sort(succClasses)
+				// Per distinct successor class, in ascending id order:
+				// the diamond conjuncts, then the box over all present.
+				var disjuncts []logic.ID
+				for i := 0; i < len(succClasses); {
+					c2 := succClasses[i]
+					k := 0
+					for i < len(succClasses) && succClasses[i] == c2 {
+						k++
+						i++
+					}
+					if graded {
+						conjuncts = append(conjuncts,
+							in.Dia(alpha, k, prevF[c2]),
+							in.Not(in.Dia(alpha, k+1, prevF[c2])),
+						)
+					} else {
+						conjuncts = append(conjuncts, in.Dia(alpha, 1, prevF[c2]))
+					}
+					disjuncts = append(disjuncts, prevF[c2])
+				}
+				// No successors outside the listed classes: every
+				// successor satisfies one of them ([α]⊥ when none).
+				conjuncts = append(conjuncts, in.Box(alpha, in.BigOr(disjuncts...)))
+			}
+			classF[c] = in.BigAnd(conjuncts...)
+		}
+	}
+
+	out := make([]logic.ID, n)
+	for v := 0; v < n; v++ {
+		out[v] = classF[r.cur[v]]
+	}
+	return out
+}
+
+// initDeltaPartition resets the refiner's classes to the Δ-restricted
+// valuation partition: states agreeing on q_1..q_Δ share a class, dense
+// ids by first occurrence in state order.
+func initDeltaPartition(r *refiner, m *kripke.Model, delta int) {
+	key := make([]byte, (delta+7)/8)
+	ids := make(map[string]int32)
+	for v := 0; v < r.n; v++ {
+		for i := range key {
+			key[i] = 0
+		}
+		for d := 1; d <= delta; d++ {
+			if m.Prop(kripke.DegreeProp(d), v) {
+				key[(d-1)>>3] |= 1 << (uint(d-1) & 7)
+			}
+		}
+		id, ok := ids[string(key)]
+		if !ok {
+			id = int32(len(ids))
+			ids[string(key)] = id
+		}
+		r.cur[v] = id
+	}
+	r.classes = len(ids)
+}
+
+// representatives returns the first state of each class. Ids are dense by
+// first occurrence, so the result is ascending.
+func representatives(cur []int32, classes int) []int32 {
+	reps := make([]int32, classes)
+	for i := range reps {
+		reps[i] = -1
+	}
+	for v, c := range cur {
+		if reps[c] == -1 {
+			reps[c] = int32(v)
+		}
+	}
+	return reps
+}
+
+// valuationID interns the formula characterising the exact valuation of v
+// over Φ_Δ.
+func valuationID(in *logic.Interner, m *kripke.Model, v, delta int) logic.ID {
+	var conj []logic.ID
 	for d := 1; d <= delta; d++ {
-		q := logic.Prop{Name: kripke.DegreeProp(d)}
-		if m.Prop(q.Name, v) {
+		q := in.Prop(kripke.DegreeProp(d))
+		if m.Prop(kripke.DegreeProp(d), v) {
 			conj = append(conj, q)
 		} else {
-			conj = append(conj, logic.Not{F: q})
+			conj = append(conj, in.Not(q))
 		}
 	}
-	return logic.BigAnd(conj...)
+	return in.BigAnd(conj...)
 }
 
 // Separating returns a formula of modal depth ≤ maxDepth that is true at u
 // and false at v (or an error if they are bisimilar up to maxDepth, in
 // which case no such formula exists by Fact 1). The formula's fragment
-// matches graded.
+// matches graded. All depths share one interner and evaluator, so deeper
+// probes reuse every truth set the shallower ones computed.
 func Separating(m *kripke.Model, u, v, maxDepth, delta int, graded bool) (logic.Formula, error) {
+	in := logic.NewInterner()
+	ev := logic.NewEvaluator(m, in)
 	for depth := 0; depth <= maxDepth; depth++ {
-		chars := Characteristic(m, depth, delta, graded)
-		f := chars[u]
-		val := logic.Eval(m, f)
-		if val[u] && !val[v] {
-			return f, nil
+		ids := CharacteristicIDs(m, depth, delta, graded, in)
+		f := ids[u]
+		if ev.Sat(u, f) && !ev.Sat(v, f) {
+			return in.Formula(f), nil
 		}
 	}
 	return nil, fmt.Errorf("bisim: states %d and %d are %d-round bisimilar; no separating formula of depth ≤ %d",

@@ -29,11 +29,12 @@ import (
 // characterises full bisimilarity).
 func GamePairs(m *kripke.Model, graded bool) [][]bool {
 	n := m.N()
+	val := m.CSR().ValClass()
 	rel := make([][]bool, n)
 	for u := 0; u < n; u++ {
 		rel[u] = make([]bool, n)
 		for v := 0; v < n; v++ {
-			rel[u][v] = m.PropSig(u) == m.PropSig(v)
+			rel[u][v] = val[u] == val[v]
 		}
 	}
 	indices := m.Indices()

@@ -1,0 +1,317 @@
+package bisim
+
+// refine.go is the integer-signature partition refiner behind Compute.
+// Each round builds, per state, a flat int32 signature — current class,
+// then per relation the sorted classes of its CSR successor row (with
+// multiplicity for graded; deduplicated and -1-padded for plain), with -2
+// separators — into one preallocated arena at fixed per-state offsets.
+// Grouping hashes each signature (FNV-1a) and assigns dense class ids by
+// first occurrence in state order through an open-addressing table, so
+// the resulting partition is identical to the seed's string-keyed
+// assignment and — because signature fills are per-state independent and
+// grouping is sequential — bit-identical for every worker count.
+//
+// The signature fill is the O(n + m) hot loop and fans out over
+// contiguous state ranges on >1 workers; sorting successor rows in place
+// keeps the round allocation-free after the first (pinned by
+// //weakvet:noalloc on fillRange and group).
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/obs"
+)
+
+// Logic-side refinement metric names.
+const (
+	// MetricRefineRounds counts executed refinement rounds across runs.
+	MetricRefineRounds = "weak_logic_refine_rounds_total"
+	// MetricRefineClasses is the class count of the last computed partition.
+	MetricRefineClasses = "weak_logic_refine_classes"
+	// MetricRefineUs is the wall time per Compute call in microseconds.
+	MetricRefineUs = "weak_logic_refine_us"
+)
+
+// refineMetrics is the resolved metrics bundle; nil disables everything.
+//
+//weakvet:obs newRefineMetrics returns nil unless a registry is attached; every caller guards the *refineMetrics
+type refineMetrics struct {
+	rounds  *obs.Counter
+	classes *obs.Gauge
+	durUs   *obs.Histogram
+	clock   obs.Clock
+}
+
+func newRefineMetrics(o *obs.Obs) *refineMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	reg := o.Metrics
+	return &refineMetrics{
+		rounds:  reg.Counter(MetricRefineRounds, "partition refinement rounds executed"),
+		classes: reg.Gauge(MetricRefineClasses, "class count of the last computed partition"),
+		durUs:   reg.Histogram(MetricRefineUs, "wall microseconds per partition computation", nil),
+		clock:   o.ResolveClock(),
+	}
+}
+
+// begin stamps the start of a Compute call.
+func (m *refineMetrics) begin() time.Duration { return m.clock.Now() }
+
+// end records one completed Compute call.
+func (m *refineMetrics) end(start time.Duration, rounds, classes int) {
+	m.rounds.Add(int64(rounds))
+	m.classes.Set(int64(classes))
+	m.durUs.Observe(float64((m.clock.Now() - start) / time.Microsecond))
+}
+
+// parallelThreshold is the state count below which the signature fill
+// stays inline on the caller: goroutine fan-out only pays for itself on
+// large models (mirroring the engine's sharding default).
+const parallelThreshold = 4096
+
+// refiner holds the per-round arenas of one partition computation.
+type refiner struct {
+	csr     *kripke.CSR
+	n       int
+	graded  bool
+	workers int
+
+	offs  [][]int32 // per relation: successor row offsets (len n+1)
+	succs [][]int32 // per relation: flat successor arrays
+
+	segOff []int32 // per state: start of its signature segment; len n+1
+	sig    []int32 // signature arena, rewritten every round
+	hash   []uint64
+
+	cur, next []int32 // class ids per state, double-buffered
+
+	// Open-addressing signature table: slot → exemplar state / class id.
+	slotState []int32
+	slotID    []int32
+	mask      uint64
+
+	classes int // class count of cur
+}
+
+func newRefiner(csr *kripke.CSR, graded bool, workers int) *refiner {
+	n := csr.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < parallelThreshold {
+		workers = 1
+	}
+	r := &refiner{csr: csr, n: n, graded: graded, workers: workers}
+
+	indices := csr.Indices()
+	r.offs = make([][]int32, len(indices))
+	r.succs = make([][]int32, len(indices))
+	for ri, x := range indices {
+		r.offs[ri], r.succs[ri], _ = csr.Rel(x)
+	}
+
+	// Fixed per-state signature layout: 1 (current class) plus, per
+	// relation, the row length plus a -2 separator.
+	r.segOff = make([]int32, n+1)
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		r.segOff[v] = pos
+		pos += 1
+		for ri := range r.offs {
+			pos += r.offs[ri][v+1] - r.offs[ri][v] + 1
+		}
+	}
+	r.segOff[n] = pos
+	r.sig = make([]int32, pos)
+	r.hash = make([]uint64, n)
+
+	r.cur = make([]int32, n)
+	copy(r.cur, csr.ValClass())
+	r.classes = csr.NumValClasses()
+	r.next = make([]int32, n)
+
+	tab := 1
+	for tab < 2*n {
+		tab <<= 1
+	}
+	r.slotState = make([]int32, tab)
+	r.slotID = make([]int32, tab)
+	r.mask = uint64(tab - 1)
+	return r
+}
+
+// fill writes every state's signature for the current classes, fanning
+// out over contiguous ranges when workers > 1. Per-state writes are
+// disjoint, so the result is independent of the split.
+func (r *refiner) fill() {
+	if r.workers <= 1 {
+		r.fillRange(0, r.n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (r.n + r.workers - 1) / r.workers
+	for lo := 0; lo < r.n; lo += chunk {
+		hi := lo + chunk
+		if hi > r.n {
+			hi = r.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			r.fillRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// fillRange builds signatures and hashes for states [lo, hi).
+//
+//weakvet:noalloc
+func (r *refiner) fillRange(lo, hi int) {
+	for v := lo; v < hi; v++ {
+		pos := r.segOff[v]
+		r.sig[pos] = r.cur[v]
+		pos++
+		for ri := range r.offs {
+			off := r.offs[ri]
+			succ := r.succs[ri]
+			row := r.sig[pos : pos+(off[v+1]-off[v])]
+			for i, w := range succ[off[v]:off[v+1]] {
+				row[i] = r.cur[w]
+			}
+			sortInt32(row)
+			if !r.graded {
+				// Dedup in place, padding the tail with -1 so the
+				// segment keeps its fixed width.
+				k := 0
+				for i, x := range row {
+					if i == 0 || x != row[k-1] {
+						row[k] = x
+						k++
+					}
+				}
+				for i := k; i < len(row); i++ {
+					row[i] = -1
+				}
+			}
+			pos += int32(len(row))
+			r.sig[pos] = -2
+			pos++
+		}
+		// FNV-1a over the signature words.
+		h := uint64(14695981039346656037)
+		for _, x := range r.sig[r.segOff[v]:pos] {
+			h ^= uint64(uint32(x))
+			h *= 1099511628211
+		}
+		r.hash[v] = h
+	}
+}
+
+// sortInt32 sorts a successor row in place: insertion sort for the short
+// rows that dominate bounded-degree families, slices.Sort beyond.
+//
+//weakvet:noalloc
+func sortInt32(xs []int32) {
+	if len(xs) <= 32 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	slices.Sort(xs)
+}
+
+// group assigns next-round class ids by first signature occurrence in
+// state order, returning the new class count. Sequential by design: the
+// scan order is the determinism guarantee.
+//
+//weakvet:noalloc
+func (r *refiner) group() int {
+	for i := range r.slotState {
+		r.slotState[i] = -1
+	}
+	classes := int32(0)
+	for v := 0; v < r.n; v++ {
+		slot := r.hash[v] & r.mask
+		for {
+			ex := r.slotState[slot]
+			if ex == -1 {
+				r.slotState[slot] = int32(v)
+				r.slotID[slot] = classes
+				r.next[v] = classes
+				classes++
+				break
+			}
+			if r.hash[ex] == r.hash[v] && r.sameSig(int(ex), v) {
+				r.next[v] = r.slotID[slot]
+				break
+			}
+			slot = (slot + 1) & r.mask
+		}
+	}
+	return int(classes)
+}
+
+// sameSig compares two states' signature segments.
+//
+//weakvet:noalloc
+func (r *refiner) sameSig(u, v int) bool {
+	su := r.sig[r.segOff[u]:r.segOff[u+1]]
+	sv := r.sig[r.segOff[v]:r.segOff[v+1]]
+	if len(su) != len(sv) {
+		return false
+	}
+	for i := range su {
+		if su[i] != sv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// step runs one refinement round; it reports whether the partition
+// changed (by the monotone class-count criterion) and commits the new
+// classes when it did.
+func (r *refiner) step() bool {
+	r.fill()
+	classes := r.group()
+	if classes == r.classes {
+		// Refinement is monotone: same class count ⇒ same partition.
+		return false
+	}
+	r.cur, r.next = r.next, r.cur
+	r.classes = classes
+	return true
+}
+
+// run refines to fixpoint or maxRounds (0 = unbounded), returning the
+// number of changing rounds executed.
+func (r *refiner) run(maxRounds int) int {
+	round := 0
+	for {
+		if maxRounds > 0 && round >= maxRounds {
+			return round
+		}
+		if !r.step() {
+			return round
+		}
+		round++
+	}
+}
+
+// partition copies the current classes into the public Partition shape.
+func (r *refiner) partition() Partition {
+	part := make(Partition, r.n)
+	for v, id := range r.cur {
+		part[v] = int(id)
+	}
+	return part
+}

@@ -1,0 +1,231 @@
+package bisim
+
+// refine_test.go pins the integer-signature refiner (refine.go) to the
+// seed's string-keyed implementation — reimplemented verbatim below as
+// legacyCompute — and pins the worker fan-out bit-identical to the
+// sequential fill.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"weakmodels/internal/graph"
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/obs"
+	"weakmodels/internal/port"
+)
+
+// legacyCompute is the seed-era Compute: string signatures through maps,
+// dense ids by first occurrence. The refiner must reproduce it exactly —
+// ids included.
+func legacyCompute(m *kripke.Model, graded bool, maxRounds int) Partition {
+	n := m.N()
+	part := make(Partition, n)
+	ids := make(map[string]int)
+	for v := 0; v < n; v++ {
+		sig := m.PropSig(v)
+		id, ok := ids[sig]
+		if !ok {
+			id = len(ids)
+			ids[sig] = id
+		}
+		part[v] = id
+	}
+	indices := m.Indices()
+	round := 0
+	for {
+		if maxRounds > 0 && round >= maxRounds {
+			return part
+		}
+		next := legacyRefine(m, part, indices, graded)
+		if legacyEqual(part, next) {
+			return next
+		}
+		part = next
+		round++
+	}
+}
+
+func legacyRefine(m *kripke.Model, part Partition, indices []kripke.Index, graded bool) Partition {
+	n := m.N()
+	next := make(Partition, n)
+	ids := make(map[string]int)
+	var sb strings.Builder
+	for v := 0; v < n; v++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "c%d", part[v])
+		for _, alpha := range indices {
+			succ := m.Succ(alpha, v)
+			classes := make([]int, 0, len(succ))
+			for _, w := range succ {
+				classes = append(classes, part[w])
+			}
+			sort.Ints(classes)
+			if !graded {
+				out := classes[:0]
+				for i, x := range classes {
+					if i == 0 || x != classes[i-1] {
+						out = append(out, x)
+					}
+				}
+				classes = out
+			}
+			fmt.Fprintf(&sb, "|%v:%v", alpha, classes)
+		}
+		sig := sb.String()
+		id, ok := ids[sig]
+		if !ok {
+			id = len(ids)
+			ids[sig] = id
+		}
+		next[v] = id
+	}
+	return next
+}
+
+func legacyEqual(a, b Partition) bool {
+	classesA := make(map[int]int)
+	classesB := make(map[int]int)
+	for i := range a {
+		classesA[a[i]]++
+		classesB[b[i]]++
+	}
+	return len(classesA) == len(classesB)
+}
+
+func refineTestModel(seed int64) *kripke.Model {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(10)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g := graph.MustNew(n, edges)
+	variants := []kripke.Variant{kripke.VariantPP, kripke.VariantMP, kripke.VariantPM, kripke.VariantMM}
+	return kripke.FromPorts(port.Random(g, rng), variants[rng.Intn(len(variants))])
+}
+
+// TestComputeMatchesLegacy pins the refiner to the seed implementation
+// elementwise — same partition, same dense ids — across random models,
+// both fragments and bounded depths.
+func TestComputeMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		m := refineTestModel(seed)
+		for _, graded := range []bool{false, true} {
+			for _, maxRounds := range []int{0, 1, 2, 5} {
+				want := legacyCompute(m, graded, maxRounds)
+				got := Compute(m, Options{Graded: graded, MaxRounds: maxRounds})
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("seed %d graded=%v rounds=%d: state %d class %d, legacy %d",
+							seed, graded, maxRounds, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComputeWorkersBitIdentical pins the worker fan-out: on a model
+// large enough to engage the parallel signature fill, every worker count
+// must return the same ids as the sequential run.
+func TestComputeWorkersBitIdentical(t *testing.T) {
+	g, err := graph.Expander(5000, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kripke.FromPorts(port.Canonical(g), kripke.VariantMM)
+	for _, graded := range []bool{false, true} {
+		base := Compute(m, Options{Graded: graded, Workers: 1})
+		for _, workers := range []int{2, 3, 4, 8} {
+			got := Compute(m, Options{Graded: graded, Workers: workers})
+			for v := range base {
+				if got[v] != base[v] {
+					t.Fatalf("graded=%v workers=%d: state %d class %d, sequential %d",
+						graded, workers, v, got[v], base[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundsToStableMatchesLegacy checks the round count against a legacy
+// fixpoint loop.
+func TestRoundsToStableMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := refineTestModel(seed)
+		for _, graded := range []bool{false, true} {
+			indices := m.Indices()
+			// Legacy loop, verbatim.
+			n := m.N()
+			init := make(Partition, n)
+			ids := make(map[string]int)
+			for v := 0; v < n; v++ {
+				sig := m.PropSig(v)
+				id, ok := ids[sig]
+				if !ok {
+					id = len(ids)
+					ids[sig] = id
+				}
+				init[v] = id
+			}
+			want := 0
+			for {
+				next := legacyRefine(m, init, indices, graded)
+				if legacyEqual(init, next) {
+					break
+				}
+				init = next
+				want++
+			}
+			if got := RoundsToStable(m, graded); got != want {
+				t.Fatalf("seed %d graded=%v: RoundsToStable %d, legacy %d", seed, graded, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionClasses pins the deterministic Classes construction.
+func TestPartitionClasses(t *testing.T) {
+	p := Partition{1, 0, 1, 2, 0}
+	classes := p.Classes()
+	want := [][]int{{1, 4}, {0, 2}, {3}}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %v, want %v", classes, want)
+	}
+	for id := range want {
+		if len(classes[id]) != len(want[id]) {
+			t.Fatalf("class %d = %v, want %v", id, classes[id], want[id])
+		}
+		for i := range want[id] {
+			if classes[id][i] != want[id][i] {
+				t.Fatalf("class %d = %v, want %v", id, classes[id], want[id])
+			}
+		}
+	}
+	if p.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", p.NumClasses())
+	}
+}
+
+// TestRefineMetrics checks the weak_logic_refine_* wiring end to end with
+// a manual clock.
+func TestRefineMetrics(t *testing.T) {
+	m := refineTestModel(7)
+	reg := obs.NewMetrics()
+	clk := &obs.ManualClock{}
+	Compute(m, Options{Graded: true, Obs: &obs.Obs{Metrics: reg, Clock: clk}})
+	if reg.Histogram(MetricRefineUs, "", nil).Count() != 1 {
+		t.Errorf("%s: want exactly one sample", MetricRefineUs)
+	}
+	if reg.Gauge(MetricRefineClasses, "").Value() <= 0 {
+		t.Errorf("%s: want a positive class count", MetricRefineClasses)
+	}
+}

@@ -73,6 +73,9 @@ type Model struct {
 	n     int
 	rels  map[Index][][]int
 	props map[string][]bool
+
+	// csr caches the compiled CSR form (csr.go); invalidated on mutation.
+	csr *CSR
 }
 
 // NewModel returns an empty model with n states.
@@ -89,6 +92,7 @@ func (m *Model) N() int { return m.n }
 
 // AddEdge adds (u,v) to relation α.
 func (m *Model) AddEdge(alpha Index, u, v int) {
+	m.csr = nil
 	succ, ok := m.rels[alpha]
 	if !ok {
 		succ = make([][]int, m.n)
@@ -99,6 +103,7 @@ func (m *Model) AddEdge(alpha Index, u, v int) {
 
 // SetProp marks proposition q true at state v.
 func (m *Model) SetProp(q string, v int) {
+	m.csr = nil
 	val, ok := m.props[q]
 	if !ok {
 		val = make([]bool, m.n)
@@ -201,29 +206,32 @@ func FromPorts(p *port.Numbering, variant Variant) *Model {
 // bisimilarity inside the union — used by the separation arguments.
 func DisjointUnion(a, b *Model) *Model {
 	m := NewModel(a.n + b.n)
-	for x, succ := range a.rels {
-		for u, vs := range succ {
+	// Iterate relations and propositions in sorted order so edge insertion
+	// order — and with it every successor row of the union — is
+	// deterministic, not a map-walk artifact.
+	for _, x := range a.Indices() {
+		for u, vs := range a.rels[x] {
 			for _, v := range vs {
 				m.AddEdge(x, u, v)
 			}
 		}
 	}
-	for x, succ := range b.rels {
-		for u, vs := range succ {
+	for _, x := range b.Indices() {
+		for u, vs := range b.rels[x] {
 			for _, v := range vs {
 				m.AddEdge(x, u+a.n, v+a.n)
 			}
 		}
 	}
-	for q, val := range a.props {
-		for v, t := range val {
+	for _, q := range a.Props() {
+		for v, t := range a.props[q] {
 			if t {
 				m.SetProp(q, v)
 			}
 		}
 	}
-	for q, val := range b.props {
-		for v, t := range val {
+	for _, q := range b.Props() {
+		for v, t := range b.props[q] {
 			if t {
 				m.SetProp(q, v+a.n)
 			}

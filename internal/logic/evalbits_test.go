@@ -1,0 +1,191 @@
+package logic
+
+// evalbits_test.go pins the bitset evaluator to the seed's AST-walking
+// Eval — reimplemented verbatim below as legacyEval — and checks the
+// memo-across-calls and metrics behavior of the Evaluator.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"weakmodels/internal/kripke"
+	"weakmodels/internal/obs"
+)
+
+// legacyEval is the seed-era Eval: recursive AST walk memoized on
+// rendered subformulas through a map.
+func legacyEval(m *kripke.Model, f Formula) []bool {
+	memo := make(map[string][]bool)
+	return legacyEvalMemo(m, f, memo)
+}
+
+func legacyEvalMemo(m *kripke.Model, f Formula, memo map[string][]bool) []bool {
+	key := f.String()
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	n := m.N()
+	out := make([]bool, n)
+	switch x := f.(type) {
+	case Top:
+		for i := range out {
+			out[i] = true
+		}
+	case Bot:
+	case Prop:
+		for v := 0; v < n; v++ {
+			out[v] = m.Prop(x.Name, v)
+		}
+	case Not:
+		inner := legacyEvalMemo(m, x.F, memo)
+		for v := 0; v < n; v++ {
+			out[v] = !inner[v]
+		}
+	case And:
+		l := legacyEvalMemo(m, x.L, memo)
+		r := legacyEvalMemo(m, x.R, memo)
+		for v := 0; v < n; v++ {
+			out[v] = l[v] && r[v]
+		}
+	case Or:
+		l := legacyEvalMemo(m, x.L, memo)
+		r := legacyEvalMemo(m, x.R, memo)
+		for v := 0; v < n; v++ {
+			out[v] = l[v] || r[v]
+		}
+	case Diamond:
+		inner := legacyEvalMemo(m, x.F, memo)
+		for v := 0; v < n; v++ {
+			count := 0
+			for _, w := range m.Succ(x.Idx, v) {
+				if inner[w] {
+					count++
+					if count >= x.K {
+						break
+					}
+				}
+			}
+			out[v] = count >= x.K
+		}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+	memo[key] = out
+	return out
+}
+
+// TestEvalMatchesLegacy pins the bitset path to the seed implementation
+// across random models and random formulas of both fragments, including
+// grade-0 diamonds (vacuously true) and labels absent from the model.
+func TestEvalMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := modelFromSeed(seed)
+		for trial := 0; trial < 4; trial++ {
+			f := RandomFormula(rng, 1+rng.Intn(4), 4, trial%2 == 0)
+			want := legacyEval(m, f)
+			got := Eval(m, f)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d %q: state %d = %v, legacy %v", seed, f, v, got[v], want[v])
+				}
+			}
+		}
+		// Edge cases the generator rarely emits.
+		star := kripke.Index{}
+		missing := kripke.Index{I: 7, J: 9}
+		for _, f := range []Formula{
+			Diamond{Idx: star, K: 0, F: Bot{}},
+			Diamond{Idx: missing, K: 1, F: Top{}},
+			Not{F: Diamond{Idx: missing, K: 2, F: Top{}}},
+			Box(missing, Bot{}),
+		} {
+			want := legacyEval(m, f)
+			got := Eval(m, f)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d %q: state %d = %v, legacy %v", seed, f, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorMemoAcrossCalls checks that an Evaluator shared across
+// formulas returns correct truth sets when later formulas reuse earlier
+// subformulas, and that Reset forces recomputation to the same result.
+func TestEvaluatorMemoAcrossCalls(t *testing.T) {
+	m := modelFromSeed(11)
+	in := NewInterner()
+	ev := NewEvaluator(m, in)
+	rng := rand.New(rand.NewSource(11))
+	a := RandomFormula(rng, 3, 4, true)
+	b := RandomFormula(rng, 3, 4, true)
+	combined := And{L: a, R: Not{F: b}}
+	for _, f := range []Formula{a, b, combined, Or{L: combined, R: a}} {
+		got := ev.Bools(in.Intern(f))
+		want := legacyEval(m, f)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%q: state %d = %v, legacy %v", f, v, got[v], want[v])
+			}
+		}
+	}
+	ev.Reset()
+	id := in.Intern(combined)
+	got := ev.Bools(id)
+	want := legacyEval(m, combined)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("after Reset: state %d = %v, legacy %v", v, got[v], want[v])
+		}
+	}
+	if cnt := ev.Count(id); cnt != len(TruthSet(m, combined)) {
+		t.Fatalf("Count = %d, want %d", cnt, len(TruthSet(m, combined)))
+	}
+}
+
+// TestInternerDedup checks hash-consing: structurally equal formulas
+// intern to the same ID, and reconstruction round-trips.
+func TestInternerDedup(t *testing.T) {
+	in := NewInterner()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		f := RandomFormula(rng, 4, 3, trial%2 == 0)
+		id1 := in.Intern(f)
+		id2 := in.Intern(MustParse(f.String()))
+		if id1 != id2 {
+			t.Fatalf("%q: interned to %d then %d", f, id1, id2)
+		}
+		if got := in.String(id1); got != f.String() {
+			t.Fatalf("round-trip: %q became %q", f, got)
+		}
+		if got, want := in.ModalDepthID(id1), ModalDepth(f); got != want {
+			t.Fatalf("%q: ModalDepthID = %d, ModalDepth = %d", f, got, want)
+		}
+	}
+}
+
+// TestEvalMetrics checks the weak_logic_* wiring with a manual clock.
+func TestEvalMetrics(t *testing.T) {
+	m := modelFromSeed(5)
+	in := NewInterner()
+	ev := NewEvaluator(m, in)
+	reg := obs.NewMetrics()
+	clk := &obs.ManualClock{}
+	ev.AttachObs(&obs.Obs{Metrics: reg, Clock: clk})
+	id := in.Intern(MustParse("<*,*>=2 q1 | !q2"))
+	ev.Eval(id)
+	if got := reg.Counter(MetricEvals, "").Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricEvals, got)
+	}
+	if got := reg.Counter(MetricEvalNodes, "").Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricEvalNodes, got)
+	}
+	// A memo hit must not count as an eval.
+	ev.Eval(id)
+	if got := reg.Counter(MetricEvals, "").Value(); got != 1 {
+		t.Errorf("after memo hit: %s = %d, want 1", MetricEvals, got)
+	}
+}

@@ -181,16 +181,19 @@ func Size(f Formula) int {
 }
 
 // Subformulas returns the subformula closure Σ of f (including f itself),
-// deduplicated by rendered form, in no particular order.
+// deduplicated by rendered form, in deterministic pre-order (first
+// occurrence during a depth-first left-to-right walk).
 func Subformulas(f Formula) []Formula {
-	seen := make(map[string]Formula)
+	seen := make(map[string]bool)
+	var out []Formula
 	var walk func(Formula)
 	walk = func(g Formula) {
 		key := g.String()
-		if _, ok := seen[key]; ok {
+		if seen[key] {
 			return
 		}
-		seen[key] = g
+		seen[key] = true
+		out = append(out, g)
 		switch x := g.(type) {
 		case Not:
 			walk(x.F)
@@ -205,10 +208,6 @@ func Subformulas(f Formula) []Formula {
 		}
 	}
 	walk(f)
-	out := make([]Formula, 0, len(seen))
-	for _, g := range seen {
-		out = append(out, g)
-	}
 	return out
 }
 
@@ -262,9 +261,11 @@ func ClassifyFragment(f Formula) Fragment {
 	return fr
 }
 
-// Labels returns the distinct relation labels occurring in f.
+// Labels returns the distinct relation labels occurring in f, in order of
+// first occurrence during a depth-first left-to-right walk.
 func Labels(f Formula) []kripke.Index {
 	seen := make(map[kripke.Index]bool)
+	var out []kripke.Index
 	var walk func(Formula)
 	walk = func(g Formula) {
 		switch x := g.(type) {
@@ -277,20 +278,45 @@ func Labels(f Formula) []kripke.Index {
 			walk(x.L)
 			walk(x.R)
 		case Diamond:
-			seen[x.Idx] = true
+			if !seen[x.Idx] {
+				seen[x.Idx] = true
+				out = append(out, x.Idx)
+			}
 			walk(x.F)
 		}
 	}
 	walk(f)
-	out := make([]kripke.Index, 0, len(seen))
-	for x := range seen {
-		out = append(out, x)
-	}
 	return out
 }
 
-// Equal reports structural equality via the canonical rendering.
-func Equal(a, b Formula) bool { return a.String() == b.String() }
+// Equal reports structural equality.
+func Equal(a, b Formula) bool {
+	switch x := a.(type) {
+	case Top:
+		_, ok := b.(Top)
+		return ok
+	case Bot:
+		_, ok := b.(Bot)
+		return ok
+	case Prop:
+		y, ok := b.(Prop)
+		return ok && x.Name == y.Name
+	case Not:
+		y, ok := b.(Not)
+		return ok && Equal(x.F, y.F)
+	case And:
+		y, ok := b.(And)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Or:
+		y, ok := b.(Or)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Diamond:
+		y, ok := b.(Diamond)
+		return ok && x.Idx == y.Idx && x.K == y.K && Equal(x.F, y.F)
+	default:
+		return a.String() == b.String()
+	}
+}
 
 // Simplify performs constant folding and double-negation elimination. It
 // preserves semantics and never increases size.

@@ -1,0 +1,221 @@
+package logic
+
+// intern.go is the hash-consed formula DAG behind the fast evaluation
+// path. An Interner deduplicates structurally equal subformulas into a
+// dense-id arena: building the same subformula twice returns the same ID,
+// so structural equality is integer equality, memo tables are plain
+// slices indexed by ID, and the shared subformulas ubiquitous in compiled
+// and characteristic formulas exist exactly once.
+//
+// IDs are assigned in construction order, so every node's children have
+// strictly smaller IDs than the node itself — the arena IS a topological
+// order, and every traversal in the package is an iterative forward (or
+// marked-backward) pass instead of a recursion over interface values.
+
+import (
+	"fmt"
+
+	"weakmodels/internal/kripke"
+)
+
+// ID is a dense interned-formula identifier, valid for the Interner that
+// produced it. Children always have smaller IDs than their parents.
+type ID int32
+
+// NoID is the invalid ID.
+const NoID ID = -1
+
+// Op is the connective of an interned node.
+type Op uint8
+
+// The seven node kinds, mirroring the Formula implementations.
+const (
+	OpTop Op = iota
+	OpBot
+	OpProp
+	OpNot
+	OpAnd
+	OpOr
+	OpDia
+)
+
+// Node is the immutable record of one interned subformula.
+type Node struct {
+	Op   Op
+	L, R ID           // Not/Dia child in L; And/Or children in L, R
+	Idx  kripke.Index // Dia: relation label
+	K    int32        // Dia: grade
+	Prop string       // Prop: proposition name
+}
+
+// nodeKey is the dedup key: the node sans anything derived.
+type nodeKey struct {
+	op   Op
+	l, r ID
+	i, j int32
+	k    int32
+	prop string
+}
+
+// Interner owns a hash-consed formula arena. The zero value is not ready;
+// use NewInterner. An Interner is not safe for concurrent mutation;
+// concurrent reads (Node, Len, Formula) are fine once built.
+type Interner struct {
+	nodes []Node
+	ids   map[nodeKey]ID
+}
+
+// NewInterner returns an empty arena.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[nodeKey]ID)}
+}
+
+// Len returns the number of distinct interned subformulas.
+func (in *Interner) Len() int { return len(in.nodes) }
+
+// Node returns the record of id. The ID must come from this Interner.
+func (in *Interner) Node(id ID) Node { return in.nodes[id] }
+
+func (in *Interner) put(k nodeKey, n Node) ID {
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := ID(len(in.nodes))
+	in.nodes = append(in.nodes, n)
+	in.ids[k] = id
+	return id
+}
+
+// Top interns ⊤.
+func (in *Interner) Top() ID { return in.put(nodeKey{op: OpTop}, Node{Op: OpTop}) }
+
+// Bot interns ⊥.
+func (in *Interner) Bot() ID { return in.put(nodeKey{op: OpBot}, Node{Op: OpBot}) }
+
+// Prop interns an atomic proposition.
+func (in *Interner) Prop(name string) ID {
+	return in.put(nodeKey{op: OpProp, prop: name}, Node{Op: OpProp, Prop: name})
+}
+
+// Not interns ¬f.
+func (in *Interner) Not(f ID) ID {
+	return in.put(nodeKey{op: OpNot, l: f}, Node{Op: OpNot, L: f})
+}
+
+// And interns f ∧ g.
+func (in *Interner) And(f, g ID) ID {
+	return in.put(nodeKey{op: OpAnd, l: f, r: g}, Node{Op: OpAnd, L: f, R: g})
+}
+
+// Or interns f ∨ g.
+func (in *Interner) Or(f, g ID) ID {
+	return in.put(nodeKey{op: OpOr, l: f, r: g}, Node{Op: OpOr, L: f, R: g})
+}
+
+// Dia interns ⟨α⟩≥k f.
+func (in *Interner) Dia(idx kripke.Index, k int, f ID) ID {
+	return in.put(
+		nodeKey{op: OpDia, l: f, i: int32(idx.I), j: int32(idx.J), k: int32(k)},
+		Node{Op: OpDia, L: f, Idx: idx, K: int32(k)})
+}
+
+// Box interns ¬⟨α⟩¬f, the same desugaring as the AST-level Box.
+func (in *Interner) Box(idx kripke.Index, f ID) ID {
+	return in.Not(in.Dia(idx, 1, in.Not(f)))
+}
+
+// BigAnd folds a left-associated conjunction; empty is ⊤ — the interned
+// mirror of the AST-level BigAnd, so renderings agree.
+func (in *Interner) BigAnd(fs ...ID) ID {
+	if len(fs) == 0 {
+		return in.Top()
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = in.And(out, f)
+	}
+	return out
+}
+
+// BigOr folds a left-associated disjunction; empty is ⊥.
+func (in *Interner) BigOr(fs ...ID) ID {
+	if len(fs) == 0 {
+		return in.Bot()
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = in.Or(out, f)
+	}
+	return out
+}
+
+// Intern hash-conses an AST formula into the arena. Structurally equal
+// formulas — however built — intern to the same ID.
+func (in *Interner) Intern(f Formula) ID {
+	switch x := f.(type) {
+	case Top:
+		return in.Top()
+	case Bot:
+		return in.Bot()
+	case Prop:
+		return in.Prop(x.Name)
+	case Not:
+		return in.Not(in.Intern(x.F))
+	case And:
+		return in.And(in.Intern(x.L), in.Intern(x.R))
+	case Or:
+		return in.Or(in.Intern(x.L), in.Intern(x.R))
+	case Diamond:
+		return in.Dia(x.Idx, x.K, in.Intern(x.F))
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+// Formula reconstructs the AST of id. Shared nodes become shared Formula
+// interface values, so the reconstruction is linear in the DAG — but a
+// subsequent String() renders the unfolded tree, which can be much
+// larger; render only small formulas.
+func (in *Interner) Formula(id ID) Formula {
+	memo := make([]Formula, id+1)
+	for i := ID(0); i <= id; i++ {
+		switch n := in.nodes[i]; n.Op {
+		case OpTop:
+			memo[i] = Top{}
+		case OpBot:
+			memo[i] = Bot{}
+		case OpProp:
+			memo[i] = Prop{Name: n.Prop}
+		case OpNot:
+			memo[i] = Not{F: memo[n.L]}
+		case OpAnd:
+			memo[i] = And{L: memo[n.L], R: memo[n.R]}
+		case OpOr:
+			memo[i] = Or{L: memo[n.L], R: memo[n.R]}
+		case OpDia:
+			memo[i] = Diamond{Idx: n.Idx, K: int(n.K), F: memo[n.L]}
+		}
+	}
+	return memo[id]
+}
+
+// String renders id via AST reconstruction. For diagnostics and small
+// formulas only: rendering unfolds the DAG into a tree.
+func (in *Interner) String(id ID) string { return in.Formula(id).String() }
+
+// ModalDepthID returns md(id) with one forward pass over the arena
+// prefix — no recursion, so deeply shared DAGs stay linear.
+func (in *Interner) ModalDepthID(id ID) int {
+	depth := make([]int32, id+1)
+	for i := ID(0); i <= id; i++ {
+		switch n := in.nodes[i]; n.Op {
+		case OpNot:
+			depth[i] = depth[n.L]
+		case OpAnd, OpOr:
+			depth[i] = max(depth[n.L], depth[n.R])
+		case OpDia:
+			depth[i] = depth[n.L] + 1
+		}
+	}
+	return int(depth[id])
+}
